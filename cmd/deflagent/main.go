@@ -1,0 +1,72 @@
+// Command deflagent runs a per-server local deflation controller and
+// serves it over the REST control plane (§5). A simulated host (simkvm) is
+// created with the given capacity; the centralized manager (cmd/deflated)
+// connects to the /v1 API to place VMs and reclaim resources.
+//
+// Usage:
+//
+//	deflagent -listen :7070 -name server-0 -cpus 32 -mem-gb 128
+package main
+
+import (
+	"flag"
+	"log"
+	"net/http"
+
+	"deflation/internal/cascade"
+	"deflation/internal/cluster"
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+)
+
+func main() {
+	var (
+		listen   = flag.String("listen", ":7070", "address to serve the controller API on")
+		name     = flag.String("name", "server-0", "server name")
+		cpus     = flag.Float64("cpus", 32, "physical CPU cores")
+		memGB    = flag.Float64("mem-gb", 128, "physical memory (GB)")
+		diskMBps = flag.Float64("disk-mbps", 4000, "disk bandwidth (MB/s)")
+		netMBps  = flag.Float64("net-mbps", 4000, "network bandwidth (MB/s)")
+		mode     = flag.String("mode", "deflation", "reclamation mode: deflation or preemption-only")
+		levels   = flag.String("levels", "all", "cascade levels: all, vm (os+hypervisor), hypervisor, os")
+	)
+	flag.Parse()
+
+	host, err := hypervisor.NewHost(hypervisor.Config{
+		Name:     *name,
+		Capacity: restypes.V(*cpus, *memGB*1024, *diskMBps, *netMBps),
+	})
+	if err != nil {
+		log.Fatalf("deflagent: %v", err)
+	}
+
+	var lv cascade.Levels
+	switch *levels {
+	case "all":
+		lv = cascade.AllLevels()
+	case "vm":
+		lv = cascade.VMLevel()
+	case "hypervisor":
+		lv = cascade.HypervisorOnly()
+	case "os":
+		lv = cascade.OSOnly()
+	default:
+		log.Fatalf("deflagent: unknown levels %q", *levels)
+	}
+
+	m := cluster.ModeDeflation
+	if *mode == "preemption-only" {
+		m = cluster.ModePreemptionOnly
+	} else if *mode != "deflation" {
+		log.Fatalf("deflagent: unknown mode %q", *mode)
+	}
+
+	ctrl := cluster.NewLocalController(host, lv, m)
+	api, err := cluster.NewControllerAPI(ctrl)
+	if err != nil {
+		log.Fatalf("deflagent: %v", err)
+	}
+	log.Printf("deflagent: serving %s (%g cores, %g GB, %s, levels %s) on %s",
+		*name, *cpus, *memGB, m, lv, *listen)
+	log.Fatal(http.ListenAndServe(*listen, api.Handler()))
+}

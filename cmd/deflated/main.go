@@ -1,0 +1,95 @@
+// Command deflated runs the centralized deflation-aware cluster manager
+// (§5). It either manages an in-process simulated cluster (-servers N) or
+// connects to remote deflagent controllers (-controller URL, repeatable),
+// and serves the manager REST API for cmd/deflctl.
+//
+// Usage:
+//
+//	deflated -listen :7000 -servers 8                       # simulated fleet
+//	deflated -listen :7000 \
+//	    -controller http://10.0.0.1:7070 \
+//	    -controller http://10.0.0.2:7070                    # remote fleet
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"deflation/internal/cascade"
+	"deflation/internal/cluster"
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+)
+
+type urlList []string
+
+func (u *urlList) String() string     { return strings.Join(*u, ",") }
+func (u *urlList) Set(s string) error { *u = append(*u, s); return nil }
+
+func main() {
+	var controllers urlList
+	var (
+		listen  = flag.String("listen", ":7000", "address to serve the manager API on")
+		servers = flag.Int("servers", 0, "number of in-process simulated servers (ignored with -controller)")
+		cpus    = flag.Float64("cpus", 32, "simulated servers: physical CPU cores")
+		memGB   = flag.Float64("mem-gb", 128, "simulated servers: physical memory (GB)")
+		policy  = flag.String("policy", "best-fit", "placement policy: best-fit, first-fit, 2-choices")
+		seed    = flag.Int64("seed", 1, "seed for the 2-choices policy")
+	)
+	flag.Var(&controllers, "controller", "remote deflagent URL (repeatable)")
+	flag.Parse()
+
+	var nodes []cluster.Node
+	switch {
+	case len(controllers) > 0:
+		for _, u := range controllers {
+			n, err := cluster.NewRemoteNode(u)
+			if err != nil {
+				log.Fatalf("deflated: %v", err)
+			}
+			log.Printf("deflated: connected to %s (%s)", n.Name(), u)
+			nodes = append(nodes, n)
+		}
+	default:
+		if *servers <= 0 {
+			*servers = 4
+		}
+		for i := 0; i < *servers; i++ {
+			h, err := hypervisor.NewHost(hypervisor.Config{
+				Name:     fmt.Sprintf("sim-%02d", i),
+				Capacity: restypes.V(*cpus, *memGB*1024, 4000, 4000),
+			})
+			if err != nil {
+				log.Fatalf("deflated: %v", err)
+			}
+			nodes = append(nodes, cluster.NewLocalController(h, cascade.AllLevels(), cluster.ModeDeflation))
+		}
+		log.Printf("deflated: simulating %d servers (%g cores / %g GB each)", *servers, *cpus, *memGB)
+	}
+
+	var pol cluster.PlacementPolicy
+	switch *policy {
+	case "best-fit":
+		pol = cluster.BestFit
+	case "first-fit":
+		pol = cluster.FirstFit
+	case "2-choices":
+		pol = cluster.TwoChoices
+	default:
+		log.Fatalf("deflated: unknown policy %q", *policy)
+	}
+
+	mgr, err := cluster.NewManager(nodes, pol, *seed)
+	if err != nil {
+		log.Fatalf("deflated: %v", err)
+	}
+	api, err := cluster.NewManagerAPI(mgr)
+	if err != nil {
+		log.Fatalf("deflated: %v", err)
+	}
+	log.Printf("deflated: managing %d servers with %s placement on %s", len(nodes), pol, *listen)
+	log.Fatal(http.ListenAndServe(*listen, api.Handler()))
+}

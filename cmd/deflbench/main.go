@@ -1,0 +1,101 @@
+// Command deflbench regenerates the paper's tables and figures from the
+// repository's substrates and prints them as text tables.
+//
+// Usage:
+//
+//	deflbench -fig all          # every figure (slow: full 100-node sims)
+//	deflbench -fig 1            # Figure 1
+//	deflbench -fig 6 -quick     # Figure 6 panels, reduced sweep sizes
+//
+// Figures: 1, 5a, 5b, 5c, 5d, 6, 7a, 7b, 8a, 8b, 8c, 8d.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"deflation/internal/experiments"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, all)")
+	quick := flag.Bool("quick", false, "smaller sweeps for the cluster simulations")
+	flag.Parse()
+
+	runs := map[string]func(bool) (fmt.Stringer, error){
+		"table1":  func(bool) (fmt.Stringer, error) { return wrap(experiments.Table1()) },
+		"table2":  func(bool) (fmt.Stringer, error) { return wrap(experiments.Table2()) },
+		"1":       func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig1()) },
+		"5a":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig5a()) },
+		"5b":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig5b()) },
+		"5c":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig5c()) },
+		"5d":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig5d()) },
+		"6":       runFig6,
+		"7a":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig7a()) },
+		"7b":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig7b()) },
+		"8a":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig8a()) },
+		"8b":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig8b()) },
+		"8c":      runFig8c,
+		"8d":      runFig8d,
+		"revenue": func(quick bool) (fmt.Stringer, error) { return wrap(experiments.Revenue(quick)) },
+	}
+
+	order := []string{"table1", "table2", "1", "5a", "5b", "5c", "5d", "6", "7a", "7b", "8a", "8b", "8c", "8d", "revenue"}
+	selected := order
+	if *fig != "all" {
+		if _, ok := runs[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "deflbench: unknown figure %q\n", *fig)
+			os.Exit(2)
+		}
+		selected = []string{*fig}
+	}
+
+	for _, f := range selected {
+		start := time.Now()
+		out, err := runs[f](*quick)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "deflbench: figure %s: %v\n", f, err)
+			os.Exit(1)
+		}
+		fmt.Println(out.String())
+		fmt.Printf("(figure %s regenerated in %v)\n\n", f, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// tabler adapts the experiment results' Table() to fmt.Stringer.
+type tabler struct{ table string }
+
+func (t tabler) String() string { return t.table }
+
+func wrap[T interface{ Table() string }](r T, err error) (fmt.Stringer, error) {
+	if err != nil {
+		return nil, err
+	}
+	return tabler{r.Table()}, nil
+}
+
+func runFig6(bool) (fmt.Stringer, error) {
+	out := ""
+	for _, w := range experiments.Fig6Workloads() {
+		r, err := experiments.Fig6(w)
+		if err != nil {
+			return nil, err
+		}
+		out += r.Table() + "\n"
+	}
+	return tabler{out}, nil
+}
+
+func runFig8c(quick bool) (fmt.Stringer, error) {
+	cfg := experiments.Fig8cConfig{}
+	if quick {
+		cfg = experiments.QuickFig8cConfig()
+	}
+	return wrap(experiments.Fig8c(cfg))
+}
+
+func runFig8d(quick bool) (fmt.Stringer, error) {
+	return wrap(experiments.Fig8d(quick, 0))
+}

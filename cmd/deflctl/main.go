@@ -1,0 +1,177 @@
+// Command deflctl is the operator CLI for the deflated cluster manager.
+//
+// Usage:
+//
+//	deflctl -manager http://localhost:7000 launch -name web-1 -cpus 4 -mem-gb 16 -app memcached-aware
+//	deflctl -manager http://localhost:7000 launch -name batch-1 -app kcompile -priority low -min-frac 0.25
+//	deflctl -manager http://localhost:7000 release -name web-1
+//	deflctl -manager http://localhost:7000 status -servers
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+
+	"deflation/internal/cluster"
+	"deflation/internal/restypes"
+	"deflation/internal/vm"
+)
+
+func main() {
+	manager := flag.String("manager", "http://localhost:7000", "manager base URL")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) < 1 {
+		usage()
+	}
+	var err error
+	switch args[0] {
+	case "launch":
+		err = launch(*manager, args[1:])
+	case "release":
+		err = release(*manager, args[1:])
+	case "status":
+		err = status(*manager, args[1:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "deflctl: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: deflctl [-manager URL] <command> [flags]
+
+commands:
+  launch  -name NAME [-cpus N] [-mem-gb N] [-app KIND] [-priority low|high] [-min-frac F] [-warm]
+  release -name NAME
+  status  [-servers]`)
+	os.Exit(2)
+}
+
+func launch(manager string, args []string) error {
+	fs := flag.NewFlagSet("launch", flag.ExitOnError)
+	name := fs.String("name", "", "VM name (required)")
+	cpus := fs.Float64("cpus", 4, "vCPUs")
+	memGB := fs.Float64("mem-gb", 16, "memory (GB)")
+	diskMBps := fs.Float64("disk-mbps", 400, "disk bandwidth (MB/s)")
+	netMBps := fs.Float64("net-mbps", 1250, "network bandwidth (MB/s)")
+	app := fs.String("app", "elastic", "application kind (see cluster.AppKinds)")
+	priority := fs.String("priority", "low", "low (deflatable) or high")
+	minFrac := fs.Float64("min-frac", 0, "minimum size as a fraction of nominal")
+	warm := fs.Bool("warm", true, "mark the guest long-running (memory host-resident)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("launch: -name is required")
+	}
+	size := restypes.V(*cpus, *memGB*1024, *diskMBps, *netMBps)
+	spec := cluster.LaunchSpec{
+		Name:    *name,
+		Size:    size,
+		MinSize: size.Scale(*minFrac),
+		AppKind: *app,
+		Warm:    *warm,
+	}
+	if *priority == "high" {
+		spec.Priority = vm.HighPriority
+		spec.MinSize = restypes.Vector{}
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(manager+"/v1/vms", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return httpError("launch", resp)
+	}
+	var lr cluster.LaunchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		return err
+	}
+	fmt.Printf("launched %s on %s", *name, lr.Server)
+	if len(lr.Report.Deflated) > 0 {
+		fmt.Printf(" (deflated: %v)", lr.Report.Deflated)
+	}
+	if len(lr.Report.Preempted) > 0 {
+		fmt.Printf(" (preempted: %v)", lr.Report.Preempted)
+	}
+	fmt.Println()
+	return nil
+}
+
+func release(manager string, args []string) error {
+	fs := flag.NewFlagSet("release", flag.ExitOnError)
+	name := fs.String("name", "", "VM name (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" {
+		return fmt.Errorf("release: -name is required")
+	}
+	req, err := http.NewRequest(http.MethodDelete, manager+"/v1/vms/"+*name, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		return httpError("release", resp)
+	}
+	fmt.Printf("released %s\n", *name)
+	return nil
+}
+
+func status(manager string, args []string) error {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	servers := fs.Bool("servers", false, "include per-server detail")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	url := manager + "/v1/cluster"
+	if *servers {
+		url += "?servers=true"
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("status", resp)
+	}
+	var cs cluster.ClusterState
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		return err
+	}
+	fmt.Printf("vms: %d  rejected: %d  preemptions: %d  overcommit mean/max: %.2f/%.2f\n",
+		cs.VMs, cs.Rejected, cs.Preemptions, cs.MeanOC, cs.MaxOC)
+	for _, s := range cs.Servers {
+		fmt.Printf("  %-12s mode=%-15s oc=%.2f free=%v\n", s.Name, s.Mode, s.Overcommitment, s.Free)
+		for _, v := range s.VMs {
+			fmt.Printf("    %-14s %-5s app=%-16s alloc=%v tput=%.2f\n",
+				v.Name, v.Priority, v.App, v.Allocation, v.Throughput)
+		}
+	}
+	return nil
+}
+
+func httpError(op string, resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+	return fmt.Errorf("%s: %s: %s", op, resp.Status, bytes.TrimSpace(msg))
+}

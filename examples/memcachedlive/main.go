@@ -1,0 +1,90 @@
+// Live control plane: run a deflation-aware memcached behind a real HTTP
+// deflation agent (§5's REST protocol), attach it to a VM through the
+// RemoteApp proxy, and cascade-deflate over the wire. This is the deployment
+// shape of the paper's prototype: the local deflation controller talks to
+// the application's agent endpoint, not to the process directly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"deflation/internal/agent"
+	"deflation/internal/apps/memcache"
+	"deflation/internal/cascade"
+	"deflation/internal/guestos"
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+	"deflation/internal/vm"
+)
+
+func main() {
+	// The application with its agent, served over real HTTP (loopback).
+	app, err := memcache.NewApp(memcache.AppConfig{
+		CacheMB: 8000, DatasetMB: 9000, DeflationAware: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := agent.NewServer(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go func() {
+		if err := http.Serve(ln, srv.Handler()); err != nil {
+			log.Printf("agent server stopped: %v", err)
+		}
+	}()
+	url := "http://" + ln.Addr().String()
+	fmt.Printf("deflation agent listening on %s\n", url)
+
+	// The VM side: the controller only knows the agent's URL.
+	remote, err := agent.NewRemoteApp(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	host, err := hypervisor.NewHost(hypervisor.Config{
+		Name: "host-0", Capacity: restypes.V(16, 65536, 1600, 5000),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dom, err := host.CreateDomain("live-vm", restypes.V(4, 16384, 400, 1250), guestos.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dom.MarkWarm()
+	v, err := vm.New(dom, remote, vm.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st, err := remote.Status()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("remote app %q: rss %.0f MB (fetched over HTTP)\n\n", st.Name, st.RSSMB)
+
+	// Cascade deflation: level 1 now crosses the network to the agent.
+	target := restypes.V(2, 10000, 100, 300)
+	fmt.Printf("deflating %v by %v ...\n", v.Name(), target)
+	rep, err := cascade.New(cascade.AllLevels()).Deflate(v, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  application (over HTTP): relinquished %v\n", rep.App.Reclaimed)
+	fmt.Printf("  guest OS:                unplugged %v\n", rep.OS.Reclaimed)
+	fmt.Printf("  hypervisor:              overcommitted %v\n", rep.Hyp.Reclaimed)
+	fmt.Printf("server-side cache resized to %.0f MB, hit rate %.3f\n", app.CacheMB(), app.HitRate())
+
+	if _, err := cascade.New(cascade.AllLevels()).Reinflate(v, target); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reinflated: cache back to %.0f MB\n", app.CacheMB())
+}

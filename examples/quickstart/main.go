@@ -1,0 +1,80 @@
+// Quickstart: boot one deflatable VM running a deflation-aware memcached,
+// reclaim half of its resources through cascade deflation, watch the three
+// levels cooperate, and give the resources back.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deflation/internal/apps/memcache"
+	"deflation/internal/cascade"
+	"deflation/internal/guestos"
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+	"deflation/internal/vm"
+)
+
+func main() {
+	// A physical host running the simulated KVM-like hypervisor.
+	host, err := hypervisor.NewHost(hypervisor.Config{
+		Name:     "host-0",
+		Capacity: restypes.V(16, 65536, 1600, 5000),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Boot a 4-vCPU / 16 GB VM.
+	size := restypes.V(4, 16384, 400, 1250)
+	dom, err := host.CreateDomain("demo-vm", size, guestos.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dom.MarkWarm() // long-running: all memory host-resident
+
+	// Run a deflation-aware memcached in it: its agent resizes the cache
+	// (LRU eviction) when memory is reclaimed.
+	app, err := memcache.NewApp(memcache.AppConfig{
+		CacheMB: 8000, DatasetMB: 9000, DeflationAware: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := vm.New(dom, app, vm.Config{Priority: vm.LowPriority})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("booted %s: allocation %v\n", v.Name(), v.Allocation())
+	fmt.Printf("  throughput %.2f, cache %.0f MB, hit rate %.3f\n\n",
+		v.Throughput(), app.CacheMB(), app.HitRate())
+
+	// Resource pressure arrives: reclaim half of everything.
+	ctrl := cascade.New(cascade.AllLevels())
+	target := size.Scale(0.5)
+	fmt.Printf("deflating by %v ...\n", target)
+	rep, err := ctrl.Deflate(v, target)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  level 1 (application): relinquished %v in %v\n", rep.App.Reclaimed, rep.App.Latency)
+	fmt.Printf("  level 2 (guest OS):    hot-unplugged %v in %v\n", rep.OS.Reclaimed, rep.OS.Latency)
+	fmt.Printf("  level 3 (hypervisor):  overcommitted %v in %v\n", rep.Hyp.Reclaimed, rep.Hyp.Latency)
+	fmt.Printf("  new allocation %v (total latency %v)\n", rep.NewAllocation, rep.TotalLatency)
+
+	env := v.Env()
+	fmt.Printf("  guest now sees %d vCPUs / %.0f MB; swapped %.0f MB\n",
+		env.VCPUs, env.GuestMemMB, env.SwappedMB)
+	fmt.Printf("  throughput %.2f, cache %.0f MB, hit rate %.3f\n\n",
+		v.Throughput(), app.CacheMB(), app.HitRate())
+
+	// Pressure passes: reinflate.
+	fmt.Println("reinflating ...")
+	if _, err := ctrl.Reinflate(v, target); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  allocation restored to %v\n", v.Allocation())
+	fmt.Printf("  throughput %.2f, cache %.0f MB, hit rate %.3f\n",
+		v.Throughput(), app.CacheMB(), app.HitRate())
+}

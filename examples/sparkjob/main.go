@@ -1,0 +1,106 @@
+// Spark under deflation: run the ALS and K-means jobs on the mini-Spark
+// engine, hit them with 50% resource pressure halfway through, and watch
+// the §4.1 policy pick the cheaper mechanism per workload (VM-level for the
+// shuffle-heavy ALS, self-deflation for the map-heavy K-means).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"deflation/internal/spark"
+	"deflation/internal/spark/workloads"
+)
+
+func main() {
+	run("ALS (shuffle-heavy)", workloads.ALS)
+	fmt.Println()
+	run("K-means (map-heavy, cached input)", workloads.KMeans)
+	fmt.Println()
+	training()
+}
+
+func run(title string, build func(workloads.Params) (*spark.BatchJob, error)) {
+	p := workloads.Params{}
+	fmt.Printf("=== %s on %d workers ===\n", title, 8)
+
+	baselineCluster, err := p.Cluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	job, err := build(p)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("DAG: %d stages, shuffle volume %.1f GB, r-heuristic %.3f\n",
+		len(job.Stages()), job.ShuffleBytesMB()/1024, job.ShuffleTimeFraction(0))
+
+	base, err := spark.RunBatchScenario(baselineCluster, job, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %.0fs (%d tasks)\n", base.DurationSecs, base.TasksRun)
+
+	deflation := []float64{0.55, 0.45, 0.55, 0.45, 0.55, 0.45, 0.55, 0.45}
+	for _, mech := range []spark.PressureMechanism{
+		spark.PressurePolicy, spark.PressureSelf, spark.PressureVMLevel, spark.PressurePreempt,
+	} {
+		cl, err := p.Cluster()
+		if err != nil {
+			log.Fatal(err)
+		}
+		job, err := build(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := spark.RunBatchScenario(cl, job, &spark.PressureSpec{
+			AtProgress: 0.5, Deflation: deflation,
+			Mechanism: mech, Estimator: spark.EstimatorHeuristic,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		line := fmt.Sprintf("%-11s: %.2fx baseline (recompute %.0fs)",
+			mech, res.DurationSecs/base.DurationSecs, res.RecomputeSecs)
+		if mech == spark.PressurePolicy {
+			line += fmt.Sprintf("  [policy chose %s: T_vm=%.2f T_self=%.2f r=%.2f]",
+				res.Chosen, res.Decision.TVM, res.Decision.TSelf, res.Decision.R)
+		}
+		fmt.Println(line)
+	}
+}
+
+func training() {
+	fmt.Println("=== CNN training (synchronous, inelastic) ===")
+	base, err := spark.NewTrainingRun(workloads.CNN(false))
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseSecs, err := base.Run(nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline: %.0fs for 80 iterations (%.0f records/s)\n", baseSecs, base.Throughput())
+
+	deflation := make([]float64, 8)
+	for i := range deflation {
+		deflation[i] = 0.5
+	}
+	elapsed, chosen, err := spark.RunTrainingScenario(workloads.CNN(false), &spark.PressureSpec{
+		AtProgress: 0.5, Deflation: deflation, Mechanism: spark.PressurePolicy,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("50%% deflation mid-job via %s: %.2fx baseline — the job never stops\n",
+		chosen, elapsed/baseSecs)
+
+	preempt, _, err := spark.RunTrainingScenario(workloads.CNN(true), &spark.PressureSpec{
+		AtProgress: 0.5, Deflation: deflation, Mechanism: spark.PressurePreempt,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("the preemption alternative (checkpoint + restart): %.2fx baseline\n",
+		preempt/baseSecs)
+}

@@ -1,0 +1,3 @@
+module deflation
+
+go 1.22

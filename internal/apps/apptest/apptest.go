@@ -1,0 +1,96 @@
+// Package apptest provides a configurable fake vm.Application for testing
+// the cascade controller, cluster manager, and control plane without pulling
+// in the full workload models.
+package apptest
+
+import (
+	"time"
+
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+)
+
+// App is a scriptable fake application.
+//
+// By default it is inelastic (ignores deflation requests) with a 1 GB
+// resident set. Set Elastic to make it relinquish memory down to MinRSSMB.
+type App struct {
+	AppName string
+	RSSMB   float64
+	CacheMB float64
+
+	// Elastic controls whether SelfDeflate relinquishes memory.
+	Elastic bool
+	// MinRSSMB is the floor the fake will not shrink below (default 0).
+	MinRSSMB float64
+	// DeflateLatency is returned from SelfDeflate when anything was freed.
+	DeflateLatency time.Duration
+
+	// ThroughputFn overrides the default throughput model if non-nil.
+	ThroughputFn func(env hypervisor.Env) float64
+
+	// Calls records the SelfDeflate targets received, and Reinflations the
+	// number of Reinflate calls, for assertions.
+	Calls        []restypes.Vector
+	Reinflations int
+}
+
+// New returns an inelastic fake with a 1 GB resident set.
+func New(name string) *App { return &App{AppName: name, RSSMB: 1024} }
+
+// NewElastic returns an elastic fake that can shrink from rssMB to minMB.
+func NewElastic(name string, rssMB, minMB float64) *App {
+	return &App{AppName: name, RSSMB: rssMB, MinRSSMB: minMB, Elastic: true}
+}
+
+// Name implements vm.Application.
+func (a *App) Name() string { return a.AppName }
+
+// Footprint implements vm.Application.
+func (a *App) Footprint() (float64, float64) { return a.RSSMB, a.CacheMB }
+
+// SelfDeflate implements vm.Application. Elastic fakes free memory toward
+// the target; inelastic fakes ignore the request (the paper's policy for
+// applications without reclamation mechanisms).
+func (a *App) SelfDeflate(target restypes.Vector) (restypes.Vector, time.Duration) {
+	a.Calls = append(a.Calls, target)
+	if !a.Elastic || target.MemoryMB <= 0 {
+		return restypes.Vector{}, 0
+	}
+	freeable := a.RSSMB - a.MinRSSMB
+	freed := target.MemoryMB
+	if freed > freeable {
+		freed = freeable
+	}
+	if freed <= 0 {
+		return restypes.Vector{}, 0
+	}
+	a.RSSMB -= freed
+	return restypes.Vector{MemoryMB: freed}, a.DeflateLatency
+}
+
+// Reinflate implements vm.Application.
+func (a *App) Reinflate(hypervisor.Env) { a.Reinflations++ }
+
+// Throughput implements vm.Application. The default model is the minimum of
+// the CPU fraction and the swap-adjusted memory fraction.
+func (a *App) Throughput(env hypervisor.Env) float64 {
+	if env.OOMKilled {
+		return 0
+	}
+	if a.ThroughputFn != nil {
+		return a.ThroughputFn(env)
+	}
+	cpu := env.EffectiveCores / 4
+	if cpu > 1 {
+		cpu = 1
+	}
+	mem := 1.0
+	if touched := env.ResidentMB + env.SwappedMB; touched > 0 {
+		mem = env.ResidentMB / touched
+	}
+	if cpu < mem {
+		return cpu
+	}
+	return mem
+}

@@ -1,0 +1,156 @@
+package curveapp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"deflation/internal/hypervisor"
+	"deflation/internal/perfmodel"
+	"deflation/internal/restypes"
+)
+
+func size() restypes.Vector { return restypes.V(4, 16384, 400, 400) }
+
+func fullEnv() hypervisor.Env {
+	return hypervisor.Env{
+		VCPUs: 4, PhysCores: 4, EffectiveCores: 4,
+		GuestMemMB: 16384, ResidentMB: 16384, EverTouchedMB: 16384,
+		KernelMemMB: 256, LocalityFactor: 1, DiskMBps: 400, NetMBps: 400,
+	}
+}
+
+func TestDefaultsAndName(t *testing.T) {
+	a := New(Config{Size: size()})
+	if a.Name() != "curveapp:SpecJBB" {
+		t.Errorf("name = %q", a.Name())
+	}
+	b := New(Config{Size: size(), Name: "my-app"})
+	if b.Name() != "my-app" {
+		t.Errorf("name = %q", b.Name())
+	}
+	rss, cache := a.Footprint()
+	if rss != 0.5*16384 || cache != 0.2*16384 {
+		t.Errorf("footprint = %g/%g", rss, cache)
+	}
+}
+
+func TestBaselineThroughput(t *testing.T) {
+	a := New(Config{Size: size()})
+	if got := a.Throughput(fullEnv()); got != 1 {
+		t.Errorf("baseline = %g", got)
+	}
+	env := fullEnv()
+	env.OOMKilled = true
+	if a.Throughput(env) != 0 {
+		t.Error("OOM throughput nonzero")
+	}
+}
+
+func TestThroughputFollowsCurveOnBindingDimension(t *testing.T) {
+	a := New(Config{Size: size(), Curve: perfmodel.CurveKcompile})
+	env := fullEnv()
+	env.EffectiveCores = 2 // CPU binds at 0.5
+	want := perfmodel.CurveKcompile.At(0.5)
+	if got := a.Throughput(env); got != want {
+		t.Errorf("throughput = %g, want curve(0.5) = %g", got, want)
+	}
+	// Disk binds harder than CPU.
+	env.DiskMBps = 100 // 0.25
+	want = perfmodel.CurveKcompile.At(0.25)
+	if got := a.Throughput(env); got != want {
+		t.Errorf("throughput = %g, want curve(0.25) = %g", got, want)
+	}
+}
+
+func TestInelasticIgnoresDeflation(t *testing.T) {
+	a := New(Config{Size: size()})
+	rel, lat := a.SelfDeflate(restypes.V(0, 8000, 0, 0))
+	if !rel.IsZero() || lat != 0 {
+		t.Error("inelastic app relinquished")
+	}
+}
+
+func TestElasticSizesToAvailability(t *testing.T) {
+	a := New(Config{Size: size(), Elastic: true})
+	// Plenty of slack: rss 8192, cache 3277, kernel+headroom 384 →
+	// footprint 11853 of 16384. A 2 GB deflation fits in slack.
+	rel, _ := a.SelfDeflate(restypes.V(0, 2000, 0, 0))
+	if !rel.IsZero() {
+		t.Errorf("needless shrink: %v", rel)
+	}
+	// 8 GB deflation forces a shrink: avail 6384 → rss 6384-384-3277=2723.
+	rel, lat := a.SelfDeflate(restypes.V(0, 6192, 0, 0))
+	if rel.MemoryMB <= 0 {
+		t.Fatalf("relinquished %v", rel)
+	}
+	if lat <= 0 {
+		t.Error("no eviction latency")
+	}
+	rss, _ := a.Footprint()
+	if rss >= 8192 {
+		t.Errorf("rss = %g, want shrunk", rss)
+	}
+	// Floor: huge target cannot shrink below MinRSSFraction.
+	a.SelfDeflate(restypes.V(0, 1e9, 0, 0))
+	rss, _ = a.Footprint()
+	if want := 0.25 * 16384; rss != want {
+		t.Errorf("rss = %g, want floor %g", rss, want)
+	}
+}
+
+func TestReinflateRestoresRSS(t *testing.T) {
+	a := New(Config{Size: size(), Elastic: true})
+	a.SelfDeflate(restypes.V(0, 12000, 0, 0))
+	a.Reinflate(fullEnv())
+	rss, _ := a.Footprint()
+	if rss != 0.5*16384 {
+		t.Errorf("rss after reinflate = %g", rss)
+	}
+}
+
+func TestSwapPenalty(t *testing.T) {
+	a := New(Config{Size: size()})
+	env := fullEnv()
+	// Swap beyond the cold pool digs into RSS.
+	env.SwappedMB = 12000 // cold pool = 16384 - 8192 - 256 = 7936
+	env.ResidentMB = env.EverTouchedMB - env.SwappedMB
+	got := a.Throughput(env)
+	full := a.Throughput(fullEnv())
+	if got >= full {
+		t.Errorf("swap did not penalize: %g vs %g", got, full)
+	}
+}
+
+func TestQuickThroughputBounded(t *testing.T) {
+	a := New(Config{Size: size(), Elastic: true})
+	f := func(cores, mem, swapped uint16) bool {
+		env := fullEnv()
+		env.EffectiveCores = float64(cores % 5)
+		env.ResidentMB = float64(mem % 16384)
+		env.EverTouchedMB = 16384
+		env.SwappedMB = float64(swapped % 16384)
+		tp := a.Throughput(env)
+		return tp >= 0 && tp <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickElasticNeverBelowFloor(t *testing.T) {
+	f := func(targets []uint16) bool {
+		a := New(Config{Size: size(), Elastic: true})
+		floor := 0.25 * 16384
+		for _, tg := range targets {
+			a.SelfDeflate(restypes.V(0, float64(tg), 0, 0))
+			rss, _ := a.Footprint()
+			if rss < floor-1e-9 || rss > 0.5*16384+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

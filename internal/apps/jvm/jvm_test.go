@@ -1,0 +1,186 @@
+package jvm
+
+import (
+	"math"
+	"testing"
+
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+)
+
+func fullEnv() hypervisor.Env {
+	return hypervisor.Env{
+		VCPUs: 4, PhysCores: 4, EffectiveCores: 4,
+		GuestMemMB: 16384, ResidentMB: 16384, EverTouchedMB: 16384,
+		KernelMemMB: 256, LocalityFactor: 1, DiskMBps: 100, NetMBps: 100,
+	}
+}
+
+func newApp(t *testing.T, aware bool) *App {
+	t.Helper()
+	a, err := NewApp(AppConfig{MaxHeapMB: 12000, LiveMB: 4000, DeflationAware: aware})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewAppValidation(t *testing.T) {
+	if _, err := NewApp(AppConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewApp(AppConfig{MaxHeapMB: 1000, LiveMB: 950}); err == nil {
+		t.Error("heap below live floor accepted")
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	a := newApp(t, false)
+	if got := a.Throughput(fullEnv()); got < 0.999 || got > 1 {
+		t.Errorf("baseline throughput = %g, want 1", got)
+	}
+	rt := a.ResponseTimeUS(fullEnv())
+	if rt < 900 || rt > 1000 {
+		t.Errorf("baseline RT = %g, want ≈900µs + small GC", rt)
+	}
+}
+
+func TestFootprintTracksHeap(t *testing.T) {
+	a := newApp(t, true)
+	rss, cache := a.Footprint()
+	if rss != 12500 || cache != 0 {
+		t.Errorf("footprint = %g/%g, want 12500/0", rss, cache)
+	}
+	a.SelfDeflate(restypes.V(0, 7500, 0, 0))
+	rss, _ = a.Footprint()
+	if rss != 8500 { // heap sized to 8884-884 = 8000, plus 500 overhead
+		t.Errorf("footprint after shrink = %g, want 8500", rss)
+	}
+}
+
+func TestUnmodifiedIgnoresDeflation(t *testing.T) {
+	a := newApp(t, false)
+	rel, lat := a.SelfDeflate(restypes.V(0, 4000, 0, 0))
+	if !rel.IsZero() || lat != 0 || a.HeapMB() != 12000 {
+		t.Error("unmodified JVM reacted to deflation")
+	}
+}
+
+func TestSelfDeflateKeepsHeadroom(t *testing.T) {
+	// A 2 GB deflation of the 16 GB VM leaves the 12 GB heap resident.
+	a := newApp(t, true)
+	rel, _ := a.SelfDeflate(restypes.V(0, 2000, 0, 0))
+	if !rel.IsZero() || a.HeapMB() != 12000 {
+		t.Errorf("needless shrink: rel=%v heap=%g", rel, a.HeapMB())
+	}
+}
+
+func TestSelfDeflateShrinksHeapWithGCPause(t *testing.T) {
+	a := newApp(t, true)
+	rel, lat := a.SelfDeflate(restypes.V(0, 7500, 0, 0))
+	if rel.MemoryMB != 4000 || a.HeapMB() != 8000 {
+		t.Errorf("relinquished %g, heap %g", rel.MemoryMB, a.HeapMB())
+	}
+	if lat <= 0 {
+		t.Error("GC pause latency = 0")
+	}
+}
+
+func TestSelfDeflateRespectsLiveFloor(t *testing.T) {
+	a := newApp(t, true)
+	rel, _ := a.SelfDeflate(restypes.V(0, 1e6, 0, 0))
+	if got, want := a.HeapMB(), 4000*1.15; got != want {
+		t.Errorf("heap = %g, want floor %g", got, want)
+	}
+	if rel.MemoryMB != 12000-4600 {
+		t.Errorf("relinquished %g", rel.MemoryMB)
+	}
+	if rel2, _ := a.SelfDeflate(restypes.V(0, 100, 0, 0)); !rel2.IsZero() {
+		t.Error("deflated below floor")
+	}
+}
+
+func TestShrinkingHeapRaisesGCOverhead(t *testing.T) {
+	a := newApp(t, true)
+	rtBig := a.ResponseTimeUS(fullEnv())
+	a.SelfDeflate(restypes.V(0, 10000, 0, 0))
+	rtSmall := a.ResponseTimeUS(fullEnv())
+	if rtSmall <= rtBig {
+		t.Errorf("RT did not rise with smaller heap: %g -> %g", rtBig, rtSmall)
+	}
+	// But it stays finite and sane (< 2x).
+	if rtSmall > 2*rtBig {
+		t.Errorf("GC-only penalty too harsh: %g -> %g", rtBig, rtSmall)
+	}
+}
+
+func TestSwappedHeapIsWorseThanShrunkHeap(t *testing.T) {
+	// The §4 tradeoff: higher GC on a small heap beats paging on a big one.
+	aware := newApp(t, true)
+	unmod := newApp(t, false)
+
+	// VM memory deflated to 8 GB. Aware shrinks its heap to fit.
+	aware.SelfDeflate(restypes.V(0, 16384-8192, 0, 0))
+	envA := fullEnv()
+	envA.GuestMemMB = 8192
+	rtAware := aware.ResponseTimeUS(envA)
+
+	// Unmodified keeps a 12.5 GB footprint in 8 GB: swapping.
+	envU := fullEnv()
+	envU.EverTouchedMB = 12500 + 256
+	envU.ResidentMB = 8192
+	envU.SwappedMB = envU.EverTouchedMB - 8192
+	envU.LocalityFactor = 0.5
+	rtUnmod := unmod.ResponseTimeUS(envU)
+
+	if rtAware >= rtUnmod {
+		t.Errorf("aware RT %g not better than swapped RT %g", rtAware, rtUnmod)
+	}
+}
+
+func TestReinflateGrowsHeap(t *testing.T) {
+	a := newApp(t, true)
+	a.SelfDeflate(restypes.V(0, 9000, 0, 0))
+	a.Reinflate(fullEnv())
+	if a.HeapMB() != 12000 {
+		t.Errorf("heap after reinflate = %g, want 12000 (config max)", a.HeapMB())
+	}
+	// Reinflate into a smaller VM grows only to what fits.
+	b := newApp(t, true)
+	b.SelfDeflate(restypes.V(0, 10000, 0, 0))
+	env := fullEnv()
+	env.GuestMemMB = 8192
+	b.Reinflate(env)
+	if want := 8192.0 - 256 - 500 - 128; b.HeapMB() != want {
+		t.Errorf("heap = %g, want %g", b.HeapMB(), want)
+	}
+}
+
+func TestCPUDeflationRaisesResponseTime(t *testing.T) {
+	a := newApp(t, false)
+	base := a.ResponseTimeUS(fullEnv())
+
+	// The fixed inject rate saturates 2.8 of 4 cores; at 2 effective cores
+	// the capacity deficit inflates RT by 2.8/2 = 1.4×.
+	env := fullEnv()
+	env.EffectiveCores = 2
+	rt := a.ResponseTimeUS(env)
+	if math.Abs(rt-1.4*base) > base*0.01 {
+		t.Errorf("RT at half CPU = %g, want ≈1.4x base %g", rt, base)
+	}
+
+	// Mild CPU deflation within the headroom is free.
+	env.EffectiveCores = 3
+	if got := a.ResponseTimeUS(env); math.Abs(got-base) > base*0.01 {
+		t.Errorf("RT at 3 cores = %g, want ≈base %g (headroom)", got, base)
+	}
+}
+
+func TestOOMKilled(t *testing.T) {
+	a := newApp(t, false)
+	env := fullEnv()
+	env.OOMKilled = true
+	if !math.IsInf(a.ResponseTimeUS(env), 1) || a.Throughput(env) != 0 {
+		t.Error("OOM-killed JVM still serving")
+	}
+}

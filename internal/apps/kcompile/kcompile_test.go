@@ -1,0 +1,107 @@
+package kcompile
+
+import (
+	"testing"
+
+	"deflation/internal/hypervisor"
+	"deflation/internal/perfmodel"
+	"deflation/internal/restypes"
+)
+
+func fullEnv() hypervisor.Env {
+	return hypervisor.Env{
+		VCPUs: 4, PhysCores: 4, EffectiveCores: 4,
+		GuestMemMB: 16384, ResidentMB: 16384, EverTouchedMB: 16384,
+		KernelMemMB: 256, LocalityFactor: 1, DiskMBps: 100, NetMBps: 100,
+	}
+}
+
+func TestBaseline(t *testing.T) {
+	a := NewApp(AppConfig{})
+	if got := a.Throughput(fullEnv()); got != 1 {
+		t.Errorf("baseline throughput = %g, want 1", got)
+	}
+}
+
+func TestInelastic(t *testing.T) {
+	a := NewApp(AppConfig{})
+	rel, lat := a.SelfDeflate(restypes.V(2, 4000, 50, 50))
+	if !rel.IsZero() || lat != 0 {
+		t.Error("kcompile relinquished resources")
+	}
+	a.Reinflate(fullEnv()) // must not panic
+}
+
+func TestFootprint(t *testing.T) {
+	a := NewApp(AppConfig{})
+	rss, cache := a.Footprint()
+	if rss != 1500 || cache != 2500 {
+		t.Errorf("footprint = %g/%g", rss, cache)
+	}
+}
+
+func TestCPUDeflationMatchesPaperShape(t *testing.T) {
+	// Fig. 5b: OS-level deflation to 1 of 4 cores loses only ≈30%.
+	a := NewApp(AppConfig{})
+	env := fullEnv()
+	env.VCPUs = 1
+	env.PhysCores = 1
+	env.EffectiveCores = 1
+	osLevel := a.Throughput(env)
+	if osLevel < 0.65 || osLevel > 0.75 {
+		t.Errorf("OS-level 75%% CPU deflation throughput = %g, want ≈0.70", osLevel)
+	}
+
+	// Hypervisor-level: 4 vCPUs multiplexed on 1 core — LHP penalty.
+	env2 := fullEnv()
+	env2.PhysCores = 1
+	env2.EffectiveCores = 1 * perfmodel.LockHolderPenalty(4)
+	hypLevel := a.Throughput(env2)
+	if hypLevel >= osLevel {
+		t.Errorf("hypervisor-level %g not worse than OS-level %g", hypLevel, osLevel)
+	}
+	// Paper: up to 22% worse.
+	gap := (osLevel - hypLevel) / osLevel
+	if gap < 0.05 || gap > 0.30 {
+		t.Errorf("hypervisor-vs-OS gap = %.0f%%, want roughly 10-25%%", gap*100)
+	}
+}
+
+func TestDiskThrottleBindsWhenDeep(t *testing.T) {
+	a := NewApp(AppConfig{})
+	env := fullEnv()
+	env.DiskMBps = 10 // below the 40 MB/s need
+	got := a.Throughput(env)
+	if got != 0.25 {
+		t.Errorf("disk-bound throughput = %g, want 0.25", got)
+	}
+}
+
+func TestSwapPenaltyOnlyForHotPages(t *testing.T) {
+	a := NewApp(AppConfig{})
+
+	// Swap within the cold pool: harmless.
+	env := fullEnv()
+	env.SwappedMB = 8000 // cold pool = 16384-1500-256 = 14628
+	env.ResidentMB = env.EverTouchedMB - env.SwappedMB
+	if got := a.Throughput(env); got != 1 {
+		t.Errorf("cold-pool swap throughput = %g, want 1", got)
+	}
+
+	// Swap that digs into RSS hurts.
+	env.SwappedMB = 15300 // 672 MB into RSS
+	env.ResidentMB = env.EverTouchedMB - env.SwappedMB
+	got := a.Throughput(env)
+	if got >= 1 || got < 0.2 {
+		t.Errorf("hot swap throughput = %g, want penalized but alive", got)
+	}
+}
+
+func TestOOM(t *testing.T) {
+	a := NewApp(AppConfig{})
+	env := fullEnv()
+	env.OOMKilled = true
+	if a.Throughput(env) != 0 {
+		t.Error("OOM-killed compile still running")
+	}
+}

@@ -1,0 +1,323 @@
+package memcache
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+)
+
+// AppConfig configures a memcached application instance.
+//
+// The store it manages is real (real LRU, real zipf-driven hit rates); only
+// the byte magnitudes are scaled down by Scale so that a simulated 14 GB
+// cache does not require 14 GB of test memory.
+type AppConfig struct {
+	// CacheMB is the configured maximum cache size (simulated MB).
+	CacheMB float64
+	// DatasetMB is the total size of the backing dataset (simulated MB);
+	// keys beyond the cache capacity miss.
+	DatasetMB float64
+	// OverheadMB is the non-cache process footprint (default 300).
+	OverheadMB float64
+	// Cores is the booted vCPU count used for CPU-scaling (default 4).
+	Cores float64
+	// CPUNeedFraction is the share of the booted cores the peak load
+	// actually saturates (default 0.55): memcached on 4 cores has CPU
+	// headroom, so moderate CPU deflation is free (Fig. 1's plateau).
+	CPUNeedFraction float64
+	// BaseKGETS is the peak GET throughput in kGETs/s at full resources
+	// (default 150, matching the paper's ≈150 kGETS/s ceiling in Fig. 5c).
+	BaseKGETS float64
+	// DeflationAware enables the §4 application-level deflation policy:
+	// shrink the cache via LRU eviction instead of letting the VM swap.
+	DeflationAware bool
+	// MinCacheMB is the smallest cache the policy will shrink to (default 64).
+	MinCacheMB float64
+	// Theta is the workload's Zipf locality used in the analytic fault
+	// model (default 0.8).
+	Theta float64
+	// SwapIOPS is the swap device's random-read capacity that bounds
+	// fault-serving throughput (default 8000, an SSD).
+	SwapIOPS float64
+	// SwapLatencyRatio is the per-fault service-time inflation relative to
+	// an in-memory GET (default 7: ≈700µs fault vs ≈100µs GET).
+	SwapLatencyRatio float64
+	// WrongVictimRate is the fraction of host-LRU swap victims that are
+	// actually hot application pages when the host evicts from the cold
+	// pool — the black-box "wrong pages" effect of §3.1 (default 0.08).
+	WrongVictimRate float64
+	// VMMemoryMB is the memory of the VM hosting the store (default
+	// 16384). The deflation-aware policy sizes the cache to the memory
+	// availability inside the VM (§4), integrating deflation targets
+	// against this figure.
+	VMMemoryMB float64
+	// Scale divides simulated bytes to size the real backing store
+	// (default 256: a 14 GB simulated cache uses ~56 MB).
+	Scale float64
+	// Seed seeds the workload generator (default 1).
+	Seed int64
+}
+
+func (c AppConfig) withDefaults() AppConfig {
+	if c.OverheadMB == 0 {
+		c.OverheadMB = 300
+	}
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.BaseKGETS == 0 {
+		c.BaseKGETS = 150
+	}
+	if c.CPUNeedFraction == 0 {
+		c.CPUNeedFraction = 0.55
+	}
+	if c.MinCacheMB == 0 {
+		c.MinCacheMB = 64
+	}
+	if c.Theta == 0 {
+		c.Theta = 0.8
+	}
+	if c.SwapIOPS == 0 {
+		c.SwapIOPS = 8000
+	}
+	if c.SwapLatencyRatio == 0 {
+		c.SwapLatencyRatio = 7
+	}
+	if c.WrongVictimRate == 0 {
+		c.WrongVictimRate = 0.08
+	}
+	if c.Scale == 0 {
+		c.Scale = 256
+	}
+	if c.VMMemoryMB == 0 {
+		c.VMMemoryMB = 16384
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// realValueBytes is the payload size of items in the scaled-down real store.
+const realValueBytes = 1024
+
+// App is the memcached workload as a deflatable application (vm.Application).
+// The deflation-aware variant implements the paper's policy: application-
+// level deflation for memory (cache resize + LRU eviction), VM-level
+// deflation for everything else.
+type App struct {
+	cfg     AppConfig
+	store   *Store
+	wl      *Workload
+	cacheMB float64 // current simulated max cache size
+	availMB float64 // believed memory availability inside the VM
+
+	hitRate      float64 // measured on the real store; refreshed when dirty
+	hitRateDirty bool
+
+	baselineKGETS float64 // kGETS at full resources, for normalization
+}
+
+// NewApp builds a memcached instance with a warmed, real backing store.
+func NewApp(cfg AppConfig) (*App, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CacheMB <= 0 || cfg.DatasetMB <= 0 {
+		return nil, fmt.Errorf("memcache: CacheMB and DatasetMB must be positive, got %g/%g", cfg.CacheMB, cfg.DatasetMB)
+	}
+	if cfg.DatasetMB < cfg.CacheMB {
+		cfg.DatasetMB = cfg.CacheMB
+	}
+
+	bytesPerKey := float64(realValueBytes + perItemOverhead + 12) // value + overhead + key
+	keys := int(cfg.DatasetMB * 1e6 / cfg.Scale / bytesPerKey)
+	if keys < 16 {
+		return nil, fmt.Errorf("memcache: dataset too small for scale %g (only %d real keys)", cfg.Scale, keys)
+	}
+	wl, err := NewWorkload(keys, realValueBytes, 1.1, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	store, err := NewStore(int64(cfg.CacheMB * 1e6 / cfg.Scale))
+	if err != nil {
+		return nil, err
+	}
+	if err := wl.Warm(store); err != nil {
+		return nil, err
+	}
+	a := &App{cfg: cfg, store: store, wl: wl, cacheMB: cfg.CacheMB, availMB: cfg.VMMemoryMB, hitRateDirty: true}
+	a.baselineKGETS = cfg.BaseKGETS * a.HitRate()
+	return a, nil
+}
+
+// memHeadroomMB is the guest memory the sizing policy leaves free: the
+// kernel reserve plus a small buffer.
+const memHeadroomMB = 256 + 128
+
+// Name implements vm.Application.
+func (a *App) Name() string { return "memcached" }
+
+// Store exposes the real backing store (for the live control-plane example
+// and integration tests).
+func (a *App) Store() *Store { return a.store }
+
+// Workload exposes the load generator.
+func (a *App) Workload() *Workload { return a.wl }
+
+// CacheMB returns the current simulated cache capacity.
+func (a *App) CacheMB() float64 { return a.cacheMB }
+
+// usedMB converts real store bytes back to simulated MB.
+func (a *App) usedMB() float64 { return float64(a.store.UsedBytes()) * a.cfg.Scale / 1e6 }
+
+// Footprint implements vm.Application: memcached is anonymous memory, no
+// page cache.
+func (a *App) Footprint() (float64, float64) { return a.cfg.OverheadMB + a.usedMB(), 0 }
+
+// HitRate measures the GET hit rate of the real store at its current size.
+// The measurement is cached until the cache is resized.
+func (a *App) HitRate() float64 {
+	if a.hitRateDirty {
+		a.hitRate = a.wl.MeasureHitRate(a.store, 4000)
+		a.hitRateDirty = false
+	}
+	return a.hitRate
+}
+
+// SelfDeflate implements vm.Application. The deflation-aware policy
+// "dynamically adjusts the maximum cache size based on the memory
+// availability inside the VM" (§4): it integrates the deflation target into
+// its availability estimate and shrinks the cache (LRU eviction) only as
+// far as needed to keep the footprint resident. The unmodified application
+// ignores the request.
+func (a *App) SelfDeflate(target restypes.Vector) (restypes.Vector, time.Duration) {
+	if !a.cfg.DeflationAware || target.MemoryMB <= 0 {
+		return restypes.Vector{}, 0
+	}
+	a.availMB -= target.MemoryMB
+	if a.availMB < 0 {
+		a.availMB = 0
+	}
+	newCache := a.availMB - memHeadroomMB - a.cfg.OverheadMB
+	if newCache < a.cfg.MinCacheMB {
+		newCache = a.cfg.MinCacheMB
+	}
+	if newCache > a.cfg.CacheMB {
+		newCache = a.cfg.CacheMB
+	}
+	if newCache >= a.cacheMB {
+		return restypes.Vector{}, 0 // enough headroom: nothing to give up
+	}
+	freedCapacity := a.cacheMB - newCache
+	before := a.usedMB()
+	if err := a.store.Resize(int64(newCache * 1e6 / a.cfg.Scale)); err != nil {
+		return restypes.Vector{}, 0
+	}
+	a.cacheMB = newCache
+	a.hitRateDirty = true
+	freed := before - a.usedMB()
+	if freed < 0 {
+		freed = 0
+	}
+	// Eviction walks the LRU list and frees items: fast, memory-bandwidth
+	// bound (~2 GB/s of simulated data).
+	lat := time.Duration(freed / 2048 * float64(time.Second))
+	// Report the capacity given up (bounded by the request).
+	if freedCapacity > target.MemoryMB {
+		freedCapacity = target.MemoryMB
+	}
+	return restypes.Vector{MemoryMB: freedCapacity}, lat
+}
+
+// Reinflate implements vm.Application: grow the cache back into the restored
+// guest memory, leaving the kernel reserve, process overhead, and a small
+// headroom free. The cache refills through read-through misses, which the
+// real store will serve over subsequent runs.
+func (a *App) Reinflate(env hypervisor.Env) {
+	if !a.cfg.DeflationAware {
+		return
+	}
+	a.availMB = env.GuestMemMB
+	newCache := math.Min(a.cfg.CacheMB, env.GuestMemMB-memHeadroomMB-a.cfg.OverheadMB)
+	if newCache <= a.cacheMB {
+		return
+	}
+	if err := a.store.Resize(int64(newCache * 1e6 / a.cfg.Scale)); err != nil {
+		return
+	}
+	a.cacheMB = newCache
+	// Model the eventual refill: clients re-fetch and read-through-fill the
+	// popular keys.
+	if err := a.wl.Warm(a.store); err == nil {
+		a.hitRateDirty = true
+	}
+}
+
+// KGETS returns the successful-GET throughput (cache hits, in thousands per
+// second) in the given environment — the Fig. 5c metric.
+func (a *App) KGETS(env hypervisor.Env) float64 {
+	if env.OOMKilled {
+		return 0
+	}
+	cpu := env.EffectiveCores / (a.cfg.Cores * a.cfg.CPUNeedFraction)
+	if cpu > 1 {
+		cpu = 1
+	}
+	rate := a.cfg.BaseKGETS * cpu
+
+	// Swap faults: how much of the application's own resident set did host
+	// swapping take? The host evicts its coldest pages first — the "cold
+	// pool" of ever-touched-but-now-free guest memory — but a fraction of
+	// victims are wrongly-chosen hot pages (black-box reclamation, §3.1).
+	rss, _ := a.Footprint()
+	faultRate := 0.0
+	if env.SwappedMB > 0 && rss > 0 {
+		coldPool := env.EverTouchedMB - rss - env.KernelMemMB
+		if coldPool < 0 {
+			coldPool = 0
+		}
+		hotSwapped := env.SwappedMB - coldPool
+		if hotSwapped < 0 {
+			hotSwapped = 0
+		}
+		hotSwapped += a.cfg.WrongVictimRate * math.Min(env.SwappedMB, coldPool) * rss / env.EverTouchedMB
+		if hotSwapped > rss {
+			hotSwapped = rss
+		}
+		frac := (rss - hotSwapped) / rss
+		effTheta := a.cfg.Theta * env.LocalityFactor
+		faultRate = 1 - math.Pow(frac, 1-effTheta)
+	}
+
+	if faultRate > 0 {
+		// Latency path: each faulting GET is SwapLatencyRatio times slower.
+		rate = rate / (1 + faultRate*a.cfg.SwapLatencyRatio)
+		// Device path: the swap device can serve only SwapIOPS faults/s.
+		if iopsBound := a.cfg.SwapIOPS / faultRate / 1000; iopsBound < rate {
+			rate = iopsBound
+		}
+	}
+
+	// Network can cap throughput: each GET returns ~1 KB of payload, so
+	// 1 MB/s of network carries ~1 kGETS.
+	if env.NetMBps > 0 && env.NetMBps < rate {
+		rate = env.NetMBps
+	}
+
+	return rate * a.HitRate()
+}
+
+// Throughput implements vm.Application: KGETS normalized to the
+// full-resource baseline.
+func (a *App) Throughput(env hypervisor.Env) float64 {
+	if a.baselineKGETS == 0 {
+		return 0
+	}
+	t := a.KGETS(env) / a.baselineKGETS
+	if t > 1 {
+		t = 1
+	}
+	return t
+}

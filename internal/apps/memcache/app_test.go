@@ -1,0 +1,310 @@
+package memcache
+
+import (
+	"testing"
+
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+)
+
+func TestWorkloadValidation(t *testing.T) {
+	if _, err := NewWorkload(0, 10, 1.1, 1); err == nil {
+		t.Error("zero keys accepted")
+	}
+	if _, err := NewWorkload(10, 0, 1.1, 1); err == nil {
+		t.Error("zero value size accepted")
+	}
+	if _, err := NewWorkload(10, 10, 1.0, 1); err == nil {
+		t.Error("zipf s=1 accepted")
+	}
+}
+
+func TestWorkloadZipfSkew(t *testing.T) {
+	w, err := NewWorkload(10000, 64, 1.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The most popular key should appear far more often than uniform.
+	counts := make(map[uint64]int)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		counts[w.NextKey()]++
+	}
+	if counts[0] < draws/100 {
+		t.Errorf("key 0 drawn %d times of %d, want heavy skew", counts[0], draws)
+	}
+}
+
+func TestWorkloadWarmAndRun(t *testing.T) {
+	w, err := NewWorkload(1000, 256, 1.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := mustStore(t, 1<<30) // everything fits
+	if err := w.Warm(s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1000 {
+		t.Errorf("warmed store has %d items, want 1000", s.Len())
+	}
+	res, err := w.Run(s, 5000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 5000 || res.Gets+res.Sets != 5000 {
+		t.Errorf("run accounting: %+v", res)
+	}
+	if res.HitRate() != 1 {
+		t.Errorf("hit rate with full cache = %g, want 1", res.HitRate())
+	}
+}
+
+func TestWorkloadHitRateDropsWithSmallCache(t *testing.T) {
+	w, err := NewWorkload(2000, 256, 1.1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := mustStore(t, 1<<30)
+	w.Warm(full)
+	fullRate := w.MeasureHitRate(full, 3000)
+
+	w2, _ := NewWorkload(2000, 256, 1.1, 7)
+	tiny := mustStore(t, 64*(256+64+12))
+	w2.Warm(tiny)
+	tinyRate := w2.MeasureHitRate(tiny, 3000)
+
+	if fullRate != 1 {
+		t.Errorf("full-cache hit rate = %g, want 1", fullRate)
+	}
+	if tinyRate >= fullRate || tinyRate <= 0 {
+		t.Errorf("tiny-cache hit rate = %g, want in (0, %g)", tinyRate, fullRate)
+	}
+	// Zipf skew: 3% of keys should still catch a disproportionate share.
+	if tinyRate < 0.15 {
+		t.Errorf("tiny-cache hit rate = %g, want ≥0.15 (zipf head)", tinyRate)
+	}
+}
+
+func fullEnv() hypervisor.Env {
+	return hypervisor.Env{
+		VCPUs: 4, PhysCores: 4, EffectiveCores: 4,
+		GuestMemMB: 16384, ResidentMB: 16384, EverTouchedMB: 16384,
+		KernelMemMB: 256, LocalityFactor: 1, DiskMBps: 100, NetMBps: 1250,
+	}
+}
+
+func newApp(t *testing.T, aware bool) *App {
+	t.Helper()
+	a, err := NewApp(AppConfig{CacheMB: 8000, DatasetMB: 9000, DeflationAware: aware})
+	if err != nil {
+		t.Fatalf("NewApp: %v", err)
+	}
+	return a
+}
+
+func TestNewAppValidation(t *testing.T) {
+	if _, err := NewApp(AppConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := NewApp(AppConfig{CacheMB: 1, DatasetMB: 1, Scale: 1e9}); err == nil {
+		t.Error("absurd scale accepted")
+	}
+}
+
+func TestAppFootprint(t *testing.T) {
+	a := newApp(t, false)
+	rss, cache := a.Footprint()
+	if cache != 0 {
+		t.Errorf("page cache = %g, want 0 (anonymous memory)", cache)
+	}
+	// Warm store ≈ cache size (±overheads) plus 300 MB process overhead.
+	if rss < 7000 || rss > 9000 {
+		t.Errorf("rss = %g, want ≈ 8000+300", rss)
+	}
+}
+
+func TestAppBaselineThroughput(t *testing.T) {
+	a := newApp(t, false)
+	got := a.Throughput(fullEnv())
+	if got < 0.99 || got > 1 {
+		t.Errorf("full-resource throughput = %g, want ≈1", got)
+	}
+}
+
+func TestUnmodifiedIgnoresDeflation(t *testing.T) {
+	a := newApp(t, false)
+	rel, lat := a.SelfDeflate(restypes.V(0, 4000, 0, 0))
+	if !rel.IsZero() || lat != 0 {
+		t.Errorf("unmodified app relinquished %v", rel)
+	}
+	if a.CacheMB() != 8000 {
+		t.Errorf("cache changed: %g", a.CacheMB())
+	}
+}
+
+func TestAwareSelfDeflateKeepsHeadroom(t *testing.T) {
+	// 8 GB cache on a 16 GB VM: a 4 GB deflation still leaves room for the
+	// full cache, so the policy relinquishes nothing (the guest's free
+	// memory covers the reclamation).
+	a := newApp(t, true)
+	rel, _ := a.SelfDeflate(restypes.V(0, 4000, 0, 0))
+	if !rel.IsZero() || a.CacheMB() != 8000 {
+		t.Errorf("needless shrink: rel=%v cache=%g", rel, a.CacheMB())
+	}
+}
+
+func TestAwareSelfDeflateShrinksCache(t *testing.T) {
+	a := newApp(t, true)
+	before := a.usedMB()
+	// 10 GB deflation leaves 6384 MB: cache must shrink to 5700.
+	rel, lat := a.SelfDeflate(restypes.V(0, 10000, 0, 0))
+	if rel.MemoryMB != 8000-5700 {
+		t.Errorf("relinquished %g MB, want 2300", rel.MemoryMB)
+	}
+	if lat <= 0 {
+		t.Error("eviction latency = 0")
+	}
+	if a.CacheMB() != 5700 {
+		t.Errorf("cache = %g, want 5700", a.CacheMB())
+	}
+	if a.usedMB() >= before {
+		t.Error("no items evicted")
+	}
+	if a.Store().Stats().Evictions == 0 {
+		t.Error("no LRU evictions recorded")
+	}
+	// Hit rate drops but stays well above zero (zipf head retained).
+	hr := a.HitRate()
+	if hr <= 0.5 || hr >= 1 {
+		t.Errorf("hit rate after 50%% shrink = %g, want in (0.5, 1)", hr)
+	}
+}
+
+func TestAwareSelfDeflateRespectsFloor(t *testing.T) {
+	a := newApp(t, true)
+	rel, _ := a.SelfDeflate(restypes.V(0, 1e6, 0, 0))
+	if got := a.CacheMB(); got != 64 {
+		t.Errorf("cache = %g, want floor 64", got)
+	}
+	if rel.MemoryMB >= 8000 {
+		t.Errorf("relinquished %g, want < full cache", rel.MemoryMB)
+	}
+	// A second huge request relinquishes nothing.
+	rel, _ = a.SelfDeflate(restypes.V(0, 1e6, 0, 0))
+	if !rel.IsZero() {
+		t.Errorf("second deflate relinquished %v", rel)
+	}
+}
+
+func TestReinflateGrowsAndRefills(t *testing.T) {
+	a := newApp(t, true)
+	a.SelfDeflate(restypes.V(0, 12000, 0, 0))
+	low := a.HitRate()
+	a.Reinflate(fullEnv())
+	if a.CacheMB() != 8000 {
+		t.Errorf("cache after reinflate = %g, want 8000", a.CacheMB())
+	}
+	if a.HitRate() <= low {
+		t.Errorf("hit rate did not recover: %g -> %g", low, a.HitRate())
+	}
+}
+
+func TestSwappingCrushesThroughput(t *testing.T) {
+	a := newApp(t, false)
+	rss, _ := a.Footprint()
+	touched := rss + 256
+	env := fullEnv()
+	// Host swapped out 40% of the app's own pages (no cold pool).
+	env.EverTouchedMB = touched
+	env.ResidentMB = touched * 0.6
+	env.SwappedMB = touched * 0.4
+	env.LocalityFactor = 0.5
+	got := a.Throughput(env)
+	if got >= 0.35 {
+		t.Errorf("throughput with 40%% of RSS swapped = %g, want deep collapse", got)
+	}
+	if got <= 0 {
+		t.Error("throughput hit zero without OOM")
+	}
+}
+
+func TestColdPoolSwapIsCheap(t *testing.T) {
+	// Swapping only ever-touched-but-free memory (cold pool) barely hurts.
+	a := newApp(t, false)
+	env := fullEnv()
+	env.SwappedMB = 4000 // cold pool is 16384-256-rss ≈ 7800 > 4000
+	env.ResidentMB = env.EverTouchedMB - env.SwappedMB
+	env.LocalityFactor = 0.5
+	got := a.Throughput(env)
+	if got < 0.80 {
+		t.Errorf("cold-pool swap throughput = %g, want ≥ 0.80", got)
+	}
+}
+
+func TestOOMZerosThroughput(t *testing.T) {
+	a := newApp(t, false)
+	env := fullEnv()
+	env.OOMKilled = true
+	if a.Throughput(env) != 0 || a.KGETS(env) != 0 {
+		t.Error("OOM-killed app has throughput")
+	}
+}
+
+func TestCPUDeflationScalesThroughput(t *testing.T) {
+	a := newApp(t, false)
+
+	// Peak load saturates 2.2 of 4 cores: half-CPU deflation barely hurts…
+	env := fullEnv()
+	env.EffectiveCores = 2
+	if got := a.Throughput(env); got < 0.85 {
+		t.Errorf("half-CPU throughput = %g, want ≥0.85 (headroom)", got)
+	}
+	// …but deep CPU deflation scales throughput with capacity.
+	env.EffectiveCores = 1
+	got := a.Throughput(env)
+	if got < 0.40 || got > 0.52 {
+		t.Errorf("quarter-CPU throughput = %g, want ≈0.45", got)
+	}
+}
+
+func TestNetworkCapsThroughput(t *testing.T) {
+	a := newApp(t, false)
+	env := fullEnv()
+	env.NetMBps = 50 // 50 kGETS cap vs 150 base
+	if got := a.KGETS(env); got > 50 {
+		t.Errorf("KGETS = %g, want ≤ 50 (net cap)", got)
+	}
+}
+
+func TestAwareBeatsUnmodifiedUnderMemoryPressure(t *testing.T) {
+	// The Fig. 5c comparison at 50% memory deflation, memory-stressed config.
+	cfg := AppConfig{CacheMB: 14000, DatasetMB: 15000}
+	unmod, err := NewApp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.DeflationAware = true
+	aware, err := NewApp(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unmodified: VM-level deflation to 8 GB swaps most of the cache.
+	rssU, _ := unmod.Footprint()
+	envU := fullEnv()
+	envU.EverTouchedMB = rssU + 256 + 100
+	envU.ResidentMB = 8192
+	envU.SwappedMB = envU.EverTouchedMB - 8192
+	envU.LocalityFactor = 0.5
+	ku := unmod.KGETS(envU)
+
+	// Aware: cache resized to fit 8 GB; no swap.
+	aware.SelfDeflate(restypes.V(0, 16384-8192, 0, 0))
+	envA := fullEnv()
+	envA.GuestMemMB = 8192
+	ka := aware.KGETS(envA)
+
+	if ka < 3*ku {
+		t.Errorf("aware %g kGETS vs unmodified %g: want ≥3x advantage (paper: up to 6x)", ka, ku)
+	}
+}

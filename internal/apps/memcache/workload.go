@@ -1,0 +1,121 @@
+package memcache
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Workload is a YCSB-style closed-loop load generator with Zipf-skewed key
+// popularity, standing in for the paper's YCSB / memtier_benchmark drivers
+// (Table 2). It is deterministic for a given seed.
+type Workload struct {
+	// Keys is the number of distinct keys in the key space.
+	Keys int
+	// ValueBytes is the value size for every item.
+	ValueBytes int
+	// ZipfS is the Zipf exponent (>1); larger = more skew. YCSB's default
+	// "zipfian" distribution corresponds to s ≈ 1.1.
+	ZipfS float64
+	// SetFraction is the fraction of operations that are SETs (rest GETs).
+	SetFraction float64
+
+	rng  *rand.Rand
+	zipf *rand.Zipf
+}
+
+// NewWorkload builds a generator over keys distinct keys with the given
+// value size and skew, seeded deterministically.
+func NewWorkload(keys, valueBytes int, zipfS float64, seed int64) (*Workload, error) {
+	if keys <= 0 || valueBytes <= 0 {
+		return nil, fmt.Errorf("memcache: workload needs positive keys and value size, got %d/%d", keys, valueBytes)
+	}
+	if zipfS <= 1 {
+		return nil, fmt.Errorf("memcache: zipf exponent must be > 1, got %g", zipfS)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	w := &Workload{Keys: keys, ValueBytes: valueBytes, ZipfS: zipfS, SetFraction: 0.05, rng: rng}
+	w.zipf = rand.NewZipf(rng, zipfS, 1, uint64(keys-1))
+	return w, nil
+}
+
+// Key returns the i-th key's string form.
+func (w *Workload) Key(i uint64) string { return fmt.Sprintf("key-%08d", i) }
+
+// NextKey draws a key index from the Zipf popularity distribution.
+func (w *Workload) NextKey() uint64 { return w.zipf.Uint64() }
+
+// value synthesizes a deterministic payload for a key.
+func (w *Workload) value(i uint64) []byte {
+	v := make([]byte, w.ValueBytes)
+	b := byte(i)
+	for j := range v {
+		v[j] = b + byte(j)
+	}
+	return v
+}
+
+// Warm populates the store with every key, most popular keys inserted last
+// so they start at the MRU end (a warmed cache).
+func (w *Workload) Warm(s *Store) error {
+	for i := w.Keys - 1; i >= 0; i-- {
+		if err := s.Set(w.Key(uint64(i)), w.value(uint64(i))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunResult summarizes a generator run.
+type RunResult struct {
+	Ops, Gets, Hits, Sets int
+}
+
+// HitRate returns the GET hit rate over the run.
+func (r RunResult) HitRate() float64 {
+	if r.Gets == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Gets)
+}
+
+// Run performs ops operations against the store: Zipf-popular GETs with a
+// SetFraction mix of SETs. Missed GETs are followed by a SET of that key
+// (read-through fill), as a YCSB-style client would do.
+func (w *Workload) Run(s *Store, ops int) (RunResult, error) {
+	var res RunResult
+	for i := 0; i < ops; i++ {
+		res.Ops++
+		k := w.NextKey()
+		if w.rng.Float64() < w.SetFraction {
+			if err := s.Set(w.Key(k), w.value(k)); err != nil {
+				return res, err
+			}
+			res.Sets++
+			continue
+		}
+		res.Gets++
+		if _, ok := s.Get(w.Key(k)); ok {
+			res.Hits++
+		} else if err := s.Set(w.Key(k), w.value(k)); err != nil { // read-through fill
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// MeasureHitRate runs a GET-only sample against the store without
+// read-through fills, returning the observed hit rate. Used by the
+// throughput model to measure the real cache's behaviour at its current
+// size.
+func (w *Workload) MeasureHitRate(s *Store, samples int) float64 {
+	hits := 0
+	for i := 0; i < samples; i++ {
+		if _, ok := s.Get(w.Key(w.NextKey())); ok {
+			hits++
+		}
+	}
+	if samples == 0 {
+		return 0
+	}
+	return float64(hits) / float64(samples)
+}

@@ -1,0 +1,272 @@
+// Package webapp models a web-server cluster — the fourth application class
+// of Table 1 ("Web servers - CPU: reduce size of thread pool") and the
+// paper's footnote on deflation-aware load balancing: "web-application
+// clusters ... can use a deflation-aware load-balancer for cascade
+// deflation".
+//
+// Each server runs a worker-thread pool; its deflation policy shrinks the
+// pool when CPU is reclaimed ("adjust the load-balancing rules accordingly
+// — serve less traffic from deflated servers"). The LoadBalancer
+// distributes offered load across servers in proportion to their live
+// capacity, so a deflated server receives less traffic instead of building
+// an unbounded queue.
+package webapp
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+)
+
+// Config describes one web-server VM.
+type Config struct {
+	// Threads is the worker pool size at boot (default 64).
+	Threads int
+	// ThreadsPerCore is the pool size the server runs per vCPU without
+	// oversubscription penalties (default 16).
+	ThreadsPerCore float64
+	// RPSPerThread is each worker's request throughput (default 25).
+	RPSPerThread float64
+	// BaseLatencyMS is the unloaded request latency (default 4ms).
+	BaseLatencyMS float64
+	// RSSMB is the server's resident set (default 1024); web serving also
+	// generates page cache for static content (default 1024).
+	RSSMB, CacheMB float64
+	// Cores is the booted vCPU count (default 4).
+	Cores float64
+	// DeflationAware enables the Table 1 policy: shrink the pool to match
+	// reclaimed CPU. Unmodified servers keep their threads and suffer
+	// oversubscription instead.
+	DeflationAware bool
+	// MinThreads bounds shrinking (default 4).
+	MinThreads int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads == 0 {
+		c.Threads = 64
+	}
+	if c.ThreadsPerCore == 0 {
+		c.ThreadsPerCore = 16
+	}
+	if c.RPSPerThread == 0 {
+		c.RPSPerThread = 25
+	}
+	if c.BaseLatencyMS == 0 {
+		c.BaseLatencyMS = 4
+	}
+	if c.RSSMB == 0 {
+		c.RSSMB = 1024
+	}
+	if c.CacheMB == 0 {
+		c.CacheMB = 1024
+	}
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.MinThreads == 0 {
+		c.MinThreads = 4
+	}
+	return c
+}
+
+// App is one web server as a deflatable application (vm.Application).
+type App struct {
+	cfg     Config
+	threads int
+	baseRPS float64
+}
+
+// NewApp builds a web server.
+func NewApp(cfg Config) (*App, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Threads < cfg.MinThreads {
+		return nil, fmt.Errorf("webapp: threads %d below minimum %d", cfg.Threads, cfg.MinThreads)
+	}
+	a := &App{cfg: cfg, threads: cfg.Threads}
+	a.baseRPS = a.capacityWith(cfg.Threads, cfg.Cores)
+	return a, nil
+}
+
+// Name implements vm.Application.
+func (a *App) Name() string { return "webserver" }
+
+// Threads returns the current pool size.
+func (a *App) Threads() int { return a.threads }
+
+// Footprint implements vm.Application. Thread stacks are small; the
+// footprint is dominated by the configured RSS and static-content cache.
+func (a *App) Footprint() (float64, float64) {
+	return a.cfg.RSSMB + float64(a.threads)*2, a.cfg.CacheMB
+}
+
+// capacityWith returns the sustainable RPS for a pool size on the given
+// effective cores: workers deliver full throughput while the pool is at or
+// under ThreadsPerCore×cores; oversubscribed workers contend for CPU.
+func (a *App) capacityWith(threads int, cores float64) float64 {
+	if threads <= 0 || cores <= 0 {
+		return 0
+	}
+	sustainable := a.cfg.ThreadsPerCore * cores
+	n := float64(threads)
+	if n <= sustainable {
+		return n * a.cfg.RPSPerThread
+	}
+	// Oversubscription: the CPU caps useful work at the sustainable pool,
+	// and context switching shaves throughput as the ratio grows.
+	overs := n / sustainable
+	return sustainable * a.cfg.RPSPerThread / (1 + 0.15*(overs-1))
+}
+
+// SelfDeflate implements vm.Application: the aware policy shrinks the
+// thread pool to match the post-deflation CPU ("reduce size of thread
+// pool"), cheaply and instantly; the load balancer will route less traffic
+// here. Unmodified servers ignore the request.
+func (a *App) SelfDeflate(target restypes.Vector) (restypes.Vector, time.Duration) {
+	if !a.cfg.DeflationAware || target.CPU <= 0 {
+		return restypes.Vector{}, 0
+	}
+	remainingCores := a.cfg.Cores - target.CPU
+	if remainingCores < 0 {
+		remainingCores = 0
+	}
+	want := int(math.Floor(a.cfg.ThreadsPerCore * remainingCores))
+	if want < a.cfg.MinThreads {
+		want = a.cfg.MinThreads
+	}
+	if want >= a.threads {
+		return restypes.Vector{}, 0
+	}
+	freedThreads := a.threads - want
+	a.threads = want
+	// Draining worker threads is quick (~5ms per worker to finish in-flight
+	// requests), and frees their CPU share.
+	freedCores := float64(freedThreads) / a.cfg.ThreadsPerCore
+	if freedCores > target.CPU {
+		freedCores = target.CPU
+	}
+	return restypes.Vector{CPU: freedCores},
+		time.Duration(freedThreads) * 5 * time.Millisecond
+}
+
+// Reinflate implements vm.Application: grow the pool back to what the
+// restored CPU sustains.
+func (a *App) Reinflate(env hypervisor.Env) {
+	if !a.cfg.DeflationAware {
+		return
+	}
+	want := int(math.Floor(a.cfg.ThreadsPerCore * env.EffectiveCores))
+	if want > a.cfg.Threads {
+		want = a.cfg.Threads
+	}
+	if want > a.threads {
+		a.threads = want
+	}
+}
+
+// CapacityRPS returns the server's sustainable request rate in env.
+func (a *App) CapacityRPS(env hypervisor.Env) float64 {
+	if env.OOMKilled {
+		return 0
+	}
+	return a.capacityWith(a.threads, env.EffectiveCores)
+}
+
+// LatencyMS returns the mean request latency at the given offered rate
+// (M/M/1-style queueing against the capacity in env; +Inf when saturated).
+func (a *App) LatencyMS(env hypervisor.Env, offeredRPS float64) float64 {
+	cap := a.CapacityRPS(env)
+	if cap <= 0 || offeredRPS >= cap {
+		return math.Inf(1)
+	}
+	return a.cfg.BaseLatencyMS / (1 - offeredRPS/cap)
+}
+
+// Throughput implements vm.Application: capacity normalized to boot.
+func (a *App) Throughput(env hypervisor.Env) float64 {
+	if a.baseRPS == 0 {
+		return 0
+	}
+	t := a.CapacityRPS(env) / a.baseRPS
+	if t > 1 {
+		t = 1
+	}
+	return t
+}
+
+// LoadBalancer spreads offered traffic across a pool of web servers in
+// proportion to their current capacity — the deflation-aware balancing of
+// footnote 2. Servers are identified by index.
+type LoadBalancer struct {
+	apps []*App
+}
+
+// NewLoadBalancer builds a balancer over servers.
+func NewLoadBalancer(apps []*App) (*LoadBalancer, error) {
+	if len(apps) == 0 {
+		return nil, fmt.Errorf("webapp: balancer needs servers")
+	}
+	return &LoadBalancer{apps: apps}, nil
+}
+
+// Weights returns the current traffic share per server given each server's
+// environment, proportional to capacity.
+func (lb *LoadBalancer) Weights(envs []hypervisor.Env) ([]float64, error) {
+	if len(envs) != len(lb.apps) {
+		return nil, fmt.Errorf("webapp: %d envs for %d servers", len(envs), len(lb.apps))
+	}
+	weights := make([]float64, len(lb.apps))
+	var total float64
+	for i, a := range lb.apps {
+		weights[i] = a.CapacityRPS(envs[i])
+		total += weights[i]
+	}
+	if total == 0 {
+		return weights, nil
+	}
+	for i := range weights {
+		weights[i] /= total
+	}
+	return weights, nil
+}
+
+// ServeResult summarizes balanced traffic.
+type ServeResult struct {
+	ServedRPS     float64
+	DroppedRPS    float64
+	MeanLatencyMS float64
+	PerServerRPS  []float64
+}
+
+// Serve distributes offeredRPS across the pool by capacity weights and
+// reports the aggregate service quality.
+func (lb *LoadBalancer) Serve(envs []hypervisor.Env, offeredRPS float64) (ServeResult, error) {
+	weights, err := lb.Weights(envs)
+	if err != nil {
+		return ServeResult{}, err
+	}
+	var res ServeResult
+	res.PerServerRPS = make([]float64, len(lb.apps))
+	var latWeighted float64
+	for i, a := range lb.apps {
+		share := offeredRPS * weights[i]
+		cap := a.CapacityRPS(envs[i])
+		served := share
+		if cap > 0 && served > cap*0.95 {
+			served = cap * 0.95 // admission control at 95% utilization
+		}
+		res.PerServerRPS[i] = served
+		res.ServedRPS += served
+		res.DroppedRPS += share - served
+		if served > 0 {
+			latWeighted += served * a.LatencyMS(envs[i], served)
+		}
+	}
+	if res.ServedRPS > 0 {
+		res.MeanLatencyMS = latWeighted / res.ServedRPS
+	}
+	return res, nil
+}

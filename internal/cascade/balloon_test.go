@@ -1,0 +1,95 @@
+package cascade
+
+import (
+	"testing"
+
+	"deflation/internal/apps/apptest"
+	"deflation/internal/restypes"
+	"deflation/internal/vm"
+)
+
+func TestMemMechanismString(t *testing.T) {
+	if MemHotUnplug.String() != "hot-unplug" || MemBalloon.String() != "balloon" {
+		t.Error("mechanism strings wrong")
+	}
+}
+
+func TestBalloonMechanism(t *testing.T) {
+	app := apptest.New("idle")
+	app.RSSMB = 2000
+	v := newVM(t, app, vm.Config{})
+	v.Domain().MarkWarm()
+
+	c := New(VMLevel())
+	c.SetMemMechanism(MemBalloon)
+	target := restypes.V(0, 8192, 0, 0)
+	r, err := c.Deflate(v, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := v.Domain().Guest()
+	if g.BalloonMB() != 8192 {
+		t.Errorf("balloon = %g, want 8192", g.BalloonMB())
+	}
+	if g.MemoryMB() != 16384 {
+		t.Errorf("guest memory = %g, want unchanged 16384 (balloon, not unplug)", g.MemoryMB())
+	}
+	if r.OS.Reclaimed.MemoryMB != 8192 {
+		t.Errorf("OS reclaimed %g via balloon", r.OS.Reclaimed.MemoryMB)
+	}
+	// No swap: the balloon released the frames.
+	if env := v.Env(); env.SwappedMB != 0 {
+		t.Errorf("swapped = %g, want 0", env.SwappedMB)
+	}
+	// But fragmentation costs CPU.
+	if env := v.Env(); env.EffectiveCores >= 4 {
+		t.Errorf("effective cores = %g, want fragmentation penalty", env.EffectiveCores)
+	}
+
+	// Reinflation releases the balloon and restores full performance.
+	if _, err := c.Reinflate(v, target); err != nil {
+		t.Fatal(err)
+	}
+	if g.BalloonMB() != 0 {
+		t.Errorf("balloon after reinflate = %g", g.BalloonMB())
+	}
+	if env := v.Env(); env.EffectiveCores != 4 {
+		t.Errorf("effective cores after reinflate = %g, want 4", env.EffectiveCores)
+	}
+}
+
+func TestBalloonFasterButSlowerSteadyState(t *testing.T) {
+	// The paper's §7 comparison: ballooning reclaims faster than hotplug
+	// but leaves the guest slower.
+	mk := func() *vm.VM {
+		app := apptest.New("idle")
+		app.RSSMB = 2000
+		v := newVM(t, app, vm.Config{})
+		v.Domain().MarkWarm()
+		return v
+	}
+	target := restypes.V(0, 8192, 0, 0)
+
+	hot := New(VMLevel())
+	vHot := mk()
+	rHot, err := hot.Deflate(vHot, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bal := New(VMLevel())
+	bal.SetMemMechanism(MemBalloon)
+	vBal := mk()
+	rBal, err := bal.Deflate(vBal, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rBal.TotalLatency >= rHot.TotalLatency {
+		t.Errorf("balloon latency %v not below hotplug %v", rBal.TotalLatency, rHot.TotalLatency)
+	}
+	if vBal.Env().EffectiveCores >= vHot.Env().EffectiveCores {
+		t.Errorf("balloon steady-state cores %g not below hotplug %g",
+			vBal.Env().EffectiveCores, vHot.Env().EffectiveCores)
+	}
+}

@@ -1,0 +1,321 @@
+// Package cascade implements the paper's central mechanism: multi-level
+// cascade deflation (§3.2, Fig. 3). A reclamation target flows from the
+// application (voluntary self-deflation), to the guest OS (best-effort
+// hot-unplug), to the hypervisor (overcommitment), with each lower level
+// picking up whatever slack the level above left.
+//
+// The controller can run with any subset of levels enabled, which is how the
+// paper's single-level baselines (hypervisor-only, OS-only) and its
+// "VM-level" combination (OS+hypervisor, no application support) are
+// expressed — and how the ablation benchmarks isolate each level's
+// contribution.
+package cascade
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"deflation/internal/restypes"
+	"deflation/internal/vm"
+)
+
+// Errors returned by Deflate and Reinflate.
+var (
+	ErrHighPriority      = errors.New("cascade: high-priority VMs are not deflatable")
+	ErrExceedsDeflatable = errors.New("cascade: target exceeds the VM's deflatable resources")
+	ErrPreempted         = errors.New("cascade: VM has been preempted")
+)
+
+// Levels selects which reclamation levels participate in a cascade.
+type Levels struct {
+	App        bool // application self-deflation (§3.2.1)
+	OS         bool // guest hot-unplug (§3.2.2)
+	Hypervisor bool // VM overcommitment (§3.2.3)
+}
+
+// AllLevels enables the full cascade: application, OS, and hypervisor.
+func AllLevels() Levels { return Levels{App: true, OS: true, Hypervisor: true} }
+
+// VMLevel is the paper's "VM-level deflation": OS + hypervisor, with no
+// application participation (§4.1).
+func VMLevel() Levels { return Levels{OS: true, Hypervisor: true} }
+
+// HypervisorOnly reclaims exclusively via hypervisor overcommitment — the
+// black-box baseline of Fig. 5a/5b.
+func HypervisorOnly() Levels { return Levels{Hypervisor: true} }
+
+// OSOnly reclaims exclusively via guest hot-unplug. With no hypervisor to
+// fall through to, the unplug is forced to meet the target, which reproduces
+// the OOM failures the paper reports for this mode at high memory deflation
+// (Fig. 5a).
+func OSOnly() Levels { return Levels{OS: true} }
+
+// String renders the enabled levels, e.g. "app+os+hypervisor".
+func (l Levels) String() string {
+	s := ""
+	add := func(name string, on bool) {
+		if !on {
+			return
+		}
+		if s != "" {
+			s += "+"
+		}
+		s += name
+	}
+	add("app", l.App)
+	add("os", l.OS)
+	add("hypervisor", l.Hypervisor)
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// LevelReport describes what one level reclaimed and how long it took.
+type LevelReport struct {
+	Reclaimed restypes.Vector
+	Latency   time.Duration
+}
+
+// Report summarizes one cascade deflation (or reinflation).
+type Report struct {
+	Target        restypes.Vector
+	App, OS, Hyp  LevelReport
+	NewAllocation restypes.Vector
+	// Shortfall is the portion of the target no enabled level could
+	// reclaim (only possible when the hypervisor level is disabled, or for
+	// CPU floors).
+	Shortfall restypes.Vector
+	// DeadlineExceeded reports that the controller's deadline truncated the
+	// higher levels and the hypervisor picked up the remainder.
+	DeadlineExceeded bool
+	// TotalLatency is the end-to-end reclamation latency; the levels run
+	// sequentially per Fig. 3.
+	TotalLatency time.Duration
+}
+
+// MemMechanism selects the guest-level memory reclamation mechanism.
+type MemMechanism int
+
+const (
+	// MemHotUnplug migrates free pages into contiguous zones and releases
+	// them — slower, but leaves the guest unfragmented (the default; the
+	// paper's choice, §3.2.2).
+	MemHotUnplug MemMechanism = iota
+	// MemBalloon pins scattered free pages via the balloon driver — much
+	// faster, but the fragmentation costs steady-state performance (§7).
+	MemBalloon
+)
+
+// String returns "hot-unplug" or "balloon".
+func (m MemMechanism) String() string {
+	if m == MemBalloon {
+		return "balloon"
+	}
+	return "hot-unplug"
+}
+
+// Controller orchestrates cascade deflation for individual VMs. This is the
+// per-server "local deflation controller" logic of §5 at single-VM
+// granularity; internal/cluster runs one per server.
+type Controller struct {
+	levels   Levels
+	memVia   MemMechanism
+	deadline time.Duration // 0 = unbounded
+}
+
+// New returns a controller with the given levels enabled.
+func New(levels Levels) *Controller { return &Controller{levels: levels} }
+
+// Levels returns the controller's enabled levels.
+func (c *Controller) Levels() Levels { return c.levels }
+
+// SetMemMechanism selects hot-unplug (default) or ballooning for the
+// OS-level memory step.
+func (c *Controller) SetMemMechanism(m MemMechanism) { c.memVia = m }
+
+// SetDeadline bounds each deflation operation (§5: "deflation operations
+// have a deadline... if a deflation operation times out, we proceed to the
+// next level in cascade deflation"). The time budget is consumed by the
+// application and OS levels in order — OS memory unplug is truncated to
+// what page migration can move in the remaining budget — and the hypervisor
+// level completes regardless, as the backstop. Zero means unbounded.
+func (c *Controller) SetDeadline(d time.Duration) { c.deadline = d }
+
+// Deflate reclaims target resources from v using the enabled levels, per
+// the Fig. 3 control flow. The target must fit within v.Deflatable();
+// the caller (the cluster manager's proportional policy) is responsible for
+// choosing feasible targets and for preempting VMs that cannot meet them.
+func (c *Controller) Deflate(v *vm.VM, target restypes.Vector) (Report, error) {
+	r := Report{Target: target}
+	if v.Preempted() {
+		return r, ErrPreempted
+	}
+	if v.Priority() == vm.HighPriority {
+		return r, ErrHighPriority
+	}
+	target = target.ClampNonNegative()
+	if !target.Fits(v.Deflatable()) {
+		return r, fmt.Errorf("%w: target %v, deflatable %v", ErrExceedsDeflatable, target, v.Deflatable())
+	}
+	if target.IsZero() {
+		r.NewAllocation = v.Allocation()
+		return r, nil
+	}
+
+	// Level 1: application self-deflation (best-effort, may return zero).
+	if c.levels.App {
+		rel, lat := v.App().SelfDeflate(target)
+		v.SyncFootprint()
+		r.App = LevelReport{Reclaimed: rel.ClampNonNegative(), Latency: lat}
+	}
+
+	// Level 2: guest OS hot-unplug. Per Fig. 3 the unplug target is
+	// bounded by the overall target; resources the app just freed are now
+	// part of the guest's safely-unpluggable pool, so unplugging them
+	// returns them to the hypervisor without swap cost. With a deadline
+	// set, the unplug is further bounded by what the remaining time budget
+	// allows — the hypervisor backstop takes the rest.
+	if c.levels.OS {
+		osTarget := target
+		if c.deadline > 0 {
+			remaining := c.deadline - r.App.Latency
+			if remaining <= 0 {
+				osTarget.MemoryMB = 0
+				r.DeadlineExceeded = true
+			} else if c.memVia == MemHotUnplug {
+				budgetMB := remaining.Seconds() * v.Domain().Guest().Config().PageMigrateMBps
+				if osTarget.MemoryMB > budgetMB {
+					osTarget.MemoryMB = budgetMB
+					r.DeadlineExceeded = true
+				}
+			}
+		}
+		r.OS = c.osReclaim(v, osTarget, !c.levels.Hypervisor)
+	}
+
+	// Level 3: hypervisor overcommitment reclaims the full remaining
+	// physical target. Resources already unplugged are released for free;
+	// the rest is taken black-box (swap, CPU multiplexing, throttling).
+	if c.levels.Hypervisor {
+		newAlloc := v.Allocation().Sub(target)
+		lat, err := v.Domain().SetAllocation(newAlloc)
+		if err != nil {
+			return r, fmt.Errorf("cascade: hypervisor reclaim: %w", err)
+		}
+		r.Hyp = LevelReport{
+			Reclaimed: target.Sub(r.OS.Reclaimed).ClampNonNegative(),
+			Latency:   lat,
+		}
+	} else {
+		// Without the hypervisor level, only what the OS physically
+		// unplugged can be released.
+		if !r.OS.Reclaimed.IsZero() {
+			newAlloc := v.Allocation().Sub(r.OS.Reclaimed)
+			if _, err := v.Domain().SetAllocation(newAlloc); err != nil {
+				return r, fmt.Errorf("cascade: releasing unplugged resources: %w", err)
+			}
+		}
+		r.Shortfall = target.Sub(r.OS.Reclaimed).ClampNonNegative()
+	}
+
+	r.NewAllocation = v.Allocation()
+	r.TotalLatency = r.App.Latency + r.OS.Latency + r.Hyp.Latency
+	v.ObserveEnv()
+	return r, nil
+}
+
+// osReclaim performs guest-level hot-unplug toward target. When force is
+// set (OS-only mode, no hypervisor fall-through), memory unplug ignores the
+// safety margin to meet the target — which can OOM-kill the application,
+// exactly the failure mode the paper measures for this configuration.
+func (c *Controller) osReclaim(v *vm.VM, target restypes.Vector, force bool) LevelReport {
+	g := v.Domain().Guest()
+	var rep LevelReport
+
+	// CPU: whole-vCPU granularity — "the final amount of resources
+	// unplugged can be at most ⌊unplug_target⌋" (§3.2.2).
+	if target.CPU > 0 {
+		n, lat := g.UnplugCPUs(int(math.Floor(target.CPU)))
+		rep.Reclaimed.CPU = float64(n)
+		rep.Latency += lat
+	}
+
+	// Memory: best-effort unless forced.
+	if target.MemoryMB > 0 {
+		var freed float64
+		var lat time.Duration
+		switch {
+		case force:
+			freed, lat = g.ForceUnplugMemory(target.MemoryMB)
+		case c.memVia == MemBalloon:
+			freed, lat = g.InflateBalloon(target.MemoryMB)
+		default:
+			freed, lat = g.UnplugMemory(target.MemoryMB)
+		}
+		rep.Reclaimed.MemoryMB = freed
+		rep.Latency += lat
+	}
+
+	// Disk and network are never hot-unplugged — "we don't hot unplug NICs
+	// and disks because it is generally unsafe" (§3.2.2). They fall through
+	// to hypervisor throttling.
+	return rep
+}
+
+// Reinflate returns amount resources to v, running the cascade in reverse
+// (§5): first the hypervisor raises the physical allocation, then the guest
+// re-plugs CPUs and memory, and finally the application's deflation agent is
+// told about the new availability.
+func (c *Controller) Reinflate(v *vm.VM, amount restypes.Vector) (Report, error) {
+	r := Report{Target: amount}
+	if v.Preempted() {
+		return r, ErrPreempted
+	}
+	amount = amount.ClampNonNegative()
+
+	if c.levels.Hypervisor {
+		newAlloc := v.Allocation().Add(amount).Min(v.Size())
+		lat, err := v.Domain().SetAllocation(newAlloc)
+		if err != nil {
+			return r, fmt.Errorf("cascade: hypervisor reinflate: %w", err)
+		}
+		r.Hyp = LevelReport{Reclaimed: newAlloc.Sub(v.Allocation()), Latency: lat}
+	}
+
+	if c.levels.OS {
+		g := v.Domain().Guest()
+		var rep LevelReport
+		// Re-plug up to the physical CPU allocation (whole cores).
+		if wantCPU := int(math.Floor(v.Allocation().CPU)) - g.CPUs(); wantCPU > 0 {
+			n, lat := g.PlugCPUs(wantCPU)
+			rep.Reclaimed.CPU = float64(n)
+			rep.Latency += lat
+		}
+		// Release ballooned memory first (it is instantly usable), then
+		// re-plug hot-unplugged memory.
+		if g.BalloonMB() > 0 {
+			mb, lat := g.DeflateBalloon(amount.MemoryMB)
+			rep.Reclaimed.MemoryMB += mb
+			rep.Latency += lat
+		}
+		if wantMem := v.Allocation().MemoryMB - g.MemoryMB(); wantMem > 0 {
+			mb, lat := g.PlugMemory(wantMem)
+			rep.Reclaimed.MemoryMB += mb
+			rep.Latency += lat
+		}
+		r.OS = rep
+	}
+
+	if c.levels.App {
+		v.App().Reinflate(v.Env())
+		v.SyncFootprint()
+	}
+
+	r.NewAllocation = v.Allocation()
+	r.TotalLatency = r.App.Latency + r.OS.Latency + r.Hyp.Latency
+	v.ObserveEnv()
+	return r, nil
+}

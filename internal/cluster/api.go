@@ -1,0 +1,445 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"deflation/internal/restypes"
+)
+
+// The REST control plane of §5: "the centralized cluster manager and the
+// local-controllers... communicate with each other via a REST API". The
+// ControllerAPI exposes one server's LocalController; RemoteNode is the
+// manager-side client implementing Node over HTTP; ManagerAPI exposes the
+// centralized manager to operators (cmd/deflctl).
+
+// NodeState is the wire form of a server's capacity state.
+type NodeState struct {
+	Name               string          `json:"name"`
+	Mode               string          `json:"mode"`
+	Free               restypes.Vector `json:"free"`
+	Availability       restypes.Vector `json:"availability"`
+	PreemptableCeiling restypes.Vector `json:"preemptable_ceiling"`
+	Overcommitment     float64         `json:"overcommitment"`
+	Preemptions        int             `json:"preemptions"`
+	VMs                []VMState       `json:"vms"`
+}
+
+// VMState is the wire form of one VM's state.
+type VMState struct {
+	Name       string          `json:"name"`
+	Priority   string          `json:"priority"`
+	Size       restypes.Vector `json:"size"`
+	Allocation restypes.Vector `json:"allocation"`
+	MinSize    restypes.Vector `json:"min_size"`
+	Throughput float64         `json:"throughput"`
+	App        string          `json:"app"`
+}
+
+// ControllerAPI serves a LocalController over HTTP. Handlers serialize all
+// controller access through a mutex: the controller itself is
+// single-threaded by design.
+type ControllerAPI struct {
+	mu   sync.Mutex
+	ctrl *LocalController
+}
+
+// NewControllerAPI wraps a controller.
+func NewControllerAPI(ctrl *LocalController) (*ControllerAPI, error) {
+	if ctrl == nil {
+		return nil, fmt.Errorf("cluster: nil controller")
+	}
+	return &ControllerAPI{ctrl: ctrl}, nil
+}
+
+// Handler returns the controller's routes:
+//
+//	GET    /v1/state            — NodeState
+//	POST   /v1/vms              — LaunchSpec body → LaunchReport
+//	DELETE /v1/vms/{name}       — release
+//	POST   /v1/vms/{name}/deflate  — {"target": Vector} → cascade report
+func (a *ControllerAPI) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/state", a.handleState)
+	mux.HandleFunc("POST /v1/vms", a.handleLaunch)
+	mux.HandleFunc("DELETE /v1/vms/{name}", a.handleRelease)
+	mux.HandleFunc("POST /v1/vms/{name}/deflate", a.handleDeflate)
+	return mux
+}
+
+func (a *ControllerAPI) state() NodeState {
+	c := a.ctrl
+	st := NodeState{
+		Name:               c.Name(),
+		Mode:               c.Mode().String(),
+		Free:               c.Free(),
+		Availability:       c.Availability(),
+		PreemptableCeiling: c.PreemptableCeiling(),
+		Overcommitment:     c.Overcommitment(),
+		Preemptions:        c.Preemptions(),
+	}
+	for _, v := range c.VMs() {
+		st.VMs = append(st.VMs, VMState{
+			Name:       v.Name(),
+			Priority:   v.Priority().String(),
+			Size:       v.Size(),
+			Allocation: v.Allocation(),
+			MinSize:    v.MinSize(),
+			Throughput: v.Throughput(),
+			App:        v.App().Name(),
+		})
+	}
+	return st
+}
+
+func (a *ControllerAPI) handleState(w http.ResponseWriter, _ *http.Request) {
+	a.mu.Lock()
+	st := a.state()
+	a.mu.Unlock()
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (a *ControllerAPI) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	var spec LaunchSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "cluster: bad launch spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	a.mu.Lock()
+	rep, err := a.ctrl.Launch(spec)
+	a.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, rep)
+}
+
+func (a *ControllerAPI) handleRelease(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	err := a.ctrl.Release(r.PathValue("name"))
+	a.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// DeflateVMRequest asks a controller to deflate one VM by a target vector.
+type DeflateVMRequest struct {
+	Target restypes.Vector `json:"target"`
+}
+
+// DeflateVMResponse reports the cascade outcome.
+type DeflateVMResponse struct {
+	NewAllocation restypes.Vector `json:"new_allocation"`
+	Shortfall     restypes.Vector `json:"shortfall"`
+	LatencyMS     float64         `json:"latency_ms"`
+}
+
+func (a *ControllerAPI) handleDeflate(w http.ResponseWriter, r *http.Request) {
+	var req DeflateVMRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "cluster: bad deflate request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	v, err := a.ctrl.VM(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	rep, err := a.ctrl.casc.Deflate(v, req.Target)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeflateVMResponse{
+		NewAllocation: rep.NewAllocation,
+		Shortfall:     rep.Shortfall,
+		LatencyMS:     float64(rep.TotalLatency) / float64(time.Millisecond),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers already sent; nothing more to do.
+		_ = err
+	}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrVMNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrVMExists):
+		code = http.StatusConflict
+	case errors.Is(err, ErrNoCapacity):
+		code = http.StatusInsufficientStorage
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// RemoteNode implements Node over a ControllerAPI endpoint, letting the
+// centralized manager drive servers across the network exactly as the
+// paper's deployment does.
+type RemoteNode struct {
+	baseURL string
+	client  *http.Client
+	name    string
+}
+
+// NewRemoteNode connects to a controller endpoint and caches its name.
+func NewRemoteNode(baseURL string) (*RemoteNode, error) {
+	if baseURL == "" {
+		return nil, fmt.Errorf("cluster: empty controller URL")
+	}
+	n := &RemoteNode{baseURL: baseURL, client: &http.Client{Timeout: 30 * time.Second}}
+	st, err := n.State()
+	if err != nil {
+		return nil, fmt.Errorf("cluster: connecting to %s: %w", baseURL, err)
+	}
+	n.name = st.Name
+	return n, nil
+}
+
+// State fetches the remote controller's full state.
+func (n *RemoteNode) State() (NodeState, error) {
+	var st NodeState
+	resp, err := n.client.Get(n.baseURL + "/v1/state")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("cluster: state: %s", resp.Status)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// Name implements Node.
+func (n *RemoteNode) Name() string { return n.name }
+
+// Launch implements Node.
+func (n *RemoteNode) Launch(spec LaunchSpec) (LaunchReport, error) {
+	var rep LaunchReport
+	if spec.NewApp != nil {
+		return rep, fmt.Errorf("cluster: remote launch of %q cannot carry NewApp; use AppKind", spec.Name)
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return rep, err
+	}
+	resp, err := n.client.Post(n.baseURL+"/v1/vms", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return rep, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusCreated:
+		err = json.NewDecoder(resp.Body).Decode(&rep)
+		return rep, err
+	case http.StatusConflict:
+		return rep, fmt.Errorf("%w: %q", ErrVMExists, spec.Name)
+	case http.StatusInsufficientStorage:
+		return rep, fmt.Errorf("%w: remote %s", ErrNoCapacity, n.name)
+	default:
+		return rep, fmt.Errorf("cluster: remote launch: %s", resp.Status)
+	}
+}
+
+// Release implements Node.
+func (n *RemoteNode) Release(name string) error {
+	req, err := http.NewRequest(http.MethodDelete, n.baseURL+"/v1/vms/"+name, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusNoContent:
+		return nil
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %q", ErrVMNotFound, name)
+	default:
+		return fmt.Errorf("cluster: remote release: %s", resp.Status)
+	}
+}
+
+// Has implements Node.
+func (n *RemoteNode) Has(name string) bool {
+	st, err := n.State()
+	if err != nil {
+		return false
+	}
+	for _, v := range st.VMs {
+		if v.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Free implements Node.
+func (n *RemoteNode) Free() restypes.Vector {
+	return n.stateVector(func(s NodeState) restypes.Vector { return s.Free })
+}
+
+// Availability implements Node.
+func (n *RemoteNode) Availability() restypes.Vector {
+	return n.stateVector(func(s NodeState) restypes.Vector { return s.Availability })
+}
+
+// PreemptableCeiling implements Node.
+func (n *RemoteNode) PreemptableCeiling() restypes.Vector {
+	return n.stateVector(func(s NodeState) restypes.Vector { return s.PreemptableCeiling })
+}
+
+func (n *RemoteNode) stateVector(f func(NodeState) restypes.Vector) restypes.Vector {
+	st, err := n.State()
+	if err != nil {
+		return restypes.Vector{} // unreachable server offers nothing
+	}
+	return f(st)
+}
+
+// Mode implements Node.
+func (n *RemoteNode) Mode() Mode {
+	st, err := n.State()
+	if err != nil || st.Mode != ModePreemptionOnly.String() {
+		return ModeDeflation
+	}
+	return ModePreemptionOnly
+}
+
+// Overcommitment implements Node.
+func (n *RemoteNode) Overcommitment() float64 {
+	st, err := n.State()
+	if err != nil {
+		return 0
+	}
+	return st.Overcommitment
+}
+
+// Preemptions implements Node.
+func (n *RemoteNode) Preemptions() int {
+	st, err := n.State()
+	if err != nil {
+		return 0
+	}
+	return st.Preemptions
+}
+
+// ManagerAPI serves the centralized manager over HTTP (cmd/deflated).
+type ManagerAPI struct {
+	mu  sync.Mutex
+	mgr *Manager
+}
+
+// NewManagerAPI wraps a manager.
+func NewManagerAPI(mgr *Manager) (*ManagerAPI, error) {
+	if mgr == nil {
+		return nil, fmt.Errorf("cluster: nil manager")
+	}
+	return &ManagerAPI{mgr: mgr}, nil
+}
+
+// LaunchResponse reports where a VM landed and what was reclaimed.
+type LaunchResponse struct {
+	Server string       `json:"server"`
+	Report LaunchReport `json:"report"`
+}
+
+// ClusterState is the manager's aggregate view.
+type ClusterState struct {
+	VMs         int         `json:"vms"`
+	Rejected    int         `json:"rejected"`
+	Preemptions int         `json:"preemptions"`
+	Servers     []NodeState `json:"servers,omitempty"`
+	MeanOC      float64     `json:"mean_overcommitment"`
+	MaxOC       float64     `json:"max_overcommitment"`
+}
+
+// Handler returns the manager's routes:
+//
+//	POST   /v1/vms        — LaunchSpec → LaunchResponse
+//	DELETE /v1/vms/{name} — release
+//	GET    /v1/cluster    — ClusterState
+func (a *ManagerAPI) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/vms", a.handleLaunch)
+	mux.HandleFunc("DELETE /v1/vms/{name}", a.handleRelease)
+	mux.HandleFunc("GET /v1/cluster", a.handleCluster)
+	return mux
+}
+
+func (a *ManagerAPI) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	var spec LaunchSpec
+	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+		http.Error(w, "cluster: bad launch spec: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	a.mu.Lock()
+	idx, rep, err := a.mgr.Launch(spec)
+	var server string
+	if idx >= 0 {
+		server = a.mgr.Servers()[idx].Name()
+	}
+	a.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, LaunchResponse{Server: server, Report: rep})
+}
+
+func (a *ManagerAPI) handleRelease(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	err := a.mgr.Release(r.PathValue("name"))
+	a.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (a *ManagerAPI) handleCluster(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	snap := a.mgr.Snapshot()
+	st := ClusterState{
+		VMs:         snap.VMs,
+		Rejected:    a.mgr.Rejected(),
+		Preemptions: a.mgr.Preemptions(),
+		MeanOC:      snap.MeanOvercommitment,
+		MaxOC:       snap.MaxOvercommitment,
+	}
+	if r.URL.Query().Get("servers") == "true" {
+		for _, n := range a.mgr.Servers() {
+			if lc, ok := n.(*LocalController); ok {
+				api := ControllerAPI{ctrl: lc}
+				st.Servers = append(st.Servers, api.state())
+			} else if rn, ok := n.(*RemoteNode); ok {
+				if s, err := rn.State(); err == nil {
+					st.Servers = append(st.Servers, s)
+				}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}

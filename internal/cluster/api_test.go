@@ -1,0 +1,272 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"deflation/internal/restypes"
+	"deflation/internal/vm"
+)
+
+func newControllerServer(t *testing.T) (*httptest.Server, *LocalController) {
+	t.Helper()
+	ctrl := newServer(t, ModeDeflation)
+	api, err := NewControllerAPI(ctrl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(api.Handler())
+	t.Cleanup(srv.Close)
+	return srv, ctrl
+}
+
+func wireSpec(name string, prio vm.Priority) LaunchSpec {
+	return LaunchSpec{
+		Name:     name,
+		Size:     restypes.V(4, 16384, 100, 100),
+		MinSize:  restypes.V(1, 4096, 25, 25),
+		Priority: prio,
+		AppKind:  "elastic",
+		Warm:     true,
+	}
+}
+
+func TestControllerAPILifecycle(t *testing.T) {
+	srv, ctrl := newControllerServer(t)
+	node, err := NewRemoteNode(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if node.Name() != "s0" {
+		t.Errorf("remote name = %q", node.Name())
+	}
+	if node.Mode() != ModeDeflation {
+		t.Errorf("remote mode = %v", node.Mode())
+	}
+
+	// Launch via HTTP, observe via local controller and vice versa.
+	rep, err := node.Launch(wireSpec("a", vm.LowPriority))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Preempted) != 0 {
+		t.Errorf("launch report: %+v", rep)
+	}
+	if !ctrl.Has("a") || !node.Has("a") {
+		t.Error("VM not visible after remote launch")
+	}
+	if _, err := node.Launch(wireSpec("a", vm.LowPriority)); err == nil {
+		t.Error("duplicate remote launch accepted")
+	}
+
+	// Capacity vectors round-trip.
+	if got, want := node.Free(), ctrl.Free(); got != want {
+		t.Errorf("remote Free = %v, want %v", got, want)
+	}
+	if got, want := node.Availability(), ctrl.Availability(); got != want {
+		t.Errorf("remote Availability = %v, want %v", got, want)
+	}
+	if got, want := node.PreemptableCeiling(), ctrl.PreemptableCeiling(); got != want {
+		t.Errorf("remote ceiling = %v, want %v", got, want)
+	}
+	if got, want := node.Overcommitment(), ctrl.Overcommitment(); got != want {
+		t.Errorf("remote overcommitment = %v, want %v", got, want)
+	}
+
+	if err := node.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.Has("a") {
+		t.Error("VM still present after remote release")
+	}
+	if err := node.Release("a"); err == nil {
+		t.Error("double remote release accepted")
+	}
+}
+
+func TestControllerAPIRejectsNewAppOverWire(t *testing.T) {
+	srv, _ := newControllerServer(t)
+	node, err := NewRemoteNode(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := wireSpec("x", vm.LowPriority)
+	spec.NewApp = func(restypes.Vector) vm.Application { return nil }
+	if _, err := node.Launch(spec); err == nil {
+		t.Error("NewApp-bearing spec accepted for remote launch")
+	}
+}
+
+func TestControllerAPIDeflateEndpoint(t *testing.T) {
+	srv, ctrl := newControllerServer(t)
+	node, err := NewRemoteNode(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := node.Launch(wireSpec("a", vm.LowPriority)); err != nil {
+		t.Fatal(err)
+	}
+
+	body := `{"target":{"CPU":2,"MemoryMB":8192,"DiskMBps":0,"NetMBps":0}}`
+	resp, err := http.Post(srv.URL+"/v1/vms/a/deflate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("deflate status = %s", resp.Status)
+	}
+	var dr DeflateVMResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := ctrl.VM("a")
+	if v.Allocation().CPU != 2 || v.Allocation().MemoryMB != 8192 {
+		t.Errorf("allocation after remote deflate = %v", v.Allocation())
+	}
+	if dr.NewAllocation != v.Allocation() {
+		t.Errorf("response allocation %v != actual %v", dr.NewAllocation, v.Allocation())
+	}
+
+	// Deflating a missing VM 404s.
+	resp2, err := http.Post(srv.URL+"/v1/vms/ghost/deflate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("ghost deflate status = %s", resp2.Status)
+	}
+}
+
+func TestManagerOverRemoteNodes(t *testing.T) {
+	// Full control-plane path: manager places VMs across two servers it
+	// only reaches via HTTP.
+	var nodes []Node
+	for i := 0; i < 2; i++ {
+		srv, _ := newControllerServer(t)
+		n, err := NewRemoteNode(srv.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+	}
+	mgr, err := NewManager(nodes, BestFit, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a", "b", "c", "d"} {
+		if _, _, err := mgr.Launch(wireSpec(name, vm.LowPriority)); err != nil {
+			t.Fatalf("launch %s: %v", name, err)
+		}
+	}
+	if !mgr.Placed("a") || !mgr.Placed("d") {
+		t.Error("VMs not placed via remote nodes")
+	}
+	if err := mgr.Release("b"); err != nil {
+		t.Fatal(err)
+	}
+	if mgr.Placed("b") {
+		t.Error("released VM still placed")
+	}
+}
+
+func TestManagerAPI(t *testing.T) {
+	mgr := newCluster(t, 2, BestFit)
+	api, err := NewManagerAPI(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+
+	// Launch.
+	body, _ := json.Marshal(wireSpec("a", vm.LowPriority))
+	resp, err := http.Post(srv.URL+"/v1/vms", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lr LaunchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&lr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || lr.Server == "" {
+		t.Fatalf("launch: %s, %+v", resp.Status, lr)
+	}
+
+	// Cluster state with servers.
+	resp, err = http.Get(srv.URL + "/v1/cluster?servers=true")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs ClusterState
+	if err := json.NewDecoder(resp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if cs.VMs != 1 || len(cs.Servers) != 2 {
+		t.Errorf("cluster state: %+v", cs)
+	}
+
+	// Release.
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/vms/a", nil)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Errorf("release status = %s", resp.Status)
+	}
+
+	// Releasing again 404s.
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("double-release status = %s", resp.Status)
+	}
+}
+
+func TestAppKindRegistry(t *testing.T) {
+	if _, err := AppKind("no-such-kind"); err == nil {
+		t.Error("unknown kind resolved")
+	}
+	kinds := AppKinds()
+	for _, want := range []string{"elastic", "inelastic", "memcached", "memcached-aware", "specjbb", "kcompile", "spark-kmeans"} {
+		found := false
+		for _, k := range kinds {
+			if k == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("builtin kind %q missing from %v", want, kinds)
+		}
+	}
+	for _, kind := range kinds {
+		f, err := AppKind(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app := f(restypes.V(4, 16384, 100, 100))
+		if app == nil || app.Name() == "" {
+			t.Errorf("kind %q built a bad app", kind)
+		}
+	}
+}
+
+func TestRegisterAppKindValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty registration did not panic")
+		}
+	}()
+	RegisterAppKind("", nil)
+}

@@ -1,0 +1,474 @@
+// Package cluster implements deflation-based cluster management (§5): a
+// centralized manager places VMs onto servers with deflation-aware
+// bin-packing, and a per-server local deflation controller reclaims
+// resources through proportional cascade deflation, preempting VMs only
+// when they would be pushed below their minimum sizes.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"deflation/internal/cascade"
+	"deflation/internal/guestos"
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+	"deflation/internal/vm"
+)
+
+// Errors returned by controller and manager operations.
+var (
+	ErrNoCapacity = errors.New("cluster: insufficient reclaimable capacity")
+	ErrVMExists   = errors.New("cluster: VM already exists")
+	ErrVMNotFound = errors.New("cluster: VM not found")
+)
+
+// Mode selects the reclamation strategy — deflation (the paper's system) or
+// the preemption-only baseline of today's clouds (Fig. 8c).
+type Mode int
+
+const (
+	// ModeDeflation deflates low-priority VMs proportionally and preempts
+	// only below minimum sizes.
+	ModeDeflation Mode = iota
+	// ModePreemptionOnly preempts low-priority VMs outright to free
+	// resources — no deflation.
+	ModePreemptionOnly
+)
+
+// String returns "deflation" or "preemption-only".
+func (m Mode) String() string {
+	if m == ModePreemptionOnly {
+		return "preemption-only"
+	}
+	return "deflation"
+}
+
+// LaunchSpec describes a VM to start. Specs are JSON-serializable for the
+// REST control plane; NewApp is a local-only shortcut, remote launches name
+// a registered AppKind instead.
+type LaunchSpec struct {
+	Name     string          `json:"name"`
+	Size     restypes.Vector `json:"size"`
+	MinSize  restypes.Vector `json:"min_size"` // m_i; zero = fully deflatable
+	Priority vm.Priority     `json:"priority"`
+	// AppKind names a factory registered with RegisterAppKind.
+	AppKind string `json:"app_kind,omitempty"`
+	// NewApp builds the VM's application in-process; it takes precedence
+	// over AppKind and does not serialize.
+	NewApp func(size restypes.Vector) vm.Application `json:"-"`
+	// GuestConfig optionally overrides the guest OS shape (CPUs/memory
+	// default from Size).
+	GuestConfig guestos.Config `json:"guest_config,omitempty"`
+	// Warm marks the guest as long-running (all memory host-resident).
+	Warm bool `json:"warm,omitempty"`
+}
+
+// LaunchReport describes the reclamation a launch triggered.
+type LaunchReport struct {
+	Reclaimed restypes.Vector `json:"reclaimed"`
+	Deflated  []string        `json:"deflated,omitempty"`  // names of VMs deflated
+	Preempted []string        `json:"preempted,omitempty"` // names of VMs preempted
+	// ReclaimLatency is the end-to-end reclamation time: cascade deflations
+	// run concurrently across the server's VMs (§5), so this is the
+	// slowest VM's cascade, not the sum.
+	ReclaimLatency time.Duration `json:"reclaim_latency,omitempty"`
+}
+
+// SplitPolicy selects how a reclamation demand is divided among a server's
+// low-priority VMs. The paper's system uses the proportional policy (§5);
+// the alternatives exist for the ablation benchmarks.
+type SplitPolicy int
+
+const (
+	// SplitProportional deflates every low-priority VM proportionally to
+	// its deflatable resources (the paper's x_i ∝ M_i − m_i).
+	SplitProportional SplitPolicy = iota
+	// SplitEqual asks every low-priority VM for an equal share.
+	SplitEqual
+	// SplitLargestFirst drains the most-deflatable VM first.
+	SplitLargestFirst
+)
+
+// String names the policy.
+func (p SplitPolicy) String() string {
+	switch p {
+	case SplitEqual:
+		return "equal"
+	case SplitLargestFirst:
+		return "largest-first"
+	}
+	return "proportional"
+}
+
+// LocalController is the per-server deflation controller (Fig. 2): it
+// tracks the server's VMs, executes proportional cascade deflation to make
+// room, and reinflates VMs when resources free up.
+type LocalController struct {
+	host  *hypervisor.Host
+	casc  *cascade.Controller
+	mode  Mode
+	split SplitPolicy
+	vms   map[string]*vm.VM
+
+	preemptions int
+}
+
+// SetSplitPolicy changes how deflation demand is divided among VMs
+// (default SplitProportional).
+func (c *LocalController) SetSplitPolicy(p SplitPolicy) { c.split = p }
+
+// NewLocalController wraps a host. The cascade levels configure which
+// reclamation levels the server uses (AllLevels for the full system).
+func NewLocalController(host *hypervisor.Host, levels cascade.Levels, mode Mode) *LocalController {
+	return &LocalController{
+		host: host,
+		casc: cascade.New(levels),
+		mode: mode,
+		vms:  make(map[string]*vm.VM),
+	}
+}
+
+// Host returns the underlying host.
+func (c *LocalController) Host() *hypervisor.Host { return c.host }
+
+// Name implements Node.
+func (c *LocalController) Name() string { return c.host.Name() }
+
+// Has implements Node.
+func (c *LocalController) Has(name string) bool {
+	_, ok := c.vms[name]
+	return ok
+}
+
+// Preemptions returns the number of VMs this controller has preempted.
+func (c *LocalController) Preemptions() int { return c.preemptions }
+
+// VMs returns the server's live VMs sorted by name.
+func (c *LocalController) VMs() []*vm.VM {
+	out := make([]*vm.VM, 0, len(c.vms))
+	for _, v := range c.vms {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// VM looks up a VM by name.
+func (c *LocalController) VM(name string) (*vm.VM, error) {
+	v, ok := c.vms[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrVMNotFound, name)
+	}
+	return v, nil
+}
+
+// Free returns the server's unallocated physical capacity.
+func (c *LocalController) Free() restypes.Vector { return c.host.FreePhysical() }
+
+// Deflatable returns the total resources reclaimable from low-priority VMs
+// (down to their minimums) without preemption. In preemption-only mode the
+// reclaimable pool is instead the lows' entire allocations (they can be
+// killed).
+func (c *LocalController) Deflatable() restypes.Vector {
+	var sum restypes.Vector
+	for _, v := range c.VMs() {
+		if v.Priority() == vm.HighPriority {
+			continue
+		}
+		if c.mode == ModePreemptionOnly {
+			sum = sum.Add(v.Allocation())
+		} else {
+			sum = sum.Add(v.Deflatable())
+		}
+	}
+	return sum
+}
+
+// Availability returns the placement availability vector of §5 Eq. 4:
+// A_j = Free_j + Deflatable_j.
+func (c *LocalController) Availability() restypes.Vector {
+	return c.Free().Add(c.Deflatable())
+}
+
+// Mode returns the controller's reclamation mode.
+func (c *LocalController) Mode() Mode { return c.mode }
+
+// PreemptableCeiling returns the absolute maximum reclaimable capacity:
+// free resources plus every low-priority VM's entire allocation (deflation
+// to minimums, then preemption). High-priority placements may use this
+// ceiling; the preempted VMs are the Fig. 8c casualties.
+func (c *LocalController) PreemptableCeiling() restypes.Vector {
+	sum := c.Free()
+	for _, v := range c.VMs() {
+		if v.Priority() == vm.LowPriority {
+			sum = sum.Add(v.Allocation())
+		}
+	}
+	return sum
+}
+
+// NominalSize returns the sum of the server's VMs' nominal sizes — the
+// numerator of the server-overcommitment metric (Fig. 8d).
+func (c *LocalController) NominalSize() restypes.Vector {
+	var sum restypes.Vector
+	for _, v := range c.VMs() {
+		sum = sum.Add(v.Size())
+	}
+	return sum
+}
+
+// Overcommitment returns nominal load relative to capacity on the binding
+// (maximum) of the CPU and memory dimensions.
+func (c *LocalController) Overcommitment() float64 {
+	nom, cap := c.NominalSize(), c.host.Capacity()
+	if cap.CPU == 0 || cap.MemoryMB == 0 {
+		return 0
+	}
+	cpu := nom.CPU / cap.CPU
+	mem := nom.MemoryMB / cap.MemoryMB
+	if cpu > mem {
+		return cpu
+	}
+	return mem
+}
+
+// Launch implements Node: LaunchVM without the VM handle.
+func (c *LocalController) Launch(spec LaunchSpec) (LaunchReport, error) {
+	_, rep, err := c.LaunchVM(spec)
+	return rep, err
+}
+
+// LaunchVM starts a VM on this server, reclaiming resources from
+// low-priority VMs first if the free capacity does not cover the nominal
+// size. It returns the VM handle for in-process callers.
+func (c *LocalController) LaunchVM(spec LaunchSpec) (*vm.VM, LaunchReport, error) {
+	var rep LaunchReport
+	if _, ok := c.vms[spec.Name]; ok {
+		return nil, rep, fmt.Errorf("%w: %q", ErrVMExists, spec.Name)
+	}
+	newApp, err := spec.ResolveApp()
+	if err != nil {
+		return nil, rep, err
+	}
+	if !spec.Size.Fits(c.Free()) {
+		// Only high-priority placements may preempt low-priority VMs;
+		// low-priority VMs squeeze in through deflation alone.
+		allowPreempt := spec.Priority == vm.HighPriority
+		rep, err = c.Reclaim(spec.Size, allowPreempt)
+		if err != nil {
+			return nil, rep, err
+		}
+	}
+	dom, err := c.host.CreateDomain(spec.Name, spec.Size, spec.GuestConfig)
+	if err != nil {
+		return nil, rep, fmt.Errorf("cluster: launch %q: %w", spec.Name, err)
+	}
+	if spec.Warm {
+		dom.MarkWarm()
+	}
+	v, err := vm.New(dom, newApp(spec.Size), vm.Config{Priority: spec.Priority, MinSize: spec.MinSize})
+	if err != nil {
+		dom.Destroy()
+		return nil, rep, err
+	}
+	c.vms[spec.Name] = v
+	return v, rep, nil
+}
+
+// Reclaim drives the server's free capacity up to at least ensureFree: in
+// deflation mode by proportionally deflating low-priority VMs ("deflates
+// all low-priority VMs by an amount proportional to their size", §5),
+// preempting only when deflation to the minimum sizes cannot cover the
+// deficit; in preemption-only mode, by preempting outright.
+func (c *LocalController) Reclaim(ensureFree restypes.Vector, allowPreempt bool) (LaunchReport, error) {
+	var rep LaunchReport
+	ensureFree = ensureFree.ClampNonNegative()
+	limit := c.Availability()
+	if allowPreempt {
+		limit = c.PreemptableCeiling()
+	}
+	if !ensureFree.Fits(limit) {
+		return rep, fmt.Errorf("%w: need %v, reclaimable %v", ErrNoCapacity, ensureFree, limit)
+	}
+
+	if c.mode == ModeDeflation {
+		if err := c.proportionalDeflate(ensureFree, &rep); err != nil {
+			return rep, err
+		}
+	}
+	if ensureFree.Fits(c.Free()) {
+		return rep, nil
+	}
+	if !allowPreempt {
+		return rep, fmt.Errorf("%w: need %v free, have %v after deflation",
+			ErrNoCapacity, ensureFree, c.Free())
+	}
+	// Preempt: the remaining deficit can only come from killing VMs (they
+	// are already at their minimum sizes in deflation mode).
+	if err := c.preemptUntil(ensureFree, &rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// proportionalDeflate divides the reclamation demand among low-priority
+// VMs per the split policy and executes cascade deflation, stopping early
+// once free capacity covers the requirement. Any residual demand (clamping,
+// rounding) is drained largest-first.
+func (c *LocalController) proportionalDeflate(ensureFree restypes.Vector, rep *LaunchReport) error {
+	need := ensureFree.Sub(c.Free()).ClampNonNegative()
+	lows := c.lowVMs()
+	if len(lows) == 0 {
+		return nil
+	}
+
+	switch c.split {
+	case SplitEqual:
+		share := need.Scale(1 / float64(len(lows)))
+		for _, v := range lows {
+			if ensureFree.Fits(c.Free()) {
+				return nil
+			}
+			if err := c.deflateOne(v, share.Min(v.Deflatable()), rep); err != nil {
+				return err
+			}
+		}
+	case SplitLargestFirst:
+		// handled by the drain pass below
+	default: // SplitProportional
+		pool := c.Deflatable()
+		ratio := need.FractionOf(pool).Min(restypes.Uniform(1))
+		for _, v := range lows {
+			if ensureFree.Fits(c.Free()) {
+				return nil
+			}
+			target := v.Deflatable().Mul(ratio).Min(v.Deflatable()).ClampNonNegative()
+			if err := c.deflateOne(v, target, rep); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Drain pass (the whole algorithm for SplitLargestFirst): take the
+	// remaining demand from the most-deflatable VMs first.
+	sort.Slice(lows, func(i, j int) bool {
+		return lows[i].Deflatable().Norm() > lows[j].Deflatable().Norm()
+	})
+	for _, v := range lows {
+		remaining := ensureFree.Sub(c.Free()).ClampNonNegative()
+		if remaining.IsZero() {
+			return nil
+		}
+		if err := c.deflateOne(v, remaining.Min(v.Deflatable()), rep); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *LocalController) lowVMs() []*vm.VM {
+	var out []*vm.VM
+	for _, v := range c.VMs() {
+		if v.Priority() == vm.LowPriority {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func (c *LocalController) deflateOne(v *vm.VM, target restypes.Vector, rep *LaunchReport) error {
+	target = target.ClampNonNegative()
+	if target.IsZero() {
+		return nil
+	}
+	r, err := c.casc.Deflate(v, target)
+	if err != nil {
+		return fmt.Errorf("cluster: deflating %q: %w", v.Name(), err)
+	}
+	rep.Deflated = append(rep.Deflated, v.Name())
+	rep.Reclaimed = rep.Reclaimed.Add(target.Sub(r.Shortfall).ClampNonNegative())
+	// Per-VM cascades run concurrently (§5): report the slowest.
+	if r.TotalLatency > rep.ReclaimLatency {
+		rep.ReclaimLatency = r.TotalLatency
+	}
+	return nil
+}
+
+// preemptUntil preempts low-priority VMs (largest allocation first, to
+// minimize the preemption count) until free capacity covers the
+// requirement.
+func (c *LocalController) preemptUntil(ensureFree restypes.Vector, rep *LaunchReport) error {
+	for {
+		if ensureFree.Fits(c.Free()) {
+			return nil
+		}
+		victim := c.pickPreemptionVictim()
+		if victim == nil {
+			return fmt.Errorf("%w: need %v free, have %v, no preemptible VMs",
+				ErrNoCapacity, ensureFree, c.Free())
+		}
+		rep.Reclaimed = rep.Reclaimed.Add(victim.Allocation())
+		rep.Preempted = append(rep.Preempted, victim.Name())
+		c.preemptInternal(victim)
+	}
+}
+
+func (c *LocalController) pickPreemptionVictim() *vm.VM {
+	var best *vm.VM
+	for _, v := range c.VMs() {
+		if v.Priority() == vm.HighPriority {
+			continue
+		}
+		if best == nil || v.Allocation().Norm() > best.Allocation().Norm() {
+			best = v
+		}
+	}
+	return best
+}
+
+func (c *LocalController) preemptInternal(v *vm.VM) {
+	v.Preempt()
+	delete(c.vms, v.Name())
+	c.preemptions++
+}
+
+// Release shuts a VM down normally (its lifetime ended) and reinflates the
+// survivors into the freed capacity (§5: "if some resources become
+// available, then it reinflates VMs... proportionally").
+func (c *LocalController) Release(name string) error {
+	v, ok := c.vms[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrVMNotFound, name)
+	}
+	v.Preempt() // mechanically identical: destroy the domain
+	delete(c.vms, name)
+	c.ReinflateAll()
+	return nil
+}
+
+// ReinflateAll distributes free capacity to deflated VMs proportionally to
+// their deficits (nominal size − current allocation), running the cascade
+// in reverse.
+func (c *LocalController) ReinflateAll() {
+	var totalDeficit restypes.Vector
+	for _, v := range c.VMs() {
+		totalDeficit = totalDeficit.Add(v.Size().Sub(v.Allocation()).ClampNonNegative())
+	}
+	if totalDeficit.IsZero() {
+		return
+	}
+	free := c.Free()
+	ratio := free.FractionOf(totalDeficit).Min(restypes.Uniform(1))
+	for _, v := range c.VMs() {
+		deficit := v.Size().Sub(v.Allocation()).ClampNonNegative()
+		amount := deficit.Mul(ratio)
+		if amount.IsZero() {
+			continue
+		}
+		// Reinflation is best-effort; failures leave the VM deflated.
+		_, _ = c.casc.Reinflate(v, amount)
+	}
+}

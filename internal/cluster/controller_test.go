@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+
+	"deflation/internal/apps/apptest"
+	"deflation/internal/cascade"
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+	"deflation/internal/vm"
+)
+
+func newServer(t *testing.T, mode Mode) *LocalController {
+	t.Helper()
+	h, err := hypervisor.NewHost(hypervisor.Config{Name: "s0", Capacity: restypes.V(16, 65536, 400, 400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewLocalController(h, cascade.AllLevels(), mode)
+}
+
+func spec(name string, prio vm.Priority, minFrac float64) LaunchSpec {
+	size := restypes.V(4, 16384, 100, 100)
+	return LaunchSpec{
+		Name: name, Size: size, MinSize: size.Scale(minFrac), Priority: prio,
+		NewApp: func(s restypes.Vector) vm.Application {
+			a := apptest.NewElastic(name, s.MemoryMB*0.5, s.MemoryMB*0.1)
+			return a
+		},
+	}
+}
+
+func TestLaunchBasics(t *testing.T) {
+	c := newServer(t, ModeDeflation)
+	v, rep, err := c.LaunchVM(spec("a", vm.LowPriority, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Name() != "a" || len(rep.Deflated) != 0 || len(rep.Preempted) != 0 {
+		t.Errorf("launch report: %+v", rep)
+	}
+	if _, _, err := c.LaunchVM(spec("a", vm.LowPriority, 0.25)); !errors.Is(err, ErrVMExists) {
+		t.Errorf("duplicate launch err = %v", err)
+	}
+	if _, _, err := c.LaunchVM(LaunchSpec{Name: "b", Size: restypes.V(1, 1, 1, 1)}); err == nil {
+		t.Error("launch without NewApp accepted")
+	}
+	if _, err := c.VM("a"); err != nil {
+		t.Errorf("VM lookup: %v", err)
+	}
+	if _, err := c.VM("nope"); !errors.Is(err, ErrVMNotFound) {
+		t.Errorf("missing VM err = %v", err)
+	}
+	if got := len(c.VMs()); got != 1 {
+		t.Errorf("VMs = %d", got)
+	}
+}
+
+func TestLaunchDeflatesResidents(t *testing.T) {
+	c := newServer(t, ModeDeflation)
+	// Fill: 4 VMs × (4, 16384, 100, 100) consumes the host entirely.
+	for _, n := range []string{"a", "b", "c", "d"} {
+		if _, _, err := c.LaunchVM(spec(n, vm.LowPriority, 0.25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !c.Free().IsZero() {
+		t.Fatalf("host not full: %v", c.Free())
+	}
+	// Fifth VM fits only by deflating the other four.
+	_, rep, err := c.LaunchVM(spec("e", vm.LowPriority, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deflated) != 4 {
+		t.Errorf("deflated %v, want all 4 residents", rep.Deflated)
+	}
+	if len(rep.Preempted) != 0 {
+		t.Errorf("preempted %v, want none", rep.Preempted)
+	}
+	// Proportional: each resident gave up a quarter of the demand.
+	for _, n := range []string{"a", "b", "c", "d"} {
+		v, _ := c.VM(n)
+		want := restypes.V(3, 12288, 75, 75)
+		if v.Allocation() != want {
+			t.Errorf("VM %s allocation = %v, want %v", n, v.Allocation(), want)
+		}
+	}
+}
+
+func TestHighPriorityNeverDeflated(t *testing.T) {
+	c := newServer(t, ModeDeflation)
+	if _, _, err := c.LaunchVM(spec("hi", vm.HighPriority, 0)); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []string{"a", "b", "c"} {
+		if _, _, err := c.LaunchVM(spec(n, vm.LowPriority, 0.25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rep, err := c.LaunchVM(spec("d", vm.LowPriority, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range rep.Deflated {
+		if name == "hi" {
+			t.Error("high-priority VM was deflated")
+		}
+	}
+	hi, _ := c.VM("hi")
+	if hi.Allocation() != hi.Size() {
+		t.Errorf("high-priority allocation %v shrank", hi.Allocation())
+	}
+}
+
+func TestLowPriorityCannotPreempt(t *testing.T) {
+	c := newServer(t, ModeDeflation)
+	// Fill with lows at min 0.9 (almost nothing deflatable).
+	for _, n := range []string{"a", "b", "c", "d"} {
+		if _, _, err := c.LaunchVM(spec(n, vm.LowPriority, 0.9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err := c.LaunchVM(spec("e", vm.LowPriority, 0.9))
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("low-priority launch err = %v, want ErrNoCapacity", err)
+	}
+	if c.Preemptions() != 0 {
+		t.Error("low-priority launch preempted VMs")
+	}
+}
+
+func TestHighPriorityPreemptsBeyondMinimums(t *testing.T) {
+	c := newServer(t, ModeDeflation)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		if _, _, err := c.LaunchVM(spec(n, vm.LowPriority, 0.9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rep, err := c.LaunchVM(spec("hi", vm.HighPriority, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Preempted) == 0 {
+		t.Error("high-priority launch did not preempt despite tight minimums")
+	}
+	if c.Preemptions() != len(rep.Preempted) {
+		t.Errorf("preemption counter %d != report %d", c.Preemptions(), len(rep.Preempted))
+	}
+	// The preempted VM is gone.
+	if _, err := c.VM(rep.Preempted[0]); !errors.Is(err, ErrVMNotFound) {
+		t.Error("preempted VM still registered")
+	}
+}
+
+func TestPreemptionOnlyModePreemptsInsteadOfDeflating(t *testing.T) {
+	c := newServer(t, ModePreemptionOnly)
+	for _, n := range []string{"a", "b", "c", "d"} {
+		if _, _, err := c.LaunchVM(spec(n, vm.LowPriority, 0.25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, rep, err := c.LaunchVM(spec("hi", vm.HighPriority, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Deflated) != 0 {
+		t.Errorf("preemption-only mode deflated %v", rep.Deflated)
+	}
+	if len(rep.Preempted) == 0 {
+		t.Error("preemption-only mode did not preempt")
+	}
+}
+
+func TestReleaseReinflates(t *testing.T) {
+	c := newServer(t, ModeDeflation)
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		if _, _, err := c.LaunchVM(spec(n, vm.LowPriority, 0.25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// All five deflated to 80% of nominal. Release one.
+	if err := c.Release("e"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Release("e"); !errors.Is(err, ErrVMNotFound) {
+		t.Errorf("double release err = %v", err)
+	}
+	// Survivors reinflated back to full size.
+	for _, n := range []string{"a", "b", "c", "d"} {
+		v, _ := c.VM(n)
+		if v.Allocation() != v.Size() {
+			t.Errorf("VM %s allocation = %v after release, want %v", n, v.Allocation(), v.Size())
+		}
+	}
+}
+
+func TestAvailabilityAccounting(t *testing.T) {
+	c := newServer(t, ModeDeflation)
+	if _, _, err := c.LaunchVM(spec("a", vm.LowPriority, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	free := restypes.V(12, 49152, 300, 300)
+	defl := restypes.V(3, 12288, 75, 75)
+	if c.Free() != free {
+		t.Errorf("Free = %v", c.Free())
+	}
+	if c.Deflatable() != defl {
+		t.Errorf("Deflatable = %v", c.Deflatable())
+	}
+	if c.Availability() != free.Add(defl) {
+		t.Errorf("Availability = %v", c.Availability())
+	}
+	if got := c.PreemptableCeiling(); got != free.Add(restypes.V(4, 16384, 100, 100)) {
+		t.Errorf("PreemptableCeiling = %v", got)
+	}
+	if got := c.NominalSize(); got != restypes.V(4, 16384, 100, 100) {
+		t.Errorf("NominalSize = %v", got)
+	}
+	if oc := c.Overcommitment(); oc != 0.25 {
+		t.Errorf("Overcommitment = %g, want 0.25 (4/16 CPU)", oc)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeDeflation.String() != "deflation" || ModePreemptionOnly.String() != "preemption-only" {
+		t.Error("mode strings wrong")
+	}
+}

@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"deflation/internal/restypes"
+	"deflation/internal/vm"
+)
+
+// PlacementPolicy selects a server for a new VM (§5: "our cluster manager
+// implements best-fit, first-fit, and a 2-choices policy").
+type PlacementPolicy int
+
+const (
+	// BestFit picks the feasible server with the highest fitness.
+	BestFit PlacementPolicy = iota
+	// FirstFit picks the first feasible server.
+	FirstFit
+	// TwoChoices samples two random servers and picks the fitter one.
+	TwoChoices
+)
+
+// String names the policy.
+func (p PlacementPolicy) String() string {
+	switch p {
+	case BestFit:
+		return "best-fit"
+	case FirstFit:
+		return "first-fit"
+	case TwoChoices:
+		return "2-choices"
+	}
+	return fmt.Sprintf("PlacementPolicy(%d)", int(p))
+}
+
+// Manager is the centralized deflation-aware cluster manager: it places VMs
+// using the cosine-similarity fitness over availability (free + deflatable)
+// and delegates reclamation to the servers' local controllers.
+type Manager struct {
+	servers []Node
+	policy  PlacementPolicy
+	rng     *rand.Rand
+
+	placement map[string]int // VM name → server index
+	rejected  int
+
+	// freeOnlyFitness scores placements against free capacity instead of
+	// free+deflatable availability — the ablation of §5's Eq. 4 fitness.
+	// Feasibility is unchanged.
+	freeOnlyFitness bool
+}
+
+// SetFreeOnlyFitness toggles the fitness ablation: score servers by free
+// capacity only, ignoring deflatable resources.
+func (m *Manager) SetFreeOnlyFitness(on bool) { m.freeOnlyFitness = on }
+
+// NewManager builds a manager over servers. Seed drives the 2-choices
+// sampling (and nothing else), keeping runs reproducible.
+func NewManager(servers []Node, policy PlacementPolicy, seed int64) (*Manager, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("cluster: manager needs at least one server")
+	}
+	return &Manager{
+		servers:   servers,
+		policy:    policy,
+		rng:       rand.New(rand.NewSource(seed)),
+		placement: make(map[string]int),
+	}, nil
+}
+
+// Servers returns the managed servers.
+func (m *Manager) Servers() []Node { return m.servers }
+
+// Rejected returns the number of launches that found no feasible server.
+func (m *Manager) Rejected() int { return m.rejected }
+
+// Preemptions sums preemptions across all servers.
+func (m *Manager) Preemptions() int {
+	n := 0
+	for _, s := range m.servers {
+		n += s.Preemptions()
+	}
+	return n
+}
+
+// placementVector is the non-disruptive capacity a launch may draw on:
+// availability (free + deflatable, §5 Eq. 4) in deflation mode, free
+// capacity only under the preemption-only baseline.
+func placementVector(s Node, spec LaunchSpec) restypes.Vector {
+	if s.Mode() == ModeDeflation {
+		return s.Availability()
+	}
+	return s.Free()
+}
+
+// fitness is §5's placement score: the cosine similarity between the VM's
+// demand vector and the server's availability vector.
+func (m *Manager) fitness(s Node, spec LaunchSpec) float64 {
+	if m.freeOnlyFitness {
+		return spec.Size.CosineSimilarity(s.Free())
+	}
+	return spec.Size.CosineSimilarity(placementVector(s, spec))
+}
+
+// feasible reports whether the server can host the VM without preempting
+// anything.
+func feasible(s Node, spec LaunchSpec) bool {
+	return spec.Size.Fits(placementVector(s, spec))
+}
+
+// preemptFeasible reports whether the server could host the VM if
+// low-priority VMs were preempted — the last resort for high-priority
+// placements.
+func preemptFeasible(s Node, spec LaunchSpec) bool {
+	return spec.Priority == vm.HighPriority && spec.Size.Fits(s.PreemptableCeiling())
+}
+
+// Launch places and starts a VM according to the placement policy. It
+// returns the chosen server index and the reclamation report.
+func (m *Manager) Launch(spec LaunchSpec) (int, LaunchReport, error) {
+	if _, ok := m.placement[spec.Name]; ok {
+		return -1, LaunchReport{}, fmt.Errorf("%w: %q", ErrVMExists, spec.Name)
+	}
+	idx := m.pickServer(spec)
+	if idx < 0 {
+		// No server can host without disruption; high-priority VMs fall
+		// back to the server where preemption frees the most room.
+		idx = m.preemptFallback(spec)
+	}
+	if idx < 0 {
+		m.rejected++
+		return -1, LaunchReport{}, fmt.Errorf("%w: no feasible server for %v", ErrNoCapacity, spec.Size)
+	}
+	rep, err := m.servers[idx].Launch(spec)
+	if err != nil {
+		return -1, rep, err
+	}
+	m.placement[spec.Name] = idx
+	// Preempted VMs vanish from the placement map too.
+	for _, name := range rep.Preempted {
+		delete(m.placement, name)
+	}
+	return idx, rep, nil
+}
+
+func (m *Manager) pickServer(spec LaunchSpec) int {
+	switch m.policy {
+	case FirstFit:
+		for i, s := range m.servers {
+			if feasible(s, spec) {
+				return i
+			}
+		}
+		return -1
+	case TwoChoices:
+		a := m.rng.Intn(len(m.servers))
+		b := m.rng.Intn(len(m.servers))
+		fa, fb := feasible(m.servers[a], spec), feasible(m.servers[b], spec)
+		switch {
+		case fa && fb:
+			if m.fitness(m.servers[a], spec) >= m.fitness(m.servers[b], spec) {
+				return a
+			}
+			return b
+		case fa:
+			return a
+		case fb:
+			return b
+		}
+		// Both samples infeasible: fall back to best-fit so that a busy
+		// cluster does not spuriously reject (the paper's simulator admits
+		// whenever any server fits).
+		return m.bestFit(spec)
+	default:
+		return m.bestFit(spec)
+	}
+}
+
+func (m *Manager) bestFit(spec LaunchSpec) int {
+	best, bestFitness := -1, -1.0
+	for i, s := range m.servers {
+		if !feasible(s, spec) {
+			continue
+		}
+		if f := m.fitness(s, spec); f > bestFitness {
+			best, bestFitness = i, f
+		}
+	}
+	return best
+}
+
+func (m *Manager) preemptFallback(spec LaunchSpec) int {
+	best, bestCeiling := -1, restypes.Vector{}
+	for i, s := range m.servers {
+		if !preemptFeasible(s, spec) {
+			continue
+		}
+		if c := s.PreemptableCeiling(); best < 0 || c.Norm() > bestCeiling.Norm() {
+			best, bestCeiling = i, c
+		}
+	}
+	return best
+}
+
+// Release ends a VM's life normally, freeing and reinflating its server.
+// Releasing a VM that was preempted earlier reports ErrVMNotFound.
+func (m *Manager) Release(name string) error {
+	idx, ok := m.placement[name]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrVMNotFound, name)
+	}
+	delete(m.placement, name)
+	return m.servers[idx].Release(name)
+}
+
+// Placed reports whether the named VM is currently running (not preempted,
+// not released).
+func (m *Manager) Placed(name string) bool {
+	idx, ok := m.placement[name]
+	if !ok {
+		return false
+	}
+	if !m.servers[idx].Has(name) {
+		// Preempted underneath: reconcile.
+		delete(m.placement, name)
+		return false
+	}
+	return true
+}
+
+// Stats is a cluster-wide utilization snapshot.
+type Stats struct {
+	VMs                  int
+	MeanOvercommitment   float64
+	MaxOvercommitment    float64
+	ServerOvercommitment []float64 // sorted ascending
+}
+
+// Snapshot computes current cluster statistics.
+func (m *Manager) Snapshot() Stats {
+	var st Stats
+	st.VMs = len(m.placement)
+	for _, s := range m.servers {
+		oc := s.Overcommitment()
+		st.ServerOvercommitment = append(st.ServerOvercommitment, oc)
+		st.MeanOvercommitment += oc
+		if oc > st.MaxOvercommitment {
+			st.MaxOvercommitment = oc
+		}
+	}
+	st.MeanOvercommitment /= float64(len(m.servers))
+	sort.Float64s(st.ServerOvercommitment)
+	return st
+}

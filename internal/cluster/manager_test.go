@@ -1,0 +1,172 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"deflation/internal/cascade"
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+	"deflation/internal/vm"
+)
+
+func newCluster(t *testing.T, n int, policy PlacementPolicy) *Manager {
+	t.Helper()
+	servers := make([]Node, n)
+	for i := range servers {
+		h, err := hypervisor.NewHost(hypervisor.Config{
+			Name:     fmt.Sprintf("s%d", i),
+			Capacity: restypes.V(16, 65536, 400, 400),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[i] = NewLocalController(h, cascade.AllLevels(), ModeDeflation)
+	}
+	m, err := NewManager(servers, policy, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	if _, err := NewManager(nil, BestFit, 1); err == nil {
+		t.Error("empty manager accepted")
+	}
+}
+
+func TestLaunchAndRelease(t *testing.T) {
+	m := newCluster(t, 3, BestFit)
+	idx, _, err := m.Launch(spec("a", vm.LowPriority, 0.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx < 0 || idx > 2 {
+		t.Errorf("server index = %d", idx)
+	}
+	if !m.Placed("a") {
+		t.Error("launched VM not placed")
+	}
+	if _, _, err := m.Launch(spec("a", vm.LowPriority, 0.25)); !errors.Is(err, ErrVMExists) {
+		t.Errorf("duplicate err = %v", err)
+	}
+	if err := m.Release("a"); err != nil {
+		t.Fatal(err)
+	}
+	if m.Placed("a") {
+		t.Error("released VM still placed")
+	}
+	if err := m.Release("a"); !errors.Is(err, ErrVMNotFound) {
+		t.Errorf("double release err = %v", err)
+	}
+}
+
+func TestFirstFitPicksFirstFeasible(t *testing.T) {
+	m := newCluster(t, 3, FirstFit)
+	for i := 0; i < 3; i++ {
+		idx, _, err := m.Launch(spec(fmt.Sprintf("v%d", i), vm.LowPriority, 0))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if idx != 0 {
+			t.Errorf("first-fit placed on server %d, want 0 (still feasible)", idx)
+		}
+	}
+}
+
+func TestBestFitSpreadsByFitness(t *testing.T) {
+	m := newCluster(t, 4, BestFit)
+	placed := map[int]int{}
+	for i := 0; i < 8; i++ {
+		idx, _, err := m.Launch(spec(fmt.Sprintf("v%d", i), vm.LowPriority, 0.25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		placed[idx]++
+	}
+	if len(placed) == 0 {
+		t.Fatal("nothing placed")
+	}
+	snap := m.Snapshot()
+	if snap.VMs != 8 {
+		t.Errorf("snapshot VMs = %d, want 8", snap.VMs)
+	}
+	if snap.MeanOvercommitment <= 0 || snap.MaxOvercommitment < snap.MeanOvercommitment {
+		t.Errorf("snapshot overcommit: %+v", snap)
+	}
+	if len(snap.ServerOvercommitment) != 4 {
+		t.Errorf("per-server stats = %d entries", len(snap.ServerOvercommitment))
+	}
+}
+
+func TestTwoChoicesIsDeterministicPerSeed(t *testing.T) {
+	run := func() []int {
+		m := newCluster(t, 8, TwoChoices)
+		var idxs []int
+		for i := 0; i < 10; i++ {
+			idx, _, err := m.Launch(spec(fmt.Sprintf("v%d", i), vm.LowPriority, 0.25))
+			if err != nil {
+				t.Fatal(err)
+			}
+			idxs = append(idxs, idx)
+		}
+		return idxs
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("2-choices differs across identical seeds: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestRejectionWhenFull(t *testing.T) {
+	m := newCluster(t, 1, BestFit)
+	// Minimum size = nominal: nothing deflatable at all.
+	for i := 0; i < 4; i++ {
+		if _, _, err := m.Launch(spec(fmt.Sprintf("v%d", i), vm.LowPriority, 1.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, _, err := m.Launch(spec("overflow", vm.LowPriority, 1.0))
+	if !errors.Is(err, ErrNoCapacity) {
+		t.Errorf("err = %v, want ErrNoCapacity", err)
+	}
+	if m.Rejected() != 1 {
+		t.Errorf("rejected = %d, want 1", m.Rejected())
+	}
+}
+
+func TestHighPriorityFallbackPreempts(t *testing.T) {
+	m := newCluster(t, 2, BestFit)
+	for i := 0; i < 8; i++ {
+		if _, _, err := m.Launch(spec(fmt.Sprintf("v%d", i), vm.LowPriority, 0.9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Lows barely deflatable: high must preempt somewhere.
+	_, rep, err := m.Launch(spec("hi", vm.HighPriority, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Preempted) == 0 {
+		t.Error("no preemption on forced high-priority placement")
+	}
+	if m.Preemptions() != len(rep.Preempted) {
+		t.Errorf("manager preemptions %d != %d", m.Preemptions(), len(rep.Preempted))
+	}
+	// Preempted VMs are no longer placed.
+	for _, name := range rep.Preempted {
+		if m.Placed(name) {
+			t.Errorf("preempted VM %s still placed", name)
+		}
+	}
+}
+
+func TestPlacementPolicyString(t *testing.T) {
+	if BestFit.String() != "best-fit" || FirstFit.String() != "first-fit" || TwoChoices.String() != "2-choices" {
+		t.Error("policy strings wrong")
+	}
+}

@@ -1,0 +1,163 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"deflation/internal/apps/curveapp"
+	"deflation/internal/apps/jvm"
+	"deflation/internal/apps/kcompile"
+	"deflation/internal/apps/memcache"
+	"deflation/internal/apps/webapp"
+	"deflation/internal/perfmodel"
+	"deflation/internal/restypes"
+	"deflation/internal/vm"
+)
+
+// Node is a server as seen by the cluster manager: the local deflation
+// controller, either in-process (*LocalController) or behind the REST API
+// (*RemoteNode). The manager only needs capacity vectors and lifecycle
+// operations; all reclamation mechanics stay on the server side.
+type Node interface {
+	// Name identifies the server.
+	Name() string
+	// Launch starts a VM, reclaiming resources as needed.
+	Launch(spec LaunchSpec) (LaunchReport, error)
+	// Release ends a VM's life and reinflates survivors.
+	Release(name string) error
+	// Has reports whether the named VM currently runs here.
+	Has(name string) bool
+	// Free, Availability, and PreemptableCeiling are the placement vectors.
+	Free() restypes.Vector
+	Availability() restypes.Vector
+	PreemptableCeiling() restypes.Vector
+	// Mode returns the server's reclamation mode.
+	Mode() Mode
+	// Overcommitment returns nominal load vs capacity (binding dimension).
+	Overcommitment() float64
+	// Preemptions returns the server's lifetime preemption count.
+	Preemptions() int
+}
+
+// AppFactory builds an application for a VM of the given nominal size.
+type AppFactory func(size restypes.Vector) vm.Application
+
+var (
+	appKindsMu sync.RWMutex
+	appKinds   = map[string]AppFactory{}
+)
+
+// RegisterAppKind installs a named application factory, used when a launch
+// spec arrives over the REST API (functions do not serialize). Registering
+// an existing name replaces it.
+func RegisterAppKind(name string, f AppFactory) {
+	if name == "" || f == nil {
+		panic("cluster: RegisterAppKind needs a name and a factory")
+	}
+	appKindsMu.Lock()
+	defer appKindsMu.Unlock()
+	appKinds[name] = f
+}
+
+// AppKind resolves a registered factory.
+func AppKind(name string) (AppFactory, error) {
+	appKindsMu.RLock()
+	defer appKindsMu.RUnlock()
+	f, ok := appKinds[name]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown app kind %q (have %v)", name, AppKinds())
+	}
+	return f, nil
+}
+
+// AppKinds lists registered kind names, sorted.
+func AppKinds() []string {
+	appKindsMu.RLock()
+	defer appKindsMu.RUnlock()
+	out := make([]string, 0, len(appKinds))
+	for k := range appKinds {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	// Built-in application kinds covering the paper's workload table.
+	RegisterAppKind("inelastic", func(size restypes.Vector) vm.Application {
+		return curveapp.New(curveapp.Config{Size: size, Curve: perfmodel.CurveSpecJBB})
+	})
+	RegisterAppKind("elastic", func(size restypes.Vector) vm.Application {
+		return curveapp.New(curveapp.Config{Size: size, Curve: perfmodel.CurveSpecJBB, Elastic: true})
+	})
+	RegisterAppKind("spark-kmeans", func(size restypes.Vector) vm.Application {
+		return curveapp.New(curveapp.Config{Size: size, Curve: perfmodel.CurveSparkKmeans, Elastic: true})
+	})
+	RegisterAppKind("kcompile", func(size restypes.Vector) vm.Application {
+		return kcompile.NewApp(kcompile.AppConfig{Cores: size.CPU})
+	})
+	RegisterAppKind("memcached", func(size restypes.Vector) vm.Application {
+		return mustMemcache(size, false)
+	})
+	RegisterAppKind("memcached-aware", func(size restypes.Vector) vm.Application {
+		return mustMemcache(size, true)
+	})
+	RegisterAppKind("specjbb", func(size restypes.Vector) vm.Application {
+		return mustJVM(size, false)
+	})
+	RegisterAppKind("specjbb-aware", func(size restypes.Vector) vm.Application {
+		return mustJVM(size, true)
+	})
+	RegisterAppKind("webserver", func(size restypes.Vector) vm.Application {
+		return mustWeb(size, false)
+	})
+	RegisterAppKind("webserver-aware", func(size restypes.Vector) vm.Application {
+		return mustWeb(size, true)
+	})
+}
+
+func mustWeb(size restypes.Vector, aware bool) vm.Application {
+	app, err := webapp.NewApp(webapp.Config{Cores: size.CPU, DeflationAware: aware})
+	if err != nil {
+		return curveapp.New(curveapp.Config{Size: size, Curve: perfmodel.CurveSpecJBB, Elastic: aware})
+	}
+	return app
+}
+
+func mustMemcache(size restypes.Vector, aware bool) vm.Application {
+	cacheMB := size.MemoryMB * 0.5
+	app, err := memcache.NewApp(memcache.AppConfig{
+		CacheMB: cacheMB, DatasetMB: cacheMB * 1.2,
+		Cores: size.CPU, DeflationAware: aware,
+		Scale: 2048, // keep real backing stores small for many-VM clusters
+	})
+	if err != nil {
+		// Tiny VMs cannot host a meaningful store; fall back to a curve.
+		return curveapp.New(curveapp.Config{Size: size, Curve: perfmodel.CurveMemcached, Elastic: aware})
+	}
+	return app
+}
+
+func mustJVM(size restypes.Vector, aware bool) vm.Application {
+	app, err := jvm.NewApp(jvm.AppConfig{
+		MaxHeapMB: size.MemoryMB * 0.6, LiveMB: size.MemoryMB * 0.2,
+		Cores: size.CPU, DeflationAware: aware,
+	})
+	if err != nil {
+		return curveapp.New(curveapp.Config{Size: size, Curve: perfmodel.CurveSpecJBB, Elastic: aware})
+	}
+	return app
+}
+
+// ResolveApp returns the factory for a spec: the local NewApp function if
+// set, otherwise the registered AppKind.
+func (s LaunchSpec) ResolveApp() (AppFactory, error) {
+	if s.NewApp != nil {
+		return s.NewApp, nil
+	}
+	if s.AppKind == "" {
+		return nil, fmt.Errorf("cluster: launch %q needs NewApp or AppKind", s.Name)
+	}
+	return AppKind(s.AppKind)
+}

@@ -1,0 +1,97 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"deflation/internal/restypes"
+)
+
+// Forecaster predicts near-term high-priority resource demand from the
+// observed arrival stream with an exponentially weighted moving average —
+// the Resource-Central-style predictive resource management the paper
+// names as future work (§7: "Incorporating predictive resource management
+// [26] for deflatable VMs is part of our future work").
+//
+// Observations feed the arrival *rate* (resources per second); Forecast
+// extrapolates it over a horizon. The forecaster is deliberately simple:
+// its role is to move reclamation latency off the placement critical path,
+// not to be a perfect predictor — over-prediction costs some low-priority
+// performance, under-prediction falls back to reactive deflation.
+type Forecaster struct {
+	alpha float64
+	rate  restypes.Vector // demand per second, EWMA-smoothed
+	last  time.Duration
+	init  bool
+}
+
+// NewForecaster builds a forecaster with smoothing factor alpha ∈ (0,1]
+// (higher = more reactive).
+func NewForecaster(alpha float64) (*Forecaster, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("cluster: forecaster alpha %g out of (0,1]", alpha)
+	}
+	return &Forecaster{alpha: alpha}, nil
+}
+
+// Observe records a high-priority arrival of the given size at virtual
+// time now. Observations must be non-decreasing in time.
+func (f *Forecaster) Observe(now time.Duration, size restypes.Vector) {
+	if !f.init {
+		f.init = true
+		f.last = now
+		return
+	}
+	dt := now - f.last
+	if dt <= 0 {
+		// Simultaneous arrivals: count them against a minimal interval so
+		// the rate reflects the burst.
+		dt = time.Second
+	}
+	f.last = now
+	inst := size.Scale(1 / dt.Seconds())
+	f.rate = f.rate.Scale(1 - f.alpha).Add(inst.Scale(f.alpha))
+}
+
+// Rate returns the smoothed demand per second.
+func (f *Forecaster) Rate() restypes.Vector { return f.rate }
+
+// Forecast returns the resources expected to be demanded within the
+// horizon.
+func (f *Forecaster) Forecast(horizon time.Duration) restypes.Vector {
+	return f.rate.Scale(horizon.Seconds())
+}
+
+// proactiveReclaim pre-deflates low-priority VMs so that the cluster's
+// free capacity covers the forecast demand, taking reclamation latency off
+// the placement critical path. It spreads the deficit over the servers
+// with the most deflatable resources and never preempts. It returns the
+// number of servers it deflated.
+func proactiveReclaim(servers []*LocalController, want restypes.Vector) int {
+	var free restypes.Vector
+	for _, s := range servers {
+		free = free.Add(s.Free())
+	}
+	deficit := want.Sub(free).ClampNonNegative()
+	if deficit.IsZero() {
+		return 0
+	}
+	touched := 0
+	for _, s := range servers {
+		if deficit.IsZero() {
+			break
+		}
+		avail := s.Deflatable()
+		take := deficit.Min(avail)
+		if take.IsZero() {
+			continue
+		}
+		ensure := s.Free().Add(take)
+		if _, err := s.Reclaim(ensure, false); err != nil {
+			continue // best-effort: a busy server just contributes less
+		}
+		deficit = deficit.Sub(take).ClampNonNegative()
+		touched++
+	}
+	return touched
+}

@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"deflation/internal/apps/curveapp"
+	"deflation/internal/cascade"
+	"deflation/internal/hypervisor"
+	"deflation/internal/perfmodel"
+	"deflation/internal/pricing"
+	"deflation/internal/restypes"
+	"deflation/internal/simclock"
+	"deflation/internal/trace"
+	"deflation/internal/vm"
+)
+
+// SimConfig parameterizes the trace-driven 100-node cluster simulation of
+// §6.3 (Figs. 8c and 8d).
+type SimConfig struct {
+	Servers        int             // default 100
+	ServerCapacity restypes.Vector // default 16 cores / 64 GB / 400 / 400
+	Policy         PlacementPolicy
+	Mode           Mode
+	// TargetOvercommit is the admitted-nominal-to-capacity ratio the
+	// admission loop sustains (1.6 = "60% overcommitment").
+	TargetOvercommit float64
+	// MinSizeFraction sets low-priority VMs' minimum size m_i as a
+	// fraction of nominal ("empirically determined minimum levels for
+	// Spark, memcached, and SpecJBB", default 0.10).
+	MinSizeFraction float64
+	// Trace drives arrivals; Count defaults to 2000.
+	Trace trace.Config
+	Seed  int64
+	// Meter, when non-nil, accrues provider revenue over the simulation
+	// (§8's pricing discussion; see internal/pricing).
+	Meter *pricing.Meter
+	// ProactiveHorizon enables predictive deflation (§7's future work):
+	// before each arrival, low-priority VMs are pre-deflated so free
+	// capacity covers the demand forecast over this horizon. Zero disables.
+	ProactiveHorizon time.Duration
+}
+
+func (c SimConfig) withDefaults() SimConfig {
+	if c.Servers == 0 {
+		c.Servers = 100
+	}
+	if c.ServerCapacity.IsZero() {
+		// 32 cores, 128 GB, and I/O generous enough that CPU and memory
+		// are the binding dimensions; the largest trace VM (8 cores) is a
+		// quarter of a server, keeping fragmentation realistic.
+		c.ServerCapacity = restypes.V(32, 131072, 4000, 4000)
+	}
+	if c.TargetOvercommit == 0 {
+		c.TargetOvercommit = 1.0
+	}
+	if c.MinSizeFraction == 0 {
+		c.MinSizeFraction = 0.10
+	}
+	if c.Trace.Count == 0 {
+		c.Trace.Count = 2000
+	}
+	if c.Trace.Seed == 0 {
+		c.Trace.Seed = c.Seed + 1
+	}
+	return c
+}
+
+// SimResult reports a cluster simulation.
+type SimResult struct {
+	LowPriorityStarted int
+	Preemptions        int
+	// PreemptionProbability = Preemptions / LowPriorityStarted (Fig. 8c's
+	// y-axis).
+	PreemptionProbability float64
+	Rejections            int
+	AchievedOvercommit    float64 // time-averaged admitted nominal / capacity
+	// ServerOvercommit quantiles across servers, sampled over time
+	// (Fig. 8d's y-axis).
+	ServerOvercommitMean float64
+	ServerOvercommitP95  float64
+	// MeanReclaimLatency and MaxReclaimLatency summarize the resource-
+	// allocation latency deflation adds to placements that needed
+	// reclamation (§6.3, "Latency").
+	MeanReclaimLatency time.Duration
+	MaxReclaimLatency  time.Duration
+	// LatentPlacements counts placements that paid nonzero reclamation
+	// latency; proactive deflation reduces it.
+	LatentPlacements int
+	// ProactiveReclaims counts predictive pre-deflation rounds.
+	ProactiveReclaims int
+	// MeanLowThroughput is the time-sampled mean normalized throughput of
+	// the running low-priority VMs — the performance side of the
+	// minimum-size (m_i) tradeoff: smaller minimums mean fewer preemptions
+	// but deeper deflation.
+	MeanLowThroughput float64
+}
+
+// curves cycled across low-priority VMs: the mixed application population
+// of the paper's simulation (Spark, memcached, SpecJBB).
+func simCurves() []*perfmodel.UtilityCurve {
+	return []*perfmodel.UtilityCurve{
+		perfmodel.CurveSparkKmeans,
+		perfmodel.CurveMemcached,
+		perfmodel.CurveSpecJBB,
+	}
+}
+
+// RunSim executes the trace-driven simulation.
+func RunSim(cfg SimConfig) (SimResult, error) {
+	cfg = cfg.withDefaults()
+	var res SimResult
+
+	servers := make([]*LocalController, cfg.Servers)
+	for i := range servers {
+		h, err := hypervisor.NewHost(hypervisor.Config{
+			Name:     fmt.Sprintf("server-%03d", i),
+			Capacity: cfg.ServerCapacity,
+		})
+		if err != nil {
+			return res, err
+		}
+		servers[i] = NewLocalController(h, cascade.AllLevels(), cfg.Mode)
+	}
+	nodes := make([]Node, len(servers))
+	for i, s := range servers {
+		nodes[i] = s
+	}
+	mgr, err := NewManager(nodes, cfg.Policy, cfg.Seed)
+	if err != nil {
+		return res, err
+	}
+
+	events, err := trace.Generate(cfg.Trace)
+	if err != nil {
+		return res, err
+	}
+
+	totalCapacity := cfg.ServerCapacity.Scale(float64(cfg.Servers))
+	curves := simCurves()
+
+	// Per-class admission targets maintain the paper's population mix
+	// ("50.0% VMs are low-priority"): each class may hold half the target
+	// overcommitment in nominal resources.
+	classTarget := cfg.TargetOvercommit / 2
+
+	running := make(map[string]trace.Event) // admitted and still placed
+	nominalHigh, nominalLow := restypes.Vector{}, restypes.Vector{}
+	var ocSamples, srvMeanSamples, srvP95Samples, lowTpSamples []float64
+	var reclaimLatencies []time.Duration
+	warmup := len(events) / 4 // skip ramp-up when sampling
+	admitted := 0
+	var simErr error
+
+	// reconcile drops preempted VMs from the nominal-load accounting.
+	reconcile := func(names []string) {
+		for _, name := range names {
+			e, ok := running[name]
+			if !ok {
+				continue
+			}
+			delete(running, name)
+			nominalLow = nominalLow.Sub(e.Size) // only lows are preemptible
+		}
+	}
+
+	// The simulation runs on the shared discrete-event clock: one event per
+	// arrival, departures scheduled dynamically at admission time.
+	clock := simclock.New()
+
+	// meterSample accrues revenue for the interval that just ended, using
+	// the allocations in effect up to now.
+	meterSample := func() {
+		if cfg.Meter == nil {
+			return
+		}
+		var usages []pricing.Usage
+		for _, s := range servers {
+			for _, v := range s.VMs() {
+				usages = append(usages, pricing.Usage{
+					Nominal:      v.Size(),
+					Allocated:    v.Allocation(),
+					HighPriority: v.Priority() == vm.HighPriority,
+				})
+			}
+		}
+		cfg.Meter.Sample(clock.Now(), usages)
+	}
+
+	depart := func(name string) {
+		meterSample()
+		e, ok := running[name]
+		if !ok || !mgr.Placed(name) {
+			return // preempted earlier
+		}
+		delete(running, name)
+		if e.HighPriority {
+			nominalHigh = nominalHigh.Sub(e.Size)
+		} else {
+			nominalLow = nominalLow.Sub(e.Size)
+		}
+		if err := mgr.Release(name); err != nil && simErr == nil {
+			simErr = err
+		}
+	}
+
+	var forecaster *Forecaster
+	if cfg.ProactiveHorizon > 0 {
+		var err error
+		forecaster, err = NewForecaster(0.2)
+		if err != nil {
+			return res, err
+		}
+	}
+
+	arrive := func(e trace.Event) {
+		meterSample()
+		// Predictive deflation: make room for the forecast demand before
+		// it arrives, so high-priority placements find free capacity.
+		if forecaster != nil {
+			if proactiveReclaim(servers, forecaster.Forecast(cfg.ProactiveHorizon)) > 0 {
+				res.ProactiveReclaims++
+			}
+			if e.HighPriority {
+				forecaster.Observe(clock.Now(), e.Size)
+			}
+		}
+		// Admission control: hold each class at its share of the target.
+		classNominal := nominalLow
+		if e.HighPriority {
+			classNominal = nominalHigh
+		}
+		if overcommitOf(classNominal, totalCapacity) >= classTarget {
+			return // drop: class already at target pressure
+		}
+		prio := vm.LowPriority
+		minSize := e.Size.Scale(cfg.MinSizeFraction)
+		if e.HighPriority {
+			prio = vm.HighPriority
+			minSize = restypes.Vector{}
+		}
+		curve := curves[admitted%len(curves)]
+		spec := LaunchSpec{
+			Name:     e.ID,
+			Size:     e.Size,
+			MinSize:  minSize,
+			Priority: prio,
+			Warm:     true,
+			NewApp: func(size restypes.Vector) vm.Application {
+				return curveapp.New(curveapp.Config{
+					Curve: curve, Size: size, Elastic: !e.HighPriority,
+				})
+			},
+		}
+		_, rep, err := mgr.Launch(spec)
+		reconcile(rep.Preempted)
+		if err != nil {
+			res.Rejections++
+			return
+		}
+		if rep.ReclaimLatency > 0 {
+			res.LatentPlacements++
+			reclaimLatencies = append(reclaimLatencies, rep.ReclaimLatency)
+			if rep.ReclaimLatency > res.MaxReclaimLatency {
+				res.MaxReclaimLatency = rep.ReclaimLatency
+			}
+		}
+		if !e.HighPriority {
+			res.LowPriorityStarted++
+		}
+		running[e.ID] = e
+		if e.HighPriority {
+			nominalHigh = nominalHigh.Add(e.Size)
+		} else {
+			nominalLow = nominalLow.Add(e.Size)
+		}
+		name := e.ID
+		clock.After(e.Lifetime, func(time.Duration) { depart(name) })
+
+		// Sample cluster state after warmup.
+		admitted++
+		if admitted >= warmup {
+			ocSamples = append(ocSamples, overcommitOf(nominalHigh.Add(nominalLow), totalCapacity))
+			snap := mgr.Snapshot()
+			srvMeanSamples = append(srvMeanSamples, snap.MeanOvercommitment)
+			srvP95Samples = append(srvP95Samples, quantile(snap.ServerOvercommitment, 0.95))
+			var tpSum float64
+			tpN := 0
+			for _, s := range servers {
+				for _, v := range s.VMs() {
+					if v.Priority() == vm.LowPriority {
+						tpSum += v.Throughput()
+						tpN++
+					}
+				}
+			}
+			if tpN > 0 {
+				lowTpSamples = append(lowTpSamples, tpSum/float64(tpN))
+			}
+		}
+	}
+
+	for _, e := range events {
+		e := e
+		clock.At(e.Arrival, func(time.Duration) { arrive(e) })
+	}
+	clock.Run()
+	if simErr != nil {
+		return res, simErr
+	}
+
+	// Preempted VMs may still have departure events pending; Placed()
+	// already reconciled them. Final accounting:
+	res.Preemptions = mgr.Preemptions()
+	if res.LowPriorityStarted > 0 {
+		res.PreemptionProbability = float64(res.Preemptions) / float64(res.LowPriorityStarted)
+	}
+	res.AchievedOvercommit = mean(ocSamples)
+	res.ServerOvercommitMean = mean(srvMeanSamples)
+	res.ServerOvercommitP95 = mean(srvP95Samples)
+	res.MeanLowThroughput = mean(lowTpSamples)
+	if len(reclaimLatencies) > 0 {
+		var sum time.Duration
+		for _, l := range reclaimLatencies {
+			sum += l
+		}
+		res.MeanReclaimLatency = sum / time.Duration(len(reclaimLatencies))
+	}
+	return res, nil
+}
+
+// overcommitOf measures nominal load against capacity on the binding
+// dimension (the paper's VM mix is CPU-heavy relative to servers, so CPU
+// binds; using the max keeps the metric meaningful for any mix).
+func overcommitOf(nominal, capacity restypes.Vector) float64 {
+	if capacity.CPU == 0 || capacity.MemoryMB == 0 {
+		return 0
+	}
+	cpu := nominal.CPU / capacity.CPU
+	mem := nominal.MemoryMB / capacity.MemoryMB
+	if cpu > mem {
+		return cpu
+	}
+	return mem
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"deflation/internal/trace"
+)
+
+func smallSim(mode Mode, oc float64) SimConfig {
+	return SimConfig{
+		Servers:          20,
+		Mode:             mode,
+		TargetOvercommit: oc,
+		Seed:             42,
+		Trace: trace.Config{
+			Count:            800,
+			MeanInterarrival: 2 * time.Second,
+			LifetimeMedian:   20 * time.Minute,
+		},
+	}
+}
+
+func TestSimDeterministic(t *testing.T) {
+	a, err := RunSim(smallSim(ModeDeflation, 1.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(smallSim(ModeDeflation, 1.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("sim not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestSimDeflationBeatsPreemptionOnly(t *testing.T) {
+	// Fig. 8c's headline: at every overcommit level, deflation's
+	// preemption probability is far below the preemption-only baseline.
+	for _, oc := range []float64{1.5, 1.8} {
+		defl, err := RunSim(smallSim(ModeDeflation, oc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pre, err := RunSim(smallSim(ModePreemptionOnly, oc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if defl.PreemptionProbability >= pre.PreemptionProbability {
+			t.Errorf("oc=%.1f: deflation %.3f not below preemption-only %.3f",
+				oc, defl.PreemptionProbability, pre.PreemptionProbability)
+		}
+		if defl.LowPriorityStarted == 0 || pre.LowPriorityStarted == 0 {
+			t.Errorf("oc=%.1f: no low-priority VMs admitted", oc)
+		}
+	}
+}
+
+func TestSimDeflationNegligibleAtModerateOvercommit(t *testing.T) {
+	res, err := RunSim(smallSim(ModeDeflation, 1.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreemptionProbability > 0.08 {
+		t.Errorf("deflation preemption probability at 1.5x = %.3f, want ≈0", res.PreemptionProbability)
+	}
+}
+
+func TestSimPreemptionRisesWithOvercommit(t *testing.T) {
+	low, err := RunSim(smallSim(ModePreemptionOnly, 1.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := RunSim(smallSim(ModePreemptionOnly, 2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.PreemptionProbability <= low.PreemptionProbability {
+		t.Errorf("preemption probability not rising: %.3f at 1.3x vs %.3f at 2.0x",
+			low.PreemptionProbability, high.PreemptionProbability)
+	}
+}
+
+func TestSimDeflationAchievesHigherUtilization(t *testing.T) {
+	defl, err := RunSim(smallSim(ModeDeflation, 1.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := RunSim(smallSim(ModePreemptionOnly, 1.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deflation sustains nominal load beyond physical capacity; the
+	// preemption-only baseline cannot hold admitted VMs past 1.0x.
+	if defl.AchievedOvercommit <= 1.0 {
+		t.Errorf("deflation achieved overcommit %.2f, want > 1.0", defl.AchievedOvercommit)
+	}
+	if defl.AchievedOvercommit <= pre.AchievedOvercommit {
+		t.Errorf("deflation %.2f not above preemption-only %.2f",
+			defl.AchievedOvercommit, pre.AchievedOvercommit)
+	}
+}
+
+func TestSimPlacementPoliciesComparable(t *testing.T) {
+	// Fig. 8d: "all placement policies yield similar levels of server
+	// overcommitment" — differences masked by deflation.
+	var results []SimResult
+	for _, p := range []PlacementPolicy{BestFit, FirstFit, TwoChoices} {
+		cfg := smallSim(ModeDeflation, 1.6)
+		cfg.Policy = p
+		res, err := RunSim(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ServerOvercommitMean <= 0 {
+			t.Fatalf("%v: zero server overcommitment", p)
+		}
+		results = append(results, res)
+	}
+	for i := 1; i < len(results); i++ {
+		ratio := results[i].ServerOvercommitMean / results[0].ServerOvercommitMean
+		if ratio < 0.7 || ratio > 1.4 {
+			t.Errorf("policy %d server overcommit %.2f far from policy 0's %.2f",
+				i, results[i].ServerOvercommitMean, results[0].ServerOvercommitMean)
+		}
+	}
+}
+
+func TestSimValidation(t *testing.T) {
+	cfg := smallSim(ModeDeflation, 1.5)
+	cfg.Trace.Count = -1
+	// withDefaults turns 0 into the default, but a negative count must
+	// surface the trace generator's error.
+	if _, err := RunSim(cfg); err == nil {
+		t.Error("negative trace count accepted")
+	}
+}
+
+func TestSimReportsReclaimLatency(t *testing.T) {
+	res, err := RunSim(smallSim(ModeDeflation, 1.8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MeanReclaimLatency <= 0 {
+		t.Error("no reclaim latency recorded despite overcommitment")
+	}
+	if res.MaxReclaimLatency < res.MeanReclaimLatency {
+		t.Errorf("max %v below mean %v", res.MaxReclaimLatency, res.MeanReclaimLatency)
+	}
+	// Reclamations of small VM-sized deficits stay well under the worst
+	// case of Fig. 8b (a giant VM): minutes, not tens of minutes.
+	if res.MaxReclaimLatency > 10*time.Minute {
+		t.Errorf("max reclaim latency %v implausibly high", res.MaxReclaimLatency)
+	}
+}

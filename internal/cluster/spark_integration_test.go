@@ -1,0 +1,244 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+
+	"deflation/internal/cascade"
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+	"deflation/internal/spark"
+	"deflation/internal/spark/workloads"
+	"deflation/internal/vm"
+)
+
+// TestSparkMasterIntegration exercises the paper's full §4.1 control flow
+// end to end: a Spark job runs on worker VMs managed by a local deflation
+// controller; a high-priority VM arrives mid-job; the controller's
+// proportional cascade deflation hits every worker VM; each worker's
+// deflation agent relays the request to the Spark master; the master runs
+// the running-time-minimizing policy at the next stage boundary.
+func TestSparkMasterIntegration(t *testing.T) {
+	const workers = 8
+
+	// Host big enough for 8 × (4c, 16 GB) workers with no slack beyond 25%.
+	host, err := hypervisor.NewHost(hypervisor.Config{
+		Name:     "spark-host",
+		Capacity: restypes.V(40, 163840, 8000, 16000),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrl := NewLocalController(host, cascade.AllLevels(), ModeDeflation)
+
+	// The Spark side: ALS (shuffle-heavy → the policy should stay VM-level).
+	p := workloads.Params{Workers: workers}
+	sparkCluster, err := p.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := workloads.ALS(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master, err := spark.NewMaster(sparkCluster, job, spark.EstimatorHeuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// One worker VM per executor, each running the worker deflation agent.
+	size := restypes.V(4, 16384, 400, 1250)
+	for i := 0; i < workers; i++ {
+		i := i
+		_, _, err := ctrl.LaunchVM(LaunchSpec{
+			Name: fmt.Sprintf("spark-%d", i), Size: size,
+			MinSize: size.Scale(0.25), Priority: vm.LowPriority, Warm: true,
+			NewApp: func(sz restypes.Vector) vm.Application {
+				w, err := spark.NewWorkerApp(master, i, sz)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return w
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Baseline runtime for normalization.
+	baseCluster, _ := p.Cluster()
+	baseJob, _ := workloads.ALS(p)
+	base, err := spark.RunBatchScenario(baseCluster, baseJob, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Mid-job, a high-priority VM arrives and the controller deflates the
+	// workers proportionally (the workers' agents relay to the master).
+	pressured := false
+	var launchRep LaunchReport
+	res, err := master.Run(func(progress float64, _ *spark.Engine) {
+		if pressured || progress < 0.5 || progress >= 1 {
+			return
+		}
+		pressured = true
+		_, rep, err := ctrl.LaunchVM(LaunchSpec{
+			Name: "prod-db", Size: restypes.V(16, 65536, 1600, 5000),
+			Priority: vm.HighPriority, AppKind: "inelastic",
+		})
+		if err != nil {
+			t.Fatalf("high-priority launch: %v", err)
+		}
+		launchRep = rep
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pressured {
+		t.Fatal("pressure never fired")
+	}
+
+	// The controller deflated every worker (proportional policy), none
+	// were preempted.
+	if len(launchRep.Deflated) != workers {
+		t.Errorf("deflated %d VMs, want all %d", len(launchRep.Deflated), workers)
+	}
+	if len(launchRep.Preempted) != 0 {
+		t.Errorf("preempted %v, want none", launchRep.Preempted)
+	}
+
+	// The master saw the wave and made exactly one decision: VM-level for
+	// the shuffle-heavy job.
+	decs := master.Decisions()
+	if len(decs) != 1 {
+		t.Fatalf("decisions = %d, want 1", len(decs))
+	}
+	if decs[0].Mechanism != spark.MechVMLevel {
+		t.Errorf("policy chose %v for ALS, want vm-level (TVM=%.2f TSelf=%.2f)",
+			decs[0].Mechanism, decs[0].TVM, decs[0].TSelf)
+	}
+
+	// All executors still scheduled (no blacklisting), but running slower.
+	alive := master.Engine()
+	_ = alive
+	slowed := 0
+	for _, x := range sparkCluster.Executors() {
+		if !x.Alive() {
+			t.Errorf("executor %s blacklisted under VM-level deflation", x.ID)
+		}
+		if x.Speed < 0.99 {
+			slowed++
+		}
+	}
+	if slowed != workers {
+		t.Errorf("slowed executors = %d, want all %d", slowed, workers)
+	}
+
+	// The job finished, slower than baseline but far better than a
+	// preemption-style 2x.
+	norm := res.DurationSecs / base.DurationSecs
+	if norm <= 1.05 || norm > 1.9 {
+		t.Errorf("normalized runtime = %.2f, want deflated-but-reasonable", norm)
+	}
+	if res.RecomputeSecs != 0 {
+		t.Errorf("recompute = %.0fs, want 0 under VM-level", res.RecomputeSecs)
+	}
+
+	// Pressure ends: the high-priority VM departs, workers reinflate, and
+	// the executors return to full speed.
+	if err := ctrl.Release("prod-db"); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range ctrl.VMs() {
+		if v.Allocation() != v.Size() {
+			t.Errorf("VM %s not fully reinflated: %v", v.Name(), v.Allocation())
+		}
+	}
+	for _, x := range sparkCluster.Executors() {
+		if x.Speed < 0.99 {
+			t.Errorf("executor %s still slow after reinflation: %g", x.ID, x.Speed)
+		}
+	}
+}
+
+// TestSparkMasterChoosesSelfForMapHeavy mirrors the integration above with
+// the K-means job: cheap recomputation should make the master blacklist the
+// deflated executors instead.
+func TestSparkMasterChoosesSelfForMapHeavy(t *testing.T) {
+	const workers = 8
+	p := workloads.Params{Workers: workers}
+	sparkCluster, err := p.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := workloads.KMeans(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	master, err := spark.NewMaster(sparkCluster, job, spark.EstimatorHeuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Skip the VM plumbing: feed a skewed deflation wave directly through
+	// the agent entry point mid-run.
+	fired := false
+	_, err = master.Run(func(progress float64, _ *spark.Engine) {
+		if fired || progress < 0.5 || progress >= 1 {
+			return
+		}
+		fired = true
+		for i := 0; i < workers; i++ {
+			f := 0.45
+			if i%2 == 0 {
+				f = 0.55
+			}
+			if err := master.RequestDeflation(i, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs := master.Decisions()
+	if len(decs) != 1 || decs[0].Mechanism != spark.MechSelf {
+		t.Fatalf("decisions = %+v, want one self-deflation", decs)
+	}
+	// Roughly half the executors blacklisted (sum d ≈ 4).
+	dead := 0
+	for _, x := range sparkCluster.Executors() {
+		if !x.Alive() {
+			dead++
+		}
+	}
+	if dead < 3 || dead > 5 {
+		t.Errorf("blacklisted = %d, want ≈4", dead)
+	}
+}
+
+func TestMasterRequestValidation(t *testing.T) {
+	p := workloads.Params{Workers: 2}
+	cl, _ := p.Cluster()
+	job, _ := workloads.KMeans(p)
+	m, err := spark.NewMaster(cl, job, spark.EstimatorHeuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RequestDeflation(-1, 0.5); err == nil {
+		t.Error("negative index accepted")
+	}
+	if err := m.RequestDeflation(0, 1.0); err == nil {
+		t.Error("fraction 1 accepted")
+	}
+	if err := m.RequestDeflation(0, 0.5); err != nil {
+		t.Error(err)
+	}
+	if _, err := spark.NewWorkerApp(nil, 0, restypes.V(1, 1, 1, 1)); err == nil {
+		t.Error("nil master accepted")
+	}
+	if _, err := spark.NewWorkerApp(m, 99, restypes.V(1, 1, 1, 1)); err == nil {
+		t.Error("bad worker index accepted")
+	}
+}

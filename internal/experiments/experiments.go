@@ -1,0 +1,92 @@
+// Package experiments contains one driver per figure of the paper's
+// evaluation (§6). Each driver reconstructs the experiment's setup from the
+// repository's substrates, runs it deterministically, and returns the
+// series the paper plots, with a Table() rendering for the command-line
+// harness (cmd/deflbench) and assertions in the benchmark suite.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"deflation/internal/apps/memcache"
+	"deflation/internal/cascade"
+	"deflation/internal/guestos"
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+	"deflation/internal/vm"
+)
+
+// stdVMSize is the paper's standard VM: 4 vCPUs, 16 GB (§6), with generous
+// I/O so CPU and memory dominate.
+func stdVMSize() restypes.Vector { return restypes.V(4, 16384, 400, 1250) }
+
+// newHostAndVM boots a single standard VM running app on a fresh host,
+// marked warm (long-running, memory host-resident).
+func newHostAndVM(app vm.Application) (*vm.VM, error) {
+	h, err := hypervisor.NewHost(hypervisor.Config{
+		Name:     "exp-host",
+		Capacity: restypes.V(16, 65536, 1600, 5000),
+	})
+	if err != nil {
+		return nil, err
+	}
+	dom, err := h.CreateDomain("exp-vm", stdVMSize(), guestos.Config{})
+	if err != nil {
+		return nil, err
+	}
+	dom.MarkWarm()
+	return vm.New(dom, app, vm.Config{})
+}
+
+// deflateBy reclaims the given per-dimension fractions of the VM's nominal
+// size through the configured cascade levels, returning the report.
+func deflateBy(v *vm.VM, levels cascade.Levels, frac restypes.Vector) (cascade.Report, error) {
+	target := v.Size().Mul(frac)
+	return cascade.New(levels).Deflate(v, target)
+}
+
+// series is a named sequence of y-values over a shared x-axis.
+type series struct {
+	Name   string
+	Values []float64
+}
+
+// renderTable renders x-labels and series as an aligned text table.
+func renderTable(title, xlabel string, xs []float64, ss []series) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", title)
+	fmt.Fprintf(&b, "%-14s", xlabel)
+	for _, s := range ss {
+		fmt.Fprintf(&b, "%16s", s.Name)
+	}
+	b.WriteByte('\n')
+	for i, x := range xs {
+		fmt.Fprintf(&b, "%-14.3g", x)
+		for _, s := range ss {
+			if i < len(s.Values) {
+				fmt.Fprintf(&b, "%16.3f", s.Values[i])
+			} else {
+				fmt.Fprintf(&b, "%16s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// memcacheAppFig5a builds the Fig. 5a memcached configuration: an 8 GB
+// cache on the 16 GB VM, moderate pressure.
+func memcacheAppFig5a(aware bool) (*memcache.App, error) {
+	return memcache.NewApp(memcache.AppConfig{
+		CacheMB: 8000, DatasetMB: 9000, DeflationAware: aware, Cores: 4,
+	})
+}
+
+// memcacheAppFig5c builds the Fig. 5c memory-stressed configuration: a
+// 14 GB cache filling the VM.
+func memcacheAppFig5c(aware bool) (*memcache.App, error) {
+	return memcache.NewApp(memcache.AppConfig{
+		CacheMB: 14000, DatasetMB: 15500, DeflationAware: aware, Cores: 4,
+	})
+}

@@ -1,0 +1,449 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"deflation/internal/spark"
+)
+
+// The tests below assert the *shape* claims of each figure — who wins, by
+// roughly what factor, where crossovers fall — not absolute numbers.
+
+func TestFig1ShapeClaims(t *testing.T) {
+	r, err := Fig1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 4 || len(r.DeflationPct) != 10 {
+		t.Fatalf("series/points: %d/%d", len(r.Series), len(r.DeflationPct))
+	}
+	for _, s := range r.Series {
+		if s.Values[0] < 0.99 {
+			t.Errorf("%s at 0%% deflation = %g, want 1", s.Name, s.Values[0])
+		}
+		// Broadly decreasing (small local noise tolerated).
+		if s.Values[len(s.Values)-1] > 0.5 {
+			t.Errorf("%s at 90%% deflation = %g, want well degraded", s.Name, s.Values[len(s.Values)-1])
+		}
+		// Headline: at 50%, degradation stays modest (≥ ~0.5 for all).
+		at50, err := r.SeriesValue(s.Name, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if at50 < 0.45 {
+			t.Errorf("%s at 50%% = %g, want sub-proportional degradation", s.Name, at50)
+		}
+	}
+	// Memcached and Kcompile tolerate 50% deflation with <30% loss.
+	for _, name := range []string{"Memcached", "Kcompile"} {
+		v, _ := r.SeriesValue(name, 50)
+		if v < 0.70 {
+			t.Errorf("%s at 50%% = %g, want ≥0.70 (paper: <30%% loss)", name, v)
+		}
+	}
+	if !strings.Contains(r.Table(), "Figure 1") {
+		t.Error("table rendering broken")
+	}
+	if _, err := r.SeriesValue("nope", 50); err == nil {
+		t.Error("bogus series lookup succeeded")
+	}
+}
+
+func TestFig5aShapeClaims(t *testing.T) {
+	r, err := Fig5a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyp, osOnly, both := r.Series[0], r.Series[1], r.Series[2]
+
+	// OS-only: unaffected at moderate deflation, then OOM-killed.
+	if osOnly.Values[1] < 0.99 {
+		t.Errorf("OS-only at 10%% = %g, want 1 (free memory unplugged)", osOnly.Values[1])
+	}
+	last := osOnly.Values[len(osOnly.Values)-1]
+	if last != 0 {
+		t.Errorf("OS-only at 50%% = %g, want 0 (OOM)", last)
+	}
+	// Hypervisor-only declines gently from early on (black-box cost) and
+	// is ≈0.7-0.85 at 50%.
+	if hyp.Values[1] >= 0.999 {
+		t.Errorf("hypervisor-only at 10%% = %g, want < 1 (wrong pages)", hyp.Values[1])
+	}
+	h50 := hyp.Values[len(hyp.Values)-1]
+	if h50 < 0.6 || h50 > 0.9 {
+		t.Errorf("hypervisor-only at 50%% = %g, want ≈0.75 (paper: ~20%% loss)", h50)
+	}
+	// Hypervisor+OS dominates OS-only at 50% (alive) and hypervisor-only
+	// at ≤40% (no black-box cost while unplug suffices).
+	for i := 0; i <= 4; i++ {
+		if both.Values[i] < hyp.Values[i] {
+			t.Errorf("Hyp+OS below hypervisor-only at %g%%", r.DeflationPct[i])
+		}
+	}
+	if both.Values[len(both.Values)-1] <= 0 {
+		t.Error("Hyp+OS died at 50%")
+	}
+}
+
+func TestFig5bShapeClaims(t *testing.T) {
+	r, err := Fig5b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyp, osOnly, both := r.Series[0], r.Series[1], r.Series[2]
+	n := len(r.DeflationPct) - 1
+
+	// Lock-holder preemption: hypervisor-only strictly below OS-only at
+	// deep CPU deflation, by roughly the paper's ≈22%.
+	gap := (osOnly.Values[n] - hyp.Values[n]) / osOnly.Values[n]
+	if gap < 0.08 || gap > 0.35 {
+		t.Errorf("hypervisor-vs-OS gap at 80%% = %.0f%%, want ≈10-30%%", gap*100)
+	}
+	// Paper: Hyp+OS at 75% deflation loses only ≈30%.
+	i70 := 7 // 70%
+	if both.Values[i70] < 0.6 {
+		t.Errorf("Hyp+OS at 70%% = %g, want ≥0.6", both.Values[i70])
+	}
+	// Hyp+OS ≥ hypervisor-only everywhere (unplug first avoids LHP).
+	for i := range r.DeflationPct {
+		if both.Values[i] < hyp.Values[i]-1e-9 {
+			t.Errorf("Hyp+OS below hypervisor-only at %g%%", r.DeflationPct[i])
+		}
+	}
+}
+
+func TestFig5cShapeClaims(t *testing.T) {
+	r, err := Fig5c()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmod, aware := r.Series[0], r.Series[1]
+	n := len(r.DeflationPct) - 1
+
+	// Peak throughput ≈150 kGETS/s, equal before deflation.
+	if unmod.Values[0] < 120 || unmod.Values[0] > 160 {
+		t.Errorf("baseline = %g kGETS/s, want ≈150", unmod.Values[0])
+	}
+	// The paper's headline: app deflation is worth up to ≈6× at high
+	// memory deflation.
+	ratio := aware.Values[n] / unmod.Values[n]
+	if ratio < 3 {
+		t.Errorf("aware/unmodified at 60%% = %.1fx, want ≥3x (paper: up to 6x)", ratio)
+	}
+	// Aware degrades gracefully (hit-rate loss only).
+	if aware.Values[n] < aware.Values[0]*0.75 {
+		t.Errorf("aware at 60%% = %g, want ≥75%% of baseline %g", aware.Values[n], aware.Values[0])
+	}
+}
+
+func TestFig5dShapeClaims(t *testing.T) {
+	r, err := Fig5d()
+	if err != nil {
+		t.Fatal(err)
+	}
+	unmod, aware := r.Series[0], r.Series[1]
+	n := len(r.DeflationPct) - 1
+	// Equal at zero deflation; aware better at high deflation (paper: ≈20%).
+	if math.Abs(unmod.Values[0]-aware.Values[0]) > 1 {
+		t.Errorf("baselines differ: %g vs %g", unmod.Values[0], aware.Values[0])
+	}
+	if aware.Values[n] >= unmod.Values[n] {
+		t.Errorf("aware RT %g not below unmodified %g at 60%%", aware.Values[n], unmod.Values[n])
+	}
+	improvement := 1 - aware.Values[n]/unmod.Values[n]
+	if improvement < 0.15 {
+		t.Errorf("aware improvement at 60%% = %.0f%%, want ≥15%%", improvement*100)
+	}
+	// Response times rise monotonically with deflation for both.
+	for i := 1; i <= n; i++ {
+		if unmod.Values[i] < unmod.Values[i-1]-1 {
+			t.Errorf("unmodified RT not monotone at %g%%", r.DeflationPct[i])
+		}
+	}
+}
+
+func TestFig6ShapeClaims(t *testing.T) {
+	// ALS (shuffle-heavy): VM < Self < Preempt; policy chooses VM-level.
+	als, err := Fig6(WorkloadALS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm50, _ := als.Value(spark.PressureVMLevel, 0.5)
+	self50, _ := als.Value(spark.PressureSelf, 0.5)
+	pre50, _ := als.Value(spark.PressurePreempt, 0.5)
+	pol50, _ := als.Value(spark.PressurePolicy, 0.5)
+	if !(vm50 < self50 && self50 < pre50) {
+		t.Errorf("ALS ordering: VM %.2f, Self %.2f, Preempt %.2f", vm50, self50, pre50)
+	}
+	if vm50 < 1.3 || vm50 > 1.8 {
+		t.Errorf("ALS VM-level at 50%% = %.2f, want ≈1.5", vm50)
+	}
+	if pol50 != vm50 {
+		t.Errorf("ALS policy %.2f did not match VM-level %.2f", pol50, vm50)
+	}
+	for _, c := range als.Chosen {
+		if c != spark.PressureVMLevel {
+			t.Errorf("ALS policy chose %v, want VM", c)
+		}
+	}
+
+	// K-means (map-heavy over cached input): policy chooses self; self
+	// beats VM-level at 50%.
+	km, err := Fig6(WorkloadKMeans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kmSelf, _ := km.Value(spark.PressureSelf, 0.5)
+	kmVM, _ := km.Value(spark.PressureVMLevel, 0.5)
+	kmPol, _ := km.Value(spark.PressurePolicy, 0.5)
+	if kmSelf >= kmVM {
+		t.Errorf("K-means self %.2f not below VM %.2f at 50%%", kmSelf, kmVM)
+	}
+	if kmPol != kmSelf {
+		t.Errorf("K-means policy %.2f did not match self %.2f", kmPol, kmSelf)
+	}
+	if kmSelf < 1.1 || kmSelf > 1.7 {
+		t.Errorf("K-means self at 50%% = %.2f, want ≈1.4", kmSelf)
+	}
+
+	// CNN (synchronous training): VM-level mild (≈1.2 at 50%); preemption
+	// ≈2× worse; policy always VM-level.
+	cnn, err := Fig6(WorkloadCNN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnnVM, _ := cnn.Value(spark.PressureVMLevel, 0.5)
+	cnnPre, _ := cnn.Value(spark.PressurePreempt, 0.5)
+	if cnnVM < 1.1 || cnnVM > 1.45 {
+		t.Errorf("CNN VM-level at 50%% = %.2f, want ≈1.2 (paper: 20%%)", cnnVM)
+	}
+	if cnnPre/cnnVM < 1.5 {
+		t.Errorf("CNN preempt/VM = %.2f, want ≥1.5 (paper ≈2x)", cnnPre/cnnVM)
+	}
+	for _, c := range cnn.Chosen {
+		if c != spark.PressureVMLevel {
+			t.Errorf("CNN policy chose %v, want VM", c)
+		}
+	}
+
+	// RNN: same structure, ≈1.25 at 50% with VM-level.
+	rnn, err := Fig6(WorkloadRNN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rnnVM, _ := rnn.Value(spark.PressureVMLevel, 0.5)
+	rnnPre, _ := rnn.Value(spark.PressurePreempt, 0.5)
+	if rnnVM < 1.15 || rnnVM > 1.5 {
+		t.Errorf("RNN VM-level at 50%% = %.2f, want ≈1.25", rnnVM)
+	}
+	if rnnPre <= rnnVM {
+		t.Errorf("RNN preempt %.2f not worse than VM %.2f", rnnPre, rnnVM)
+	}
+}
+
+func TestFig7aShapeClaims(t *testing.T) {
+	r, err := Fig7a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	self, vmlvl := r.Series[0], r.Series[1]
+	n := len(r.ProgressPct) - 1
+	// Early: self better. Late: VM-level better. A crossover in between.
+	if self.Values[0] >= vmlvl.Values[0] {
+		t.Errorf("early: self %.2f not below VM %.2f", self.Values[0], vmlvl.Values[0])
+	}
+	if self.Values[n] <= vmlvl.Values[n] {
+		t.Errorf("late: self %.2f not above VM %.2f", self.Values[n], vmlvl.Values[n])
+	}
+	// VM-level overhead trends downward with later deflation.
+	for i := 1; i <= n; i++ {
+		if vmlvl.Values[i] > vmlvl.Values[i-1]+1e-9 {
+			t.Errorf("VM-level overhead rose at progress %g%%", r.ProgressPct[i])
+		}
+	}
+}
+
+func TestFig7bShapeClaims(t *testing.T) {
+	r, err := Fig7b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline is flat at ≈720 records/s.
+	if r.Baseline.Max() < 700 || r.Baseline.Max() > 740 {
+		t.Errorf("baseline throughput = %g, want ≈720", r.Baseline.Max())
+	}
+	// Deflation: dips during pressure (minutes 10–40), recovers after.
+	during := r.Deflation.At(25 * 60 * 1e9)
+	after := r.Deflation.At(70 * 60 * 1e9)
+	if during >= r.Baseline.Max()*0.95 {
+		t.Errorf("deflation throughput during pressure = %g, want a dip", during)
+	}
+	if during < r.Baseline.Max()*0.5 {
+		t.Errorf("deflation dip = %g, too deep (paper: ≈20-30%%)", during)
+	}
+	if after < r.Baseline.Max()*0.95 {
+		t.Errorf("deflation did not recover: %g", after)
+	}
+	// Preemption: checkpointing tax even before pressure, and a restart
+	// gap (a zero sample) at the pressure start.
+	before := r.Preemption.At(5 * 60 * 1e9)
+	if before >= r.Baseline.Max()*0.95 {
+		t.Errorf("preemption pre-pressure throughput = %g, want checkpoint tax", before)
+	}
+	sawZero := false
+	for _, p := range r.Preemption.Points() {
+		if p.V == 0 {
+			sawZero = true
+		}
+	}
+	if !sawZero {
+		t.Error("preemption series has no restart gap")
+	}
+	// Deflation's time-averaged throughput beats preemption's (paper:
+	// ≈20% better even including the pressure window).
+	if r.Deflation.Mean() <= r.Preemption.Mean() {
+		t.Errorf("deflation mean %g not above preemption mean %g",
+			r.Deflation.Mean(), r.Preemption.Mean())
+	}
+}
+
+func TestFig8aShapeClaims(t *testing.T) {
+	r, err := Fig8a()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total peaks well above 1 during co-location (paper: ≈1.8).
+	peak := r.Total.Max()
+	if peak < 1.5 || peak > 1.9 {
+		t.Errorf("total peak = %.2f, want ≈1.6-1.8", peak)
+	}
+	// Spark dips during pressure, recovers fully after.
+	during := r.Spark.At(60 * 60 * 1e9)
+	after := r.Spark.At(110 * 60 * 1e9)
+	if during > 0.9 || during < 0.5 {
+		t.Errorf("spark during pressure = %.2f, want ≈0.7 (20-30%% loss)", during)
+	}
+	if after < 0.99 {
+		t.Errorf("spark after pressure = %.2f, want full recovery", after)
+	}
+	// Memcached serves at (near) full speed while present.
+	if mc := r.Memcached.At(60 * 60 * 1e9); mc < 0.9 {
+		t.Errorf("memcached during co-location = %.2f", mc)
+	}
+}
+
+func TestFig8bShapeClaims(t *testing.T) {
+	r, err := Fig8b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyp, both, casc := r.Series[0], r.Series[1], r.Series[2]
+	n := len(r.DeflationPct) - 1 // 55%
+
+	// Cascade stays under 100 s even at the deepest deflation (paper).
+	if casc.Values[n] > 100 {
+		t.Errorf("cascade latency at 55%% = %.0fs, want <100s", casc.Values[n])
+	}
+	// Without app deflation, latency is 2–3× (and hypervisor-only worse).
+	if both.Values[n]/casc.Values[n] < 1.5 {
+		t.Errorf("Hyp+OS/cascade = %.1fx, want ≥1.5x (paper: 2-3x)", both.Values[n]/casc.Values[n])
+	}
+	if hyp.Values[n] <= both.Values[n] {
+		t.Errorf("hypervisor-only %.0fs not worse than Hyp+OS %.0fs", hyp.Values[n], both.Values[n])
+	}
+	// Hypervisor-only ≈300s at 50% (swap-bandwidth bound).
+	i50 := n - 1
+	if hyp.Values[i50] < 200 || hyp.Values[i50] > 400 {
+		t.Errorf("hypervisor-only at 50%% = %.0fs, want ≈300s", hyp.Values[i50])
+	}
+	// Latency grows with deflation level for every mechanism.
+	for _, s := range r.Series {
+		for i := 1; i < len(s.Values); i++ {
+			if s.Values[i] < s.Values[i-1]-1e-9 {
+				t.Errorf("%s latency not monotone at %g%%", s.Name, r.DeflationPct[i])
+			}
+		}
+	}
+}
+
+func TestFig8cQuickShapeClaims(t *testing.T) {
+	r, err := Fig8c(QuickFig8cConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.OvercommitPct {
+		if r.Deflation.Values[i] >= r.PreemptOnly.Values[i] {
+			t.Errorf("at %g%%: deflation %.3f not below preemption-only %.3f",
+				r.OvercommitPct[i], r.Deflation.Values[i], r.PreemptOnly.Values[i])
+		}
+	}
+	// Deflation near zero at 50% overcommit.
+	if r.Deflation.Values[0] > 0.05 {
+		t.Errorf("deflation at 50%% overcommit = %.3f, want ≈0", r.Deflation.Values[0])
+	}
+	// Preemption-only substantial everywhere.
+	if r.PreemptOnly.Values[0] < 0.1 {
+		t.Errorf("preemption-only at 50%% = %.3f, want ≥0.1", r.PreemptOnly.Values[0])
+	}
+}
+
+func TestFig8dQuickShapeClaims(t *testing.T) {
+	r, err := Fig8d(true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Policies) != 3 {
+		t.Fatalf("policies: %v", r.Policies)
+	}
+	// All policies sustain overcommitment ≈equal mean (the paper's point:
+	// deflation masks placement differences).
+	for i := 1; i < 3; i++ {
+		ratio := r.Mean[i] / r.Mean[0]
+		if ratio < 0.85 || ratio > 1.2 {
+			t.Errorf("%s mean %.2f far from %s mean %.2f",
+				r.Policies[i], r.Mean[i], r.Policies[0], r.Mean[0])
+		}
+	}
+	// And all overcommit beyond 1× nominal.
+	for i, m := range r.Mean {
+		if m < 1.0 {
+			t.Errorf("%s mean overcommit = %.2f, want > 1", r.Policies[i], m)
+		}
+	}
+	if !strings.Contains(r.Table(), "best-fit") {
+		t.Error("table rendering broken")
+	}
+}
+
+func TestRevenueShapeClaims(t *testing.T) {
+	r, err := Revenue(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	preempt, deflFlat, deflRaaS := r.Rows[0], r.Rows[1], r.Rows[2]
+	// §8's argument: deflation's higher utilization earns the provider
+	// more than the preemption-only baseline, under either pricing model.
+	if deflFlat.Revenue <= preempt.Revenue {
+		t.Errorf("deflation flat %.2f not above preemption %.2f", deflFlat.Revenue, preempt.Revenue)
+	}
+	if deflRaaS.Revenue <= preempt.Revenue {
+		t.Errorf("deflation RaaS %.2f not above preemption %.2f", deflRaaS.Revenue, preempt.Revenue)
+	}
+	if deflFlat.CoreHoursSold <= preempt.CoreHoursSold {
+		t.Errorf("deflation core-hours %.0f not above preemption %.0f",
+			deflFlat.CoreHoursSold, preempt.CoreHoursSold)
+	}
+	// And it does so while preempting far less.
+	if deflFlat.PreemptProb >= preempt.PreemptProb/2 {
+		t.Errorf("deflation preempt-p %.3f not well below baseline %.3f",
+			deflFlat.PreemptProb, preempt.PreemptProb)
+	}
+	if !strings.Contains(r.Table(), "revenue") {
+		t.Error("rendering broken")
+	}
+}

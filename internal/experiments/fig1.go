@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deflation/internal/apps/jvm"
+	"deflation/internal/apps/kcompile"
+	"deflation/internal/cascade"
+	"deflation/internal/restypes"
+	"deflation/internal/spark"
+	"deflation/internal/spark/workloads"
+)
+
+// Fig1Result reproduces Figure 1: normalized application performance as a
+// whole VM (CPU, memory, and I/O together) is deflated from 0 to 90%, for
+// the four motivating workloads.
+type Fig1Result struct {
+	DeflationPct []float64
+	Series       []series
+}
+
+// Table renders the figure as text.
+func (r Fig1Result) Table() string {
+	return renderTable("Figure 1: normalized performance vs deflation %",
+		"deflation%", r.DeflationPct, r.Series)
+}
+
+// SeriesValue returns workload w's performance at deflation d percent.
+func (r Fig1Result) SeriesValue(w string, dPct float64) (float64, error) {
+	for _, s := range r.Series {
+		if s.Name != w {
+			continue
+		}
+		for i, x := range r.DeflationPct {
+			if x == dPct {
+				return s.Values[i], nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("experiments: no point %q @ %g%%", w, dPct)
+}
+
+// Fig1 measures each workload at increasing uniform deflation, using the
+// full cascade with the workload's own deflation policy — the deployment
+// the paper motivates.
+func Fig1() (Fig1Result, error) {
+	res := Fig1Result{}
+	for d := 0.0; d <= 90; d += 10 {
+		res.DeflationPct = append(res.DeflationPct, d)
+	}
+
+	jbb := series{Name: "SpecJBB"}
+	for _, d := range res.DeflationPct {
+		app, err := jvm.NewApp(jvm.AppConfig{
+			MaxHeapMB: 12000, LiveMB: 1200, DeflationAware: true, Cores: 4,
+		})
+		if err != nil {
+			return res, err
+		}
+		v, err := newHostAndVM(app)
+		if err != nil {
+			return res, err
+		}
+		if _, err := deflateBy(v, cascade.AllLevels(), restypes.Uniform(d/100)); err != nil {
+			return res, err
+		}
+		jbb.Values = append(jbb.Values, v.Throughput())
+	}
+	res.Series = append(res.Series, jbb)
+
+	kc := series{Name: "Kcompile"}
+	for _, d := range res.DeflationPct {
+		v, err := newHostAndVM(kcompile.NewApp(kcompile.AppConfig{}))
+		if err != nil {
+			return res, err
+		}
+		if _, err := deflateBy(v, cascade.AllLevels(), restypes.Uniform(d/100)); err != nil {
+			return res, err
+		}
+		kc.Values = append(kc.Values, v.Throughput())
+	}
+	res.Series = append(res.Series, kc)
+
+	mc := series{Name: "Memcached"}
+	for _, d := range res.DeflationPct {
+		app, err := memcacheAppFig5a(true)
+		if err != nil {
+			return res, err
+		}
+		v, err := newHostAndVM(app)
+		if err != nil {
+			return res, err
+		}
+		if _, err := deflateBy(v, cascade.AllLevels(), restypes.Uniform(d/100)); err != nil {
+			return res, err
+		}
+		mc.Values = append(mc.Values, v.Throughput())
+	}
+	res.Series = append(res.Series, mc)
+
+	km := series{Name: "Spark-Kmeans"}
+	for _, d := range res.DeflationPct {
+		norm, err := kmeansNormalizedRuntime(d / 100)
+		if err != nil {
+			return res, err
+		}
+		km.Values = append(km.Values, 1/norm)
+	}
+	res.Series = append(res.Series, km)
+
+	return res, nil
+}
+
+// kmeansNormalizedRuntime runs the real K-means job on the mini-Spark
+// engine with all worker VMs deflated by d from (nearly) the start, under
+// the cascade policy, and returns runtime normalized to no deflation.
+func kmeansNormalizedRuntime(d float64) (float64, error) {
+	p := workloads.Params{}
+	base, err := runKMeans(p, nil)
+	if err != nil {
+		return 0, err
+	}
+	if d == 0 {
+		return 1, nil
+	}
+	deflation := make([]float64, 8)
+	for i := range deflation {
+		deflation[i] = d
+	}
+	pressured, err := runKMeans(p, &spark.PressureSpec{
+		AtProgress: 0.01, Deflation: deflation, Mechanism: spark.PressurePolicy,
+		Estimator: spark.EstimatorHeuristic,
+	})
+	if err != nil {
+		return 0, err
+	}
+	return pressured / base, nil
+}
+
+func runKMeans(p workloads.Params, spec *spark.PressureSpec) (float64, error) {
+	cl, err := p.Cluster()
+	if err != nil {
+		return 0, err
+	}
+	job, err := workloads.KMeans(p)
+	if err != nil {
+		return 0, err
+	}
+	res, err := spark.RunBatchScenario(cl, job, spec)
+	if err != nil {
+		return 0, err
+	}
+	return res.DurationSecs, nil
+}

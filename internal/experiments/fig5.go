@@ -1,0 +1,205 @@
+package experiments
+
+import (
+	"deflation/internal/apps/jvm"
+	"deflation/internal/apps/kcompile"
+	"deflation/internal/cascade"
+	"deflation/internal/restypes"
+)
+
+// Fig5aResult reproduces Figure 5a: memcached throughput (normalized) under
+// memory-only deflation, comparing hypervisor-only, OS-only, and
+// hypervisor+OS reclamation on the unmodified application.
+type Fig5aResult struct {
+	DeflationPct []float64
+	Series       []series // Hypervisor only / OS only / Hypervisor+OS
+}
+
+// Table renders the figure.
+func (r Fig5aResult) Table() string {
+	return renderTable("Figure 5a: memcached memory deflation (no app support)",
+		"mem-defl%", r.DeflationPct, r.Series)
+}
+
+// Fig5a runs the memory-deflation comparison.
+func Fig5a() (Fig5aResult, error) {
+	res := Fig5aResult{}
+	for d := 0.0; d <= 50; d += 10 {
+		res.DeflationPct = append(res.DeflationPct, d)
+	}
+	configs := []struct {
+		name   string
+		levels cascade.Levels
+	}{
+		{"Hypervisor-only", cascade.HypervisorOnly()},
+		{"OS-only", cascade.OSOnly()},
+		{"Hypervisor+OS", cascade.VMLevel()},
+	}
+	for _, cfg := range configs {
+		s := series{Name: cfg.name}
+		for _, d := range res.DeflationPct {
+			app, err := memcacheAppFig5a(false)
+			if err != nil {
+				return res, err
+			}
+			v, err := newHostAndVM(app)
+			if err != nil {
+				return res, err
+			}
+			frac := restypes.Vector{MemoryMB: d / 100}
+			if _, err := deflateBy(v, cfg.levels, frac); err != nil {
+				return res, err
+			}
+			s.Values = append(s.Values, v.Throughput())
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Fig5bResult reproduces Figure 5b: kernel-compile throughput under
+// CPU-only deflation across the same three reclamation configurations.
+type Fig5bResult struct {
+	DeflationPct []float64
+	Series       []series
+}
+
+// Table renders the figure.
+func (r Fig5bResult) Table() string {
+	return renderTable("Figure 5b: kernel-compile CPU deflation (no app support)",
+		"cpu-defl%", r.DeflationPct, r.Series)
+}
+
+// Fig5b runs the CPU-deflation comparison.
+func Fig5b() (Fig5bResult, error) {
+	res := Fig5bResult{}
+	for d := 0.0; d <= 80; d += 10 {
+		res.DeflationPct = append(res.DeflationPct, d)
+	}
+	configs := []struct {
+		name   string
+		levels cascade.Levels
+	}{
+		{"Hypervisor-only", cascade.HypervisorOnly()},
+		{"OS-only", cascade.OSOnly()},
+		{"Hypervisor+OS", cascade.VMLevel()},
+	}
+	for _, cfg := range configs {
+		s := series{Name: cfg.name}
+		for _, d := range res.DeflationPct {
+			v, err := newHostAndVM(kcompile.NewApp(kcompile.AppConfig{}))
+			if err != nil {
+				return res, err
+			}
+			frac := restypes.Vector{CPU: d / 100}
+			if _, err := deflateBy(v, cfg.levels, frac); err != nil {
+				return res, err
+			}
+			s.Values = append(s.Values, v.Throughput())
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Fig5cResult reproduces Figure 5c: memcached kGETS/s under memory
+// deflation, unmodified (VM-level deflation) versus the deflation-aware
+// application (full cascade with the LRU resize policy).
+type Fig5cResult struct {
+	DeflationPct []float64
+	Series       []series // Unmodified / App Deflation, in kGETS/s
+}
+
+// Table renders the figure.
+func (r Fig5cResult) Table() string {
+	return renderTable("Figure 5c: memcached kGETS/s, unmodified vs app deflation",
+		"mem-defl%", r.DeflationPct, r.Series)
+}
+
+// Fig5c runs the memory-stressed throughput comparison.
+func Fig5c() (Fig5cResult, error) {
+	res := Fig5cResult{}
+	for d := 0.0; d <= 60; d += 10 {
+		res.DeflationPct = append(res.DeflationPct, d)
+	}
+	configs := []struct {
+		name   string
+		aware  bool
+		levels cascade.Levels
+	}{
+		{"Unmodified", false, cascade.VMLevel()},
+		{"App-Deflation", true, cascade.AllLevels()},
+	}
+	for _, cfg := range configs {
+		s := series{Name: cfg.name}
+		for _, d := range res.DeflationPct {
+			app, err := memcacheAppFig5c(cfg.aware)
+			if err != nil {
+				return res, err
+			}
+			v, err := newHostAndVM(app)
+			if err != nil {
+				return res, err
+			}
+			frac := restypes.Vector{MemoryMB: d / 100}
+			if _, err := deflateBy(v, cfg.levels, frac); err != nil {
+				return res, err
+			}
+			s.Values = append(s.Values, app.KGETS(v.Env()))
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Fig5dResult reproduces Figure 5d: SpecJBB response time (µs) when CPU and
+// memory are deflated together, unmodified versus the deflation-aware JVM
+// (GC + heap resize policy).
+type Fig5dResult struct {
+	DeflationPct []float64
+	Series       []series // Unmodified / App Deflation, response time µs
+}
+
+// Table renders the figure.
+func (r Fig5dResult) Table() string {
+	return renderTable("Figure 5d: SpecJBB response time (µs), unmodified vs app deflation",
+		"defl%", r.DeflationPct, r.Series)
+}
+
+// Fig5d runs the JVM comparison.
+func Fig5d() (Fig5dResult, error) {
+	res := Fig5dResult{}
+	for d := 0.0; d <= 60; d += 10 {
+		res.DeflationPct = append(res.DeflationPct, d)
+	}
+	configs := []struct {
+		name   string
+		aware  bool
+		levels cascade.Levels
+	}{
+		{"Unmodified", false, cascade.VMLevel()},
+		{"App-Deflation", true, cascade.AllLevels()},
+	}
+	for _, cfg := range configs {
+		s := series{Name: cfg.name}
+		for _, d := range res.DeflationPct {
+			app, err := jvm.NewApp(jvm.AppConfig{
+				MaxHeapMB: 12000, LiveMB: 3000, DeflationAware: cfg.aware, Cores: 4,
+			})
+			if err != nil {
+				return res, err
+			}
+			v, err := newHostAndVM(app)
+			if err != nil {
+				return res, err
+			}
+			frac := restypes.Vector{CPU: d / 100, MemoryMB: d / 100}
+			if _, err := deflateBy(v, cfg.levels, frac); err != nil {
+				return res, err
+			}
+			s.Values = append(s.Values, app.ResponseTimeUS(v.Env()))
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}

@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"fmt"
+
+	"deflation/internal/spark"
+	"deflation/internal/spark/workloads"
+)
+
+// Fig6Workload identifies one of the four Spark workloads of Figure 6.
+type Fig6Workload string
+
+// The Figure 6 workloads.
+const (
+	WorkloadALS    Fig6Workload = "als"
+	WorkloadKMeans Fig6Workload = "kmeans"
+	WorkloadCNN    Fig6Workload = "cnn"
+	WorkloadRNN    Fig6Workload = "rnn"
+)
+
+// Fig6Workloads lists the workloads in the paper's panel order.
+func Fig6Workloads() []Fig6Workload {
+	return []Fig6Workload{WorkloadALS, WorkloadKMeans, WorkloadCNN, WorkloadRNN}
+}
+
+// fig6Deflations returns the paper's x-axis per workload.
+func fig6Deflations(w Fig6Workload) []float64 {
+	if w == WorkloadCNN || w == WorkloadRNN {
+		return []float64{0.125, 0.25, 0.5}
+	}
+	return []float64{0.25, 0.5}
+}
+
+// fig6Mechanisms lists the four series of each panel.
+func fig6Mechanisms() []spark.PressureMechanism {
+	return []spark.PressureMechanism{
+		spark.PressurePolicy, spark.PressureSelf, spark.PressureVMLevel, spark.PressurePreempt,
+	}
+}
+
+// Fig6Result reproduces one panel of Figure 6: normalized running time of a
+// Spark workload deflated halfway through execution, for cascade (policy),
+// self-deflation, VM-level deflation, and preemption.
+type Fig6Result struct {
+	Workload  Fig6Workload
+	Deflation []float64
+	Series    []series // indexed like fig6Mechanisms()
+	// Chosen records which mechanism the policy series actually used per
+	// deflation level.
+	Chosen []spark.PressureMechanism
+}
+
+// Table renders the panel.
+func (r Fig6Result) Table() string {
+	return renderTable(fmt.Sprintf("Figure 6 (%s): normalized running time, deflated at 50%% progress", r.Workload),
+		"fraction", r.Deflation, r.Series)
+}
+
+// Value returns the normalized runtime for a mechanism at a deflation
+// fraction.
+func (r Fig6Result) Value(m spark.PressureMechanism, d float64) (float64, error) {
+	for si, mech := range fig6Mechanisms() {
+		if mech != m {
+			continue
+		}
+		for i, x := range r.Deflation {
+			if x == d {
+				return r.Series[si].Values[i], nil
+			}
+		}
+	}
+	return 0, fmt.Errorf("experiments: no fig6 point %v @ %g", m, d)
+}
+
+// jitteredDeflation produces the slightly uneven per-VM deflation vector a
+// proportional cluster policy yields in practice (±10% around the mean).
+func jitteredDeflation(n int, d float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = d * 1.1
+		} else {
+			out[i] = d * 0.9
+		}
+		if out[i] >= 0.95 {
+			out[i] = 0.95
+		}
+	}
+	return out
+}
+
+// Fig6 runs one workload panel.
+func Fig6(w Fig6Workload) (Fig6Result, error) {
+	res := Fig6Result{Workload: w, Deflation: fig6Deflations(w)}
+	for _, m := range fig6Mechanisms() {
+		res.Series = append(res.Series, series{Name: m.String()})
+	}
+	for _, d := range res.Deflation {
+		for si, m := range fig6Mechanisms() {
+			norm, chosen, err := fig6Run(w, m, d)
+			if err != nil {
+				return res, err
+			}
+			res.Series[si].Values = append(res.Series[si].Values, norm)
+			if m == spark.PressurePolicy {
+				res.Chosen = append(res.Chosen, chosen)
+			}
+		}
+	}
+	return res, nil
+}
+
+func fig6Run(w Fig6Workload, m spark.PressureMechanism, d float64) (float64, spark.PressureMechanism, error) {
+	spec := &spark.PressureSpec{
+		AtProgress: 0.5,
+		Deflation:  jitteredDeflation(8, d),
+		Mechanism:  m,
+		Estimator:  spark.EstimatorHeuristic,
+	}
+	switch w {
+	case WorkloadALS, WorkloadKMeans:
+		build := workloads.ALS
+		if w == WorkloadKMeans {
+			build = workloads.KMeans
+		}
+		base, err := runBatch(build, nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		run, chosen, err := runBatchWithChoice(build, spec)
+		if err != nil {
+			return 0, 0, err
+		}
+		return run / base, chosen, nil
+	case WorkloadCNN, WorkloadRNN:
+		build := workloads.CNN
+		if w == WorkloadRNN {
+			build = workloads.RNN
+		}
+		// Kill-based mechanisms deploy with checkpointing; deflation-based
+		// ones do not need it (§6.2, Fig. 7b).
+		ckpt := m == spark.PressureSelf || m == spark.PressurePreempt
+		baseRun, err := spark.NewTrainingRun(build(false))
+		if err != nil {
+			return 0, 0, err
+		}
+		base, err := baseRun.Run(nil)
+		if err != nil {
+			return 0, 0, err
+		}
+		elapsed, chosen, err := spark.RunTrainingScenario(build(ckpt), spec)
+		if err != nil {
+			return 0, 0, err
+		}
+		return elapsed / base, chosen, nil
+	}
+	return 0, 0, fmt.Errorf("experiments: unknown workload %q", w)
+}
+
+func runBatch(build func(workloads.Params) (*spark.BatchJob, error), spec *spark.PressureSpec) (float64, error) {
+	secs, _, err := runBatchWithChoice(build, spec)
+	return secs, err
+}
+
+func runBatchWithChoice(build func(workloads.Params) (*spark.BatchJob, error), spec *spark.PressureSpec) (float64, spark.PressureMechanism, error) {
+	p := workloads.Params{}
+	cl, err := p.Cluster()
+	if err != nil {
+		return 0, 0, err
+	}
+	job, err := build(p)
+	if err != nil {
+		return 0, 0, err
+	}
+	res, err := spark.RunBatchScenario(cl, job, spec)
+	if err != nil {
+		return 0, 0, err
+	}
+	return res.DurationSecs, res.Chosen, nil
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"time"
+
+	"deflation/internal/metrics"
+	"deflation/internal/spark"
+	"deflation/internal/spark/workloads"
+)
+
+// Fig7aResult reproduces Figure 7a: ALS normalized running time when 50%
+// deflation arrives at different points of job progress, for self-deflation
+// and VM-level deflation. Early in the job self wins (little to recompute);
+// a crossover follows, and both overheads trend down as less of the job
+// remains to run deflated.
+type Fig7aResult struct {
+	ProgressPct []float64
+	Series      []series // Self / VM-level
+}
+
+// Table renders the figure.
+func (r Fig7aResult) Table() string {
+	return renderTable("Figure 7a: ALS deflated at different progress points (d=0.5)",
+		"progress%", r.ProgressPct, r.Series)
+}
+
+// Fig7a runs the progress sweep.
+func Fig7a() (Fig7aResult, error) {
+	res := Fig7aResult{ProgressPct: []float64{20, 30, 40, 50, 60, 70}}
+	base, err := runBatch(workloads.ALS, nil)
+	if err != nil {
+		return res, err
+	}
+	for _, m := range []spark.PressureMechanism{spark.PressureSelf, spark.PressureVMLevel} {
+		s := series{Name: m.String()}
+		for _, at := range res.ProgressPct {
+			run, err := runBatch(workloads.ALS, &spark.PressureSpec{
+				AtProgress: at / 100,
+				Deflation:  jitteredDeflation(8, 0.5),
+				Mechanism:  m,
+			})
+			if err != nil {
+				return res, err
+			}
+			s.Values = append(s.Values, run/base)
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Fig7bResult reproduces Figure 7b: CNN training throughput over an
+// 80-minute window with transient resource pressure between minutes 10 and
+// 40, for three deployments: baseline (no pressure, no checkpointing),
+// deflation (VM-level, no checkpointing), and preemption (checkpointing
+// always on; workers revoked during pressure).
+type Fig7bResult struct {
+	Baseline, Deflation, Preemption *metrics.TimeSeries
+}
+
+// Table renders all three timelines.
+func (r Fig7bResult) Table() string {
+	return r.Baseline.Table() + r.Deflation.Table() + r.Preemption.Table()
+}
+
+// fig7bJob builds a CNN job long enough to span the 80-minute window.
+func fig7bJob(ckpt bool) *spark.TrainingJob {
+	j := workloads.CNN(ckpt)
+	j.Iterations = 400 // 400 × 30 s = 200 min of work; window shows 80 min
+	return j
+}
+
+// Fig7b produces the three throughput timelines.
+func Fig7b() (Fig7bResult, error) {
+	const (
+		pressureStart = 10 * time.Minute
+		pressureEnd   = 40 * time.Minute
+		window        = 80 * time.Minute
+		deflation     = 0.5
+	)
+	res := Fig7bResult{
+		Baseline:   metrics.NewTimeSeries("baseline records/s"),
+		Deflation:  metrics.NewTimeSeries("deflation records/s"),
+		Preemption: metrics.NewTimeSeries("preemption records/s"),
+	}
+
+	record := func(ts *metrics.TimeSeries, run *spark.TrainingRun) error {
+		return ts.Add(time.Duration(run.ElapsedSecs()*float64(time.Second)), run.Throughput())
+	}
+
+	// Baseline: untouched, no checkpointing.
+	base, err := spark.NewTrainingRun(fig7bJob(false))
+	if err != nil {
+		return res, err
+	}
+	for base.ElapsedSecs() < window.Seconds() && !base.Done() {
+		if err := base.Step(); err != nil {
+			return res, err
+		}
+		if err := record(res.Baseline, base); err != nil {
+			return res, err
+		}
+	}
+
+	// Deflation: all workers deflated 50% during the pressure window; the
+	// job keeps running throughout.
+	defl, err := spark.NewTrainingRun(fig7bJob(false))
+	if err != nil {
+		return res, err
+	}
+	phase := 0 // 0 = before pressure, 1 = deflated, 2 = restored
+	for defl.ElapsedSecs() < window.Seconds() && !defl.Done() {
+		el := time.Duration(defl.ElapsedSecs() * float64(time.Second))
+		if phase == 0 && el >= pressureStart {
+			phase = 1
+			for i := 0; i < 8; i++ {
+				if err := defl.SetWorkerSpeed(i, 1-deflation); err != nil {
+					return res, err
+				}
+			}
+		}
+		if phase == 1 && el >= pressureEnd {
+			phase = 2
+			for i := 0; i < 8; i++ {
+				if err := defl.SetWorkerSpeed(i, 1); err != nil {
+					return res, err
+				}
+			}
+		}
+		if err := defl.Step(); err != nil {
+			return res, err
+		}
+		if err := record(res.Deflation, defl); err != nil {
+			return res, err
+		}
+	}
+
+	// Preemption: checkpointing always on; half the workers revoked at the
+	// pressure start (throughput gap during restart), revived at the end.
+	pre, err := spark.NewTrainingRun(fig7bJob(true))
+	if err != nil {
+		return res, err
+	}
+	prePhase := 0 // 0 = before pressure, 1 = revoked, 2 = revived
+	for pre.ElapsedSecs() < window.Seconds() && !pre.Done() {
+		el := time.Duration(pre.ElapsedSecs() * float64(time.Second))
+		if prePhase == 0 && el >= pressureStart {
+			prePhase = 1
+			if err := record(res.Preemption, pre); err != nil { // last point before the gap
+				return res, err
+			}
+			if err := pre.KillWorkers(4); err != nil {
+				return res, err
+			}
+			// The restart gap: zero throughput while the job resubmits.
+			if err := res.Preemption.Add(el, 0); err != nil {
+				return res, err
+			}
+		}
+		if prePhase == 1 && el >= pressureEnd {
+			prePhase = 2
+			if err := pre.ReviveWorkers(4); err != nil {
+				return res, err
+			}
+		}
+		if err := pre.Step(); err != nil {
+			return res, err
+		}
+		if err := record(res.Preemption, pre); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}

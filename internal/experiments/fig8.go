@@ -1,0 +1,348 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"deflation/internal/apps/curveapp"
+	"deflation/internal/cascade"
+	"deflation/internal/cluster"
+	"deflation/internal/guestos"
+	"deflation/internal/hypervisor"
+	"deflation/internal/metrics"
+	"deflation/internal/restypes"
+	"deflation/internal/spark"
+	"deflation/internal/trace"
+	"deflation/internal/vm"
+)
+
+// Fig8aResult reproduces Figure 8a: cluster throughput over time while a
+// high-priority memcached cluster arrives on a server running Spark CNN
+// training on deflatable VMs, deflating them by ~50%. Each application's
+// throughput is normalized to its own full-resource level; the total peaks
+// near 1.8×.
+type Fig8aResult struct {
+	Spark, Memcached, Total *metrics.TimeSeries
+}
+
+// Table renders the three timelines.
+func (r Fig8aResult) Table() string {
+	return r.Spark.Table() + r.Memcached.Table() + r.Total.Table()
+}
+
+// Fig8a runs the co-location timeline.
+func Fig8a() (Fig8aResult, error) {
+	res := Fig8aResult{
+		Spark:     metrics.NewTimeSeries("spark (normalized)"),
+		Memcached: metrics.NewTimeSeries("memcached (normalized)"),
+		Total:     metrics.NewTimeSeries("total cluster throughput"),
+	}
+	host, err := hypervisor.NewHost(hypervisor.Config{
+		Name:     "fig8a",
+		Capacity: restypes.V(48, 196608, 4800, 15000),
+	})
+	if err != nil {
+		return res, err
+	}
+	ctrl := cluster.NewLocalController(host, cascade.AllLevels(), cluster.ModeDeflation)
+
+	// 8 deflatable Spark worker VMs running CNN training.
+	sparkSize := restypes.V(4, 16384, 400, 1250)
+	for i := 0; i < 8; i++ {
+		_, _, err := ctrl.LaunchVM(cluster.LaunchSpec{
+			Name: fmt.Sprintf("spark-%d", i), Size: sparkSize,
+			Priority: vm.LowPriority, Warm: true,
+			NewApp: func(size restypes.Vector) vm.Application {
+				// Elastic in memory: the executor heap shrinks under
+				// deflation (the Spark worker's agent policy), so the
+				// throughput cost is the training curve alone.
+				return curveapp.New(curveapp.Config{
+					Name: "spark-cnn", Curve: spark.CurveCNNTraining, Size: size,
+					Elastic: true, RSSFraction: 0.5, MinRSSFraction: 0.15,
+				})
+			},
+		})
+		if err != nil {
+			return res, err
+		}
+	}
+
+	sparkNorm := func() float64 {
+		var sum float64
+		n := 0
+		for _, v := range ctrl.VMs() {
+			if v.Priority() == vm.LowPriority {
+				sum += v.Throughput()
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	memNorm := func() float64 {
+		var sum float64
+		n := 0
+		for _, v := range ctrl.VMs() {
+			if v.Priority() == vm.HighPriority {
+				sum += v.Throughput()
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		// Normalize to the full 8-VM memcached cluster.
+		return sum / 8
+	}
+
+	const (
+		window   = 120 * time.Minute
+		arrive   = 30 * time.Minute
+		depart   = 90 * time.Minute
+		tickStep = time.Minute
+	)
+	for tick := time.Duration(0); tick <= window; tick += tickStep {
+		if tick == arrive {
+			// 8 high-priority memcached VMs: 32 cores of demand against 16
+			// free, deflating the Spark VMs by ≈50%.
+			for i := 0; i < 8; i++ {
+				_, _, err := ctrl.LaunchVM(cluster.LaunchSpec{
+					Name: fmt.Sprintf("memcached-%d", i), Size: sparkSize,
+					Priority: vm.HighPriority, AppKind: "memcached",
+				})
+				if err != nil {
+					return res, err
+				}
+			}
+		}
+		if tick == depart {
+			for i := 0; i < 8; i++ {
+				if err := ctrl.Release(fmt.Sprintf("memcached-%d", i)); err != nil {
+					return res, err
+				}
+			}
+		}
+		sp, mc := sparkNorm(), memNorm()
+		if err := res.Spark.Add(tick, sp); err != nil {
+			return res, err
+		}
+		if err := res.Memcached.Add(tick, mc); err != nil {
+			return res, err
+		}
+		if err := res.Total.Add(tick, sp+mc); err != nil {
+			return res, err
+		}
+	}
+	return res, nil
+}
+
+// Fig8bResult reproduces Figure 8b: worst-case deflation latency of a giant
+// VM (48 vCPUs, 100 GB) at increasing deflation levels, for hypervisor-only
+// reclamation, hypervisor+OS, and the full cascade (with application
+// deflation).
+type Fig8bResult struct {
+	DeflationPct []float64
+	Series       []series // latency in seconds
+}
+
+// Table renders the figure.
+func (r Fig8bResult) Table() string {
+	return renderTable("Figure 8b: giant-VM (48 vCPU, 100 GB) deflation latency (s)",
+		"defl%", r.DeflationPct, r.Series)
+}
+
+// Fig8b measures reclamation latency per level configuration.
+func Fig8b() (Fig8bResult, error) {
+	res := Fig8bResult{}
+	for d := 10.0; d <= 55; d += 5 {
+		res.DeflationPct = append(res.DeflationPct, d)
+	}
+	configs := []struct {
+		name    string
+		levels  cascade.Levels
+		elastic bool
+	}{
+		{"Hypervisor", cascade.HypervisorOnly(), false},
+		{"Hypervisor+OS", cascade.VMLevel(), false},
+		{"Cascade", cascade.AllLevels(), true},
+	}
+	giant := restypes.V(48, 102400, 2000, 5000)
+	for _, cfg := range configs {
+		s := series{Name: cfg.name}
+		for _, d := range res.DeflationPct {
+			host, err := hypervisor.NewHost(hypervisor.Config{
+				Name: "giant", Capacity: giant.Scale(1.2),
+			})
+			if err != nil {
+				return res, err
+			}
+			dom, err := host.CreateDomain("giant-vm", giant, guestos.Config{CPUs: 48, MemoryMB: giant.MemoryMB})
+			if err != nil {
+				return res, err
+			}
+			dom.MarkWarm()
+			app := curveapp.New(curveapp.Config{
+				Name: "giant-memcached", Size: giant,
+				RSSFraction: 0.6, CacheFraction: 0.2,
+				Elastic: cfg.elastic, MinRSSFraction: 0.1,
+			})
+			v, err := vm.New(dom, app, vm.Config{})
+			if err != nil {
+				return res, err
+			}
+			rep, err := cascade.New(cfg.levels).Deflate(v, giant.Scale(d/100))
+			if err != nil {
+				return res, err
+			}
+			s.Values = append(s.Values, rep.TotalLatency.Seconds())
+		}
+		res.Series = append(res.Series, s)
+	}
+	return res, nil
+}
+
+// Fig8cConfig sizes the Figure 8c sweep; the zero value is the full
+// experiment.
+type Fig8cConfig struct {
+	// OvercommitLevels are the x-axis points (default 1.1–2.1).
+	OvercommitLevels []float64
+	// TraceCount is the trace length per point (default 4000).
+	TraceCount int
+	// MeanInterarrival and LifetimeMedian control offered load (defaults
+	// 2s and 1h; the quick mode shortens lifetimes to keep pressure high
+	// with a short trace).
+	MeanInterarrival time.Duration
+	LifetimeMedian   time.Duration
+	// Servers overrides the cluster size (default 100; quick mode shrinks
+	// the cluster so a short trace still saturates it).
+	Servers int
+	Seed    int64
+}
+
+// QuickFig8cConfig returns a reduced sweep that still saturates the
+// cluster: fewer points, a shorter trace with faster churn.
+func QuickFig8cConfig() Fig8cConfig {
+	return Fig8cConfig{
+		OvercommitLevels: []float64{1.5, 1.8},
+		TraceCount:       2500,
+		MeanInterarrival: 2 * time.Second,
+		LifetimeMedian:   10 * time.Minute,
+		Servers:          25,
+	}
+}
+
+// Fig8cResult reproduces Figure 8c: probability of low-priority VM
+// preemption versus cluster overcommitment, for deflation and the
+// preemption-only baseline, on the trace-driven 100-node simulation.
+type Fig8cResult struct {
+	OvercommitPct []float64 // (ratio-1)×100, the paper's x-axis
+	Deflation     series
+	PreemptOnly   series
+}
+
+// Table renders the figure.
+func (r Fig8cResult) Table() string {
+	return renderTable("Figure 8c: preemption probability vs overcommitment (50% low-priority)",
+		"overcommit%", r.OvercommitPct, []series{r.Deflation, r.PreemptOnly})
+}
+
+// Fig8c runs the sweep.
+func Fig8c(cfg Fig8cConfig) (Fig8cResult, error) {
+	if len(cfg.OvercommitLevels) == 0 {
+		cfg.OvercommitLevels = []float64{1.1, 1.3, 1.5, 1.6, 1.7, 1.9, 2.1}
+	}
+	if cfg.TraceCount == 0 {
+		cfg.TraceCount = 4000
+	}
+	if cfg.MeanInterarrival == 0 {
+		cfg.MeanInterarrival = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	res := Fig8cResult{
+		Deflation:   series{Name: "Deflation"},
+		PreemptOnly: series{Name: "Preemption-only"},
+	}
+	for _, oc := range cfg.OvercommitLevels {
+		res.OvercommitPct = append(res.OvercommitPct, (oc-1)*100)
+		for _, mode := range []cluster.Mode{cluster.ModeDeflation, cluster.ModePreemptionOnly} {
+			sim, err := cluster.RunSim(cluster.SimConfig{
+				Mode:             mode,
+				TargetOvercommit: oc,
+				Seed:             cfg.Seed,
+				Servers:          cfg.Servers,
+				Trace: trace.Config{
+					Count:            cfg.TraceCount,
+					MeanInterarrival: cfg.MeanInterarrival,
+					LifetimeMedian:   cfg.LifetimeMedian,
+				},
+			})
+			if err != nil {
+				return res, err
+			}
+			if mode == cluster.ModeDeflation {
+				res.Deflation.Values = append(res.Deflation.Values, sim.PreemptionProbability)
+			} else {
+				res.PreemptOnly.Values = append(res.PreemptOnly.Values, sim.PreemptionProbability)
+			}
+		}
+	}
+	return res, nil
+}
+
+// Fig8dResult reproduces Figure 8d: per-server overcommitment under the
+// three placement policies; deflation masks the differences between them.
+type Fig8dResult struct {
+	Policies []string
+	Mean     []float64
+	P95      []float64
+}
+
+// Table renders the figure.
+func (r Fig8dResult) Table() string {
+	xs := make([]float64, len(r.Policies))
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	out := "# Figure 8d: server overcommitment by placement policy\n"
+	out += fmt.Sprintf("%-12s %12s %12s\n", "policy", "mean", "p95")
+	for i, p := range r.Policies {
+		out += fmt.Sprintf("%-12s %12.3f %12.3f\n", p, r.Mean[i], r.P95[i])
+	}
+	return out
+}
+
+// Fig8d runs the placement-policy comparison at 1.6× target overcommit.
+// quick shortens the trace while keeping the cluster saturated.
+func Fig8d(quick bool, seed int64) (Fig8dResult, error) {
+	if seed == 0 {
+		seed = 42
+	}
+	tr := trace.Config{Count: 4000, MeanInterarrival: 2 * time.Second}
+	servers := 0
+	if quick {
+		tr = trace.Config{Count: 2500, MeanInterarrival: 2 * time.Second, LifetimeMedian: 10 * time.Minute}
+		servers = 25
+	}
+	var res Fig8dResult
+	for _, p := range []cluster.PlacementPolicy{cluster.BestFit, cluster.FirstFit, cluster.TwoChoices} {
+		sim, err := cluster.RunSim(cluster.SimConfig{
+			Policy:           p,
+			Mode:             cluster.ModeDeflation,
+			TargetOvercommit: 1.6,
+			Seed:             seed,
+			Servers:          servers,
+			Trace:            tr,
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Policies = append(res.Policies, p.String())
+		res.Mean = append(res.Mean, sim.ServerOvercommitMean)
+		res.P95 = append(res.P95, sim.ServerOvercommitP95)
+	}
+	return res, nil
+}

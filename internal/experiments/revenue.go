@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"deflation/internal/cluster"
+	"deflation/internal/pricing"
+	"deflation/internal/trace"
+)
+
+// RevenueResult implements the §8 pricing discussion as an experiment:
+// provider revenue at 1.6× target overcommitment under three deployments —
+// the preemption-only baseline with today's flat spot discount, deflation
+// with the same flat discount, and deflation with resource-as-a-service
+// pricing.
+type RevenueResult struct {
+	Rows []RevenueRow
+}
+
+// RevenueRow is one deployment's outcome.
+type RevenueRow struct {
+	Deployment    string
+	Revenue       float64
+	CoreHoursSold float64
+	PreemptProb   float64
+}
+
+// Table renders the comparison.
+func (r RevenueResult) Table() string {
+	var b strings.Builder
+	b.WriteString("# §8 pricing: provider revenue at 1.6x target overcommitment\n")
+	fmt.Fprintf(&b, "%-28s %12s %14s %12s\n", "deployment", "revenue $", "core-hours", "preempt-p")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-28s %12.2f %14.0f %12.3f\n",
+			row.Deployment, row.Revenue, row.CoreHoursSold, row.PreemptProb)
+	}
+	return b.String()
+}
+
+// Revenue runs the comparison. quick shrinks the simulation.
+func Revenue(quick bool) (RevenueResult, error) {
+	var res RevenueResult
+	tr := trace.Config{Count: 4000, MeanInterarrival: 2 * time.Second}
+	servers := 0
+	if quick {
+		tr = trace.Config{Count: 2500, MeanInterarrival: 2 * time.Second, LifetimeMedian: 10 * time.Minute}
+		servers = 25
+	}
+	rates := pricing.DefaultRates()
+	configs := []struct {
+		name  string
+		mode  cluster.Mode
+		model pricing.Model
+	}{
+		{"preemption + flat discount", cluster.ModePreemptionOnly, pricing.FlatDiscount{Rates: rates, Discount: 0.3}},
+		{"deflation + flat discount", cluster.ModeDeflation, pricing.FlatDiscount{Rates: rates, Discount: 0.3}},
+		{"deflation + RaaS", cluster.ModeDeflation, pricing.ResourceAsAService{Rates: rates, Discount: 0.5}},
+	}
+	for _, cfg := range configs {
+		meter, err := pricing.NewMeter(cfg.model)
+		if err != nil {
+			return res, err
+		}
+		sim, err := cluster.RunSim(cluster.SimConfig{
+			Mode:             cfg.mode,
+			TargetOvercommit: 1.6,
+			Seed:             42,
+			Servers:          servers,
+			Trace:            tr,
+			Meter:            meter,
+		})
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, RevenueRow{
+			Deployment:    cfg.name,
+			Revenue:       meter.Total(),
+			CoreHoursSold: meter.CoreHoursSold,
+			PreemptProb:   sim.PreemptionProbability,
+		})
+	}
+	return res, nil
+}

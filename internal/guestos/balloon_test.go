@@ -1,0 +1,90 @@
+package guestos
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBalloonInflateDeflate(t *testing.T) {
+	g := std(t)
+	g.SetAppFootprint(8000, 2000)
+	// free = 16384-256-8000-2000 = 6128; balloon can also drop cache.
+	pinned, lat := g.InflateBalloon(7000)
+	if pinned != 7000 {
+		t.Errorf("pinned = %g, want 7000", pinned)
+	}
+	if lat <= 0 || lat > time.Second {
+		t.Errorf("balloon latency = %v, want fast", lat)
+	}
+	if g.BalloonMB() != 7000 {
+		t.Errorf("BalloonMB = %g", g.BalloonMB())
+	}
+	if g.PageCacheMB() >= 2000 {
+		t.Errorf("page cache not squeezed: %g", g.PageCacheMB())
+	}
+	if g.FreeMemMB() != 0 {
+		t.Errorf("free = %g, want 0", g.FreeMemMB())
+	}
+
+	released, _ := g.DeflateBalloon(3000)
+	if released != 3000 || g.BalloonMB() != 4000 {
+		t.Errorf("release = %g, balloon = %g", released, g.BalloonMB())
+	}
+	released, _ = g.DeflateBalloon(1e9)
+	if released != 4000 || g.BalloonMB() != 0 {
+		t.Errorf("full release = %g, balloon = %g", released, g.BalloonMB())
+	}
+}
+
+func TestBalloonBoundedBySafeMemory(t *testing.T) {
+	g := std(t)
+	g.SetAppFootprint(12000, 2000)
+	// free = 2128; free+cache = 4128. The balloon never touches RSS.
+	pinned, _ := g.InflateBalloon(1e9)
+	if want := 16384.0 - 256 - 12000; pinned != want {
+		t.Errorf("pinned = %g, want %g", pinned, want)
+	}
+	if g.OOMKilled() {
+		t.Error("ballooning OOM-killed the app")
+	}
+}
+
+func TestBalloonFasterThanUnplug(t *testing.T) {
+	a := std(t)
+	a.SetAppFootprint(8000, 0)
+	_, unplugLat := a.UnplugMemory(4000)
+
+	b := std(t)
+	b.SetAppFootprint(8000, 0)
+	_, balloonLat := b.InflateBalloon(4000)
+
+	if balloonLat >= unplugLat {
+		t.Errorf("balloon %v not faster than unplug %v", balloonLat, unplugLat)
+	}
+}
+
+func TestFragmentationPenalty(t *testing.T) {
+	g := std(t)
+	if g.FragmentationPenalty() != 1 {
+		t.Error("penalty without balloon != 1")
+	}
+	g.InflateBalloon(8192) // half the guest
+	p := g.FragmentationPenalty()
+	if p >= 1 || p < 0.9 {
+		t.Errorf("penalty at 50%% ballooned = %g, want ≈0.95", p)
+	}
+	g.InflateBalloon(1e9)
+	if g.FragmentationPenalty() >= p {
+		t.Error("penalty not increasing with balloon size")
+	}
+}
+
+func TestBalloonNoOps(t *testing.T) {
+	g := std(t)
+	if mb, lat := g.InflateBalloon(-1); mb != 0 || lat != 0 {
+		t.Error("negative inflate did something")
+	}
+	if mb, lat := g.DeflateBalloon(0); mb != 0 || lat != 0 {
+		t.Error("zero deflate did something")
+	}
+}

@@ -1,0 +1,321 @@
+// Package guestos simulates the guest operating system of a deflatable VM,
+// in particular the resource hot-plug/hot-unplug mechanisms that OS-level
+// deflation relies on (§3.2.2 of the paper).
+//
+// The simulation reproduces the semantics the paper's design depends on:
+//
+//   - CPU hot-unplug works at whole-vCPU granularity only, and CPUs with
+//     pinned tasks cannot be safely unplugged.
+//   - Memory hot-unplug is best-effort: only free pages (and droppable page
+//     cache) can be migrated into a contiguous zone and released, some
+//     fraction is lost to fragmentation, and the operation takes time
+//     proportional to the pages migrated.
+//   - Unplugging memory below the application's resident set is unsafe; a
+//     forced unplug (used by the paper's "OS only" comparison, Fig. 5a)
+//     triggers the OOM killer and terminates the application.
+package guestos
+
+import (
+	"fmt"
+	"time"
+)
+
+// Config describes the booted shape of a guest.
+type Config struct {
+	CPUs        int     // vCPUs the guest booted with
+	MemoryMB    float64 // memory the guest booted with
+	KernelMemMB float64 // unreclaimable kernel/reserved memory (default 256)
+	PinnedCPUs  int     // CPUs hosting pinned tasks, never unpluggable (default 0)
+
+	// MigrationEfficiency is the fraction of theoretically-free memory that
+	// page migration can actually coalesce and release (default 0.92; the
+	// remainder is lost to fragmentation and busy pages).
+	MigrationEfficiency float64
+	// PageMigrateMBps is the page-migration bandwidth for memory unplug
+	// (default 1200 MB/s; calibrated so that hot-unplugging half of a
+	// 100 GB VM takes tens of seconds, per Fig. 8b).
+	PageMigrateMBps float64
+	// CPUHotplugLatency is the per-vCPU hot(un)plug latency (default 100ms).
+	CPUHotplugLatency time.Duration
+
+	// BalloonMBps is the balloon driver's page-grab rate (default
+	// 8000 MB/s — ballooning pins scattered free pages without migrating
+	// them, so it is far faster than hot-unplug).
+	BalloonMBps float64
+	// BalloonFragPenalty scales the performance cost of the memory
+	// fragmentation ballooning leaves behind (default 0.10: a fully
+	// ballooned guest loses ~10% throughput to allocation stalls and
+	// compaction — the reason the paper prefers hotplug, §7).
+	BalloonFragPenalty float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.KernelMemMB == 0 {
+		c.KernelMemMB = 256
+	}
+	if c.MigrationEfficiency == 0 {
+		c.MigrationEfficiency = 0.92
+	}
+	if c.PageMigrateMBps == 0 {
+		c.PageMigrateMBps = 1200
+	}
+	if c.CPUHotplugLatency == 0 {
+		c.CPUHotplugLatency = 100 * time.Millisecond
+	}
+	if c.BalloonMBps == 0 {
+		c.BalloonMBps = 8000
+	}
+	if c.BalloonFragPenalty == 0 {
+		c.BalloonFragPenalty = 0.10
+	}
+	return c
+}
+
+// GuestOS is a simulated guest kernel. It tracks plugged resources and the
+// application's memory footprint, and implements best-effort hot-unplug.
+// GuestOS is not safe for concurrent use.
+type GuestOS struct {
+	cfg Config
+
+	cpus  int     // currently plugged vCPUs
+	memMB float64 // currently plugged memory
+
+	appRSSMB    float64 // application resident set
+	pageCacheMB float64 // droppable page cache
+	balloonMB   float64 // pages pinned by the balloon driver
+
+	oomKilled bool
+}
+
+// New boots a guest with the given configuration.
+func New(cfg Config) (*GuestOS, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CPUs < 1 {
+		return nil, fmt.Errorf("guestos: need ≥1 CPU, got %d", cfg.CPUs)
+	}
+	if cfg.MemoryMB <= cfg.KernelMemMB {
+		return nil, fmt.Errorf("guestos: memory %gMB does not cover kernel reserve %gMB",
+			cfg.MemoryMB, cfg.KernelMemMB)
+	}
+	if cfg.PinnedCPUs < 0 || cfg.PinnedCPUs > cfg.CPUs {
+		return nil, fmt.Errorf("guestos: pinned CPUs %d out of range [0,%d]", cfg.PinnedCPUs, cfg.CPUs)
+	}
+	return &GuestOS{cfg: cfg, cpus: cfg.CPUs, memMB: cfg.MemoryMB}, nil
+}
+
+// Config returns the boot configuration (with defaults applied).
+func (g *GuestOS) Config() Config { return g.cfg }
+
+// CPUs returns the number of currently plugged vCPUs.
+func (g *GuestOS) CPUs() int { return g.cpus }
+
+// MemoryMB returns the currently plugged guest memory.
+func (g *GuestOS) MemoryMB() float64 { return g.memMB }
+
+// OOMKilled reports whether the OOM killer has terminated the application.
+func (g *GuestOS) OOMKilled() bool { return g.oomKilled }
+
+// SetAppFootprint records the application's memory use as seen by the guest:
+// its resident set plus the page cache it is generating. The guest uses this
+// to compute safely-unpluggable memory. Setting a resident set larger than
+// plugged memory immediately OOM-kills the application (the guest has no
+// swap device, as is typical for cloud VMs; host-level swap is the
+// hypervisor's business).
+func (g *GuestOS) SetAppFootprint(rssMB, pageCacheMB float64) {
+	if rssMB < 0 || pageCacheMB < 0 {
+		panic(fmt.Sprintf("guestos: negative footprint rss=%g cache=%g", rssMB, pageCacheMB))
+	}
+	g.appRSSMB = rssMB
+	// The page cache can never exceed what physically fits: under memory
+	// pressure the kernel drops cache pages before anything else.
+	if avail := g.memMB - g.cfg.KernelMemMB - rssMB; pageCacheMB > avail {
+		pageCacheMB = avail
+		if pageCacheMB < 0 {
+			pageCacheMB = 0
+		}
+	}
+	g.pageCacheMB = pageCacheMB
+	g.checkOOM()
+}
+
+// AppRSSMB returns the recorded application resident set.
+func (g *GuestOS) AppRSSMB() float64 { return g.appRSSMB }
+
+// PageCacheMB returns the recorded page cache size.
+func (g *GuestOS) PageCacheMB() float64 { return g.pageCacheMB }
+
+func (g *GuestOS) checkOOM() {
+	if g.appRSSMB+g.cfg.KernelMemMB > g.memMB {
+		g.oomKilled = true
+	}
+}
+
+// FreeMemMB returns memory neither used by the kernel, the application, the
+// page cache, nor pinned by the balloon.
+func (g *GuestOS) FreeMemMB() float64 {
+	free := g.memMB - g.cfg.KernelMemMB - g.appRSSMB - g.pageCacheMB - g.balloonMB
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// BalloonMB returns the memory currently pinned by the balloon driver.
+func (g *GuestOS) BalloonMB() float64 { return g.balloonMB }
+
+// InflateBalloon pins up to mb of guest memory (free pages first, then
+// droppable page cache) so the hypervisor can reclaim the backing frames.
+// Unlike hot-unplug, ballooning grabs scattered pages without migration —
+// fast, but it fragments the guest's memory (see FragmentationPenalty). It
+// returns the amount actually pinned and the operation latency.
+func (g *GuestOS) InflateBalloon(mb float64) (pinnedMB float64, latency time.Duration) {
+	if mb <= 0 {
+		return 0, 0
+	}
+	if max := g.FreeMemMB() + g.pageCacheMB; mb > max {
+		mb = max
+	}
+	// Consume free pages first, dropping cache for the remainder.
+	if overflow := mb - g.FreeMemMB(); overflow > 0 {
+		g.pageCacheMB -= overflow
+		if g.pageCacheMB < 0 {
+			g.pageCacheMB = 0
+		}
+	}
+	g.balloonMB += mb
+	return mb, time.Duration(mb / g.cfg.BalloonMBps * float64(time.Second))
+}
+
+// DeflateBalloon releases up to mb of ballooned memory back to the guest.
+func (g *GuestOS) DeflateBalloon(mb float64) (releasedMB float64, latency time.Duration) {
+	if mb <= 0 {
+		return 0, 0
+	}
+	if mb > g.balloonMB {
+		mb = g.balloonMB
+	}
+	g.balloonMB -= mb
+	return mb, time.Duration(mb / g.cfg.BalloonMBps * float64(time.Second))
+}
+
+// FragmentationPenalty returns the multiplicative throughput factor (≤1)
+// the guest suffers from balloon-induced fragmentation: the balloon's
+// scattered pinned pages force allocation stalls and compaction in
+// proportion to the ballooned share of memory.
+func (g *GuestOS) FragmentationPenalty() float64 {
+	if g.balloonMB <= 0 || g.memMB <= 0 {
+		return 1
+	}
+	return 1 / (1 + g.cfg.BalloonFragPenalty*g.balloonMB/g.memMB)
+}
+
+// SafelyUnpluggableMB returns how much memory a best-effort unplug could
+// release right now: free memory plus droppable page cache, scaled by the
+// migration efficiency.
+func (g *GuestOS) SafelyUnpluggableMB() float64 {
+	return (g.FreeMemMB() + g.pageCacheMB) * g.cfg.MigrationEfficiency
+}
+
+// SafelyUnpluggableCPUs returns how many vCPUs can be unplugged: everything
+// above the pinned set, always leaving one CPU online.
+func (g *GuestOS) SafelyUnpluggableCPUs() int {
+	floor := g.cfg.PinnedCPUs
+	if floor < 1 {
+		floor = 1
+	}
+	n := g.cpus - floor
+	if n < 0 {
+		return 0
+	}
+	return n
+}
+
+// UnplugCPUs offlines up to n vCPUs, best-effort. It returns how many were
+// actually unplugged and the operation latency.
+func (g *GuestOS) UnplugCPUs(n int) (unplugged int, latency time.Duration) {
+	if n <= 0 {
+		return 0, 0
+	}
+	if max := g.SafelyUnpluggableCPUs(); n > max {
+		n = max
+	}
+	g.cpus -= n
+	return n, time.Duration(n) * g.cfg.CPUHotplugLatency
+}
+
+// PlugCPUs onlines up to n vCPUs, never exceeding the boot count. It returns
+// how many were plugged and the operation latency.
+func (g *GuestOS) PlugCPUs(n int) (plugged int, latency time.Duration) {
+	if n <= 0 {
+		return 0, 0
+	}
+	if g.cpus+n > g.cfg.CPUs {
+		n = g.cfg.CPUs - g.cpus
+	}
+	g.cpus += n
+	return n, time.Duration(n) * g.cfg.CPUHotplugLatency
+}
+
+// UnplugMemory releases up to mb of guest memory back to the hypervisor,
+// best-effort: the released amount never exceeds SafelyUnpluggableMB. Page
+// cache is dropped as needed (cheapest pages first: free memory, then
+// cache). It returns the memory actually released and the page-migration
+// latency.
+func (g *GuestOS) UnplugMemory(mb float64) (freedMB float64, latency time.Duration) {
+	if mb <= 0 {
+		return 0, 0
+	}
+	if max := g.SafelyUnpluggableMB(); mb > max {
+		mb = max
+	}
+	g.applyMemUnplug(mb)
+	return mb, g.migrationLatency(mb)
+}
+
+// ForceUnplugMemory releases exactly mb of guest memory regardless of
+// safety, modelling an administrator-forced OS-level reclamation (the
+// paper's "OS only" mode). If the remaining memory cannot hold the kernel
+// plus the application's resident set, the OOM killer fires and the
+// application is terminated. The released amount is capped only by the
+// kernel reserve (the guest cannot unplug its own kernel).
+func (g *GuestOS) ForceUnplugMemory(mb float64) (freedMB float64, latency time.Duration) {
+	if mb <= 0 {
+		return 0, 0
+	}
+	if max := g.memMB - g.cfg.KernelMemMB; mb > max {
+		mb = max
+	}
+	g.applyMemUnplug(mb)
+	g.checkOOM()
+	return mb, g.migrationLatency(mb)
+}
+
+func (g *GuestOS) applyMemUnplug(mb float64) {
+	g.memMB -= mb
+	// Dropping memory consumes free pages first, then page cache.
+	overflow := g.cfg.KernelMemMB + g.appRSSMB + g.pageCacheMB - g.memMB
+	if overflow > 0 {
+		g.pageCacheMB -= overflow
+		if g.pageCacheMB < 0 {
+			g.pageCacheMB = 0
+		}
+	}
+}
+
+// PlugMemory returns mb of memory to the guest, never exceeding the boot
+// size. It returns the amount plugged; hot-add is fast (no migration), so
+// latency is a single hotplug round trip.
+func (g *GuestOS) PlugMemory(mb float64) (pluggedMB float64, latency time.Duration) {
+	if mb <= 0 {
+		return 0, 0
+	}
+	if g.memMB+mb > g.cfg.MemoryMB {
+		mb = g.cfg.MemoryMB - g.memMB
+	}
+	g.memMB += mb
+	return mb, g.cfg.CPUHotplugLatency
+}
+
+func (g *GuestOS) migrationLatency(mb float64) time.Duration {
+	return time.Duration(mb / g.cfg.PageMigrateMBps * float64(time.Second))
+}

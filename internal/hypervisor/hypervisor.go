@@ -1,0 +1,336 @@
+// Package hypervisor simulates a KVM-like hypervisor ("simkvm") with the VM
+// overcommitment mechanisms the paper's hypervisor-level deflation uses
+// (§3.2.3, §5): CPU capacity throttling via cgroup shares, physical memory
+// limits with host swapping, and disk/network bandwidth throttling.
+//
+// The simulator exposes the same mechanism API as the paper's
+// libvirt/cgroups prototype and encodes the black-box performance hazards
+// the paper measures:
+//
+//   - multiplexing more vCPUs onto fewer physical cores causes lock-holder
+//     preemption (perfmodel.LockHolderPenalty);
+//   - memory limits below the guest's touched footprint force host swapping,
+//     and because the hypervisor cannot see which guest pages are hot, the
+//     effective access locality of the swapped set is degraded
+//     (BlackboxLocalityFactor);
+//   - reclaiming memory takes real (virtual) time bounded by swap-disk
+//     bandwidth, run as an incremental control loop (§5: "large memory
+//     reclamation operations can often fail, and we use a control loop").
+package hypervisor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"deflation/internal/guestos"
+	"deflation/internal/perfmodel"
+	"deflation/internal/restypes"
+)
+
+// Sentinel errors returned by host and domain operations.
+var (
+	ErrInsufficientCapacity = errors.New("hypervisor: insufficient physical capacity")
+	ErrDomainExists         = errors.New("hypervisor: domain already exists")
+	ErrDomainNotFound       = errors.New("hypervisor: domain not found")
+	ErrDomainDestroyed      = errors.New("hypervisor: domain destroyed")
+)
+
+// Config describes a physical host.
+type Config struct {
+	Name     string
+	Capacity restypes.Vector // physical CPU cores, memory, disk bw, net bw
+
+	// SwapDiskMBps is the host swap device bandwidth (default 200 MB/s;
+	// swap-out dominates memory-reclamation latency, Fig. 8b).
+	SwapDiskMBps float64
+	// BlackboxLocalityFactor scales the guest workload's access locality
+	// when the *hypervisor* chooses which pages to swap: it cannot tell hot
+	// pages from cold, so host swapping evicts some hot pages (default 0.5).
+	BlackboxLocalityFactor float64
+	// ControlLoopOverhead multiplies reclamation latency to account for the
+	// incremental retry loop used for large reclamations (default 1.15).
+	ControlLoopOverhead float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.SwapDiskMBps == 0 {
+		c.SwapDiskMBps = 200
+	}
+	if c.BlackboxLocalityFactor == 0 {
+		c.BlackboxLocalityFactor = 0.5
+	}
+	if c.ControlLoopOverhead == 0 {
+		c.ControlLoopOverhead = 1.15
+	}
+	return c
+}
+
+// Host is a simulated physical machine running simkvm. Not safe for
+// concurrent use; the simulation is single-threaded.
+type Host struct {
+	cfg     Config
+	domains map[string]*Domain
+}
+
+// NewHost creates a host with the given physical capacity.
+func NewHost(cfg Config) (*Host, error) {
+	cfg = cfg.withDefaults()
+	if !cfg.Capacity.Positive() {
+		return nil, fmt.Errorf("hypervisor: host capacity must be positive in all dimensions, got %v", cfg.Capacity)
+	}
+	return &Host{cfg: cfg, domains: make(map[string]*Domain)}, nil
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.cfg.Name }
+
+// Capacity returns the host's physical capacity.
+func (h *Host) Capacity() restypes.Vector { return h.cfg.Capacity }
+
+// Allocated returns the sum of all domains' current physical allocations.
+// Iteration is in sorted domain order so that floating-point summation is
+// deterministic across runs.
+func (h *Host) Allocated() restypes.Vector {
+	var sum restypes.Vector
+	for _, d := range h.Domains() {
+		sum = sum.Add(d.alloc)
+	}
+	return sum
+}
+
+// FreePhysical returns unallocated physical capacity.
+func (h *Host) FreePhysical() restypes.Vector {
+	return h.cfg.Capacity.Sub(h.Allocated()).ClampNonNegative()
+}
+
+// Domains returns all live domains sorted by name (deterministic order).
+func (h *Host) Domains() []*Domain {
+	out := make([]*Domain, 0, len(h.domains))
+	for _, d := range h.domains {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// Domain looks up a live domain by name.
+func (h *Host) Domain(name string) (*Domain, error) {
+	d, ok := h.domains[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrDomainNotFound, name)
+	}
+	return d, nil
+}
+
+// CreateDomain boots a VM of the given nominal size with a matching guest
+// OS. The initial physical allocation equals the nominal size, so creation
+// fails with ErrInsufficientCapacity unless the size fits in free physical
+// capacity — the cluster manager must deflate other VMs first (§5).
+func (h *Host) CreateDomain(name string, size restypes.Vector, guestCfg guestos.Config) (*Domain, error) {
+	if _, ok := h.domains[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDomainExists, name)
+	}
+	if !size.Positive() {
+		return nil, fmt.Errorf("hypervisor: domain size must be positive in all dimensions, got %v", size)
+	}
+	if !size.Fits(h.FreePhysical()) {
+		return nil, fmt.Errorf("%w: need %v, free %v", ErrInsufficientCapacity, size, h.FreePhysical())
+	}
+	if guestCfg.CPUs == 0 {
+		guestCfg.CPUs = int(size.CPU)
+	}
+	if guestCfg.MemoryMB == 0 {
+		guestCfg.MemoryMB = size.MemoryMB
+	}
+	g, err := guestos.New(guestCfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Domain{host: h, name: name, size: size, alloc: size, guest: g}
+	d.everTouchedMB = d.touchedMB()
+	h.domains[name] = d
+	return d, nil
+}
+
+// Domain is a simulated VM: a nominal size, a guest OS, and the cgroup-style
+// physical allocation the hypervisor currently grants it.
+type Domain struct {
+	host  *Host
+	name  string
+	size  restypes.Vector // nominal (booted) size
+	alloc restypes.Vector // current physical allocation (cgroup limits)
+	guest *guestos.GuestOS
+	dead  bool
+
+	// everTouchedMB is the high-water mark of guest memory that has ever
+	// been materialized in the VM process. From the host's point of view
+	// this — not the guest's current footprint — is what a memory limit
+	// must swap against: guest pages freed internally still occupy host
+	// frames until they are hot-unplugged (which releases them) or swapped.
+	// A freshly booted guest has touched only its current footprint; a
+	// long-running one has typically touched everything (see MarkWarm).
+	everTouchedMB float64
+}
+
+// Name returns the domain name.
+func (d *Domain) Name() string { return d.name }
+
+// Size returns the nominal booted size.
+func (d *Domain) Size() restypes.Vector { return d.size }
+
+// Allocation returns the current physical allocation (cgroup limits).
+func (d *Domain) Allocation() restypes.Vector { return d.alloc }
+
+// Guest returns the domain's guest OS.
+func (d *Domain) Guest() *guestos.GuestOS { return d.guest }
+
+// Destroyed reports whether the domain has been destroyed.
+func (d *Domain) Destroyed() bool { return d.dead }
+
+// Destroy terminates the domain and releases its physical allocation. This
+// is the preemption mechanism: from the application's perspective it is a
+// fail-stop failure.
+func (d *Domain) Destroy() {
+	if d.dead {
+		return
+	}
+	d.dead = true
+	delete(d.host.domains, d.name)
+}
+
+// SetAllocation adjusts the domain's physical allocation to target
+// (element-wise clamped to the nominal size, and floored at a minimal
+// viable allocation). Raising memory requires free physical capacity.
+// It returns the reclamation latency: lowering the memory limit below the
+// guest's touched footprint swaps pages out at swap-disk bandwidth.
+func (d *Domain) SetAllocation(target restypes.Vector) (time.Duration, error) {
+	if d.dead {
+		return 0, ErrDomainDestroyed
+	}
+	target = target.Min(d.size).ClampNonNegative()
+
+	// Growth must fit in free physical capacity (own current allocation is
+	// already accounted, so only the delta matters).
+	grow := target.Sub(d.alloc).ClampNonNegative()
+	if !grow.Fits(d.host.FreePhysical()) {
+		return 0, fmt.Errorf("%w: growing by %v, free %v", ErrInsufficientCapacity, grow, d.host.FreePhysical())
+	}
+
+	var latency time.Duration
+	// Memory reclamation latency: swapping out the newly unbacked portion of
+	// the host-resident (ever-touched) footprint.
+	if target.MemoryMB < d.alloc.MemoryMB {
+		touched := d.refreshEverTouched()
+		oldResident := minf(d.alloc.MemoryMB, touched)
+		newResident := minf(target.MemoryMB, touched)
+		if swapOut := oldResident - newResident; swapOut > 0 {
+			secs := swapOut / d.host.cfg.SwapDiskMBps * d.host.cfg.ControlLoopOverhead
+			latency = time.Duration(secs * float64(time.Second))
+		}
+	}
+	d.alloc = target
+	return latency, nil
+}
+
+// MarkWarm records that the guest has been running long enough to have
+// touched all of its memory (allocator and page-cache churn). Experiments
+// call this to model a warmed-up VM; a fresh boot has touched only its
+// current footprint.
+func (d *Domain) MarkWarm() { d.everTouchedMB = d.guest.MemoryMB() }
+
+// refreshEverTouched reconciles the high-water mark with the guest's
+// current state: it can only grow through current footprint growth, and it
+// shrinks when hot-unplug or balloon inflation physically releases frames.
+func (d *Domain) refreshEverTouched() float64 {
+	if mem := d.guest.MemoryMB() - d.guest.BalloonMB(); d.everTouchedMB > mem {
+		d.everTouchedMB = mem
+	}
+	if t := d.touchedMB(); d.everTouchedMB < t {
+		d.everTouchedMB = t
+	}
+	return d.everTouchedMB
+}
+
+// touchedMB is the guest memory the hypervisor must back with physical
+// frames or swap: kernel, application RSS, and page cache. (Free guest
+// pages are assumed hinted-free and need no backing.)
+func (d *Domain) touchedMB() float64 {
+	return d.guest.Config().KernelMemMB + d.guest.AppRSSMB() + d.guest.PageCacheMB()
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Env is the effective execution environment a domain's application sees.
+// Application performance models consume this snapshot.
+type Env struct {
+	// VCPUs is the number of vCPUs plugged into the guest.
+	VCPUs int
+	// PhysCores is the physical CPU capacity backing those vCPUs.
+	PhysCores float64
+	// EffectiveCores is PhysCores after the lock-holder-preemption penalty
+	// for multiplexing VCPUs onto fewer physical cores.
+	EffectiveCores float64
+	// GuestMemMB is the memory the guest OS (and application) believes it
+	// has — what application-level sizing policies observe.
+	GuestMemMB float64
+	// ResidentMB is the host-resident (ever-touched) guest memory actually
+	// backed by physical frames; the remainder (SwappedMB) lives on the
+	// host swap device.
+	ResidentMB float64
+	// SwappedMB is host-resident guest memory currently swapped out.
+	SwappedMB float64
+	// EverTouchedMB is the guest memory the host considers live (see
+	// Domain.MarkWarm); swap victims are drawn from it.
+	EverTouchedMB float64
+	// KernelMemMB is the guest kernel reserve, so application models can
+	// separate their own pages from the rest of the footprint.
+	KernelMemMB float64
+	// LocalityFactor degrades the workload's access locality when host
+	// swapping (rather than the application) chose the evicted pages.
+	LocalityFactor float64
+	// DiskMBps and NetMBps are the throttled I/O bandwidths.
+	DiskMBps, NetMBps float64
+	// OOMKilled reports that the guest OOM killer terminated the app.
+	OOMKilled bool
+}
+
+// Env computes the domain's current effective environment.
+func (d *Domain) Env() Env {
+	vcpus := d.guest.CPUs()
+	phys := minf(d.alloc.CPU, float64(vcpus))
+	eff := phys
+	locality := 1.0
+	if float64(vcpus) > phys && phys > 0 {
+		eff = phys * perfmodel.LockHolderPenalty(float64(vcpus)/phys)
+	}
+	// Balloon-induced fragmentation costs CPU (allocation stalls,
+	// compaction) in proportion to the ballooned share of memory.
+	eff *= d.guest.FragmentationPenalty()
+	touched := d.refreshEverTouched()
+	resident := minf(d.alloc.MemoryMB, touched)
+	swapped := touched - resident
+	if swapped > 0 {
+		locality = d.host.cfg.BlackboxLocalityFactor
+	}
+	return Env{
+		VCPUs:          vcpus,
+		PhysCores:      phys,
+		EffectiveCores: eff,
+		GuestMemMB:     d.guest.MemoryMB(),
+		ResidentMB:     resident,
+		SwappedMB:      swapped,
+		EverTouchedMB:  touched,
+		KernelMemMB:    d.guest.Config().KernelMemMB,
+		LocalityFactor: locality,
+		DiskMBps:       d.alloc.DiskMBps,
+		NetMBps:        d.alloc.NetMBps,
+		OOMKilled:      d.guest.OOMKilled(),
+	}
+}

@@ -1,0 +1,158 @@
+// Package metrics provides lightweight time-series and summary statistics
+// for experiments: throughput timelines (Figs. 7b, 8a), latency
+// distributions, and quantile summaries.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Point is one sample of a time series.
+type Point struct {
+	T time.Duration
+	V float64
+}
+
+// TimeSeries is an append-only series of (time, value) samples.
+type TimeSeries struct {
+	Name   string
+	points []Point
+}
+
+// NewTimeSeries creates an empty named series.
+func NewTimeSeries(name string) *TimeSeries { return &TimeSeries{Name: name} }
+
+// Add appends a sample. Samples must be appended in non-decreasing time
+// order; out-of-order samples are rejected with an error.
+func (s *TimeSeries) Add(t time.Duration, v float64) error {
+	if n := len(s.points); n > 0 && t < s.points[n-1].T {
+		return fmt.Errorf("metrics: sample at %v precedes last sample at %v", t, s.points[n-1].T)
+	}
+	s.points = append(s.points, Point{T: t, V: v})
+	return nil
+}
+
+// Len returns the sample count.
+func (s *TimeSeries) Len() int { return len(s.points) }
+
+// Points returns the underlying samples (do not mutate).
+func (s *TimeSeries) Points() []Point { return s.points }
+
+// At returns the most recent value at or before t (step interpolation), or
+// 0 if t precedes the first sample.
+func (s *TimeSeries) At(t time.Duration) float64 {
+	i := sort.Search(len(s.points), func(i int) bool { return s.points[i].T > t })
+	if i == 0 {
+		return 0
+	}
+	return s.points[i-1].V
+}
+
+// Mean returns the time-weighted mean over the sampled interval (simple
+// mean when all samples share a timestamp or there is a single sample).
+func (s *TimeSeries) Mean() float64 {
+	n := len(s.points)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 || s.points[n-1].T == s.points[0].T {
+		var sum float64
+		for _, p := range s.points {
+			sum += p.V
+		}
+		return sum / float64(n)
+	}
+	var area float64
+	for i := 1; i < n; i++ {
+		dt := (s.points[i].T - s.points[i-1].T).Seconds()
+		area += s.points[i-1].V * dt
+	}
+	return area / (s.points[n-1].T - s.points[0].T).Seconds()
+}
+
+// Max returns the maximum sampled value (0 for an empty series).
+func (s *TimeSeries) Max() float64 {
+	m := math.Inf(-1)
+	for _, p := range s.points {
+		if p.V > m {
+			m = p.V
+		}
+	}
+	if math.IsInf(m, -1) {
+		return 0
+	}
+	return m
+}
+
+// Table renders the series as aligned "time value" rows — the textual
+// equivalent of a figure's timeline.
+func (s *TimeSeries) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s\n", s.Name)
+	for _, p := range s.points {
+		fmt.Fprintf(&b, "%10.1f %12.3f\n", p.T.Seconds(), p.V)
+	}
+	return b.String()
+}
+
+// Summary holds order statistics of a sample set.
+type Summary struct {
+	Count              int
+	Mean, Min, Max     float64
+	P50, P90, P95, P99 float64
+	StdDev             float64
+}
+
+// Summarize computes order statistics over xs.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.Count = len(xs)
+	if s.Count == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var sum, sumSq float64
+	for _, x := range sorted {
+		sum += x
+		sumSq += x * x
+	}
+	s.Mean = sum / float64(s.Count)
+	s.Min, s.Max = sorted[0], sorted[s.Count-1]
+	s.P50 = Quantile(sorted, 0.50)
+	s.P90 = Quantile(sorted, 0.90)
+	s.P95 = Quantile(sorted, 0.95)
+	s.P99 = Quantile(sorted, 0.99)
+	variance := sumSq/float64(s.Count) - s.Mean*s.Mean
+	if variance > 0 {
+		s.StdDev = math.Sqrt(variance)
+	}
+	return s
+}
+
+// Quantile returns the q-quantile of an ascending-sorted slice, with linear
+// interpolation between ranks.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

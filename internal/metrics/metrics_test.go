@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimeSeriesAddOrdering(t *testing.T) {
+	s := NewTimeSeries("x")
+	if err := s.Add(time.Second, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(time.Second, 2); err != nil {
+		t.Fatal(err) // equal timestamps allowed
+	}
+	if err := s.Add(500*time.Millisecond, 3); err == nil {
+		t.Error("out-of-order sample accepted")
+	}
+	if s.Len() != 2 {
+		t.Errorf("len = %d", s.Len())
+	}
+}
+
+func TestTimeSeriesAt(t *testing.T) {
+	s := NewTimeSeries("x")
+	s.Add(10*time.Second, 1)
+	s.Add(20*time.Second, 2)
+	if got := s.At(5 * time.Second); got != 0 {
+		t.Errorf("At before first = %g", got)
+	}
+	if got := s.At(10 * time.Second); got != 1 {
+		t.Errorf("At(10s) = %g", got)
+	}
+	if got := s.At(15 * time.Second); got != 1 {
+		t.Errorf("At(15s) = %g (step)", got)
+	}
+	if got := s.At(25 * time.Second); got != 2 {
+		t.Errorf("At(25s) = %g", got)
+	}
+}
+
+func TestTimeSeriesMean(t *testing.T) {
+	s := NewTimeSeries("x")
+	if s.Mean() != 0 {
+		t.Error("empty mean != 0")
+	}
+	s.Add(0, 10)
+	if s.Mean() != 10 {
+		t.Errorf("single-sample mean = %g", s.Mean())
+	}
+	// 10 for 10s, then 20 for 10s: time-weighted mean 15.
+	s.Add(10*time.Second, 20)
+	s.Add(20*time.Second, 20)
+	if got := s.Mean(); math.Abs(got-15) > 1e-9 {
+		t.Errorf("time-weighted mean = %g, want 15", got)
+	}
+}
+
+func TestTimeSeriesMaxAndTable(t *testing.T) {
+	s := NewTimeSeries("throughput")
+	if s.Max() != 0 {
+		t.Error("empty max != 0")
+	}
+	s.Add(0, 3)
+	s.Add(time.Second, 7)
+	s.Add(2*time.Second, 5)
+	if s.Max() != 7 {
+		t.Errorf("max = %g", s.Max())
+	}
+	tab := s.Table()
+	if !strings.Contains(tab, "throughput") || !strings.Contains(tab, "7.000") {
+		t.Errorf("table rendering:\n%s", tab)
+	}
+	if len(s.Points()) != 3 {
+		t.Error("points accessor wrong")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	if s := Summarize(nil); s.Count != 0 {
+		t.Errorf("empty summary: %+v", s)
+	}
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.Count != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Errorf("summary: %+v", s)
+	}
+	if s.StdDev <= 0 {
+		t.Error("zero stddev for varied data")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	cases := map[float64]float64{0: 1, 0.25: 2, 0.5: 3, 0.75: 4, 1: 5}
+	for q, want := range cases {
+		if got := Quantile(sorted, q); math.Abs(got-want) > 1e-12 {
+			t.Errorf("Quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile != 0")
+	}
+	// Interpolation between ranks.
+	if got := Quantile([]float64{0, 10}, 0.5); got != 5 {
+		t.Errorf("interpolated median = %g, want 5", got)
+	}
+}
+
+func TestQuickQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, q1, q2 float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, math.Mod(x, 1e6))
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		// Order statistics are ordered.
+		return s.Min <= s.P50+1e-9 && s.P50 <= s.P90+1e-9 &&
+			s.P90 <= s.P95+1e-9 && s.P95 <= s.P99+1e-9 && s.P99 <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

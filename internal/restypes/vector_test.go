@@ -1,0 +1,223 @@
+package restypes
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{CPU: "cpu", Memory: "memory", Disk: "disk", Net: "net"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("invalid kind string = %q", got)
+	}
+}
+
+func TestAtWithRoundTrip(t *testing.T) {
+	v := V(4, 16384, 100, 200)
+	for _, k := range Kinds() {
+		got := v.With(k, 7).At(k)
+		if got != 7 {
+			t.Errorf("With/At roundtrip for %v: got %g, want 7", k, got)
+		}
+	}
+}
+
+func TestAtPanicsOnInvalidKind(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At(NumKinds) did not panic")
+		}
+	}()
+	V(1, 1, 1, 1).At(NumKinds)
+}
+
+func TestArithmetic(t *testing.T) {
+	a, b := V(1, 2, 3, 4), V(4, 3, 2, 1)
+	if got := a.Add(b); got != V(5, 5, 5, 5) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, -1, 1, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Sub(b).ClampNonNegative(); got != V(0, 0, 1, 3) {
+		t.Errorf("ClampNonNegative = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Mul(b); got != V(4, 6, 6, 4) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Min(b); got != V(1, 2, 2, 1) {
+		t.Errorf("Min = %v", got)
+	}
+	if got := a.Max(b); got != V(4, 3, 3, 4) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := a.Dot(b); got != 4+6+6+4 {
+		t.Errorf("Dot = %g", got)
+	}
+}
+
+func TestCosineSimilarity(t *testing.T) {
+	a := V(1, 0, 0, 0)
+	if got := a.CosineSimilarity(a); math.Abs(got-1) > 1e-12 {
+		t.Errorf("self similarity = %g, want 1", got)
+	}
+	b := V(0, 1, 0, 0)
+	if got := a.CosineSimilarity(b); got != 0 {
+		t.Errorf("orthogonal similarity = %g, want 0", got)
+	}
+	if got := a.CosineSimilarity(Vector{}); got != 0 {
+		t.Errorf("zero-vector similarity = %g, want 0", got)
+	}
+	// Scaled vectors have identical similarity: the fitness is shape-based.
+	d := V(2, 8192, 10, 10)
+	if got, want := d.CosineSimilarity(d.Scale(3)), 1.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("scaled similarity = %g, want 1", got)
+	}
+}
+
+func TestFits(t *testing.T) {
+	cap := V(4, 16384, 100, 100)
+	if !V(4, 16384, 100, 100).Fits(cap) {
+		t.Error("exact fit rejected")
+	}
+	if !V(2, 1024, 50, 50).Fits(cap) {
+		t.Error("smaller vector rejected")
+	}
+	if V(4.1, 1, 1, 1).Fits(cap) {
+		t.Error("oversized CPU accepted")
+	}
+	if V(1, 1, 1, 101).Fits(cap) {
+		t.Error("oversized net accepted")
+	}
+}
+
+func TestFractionOf(t *testing.T) {
+	v := V(2, 8192, 0, 50)
+	w := V(4, 16384, 0, 100)
+	got := v.FractionOf(w)
+	want := V(0.5, 0.5, 0, 0.5)
+	if got != want {
+		t.Errorf("FractionOf = %v, want %v", got, want)
+	}
+	if f := V(1, 0, 0, 0).FractionOf(Vector{}); !math.IsInf(f.CPU, 1) {
+		t.Errorf("nonzero/zero fraction = %v, want +Inf", f.CPU)
+	}
+}
+
+func TestMaxComponentSumUniform(t *testing.T) {
+	if got := V(1, 9, 3, 4).MaxComponent(); got != 9 {
+		t.Errorf("MaxComponent = %g", got)
+	}
+	if got := V(1, 2, 3, 4).Sum(); got != 10 {
+		t.Errorf("Sum = %g", got)
+	}
+	if got := Uniform(0.5); got != V(0.5, 0.5, 0.5, 0.5) {
+		t.Errorf("Uniform = %v", got)
+	}
+}
+
+func TestPositiveIsZero(t *testing.T) {
+	if !V(1, 1, 1, 1).Positive() {
+		t.Error("all-positive vector not Positive")
+	}
+	if V(1, 0, 1, 1).Positive() {
+		t.Error("vector with a zero component is Positive")
+	}
+	if !(Vector{}).IsZero() {
+		t.Error("zero vector not IsZero")
+	}
+	if V(0, 0, 0, 1).IsZero() {
+		t.Error("nonzero vector IsZero")
+	}
+}
+
+func TestString(t *testing.T) {
+	got := V(4, 16384, 100, 100).String()
+	want := "{cpu:4 mem:16384MB disk:100MB/s net:100MB/s}"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+}
+
+// small constrains quick-check inputs to a well-conditioned range.
+func small(x float64) float64 { return math.Mod(math.Abs(x), 1024) }
+
+func sanitize(v Vector) Vector {
+	return V(small(v.CPU), small(v.MemoryMB), small(v.DiskMBps), small(v.NetMBps))
+}
+
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b Vector) bool {
+		a, b = sanitize(a), sanitize(b)
+		got := a.Add(b).Sub(b)
+		const eps = 1e-9
+		return math.Abs(got.CPU-a.CPU) < eps && math.Abs(got.MemoryMB-a.MemoryMB) < eps &&
+			math.Abs(got.DiskMBps-a.DiskMBps) < eps && math.Abs(got.NetMBps-a.NetMBps) < eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickMinFitsMax(t *testing.T) {
+	f := func(a, b Vector) bool {
+		a, b = sanitize(a), sanitize(b)
+		return a.Min(b).Fits(a) && a.Min(b).Fits(b) && a.Fits(a.Max(b)) && b.Fits(a.Max(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCosineBounds(t *testing.T) {
+	f := func(a, b Vector) bool {
+		a, b = sanitize(a), sanitize(b)
+		c := a.CosineSimilarity(b)
+		// All components are non-negative after sanitize, so cosine ∈ [0,1].
+		return c >= -1e-12 && c <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickClampNonNegative(t *testing.T) {
+	f := func(a, b Vector) bool {
+		d := sanitize(a).Sub(sanitize(b)).ClampNonNegative()
+		return d.CPU >= 0 && d.MemoryMB >= 0 && d.DiskMBps >= 0 && d.NetMBps >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	// Vectors cross the REST control plane; the wire format is stable
+	// exported-field JSON.
+	v := V(4, 16384, 100, 1250)
+	data, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"CPU":4,"MemoryMB":16384,"DiskMBps":100,"NetMBps":1250}`
+	if string(data) != want {
+		t.Errorf("wire form = %s, want %s", data, want)
+	}
+	var back Vector
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != v {
+		t.Errorf("round trip = %v, want %v", back, v)
+	}
+}

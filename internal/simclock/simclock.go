@@ -1,0 +1,170 @@
+// Package simclock provides a deterministic discrete-event simulation clock.
+//
+// The paper's evaluation runs on a physical testbed and measures wall-clock
+// time. This reproduction replaces the testbed with simulators, so time
+// itself is simulated: every component that "takes time" (swapping out
+// memory, running a Spark task, migrating pages for hot-unplug) schedules
+// events on a shared Clock. Experiments then advance the clock and read the
+// resulting virtual timestamps, which makes every figure exactly
+// reproducible.
+package simclock
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Clock is a discrete-event scheduler over virtual time. The zero value is
+// not usable; create one with New. Clock is not safe for concurrent use: the
+// whole simulation runs single-threaded for determinism.
+type Clock struct {
+	now    time.Duration
+	queue  eventQueue
+	nextID uint64
+}
+
+// New returns a Clock positioned at virtual time zero with no pending events.
+func New() *Clock { return &Clock{} }
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Event is a handle to a scheduled callback, usable for cancellation.
+type Event struct {
+	id       uint64
+	at       time.Duration
+	fn       func(now time.Duration)
+	canceled bool
+	index    int // heap index, -1 once popped
+}
+
+// Time returns the virtual time the event is (or was) scheduled for.
+func (e *Event) Time() time.Duration { return e.at }
+
+// Cancel prevents the event's callback from running. Canceling an event that
+// already fired is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (t <
+// Now()) panics: in a discrete-event simulation that is always a logic bug.
+func (c *Clock) At(t time.Duration, fn func(now time.Duration)) *Event {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: scheduling at %v which is before now %v", t, c.now))
+	}
+	c.nextID++
+	e := &Event{id: c.nextID, at: t, fn: fn}
+	heap.Push(&c.queue, e)
+	return e
+}
+
+// After schedules fn to run d after the current virtual time.
+func (c *Clock) After(d time.Duration, fn func(now time.Duration)) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("simclock: negative delay %v", d))
+	}
+	return c.At(c.now+d, fn)
+}
+
+// Every schedules fn to run every interval, starting one interval from now,
+// until fn returns false. It returns a handle to the next pending firing;
+// cancel via the returned stop function, which is safe to call at any time.
+func (c *Clock) Every(interval time.Duration, fn func(now time.Duration) bool) (stop func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("simclock: non-positive interval %v", interval))
+	}
+	stopped := false
+	var schedule func()
+	schedule = func() {
+		c.After(interval, func(now time.Duration) {
+			if stopped {
+				return
+			}
+			if fn(now) {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() { stopped = true }
+}
+
+// Pending reports the number of events still queued (including canceled ones
+// that have not yet been discarded).
+func (c *Clock) Pending() int { return c.queue.Len() }
+
+// Step runs the single earliest pending event, advancing the clock to its
+// timestamp. It reports whether an event ran.
+func (c *Clock) Step() bool {
+	for c.queue.Len() > 0 {
+		e := heap.Pop(&c.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		c.now = e.at
+		e.fn(c.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (c *Clock) Run() {
+	for c.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps ≤ t, then advances the clock to
+// exactly t. Events scheduled for after t remain pending.
+func (c *Clock) RunUntil(t time.Duration) {
+	if t < c.now {
+		panic(fmt.Sprintf("simclock: RunUntil(%v) is before now %v", t, c.now))
+	}
+	for c.queue.Len() > 0 {
+		e := c.queue[0]
+		if e.at > t {
+			break
+		}
+		c.Step()
+	}
+	c.now = t
+}
+
+// Advance is shorthand for RunUntil(Now()+d).
+func (c *Clock) Advance(d time.Duration) { c.RunUntil(c.now + d) }
+
+// eventQueue is a min-heap of events ordered by (time, id); the id tiebreak
+// gives FIFO ordering among events scheduled for the same instant, which
+// keeps simulations deterministic.
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].id < q[j].id
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}

@@ -1,0 +1,204 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNowStartsAtZero(t *testing.T) {
+	c := New()
+	if c.Now() != 0 {
+		t.Errorf("Now = %v, want 0", c.Now())
+	}
+}
+
+func TestAtOrdering(t *testing.T) {
+	c := New()
+	var order []int
+	c.At(3*time.Second, func(time.Duration) { order = append(order, 3) })
+	c.At(1*time.Second, func(time.Duration) { order = append(order, 1) })
+	c.At(2*time.Second, func(time.Duration) { order = append(order, 2) })
+	c.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("events ran in order %v, want [1 2 3]", order)
+	}
+	if c.Now() != 3*time.Second {
+		t.Errorf("final Now = %v, want 3s", c.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	c := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(time.Second, func(time.Duration) { order = append(order, i) })
+	}
+	c.Run()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("same-instant events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestAfter(t *testing.T) {
+	c := New()
+	var fired time.Duration
+	c.After(5*time.Second, func(now time.Duration) { fired = now })
+	c.Run()
+	if fired != 5*time.Second {
+		t.Errorf("fired at %v, want 5s", fired)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	c := New()
+	c.At(10*time.Second, func(time.Duration) {})
+	c.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("At in the past did not panic")
+		}
+	}()
+	c.At(time.Second, func(time.Duration) {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	c.After(-time.Second, func(time.Duration) {})
+}
+
+func TestCancel(t *testing.T) {
+	c := New()
+	ran := false
+	e := c.After(time.Second, func(time.Duration) { ran = true })
+	e.Cancel()
+	c.Run()
+	if ran {
+		t.Error("canceled event ran")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	c := New()
+	var fired []time.Duration
+	for _, d := range []time.Duration{1, 2, 3, 4} {
+		c.At(d*time.Second, func(now time.Duration) { fired = append(fired, now) })
+	}
+	c.RunUntil(2 * time.Second)
+	if len(fired) != 2 {
+		t.Errorf("RunUntil(2s) fired %d events, want 2", len(fired))
+	}
+	if c.Now() != 2*time.Second {
+		t.Errorf("Now = %v, want 2s", c.Now())
+	}
+	if c.Pending() != 2 {
+		t.Errorf("Pending = %d, want 2", c.Pending())
+	}
+	c.Run()
+	if len(fired) != 4 {
+		t.Errorf("after Run, fired %d events, want 4", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesWithNoEvents(t *testing.T) {
+	c := New()
+	c.RunUntil(time.Minute)
+	if c.Now() != time.Minute {
+		t.Errorf("Now = %v, want 1m", c.Now())
+	}
+}
+
+func TestRunUntilPastPanics(t *testing.T) {
+	c := New()
+	c.RunUntil(time.Minute)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunUntil in the past did not panic")
+		}
+	}()
+	c.RunUntil(time.Second)
+}
+
+func TestAdvance(t *testing.T) {
+	c := New()
+	c.Advance(30 * time.Second)
+	c.Advance(30 * time.Second)
+	if c.Now() != time.Minute {
+		t.Errorf("Now = %v, want 1m", c.Now())
+	}
+}
+
+func TestEvery(t *testing.T) {
+	c := New()
+	var ticks []time.Duration
+	c.Every(time.Second, func(now time.Duration) bool {
+		ticks = append(ticks, now)
+		return len(ticks) < 3
+	})
+	c.Run()
+	want := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Errorf("tick %d at %v, want %v", i, ticks[i], want[i])
+		}
+	}
+}
+
+func TestEveryStop(t *testing.T) {
+	c := New()
+	n := 0
+	stop := c.Every(time.Second, func(time.Duration) bool { n++; return true })
+	c.RunUntil(3 * time.Second)
+	stop()
+	c.RunUntil(10 * time.Second)
+	if n != 3 {
+		t.Errorf("ticks after stop = %d, want 3", n)
+	}
+}
+
+func TestEveryBadIntervalPanics(t *testing.T) {
+	c := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	c.Every(0, func(time.Duration) bool { return false })
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// Events scheduled from within callbacks must still run in time order.
+	c := New()
+	var order []string
+	c.At(time.Second, func(time.Duration) {
+		order = append(order, "a")
+		c.After(time.Second, func(time.Duration) { order = append(order, "c") })
+	})
+	c.At(1500*time.Millisecond, func(time.Duration) { order = append(order, "b") })
+	c.Run()
+	if len(order) != 3 || order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Errorf("order = %v, want [a b c]", order)
+	}
+}
+
+func TestStepReturnsFalseWhenEmpty(t *testing.T) {
+	c := New()
+	if c.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	e := c.After(time.Second, func(time.Duration) {})
+	e.Cancel()
+	if c.Step() {
+		t.Error("Step with only canceled events returned true")
+	}
+}

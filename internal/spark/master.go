@@ -1,0 +1,215 @@
+package spark
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+)
+
+// Master is the Spark driver's deflation endpoint (§4.1): worker VMs relay
+// the deflation requests they receive from their local deflation
+// controllers ("Spark workers relay the deflation requests to the Spark
+// master, which then executes the policy"). The master buffers requests
+// into the deflation vector d and, at the next stage boundary, runs the
+// running-time-minimizing policy:
+//
+//   - self-deflation: kill tasks and blacklist the deflated executors;
+//     survivors run at full speed, lost partitions recompute via lineage;
+//   - VM-level: executors stay scheduled and simply run slower (their
+//     WorkerApps track the deflated environment).
+//
+// Either way the physical resources flow back through the OS and
+// hypervisor levels of the cascade; the policy only decides whether the
+// application cooperates by vacating the deflated VMs.
+type Master struct {
+	cluster   *Cluster
+	job       *BatchJob
+	eng       *Engine
+	estimator Estimator
+
+	pending   map[int]float64 // worker index → requested deflation fraction
+	decisions []Decision
+}
+
+// NewMaster prepares a master for one job on a cluster.
+func NewMaster(cluster *Cluster, job *BatchJob, est Estimator) (*Master, error) {
+	eng, err := NewEngine(cluster, job)
+	if err != nil {
+		return nil, err
+	}
+	return &Master{
+		cluster:   cluster,
+		job:       job,
+		eng:       eng,
+		estimator: est,
+		pending:   make(map[int]float64),
+	}, nil
+}
+
+// Engine exposes the underlying engine (progress, estimates).
+func (m *Master) Engine() *Engine { return m.eng }
+
+// Decisions returns the policy decisions taken so far, in order.
+func (m *Master) Decisions() []Decision { return m.decisions }
+
+// RequestDeflation is the worker-agent entry point: worker idx's VM is
+// being deflated by the given fraction. The request is buffered; the policy
+// runs at the next stage boundary (task granularity — Spark cannot
+// reconfigure mid-task).
+func (m *Master) RequestDeflation(workerIdx int, fraction float64) error {
+	if workerIdx < 0 || workerIdx >= len(m.cluster.Executors()) {
+		return fmt.Errorf("spark: worker index %d out of range", workerIdx)
+	}
+	if fraction < 0 || fraction >= 1 {
+		return fmt.Errorf("spark: deflation fraction %g out of [0,1)", fraction)
+	}
+	if fraction > m.pending[workerIdx] {
+		m.pending[workerIdx] = fraction
+	}
+	return nil
+}
+
+// processPending runs the policy over the buffered deflation vector.
+func (m *Master) processPending(progress float64, e *Engine) error {
+	if len(m.pending) == 0 {
+		return nil
+	}
+	execs := m.cluster.Executors()
+	d := make([]float64, len(execs))
+	for i, f := range m.pending {
+		d[i] = f
+	}
+	m.pending = make(map[int]float64)
+
+	victims := ChooseVictims(m.cluster, d)
+	dagFrac := 0.0
+	if total := m.job.TotalPlannedWork(); total > 0 {
+		dagFrac = e.EstimateRecomputeWork(victims) / total
+	}
+	dec, err := Decide(PolicyInputs{
+		Progress:             progress,
+		Deflation:            d,
+		ShuffleFraction:      e.MeasuredShuffleFraction(),
+		NextStageIsShuffle:   e.NextStageIsShuffle(),
+		DAGRecomputeFraction: dagFrac,
+	}, m.estimator)
+	if err != nil {
+		return err
+	}
+	m.decisions = append(m.decisions, dec)
+	if dec.Mechanism == MechSelf {
+		e.Blacklist(victims)
+	}
+	// MechVMLevel: nothing to do — the deflated WorkerApps have already
+	// lowered their executors' speeds from the observed environments.
+	return nil
+}
+
+// Run executes the job, processing buffered deflation requests at every
+// stage boundary; extra (if non-nil) runs after the policy at each boundary
+// — the injection point for tests and experiments.
+func (m *Master) Run(extra ProgressHook) (Result, error) {
+	var hookErr error
+	res, err := m.eng.Run(func(progress float64, e *Engine) {
+		if hookErr != nil {
+			return
+		}
+		if extra != nil {
+			extra(progress, e)
+		}
+		if err := m.processPending(progress, e); err != nil {
+			hookErr = err
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	return res, hookErr
+}
+
+// WorkerApp is the Spark worker's deflation agent as a vm.Application: it
+// runs inside each worker VM, relays deflation requests to the master, and
+// tracks the VM's effective environment so its executor's task speed
+// reflects VM-level deflation.
+type WorkerApp struct {
+	master *Master
+	idx    int
+	size   restypes.Vector
+
+	// ExecMemFraction is the share of VM memory held by the executor heap
+	// (default 0.5); CacheFraction is shuffle/page cache (default 0.2).
+	ExecMemFraction, CacheFraction float64
+}
+
+// NewWorkerApp builds the worker agent for worker idx of the master's
+// cluster, hosted in a VM of the given nominal size.
+func NewWorkerApp(master *Master, idx int, size restypes.Vector) (*WorkerApp, error) {
+	if master == nil {
+		return nil, fmt.Errorf("spark: nil master")
+	}
+	if idx < 0 || idx >= len(master.cluster.Executors()) {
+		return nil, fmt.Errorf("spark: worker index %d out of range", idx)
+	}
+	return &WorkerApp{
+		master: master, idx: idx, size: size,
+		ExecMemFraction: 0.5, CacheFraction: 0.2,
+	}, nil
+}
+
+// Name implements vm.Application.
+func (w *WorkerApp) Name() string { return fmt.Sprintf("spark-worker-%d", w.idx) }
+
+// Footprint implements vm.Application.
+func (w *WorkerApp) Footprint() (float64, float64) {
+	return w.ExecMemFraction * w.size.MemoryMB, w.CacheFraction * w.size.MemoryMB
+}
+
+// SelfDeflate implements vm.Application: relay the request to the master
+// and relinquish nothing directly — the resources flow back through the
+// lower cascade levels; the master decides whether this executor vacates
+// (self-deflation) or runs slower (VM-level).
+func (w *WorkerApp) SelfDeflate(target restypes.Vector) (restypes.Vector, time.Duration) {
+	frac := target.FractionOf(w.size).MaxComponent()
+	if frac >= 1 {
+		frac = 0.95
+	}
+	if frac > 0 {
+		_ = w.master.RequestDeflation(w.idx, frac)
+	}
+	return restypes.Vector{}, 0
+}
+
+// Reinflate implements vm.Application.
+func (w *WorkerApp) Reinflate(env hypervisor.Env) { w.ObserveEnv(env) }
+
+// ObserveEnv implements vm.EnvObserver: the executor's per-slot speed
+// follows the VM's effective CPU (and any swap pressure is reflected in
+// EffectiveCores being the binding factor for compute-bound tasks).
+func (w *WorkerApp) ObserveEnv(env hypervisor.Env) {
+	x := w.master.cluster.Executors()[w.idx]
+	if !x.Alive() {
+		return
+	}
+	speed := 1.0
+	if w.size.CPU > 0 {
+		speed = env.EffectiveCores / w.size.CPU
+	}
+	x.Speed = math.Min(1, math.Max(0.01, speed))
+}
+
+// Throughput implements vm.Application: the worker's share of the job's
+// progress rate — its executor's current speed if scheduled, 0 if
+// blacklisted or OOM-killed.
+func (w *WorkerApp) Throughput(env hypervisor.Env) float64 {
+	if env.OOMKilled {
+		return 0
+	}
+	x := w.master.cluster.Executors()[w.idx]
+	if !x.Alive() {
+		return 0
+	}
+	return x.Speed
+}

@@ -1,0 +1,204 @@
+package spark
+
+import (
+	"testing"
+
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+)
+
+// masterJob builds a map-heavy job over a cached source (self-deflation
+// friendly) or a shuffle-heavy one.
+func masterJob(t *testing.T, shuffleHeavy bool) (*Cluster, *BatchJob, *Master) {
+	t.Helper()
+	cluster := mustCluster(t, 8, 4, 8192)
+	var job *BatchJob
+	var err error
+	if shuffleHeavy {
+		job = shuffleHeavyJob(t)
+	} else {
+		job = mapHeavyJob(t)
+	}
+	m, err := NewMaster(cluster, job, EstimatorHeuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster, job, m
+}
+
+func TestMasterBaselineRun(t *testing.T) {
+	_, _, m := masterJob(t, true)
+	res, err := m.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DurationSecs <= 0 || len(m.Decisions()) != 0 {
+		t.Errorf("baseline: %+v, decisions %v", res, m.Decisions())
+	}
+	if m.Engine().Progress() < 1 {
+		t.Error("job incomplete")
+	}
+}
+
+func TestMasterPolicyAtStageBoundary(t *testing.T) {
+	cluster, _, m := masterJob(t, true)
+	fired := false
+	_, err := m.Run(func(progress float64, _ *Engine) {
+		if fired || progress < 0.5 || progress >= 1 {
+			return
+		}
+		fired = true
+		for i := 0; i < 8; i++ {
+			f := 0.45
+			if i%2 == 0 {
+				f = 0.55
+			}
+			if err := m.RequestDeflation(i, f); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs := m.Decisions()
+	if len(decs) != 1 {
+		t.Fatalf("decisions = %d, want 1 (requests coalesced into one wave)", len(decs))
+	}
+	// Shuffle-heavy: VM-level; nobody blacklisted.
+	if decs[0].Mechanism != MechVMLevel {
+		t.Errorf("chose %v, want vm-level", decs[0].Mechanism)
+	}
+	if len(cluster.Alive()) != 8 {
+		t.Errorf("alive = %d, want 8", len(cluster.Alive()))
+	}
+}
+
+func TestMasterDuplicateRequestsKeepMax(t *testing.T) {
+	_, _, m := masterJob(t, false)
+	if err := m.RequestDeflation(0, 0.3); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RequestDeflation(0, 0.6); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RequestDeflation(0, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.pending[0]; got != 0.6 {
+		t.Errorf("pending = %g, want max 0.6", got)
+	}
+}
+
+func TestMasterClampsFraction(t *testing.T) {
+	_, _, m := masterJob(t, false)
+	if err := m.RequestDeflation(0, 1.0); err == nil {
+		t.Error("fraction 1 accepted")
+	}
+	if err := m.RequestDeflation(8, 0.5); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+}
+
+func TestWorkerAppLifecycle(t *testing.T) {
+	cluster, _, m := masterJob(t, false)
+	size := restypes.V(4, 16384, 400, 1250)
+	w, err := NewWorkerApp(m, 2, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name() != "spark-worker-2" {
+		t.Errorf("name = %q", w.Name())
+	}
+	rss, cache := w.Footprint()
+	if rss != 8192 || cache != 16384*0.2 {
+		t.Errorf("footprint = %g/%g", rss, cache)
+	}
+
+	// SelfDeflate relays and defers.
+	rel, lat := w.SelfDeflate(restypes.V(2, 8192, 0, 0))
+	if !rel.IsZero() || lat != 0 {
+		t.Errorf("worker relinquished directly: %v", rel)
+	}
+	if got := m.pending[2]; got != 0.5 {
+		t.Errorf("relayed fraction = %g, want 0.5 (binding dimension)", got)
+	}
+
+	// Over-full targets clamp below 1.
+	w.SelfDeflate(size)
+	if got := m.pending[2]; got != 0.95 {
+		t.Errorf("clamped fraction = %g, want 0.95", got)
+	}
+
+	// ObserveEnv drives the executor speed.
+	env := hypervisor.Env{EffectiveCores: 2}
+	w.ObserveEnv(env)
+	if got := cluster.Executors()[2].Speed; got != 0.5 {
+		t.Errorf("executor speed = %g, want 0.5", got)
+	}
+	if got := w.Throughput(env); got != 0.5 {
+		t.Errorf("throughput = %g", got)
+	}
+	if got := w.Throughput(hypervisor.Env{OOMKilled: true}); got != 0 {
+		t.Errorf("OOM throughput = %g", got)
+	}
+
+	// Reinflate restores speed.
+	w.Reinflate(hypervisor.Env{EffectiveCores: 4})
+	if got := cluster.Executors()[2].Speed; got != 1 {
+		t.Errorf("speed after reinflate = %g", got)
+	}
+
+	// Dead executors keep zero throughput and ignore env pushes.
+	m.eng.Blacklist([]string{"exec-2"})
+	w.ObserveEnv(env)
+	if got := w.Throughput(env); got != 0 {
+		t.Errorf("dead worker throughput = %g", got)
+	}
+}
+
+func TestMasterAccessors(t *testing.T) {
+	_, job, m := masterJob(t, false)
+	if m.Engine() == nil {
+		t.Error("nil engine")
+	}
+	if m.Engine().NowSecs() != 0 {
+		t.Error("fresh engine has elapsed time")
+	}
+	_ = job
+}
+
+func TestTrainingReviveWorkers(t *testing.T) {
+	j := &TrainingJob{Name: "t", Iterations: 40, IterSecs: 10, Workers: 8,
+		RecordsPerIter: 800, RestartSecs: 50, CheckpointEvery: 10, CheckpointOverhead: 0.2}
+	r, err := NewTrainingRun(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 15; i++ {
+		r.Step()
+	}
+	if err := r.KillWorkers(4); err != nil {
+		t.Fatal(err)
+	}
+	slow := r.IterSecs()
+	elapsedBefore := r.ElapsedSecs()
+	if err := r.ReviveWorkers(4); err != nil {
+		t.Fatal(err)
+	}
+	if r.ElapsedSecs() <= elapsedBefore {
+		t.Error("revive charged no restart time")
+	}
+	if r.Completed() != 10 {
+		t.Errorf("completed = %d, want checkpoint 10", r.Completed())
+	}
+	if r.IterSecs() >= slow {
+		t.Errorf("iteration time %g not restored below %g", r.IterSecs(), slow)
+	}
+	if err := r.ReviveWorkers(1); err == nil {
+		t.Error("revive with no dead workers accepted")
+	}
+	if err := r.ReviveWorkers(0); err != nil {
+		t.Error(err)
+	}
+}

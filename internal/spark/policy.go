@@ -1,0 +1,186 @@
+package spark
+
+import (
+	"fmt"
+	"math"
+)
+
+// Mechanism is the deflation mechanism the policy selects between (§4.1):
+// application self-deflation (kill tasks, blacklist executors) or VM-level
+// deflation (OS + hypervisor reclamation; executors slow down).
+type Mechanism int
+
+const (
+	// MechVMLevel leaves the application alone and lets the OS/hypervisor
+	// reclaim: deflated VMs run tasks slower and straggle.
+	MechVMLevel Mechanism = iota
+	// MechSelf terminates tasks and blacklists executors on deflated VMs:
+	// even load on survivors, but lost outputs must be recomputed.
+	MechSelf
+)
+
+// String returns "vm-level" or "self".
+func (m Mechanism) String() string {
+	if m == MechSelf {
+		return "self"
+	}
+	return "vm-level"
+}
+
+// Estimator selects how the policy estimates r, the recomputation fraction
+// (§4.1 offers three choices).
+type Estimator int
+
+const (
+	// EstimatorHeuristic uses r = synchronous (shuffle) work fraction — the
+	// paper's default middle ground.
+	EstimatorHeuristic Estimator = iota
+	// EstimatorWorstCase uses r = 1.
+	EstimatorWorstCase
+	// EstimatorDAG uses the exact lineage-derived recomputation cost.
+	EstimatorDAG
+)
+
+// String names the estimator.
+func (e Estimator) String() string {
+	switch e {
+	case EstimatorHeuristic:
+		return "heuristic"
+	case EstimatorWorstCase:
+		return "worst-case"
+	case EstimatorDAG:
+		return "dag"
+	}
+	return fmt.Sprintf("Estimator(%d)", int(e))
+}
+
+// PolicyInputs carries the master's view when deflation requests arrive.
+type PolicyInputs struct {
+	// Progress is c, the fraction of the job completed (estimated as the
+	// fraction of stage work done).
+	Progress float64
+	// Deflation is the deflation vector d: the requested deflation fraction
+	// for each worker VM (0 for undeflated workers).
+	Deflation []float64
+	// ShuffleFraction is the measured synchronous-work share, the
+	// heuristic's r.
+	ShuffleFraction float64
+	// NextStageIsShuffle forces r = 1 ("the terminated tasks will not have
+	// their RDDs cached, and will require recomputation").
+	NextStageIsShuffle bool
+	// DAGRecomputeFraction is the exact lineage estimate (recompute work /
+	// total job work), used by EstimatorDAG.
+	DAGRecomputeFraction float64
+}
+
+// Decision is the policy's output, with the two runtime estimates for
+// inspection.
+type Decision struct {
+	Mechanism Mechanism
+	R         float64 // recomputation fraction used
+	TVM       float64 // Eq. 1 estimate, normalized to undeflated runtime T
+	TSelf     float64 // Eq. 3 estimate
+}
+
+// Decide implements the paper's running-time-minimizing deflation policy:
+// it estimates the normalized running time under VM-level deflation (Eq. 1)
+// and under self-deflation (Eq. 3) and picks the minimum.
+//
+//	T_vm   = c + (1-c)/(1-max d)
+//	T_self = c + (r·c + 1-c)/(1-mean d)
+func Decide(in PolicyInputs, est Estimator) (Decision, error) {
+	if in.Progress < 0 || in.Progress > 1 {
+		return Decision{}, fmt.Errorf("spark: progress %g out of [0,1]", in.Progress)
+	}
+	if len(in.Deflation) == 0 {
+		return Decision{}, fmt.Errorf("spark: empty deflation vector")
+	}
+	maxD, sumD := 0.0, 0.0
+	for _, d := range in.Deflation {
+		if d < 0 || d >= 1 {
+			return Decision{}, fmt.Errorf("spark: deflation fraction %g out of [0,1)", d)
+		}
+		sumD += d
+		if d > maxD {
+			maxD = d
+		}
+	}
+	meanD := sumD / float64(len(in.Deflation))
+
+	var r float64
+	switch est {
+	case EstimatorHeuristic:
+		r = in.ShuffleFraction
+		if in.NextStageIsShuffle {
+			r = 1
+		}
+	case EstimatorWorstCase:
+		r = 1
+	case EstimatorDAG:
+		r = in.DAGRecomputeFraction
+	default:
+		return Decision{}, fmt.Errorf("spark: unknown estimator %d", int(est))
+	}
+	r = math.Min(math.Max(r, 0), 1)
+
+	c := in.Progress
+	tvm := c + (1-c)/(1-maxD)
+	tself := c + (r*c+1-c)/(1-meanD)
+
+	d := Decision{R: r, TVM: tvm, TSelf: tself, Mechanism: MechVMLevel}
+	if tself < tvm {
+		d.Mechanism = MechSelf
+	}
+	return d, nil
+}
+
+// ChooseVictims picks which executors self-deflation should blacklist for a
+// given deflation vector: the engine frees resources by killing whole
+// executors whose combined share matches the mean deflation, preferring the
+// most-deflated VMs (their resources are being reclaimed anyway). Executor
+// i corresponds to Deflation[i].
+func ChooseVictims(c *Cluster, deflation []float64) []string {
+	execs := c.Executors()
+	n := len(execs)
+	if len(deflation) < n {
+		n = len(deflation)
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += deflation[i]
+	}
+	kills := int(math.Round(sum))
+	if kills <= 0 {
+		return nil
+	}
+	alive := 0
+	for _, x := range execs[:n] {
+		if x.Alive() {
+			alive++
+		}
+	}
+	if kills >= alive {
+		kills = alive - 1 // always keep one executor
+	}
+	// Sort candidate indices by deflation fraction, most deflated first;
+	// stable on index for determinism.
+	idx := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if execs[i].Alive() {
+			idx = append(idx, i)
+		}
+	}
+	for i := 1; i < len(idx); i++ { // insertion sort, stable
+		for j := i; j > 0 && deflation[idx[j]] > deflation[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	var out []string
+	for _, i := range idx {
+		if len(out) >= kills {
+			break
+		}
+		out = append(out, execs[i].ID)
+	}
+	return out
+}

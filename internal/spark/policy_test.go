@@ -1,0 +1,172 @@
+package spark
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDecideValidation(t *testing.T) {
+	if _, err := Decide(PolicyInputs{Progress: -0.1, Deflation: []float64{0.5}}, EstimatorHeuristic); err == nil {
+		t.Error("negative progress accepted")
+	}
+	if _, err := Decide(PolicyInputs{Progress: 0.5}, EstimatorHeuristic); err == nil {
+		t.Error("empty deflation vector accepted")
+	}
+	if _, err := Decide(PolicyInputs{Progress: 0.5, Deflation: []float64{1.0}}, EstimatorHeuristic); err == nil {
+		t.Error("deflation=1 accepted")
+	}
+	if _, err := Decide(PolicyInputs{Progress: 0.5, Deflation: []float64{0.5}}, Estimator(99)); err == nil {
+		t.Error("unknown estimator accepted")
+	}
+}
+
+func TestDecideEquationValues(t *testing.T) {
+	// Uniform d=0.5 at c=0.5 with r=0.2:
+	// T_vm = 0.5 + 0.5/0.5 = 1.5; T_self = 0.5 + (0.1+0.5)/0.5 = 1.7.
+	dec, err := Decide(PolicyInputs{
+		Progress:        0.5,
+		Deflation:       []float64{0.5, 0.5, 0.5, 0.5},
+		ShuffleFraction: 0.2,
+	}, EstimatorHeuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(dec.TVM-1.5) > 1e-12 || math.Abs(dec.TSelf-1.7) > 1e-12 {
+		t.Errorf("TVM/TSelf = %g/%g, want 1.5/1.7", dec.TVM, dec.TSelf)
+	}
+	if dec.Mechanism != MechVMLevel {
+		t.Errorf("mechanism = %v, want vm-level", dec.Mechanism)
+	}
+}
+
+func TestDecideSkewFavorsSelfForLowR(t *testing.T) {
+	// Uneven deflation: max 0.7, mean 0.4. Cheap recompute (r=0.05):
+	// T_vm = 0.5 + 0.5/0.3 = 2.17; T_self = 0.5 + 0.525/0.6 = 1.375.
+	dec, err := Decide(PolicyInputs{
+		Progress:        0.5,
+		Deflation:       []float64{0.7, 0.1},
+		ShuffleFraction: 0.05,
+	}, EstimatorHeuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Mechanism != MechSelf {
+		t.Errorf("mechanism = %v, want self (TVM=%g TSelf=%g)", dec.Mechanism, dec.TVM, dec.TSelf)
+	}
+}
+
+func TestDecideNextShuffleForcesWorstCase(t *testing.T) {
+	dec, err := Decide(PolicyInputs{
+		Progress:           0.5,
+		Deflation:          []float64{0.7, 0.1},
+		ShuffleFraction:    0.05,
+		NextStageIsShuffle: true,
+	}, EstimatorHeuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.R != 1 {
+		t.Errorf("r = %g, want 1 (pending shuffle)", dec.R)
+	}
+	if dec.Mechanism != MechVMLevel {
+		t.Errorf("mechanism = %v, want vm-level under worst-case r", dec.Mechanism)
+	}
+}
+
+func TestDecideEstimators(t *testing.T) {
+	in := PolicyInputs{
+		Progress:             0.5,
+		Deflation:            []float64{0.5},
+		ShuffleFraction:      0.3,
+		DAGRecomputeFraction: 0.1,
+	}
+	h, _ := Decide(in, EstimatorHeuristic)
+	w, _ := Decide(in, EstimatorWorstCase)
+	d, _ := Decide(in, EstimatorDAG)
+	if h.R != 0.3 || w.R != 1 || d.R != 0.1 {
+		t.Errorf("r per estimator = %g/%g/%g, want 0.3/1/0.1", h.R, w.R, d.R)
+	}
+}
+
+func TestDecideLateJobPrefersVMLevel(t *testing.T) {
+	// Near completion, recomputation risk dominates: "our policy tends to
+	// use VM overcommitment for jobs that are close to completion".
+	dec, err := Decide(PolicyInputs{
+		Progress:        0.95,
+		Deflation:       []float64{0.6, 0.2},
+		ShuffleFraction: 0.5,
+	}, EstimatorHeuristic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dec.Mechanism != MechVMLevel {
+		t.Errorf("late-job mechanism = %v, want vm-level", dec.Mechanism)
+	}
+}
+
+func TestMechanismEstimatorStrings(t *testing.T) {
+	if MechSelf.String() != "self" || MechVMLevel.String() != "vm-level" {
+		t.Error("mechanism strings wrong")
+	}
+	if EstimatorHeuristic.String() != "heuristic" || EstimatorWorstCase.String() != "worst-case" ||
+		EstimatorDAG.String() != "dag" {
+		t.Error("estimator strings wrong")
+	}
+}
+
+func TestQuickDecideEstimatesAreSane(t *testing.T) {
+	f := func(c, d1, d2, r uint8) bool {
+		in := PolicyInputs{
+			Progress:        float64(c%100) / 100,
+			Deflation:       []float64{float64(d1%90) / 100, float64(d2%90) / 100},
+			ShuffleFraction: float64(r%100) / 100,
+		}
+		dec, err := Decide(in, EstimatorHeuristic)
+		if err != nil {
+			return false
+		}
+		// Both estimates are ≥ 1 (deflation never speeds a job up) and the
+		// chosen mechanism has the smaller estimate.
+		if dec.TVM < 1-1e-9 || dec.TSelf < 1-1e-9 {
+			return false
+		}
+		if dec.Mechanism == MechSelf {
+			return dec.TSelf < dec.TVM
+		}
+		return dec.TVM <= dec.TSelf
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChooseVictims(t *testing.T) {
+	c := mustCluster(t, 4, 2, 100)
+
+	// Sum 2.0 → kill 2, the most deflated first.
+	got := ChooseVictims(c, []float64{0.9, 0.3, 0.5, 0.3})
+	if len(got) != 2 || got[0] != "exec-0" || got[1] != "exec-2" {
+		t.Errorf("victims = %v, want [exec-0 exec-2]", got)
+	}
+
+	// Tiny total deflation → no kills.
+	if got := ChooseVictims(c, []float64{0.1, 0.1, 0.1, 0.1}); got != nil {
+		t.Errorf("victims = %v, want none", got)
+	}
+
+	// Never kills the last executor.
+	got = ChooseVictims(c, []float64{0.99, 0.99, 0.99, 0.99})
+	if len(got) != 3 {
+		t.Errorf("kill count = %d, want 3 (one survivor)", len(got))
+	}
+
+	// Dead executors are not re-selected.
+	c.Executor("exec-0").alive = false
+	got = ChooseVictims(c, []float64{0.9, 0.9, 0.2, 0.2})
+	for _, id := range got {
+		if id == "exec-0" {
+			t.Error("dead executor selected as victim")
+		}
+	}
+}

@@ -1,0 +1,256 @@
+package spark
+
+import (
+	"testing"
+)
+
+// shuffleHeavyJob mimics ALS structure: long chain of big shuffles.
+func shuffleHeavyJob(t *testing.T) *BatchJob {
+	t.Helper()
+	ctx := NewContext()
+	cur := ctx.Source("in", 32, 2.0, 40)
+	for i := 0; i < 8; i++ {
+		cur = cur.Shuffle("solve", 32, 2.0, 40)
+	}
+	j, err := NewBatchJob("heavy", cur, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+// mapHeavyJob mimics K-means structure: cached input, iterated maps with
+// tiny driver-held aggregations.
+func mapHeavyJob(t *testing.T) *BatchJob {
+	t.Helper()
+	ctx := NewContext()
+	points := ctx.Source("points", 32, 2.0, 40).Cache()
+	var centers *RDD
+	for i := 0; i < 8; i++ {
+		deps := []Dep{{Parent: points}}
+		if centers != nil {
+			deps = append(deps, Dep{Parent: centers, Broadcast: true})
+		}
+		assign := ctx.Transform("assign", 32, 2.0, 1, deps...)
+		centers = assign.Shuffle("update", 4, 0.1, 1).CollectToDriver()
+	}
+	j, err := NewBatchJob("maps", centers, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return j
+}
+
+func jitter(n int, d float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if i%2 == 0 {
+			out[i] = d * 1.1
+		} else {
+			out[i] = d * 0.9
+		}
+		if out[i] >= 0.95 {
+			out[i] = 0.95
+		}
+	}
+	return out
+}
+
+func runScenario(t *testing.T, build func(*testing.T) *BatchJob, mech PressureMechanism, d float64) ScenarioResult {
+	t.Helper()
+	c := mustCluster(t, 8, 4, 8192)
+	res, err := RunBatchScenario(c, build(t), &PressureSpec{
+		AtProgress: 0.5, Deflation: jitter(8, d), Mechanism: mech, Estimator: EstimatorHeuristic,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fired {
+		t.Fatal("pressure did not fire")
+	}
+	return res
+}
+
+func baseline(t *testing.T, build func(*testing.T) *BatchJob) float64 {
+	t.Helper()
+	c := mustCluster(t, 8, 4, 8192)
+	res, err := RunBatchScenario(c, build(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.DurationSecs
+}
+
+func TestScenarioOrderingShuffleHeavy(t *testing.T) {
+	// Fig. 6a shape: VM < Self < Preemption; policy picks VM-level.
+	base := baseline(t, shuffleHeavyJob)
+	vm := runScenario(t, shuffleHeavyJob, PressureVMLevel, 0.5)
+	self := runScenario(t, shuffleHeavyJob, PressureSelf, 0.5)
+	pre := runScenario(t, shuffleHeavyJob, PressurePreempt, 0.5)
+	pol := runScenario(t, shuffleHeavyJob, PressurePolicy, 0.5)
+
+	nv, ns, np := vm.DurationSecs/base, self.DurationSecs/base, pre.DurationSecs/base
+	if !(nv < ns && ns < np) {
+		t.Errorf("ordering violated: VM %.2f, Self %.2f, Preempt %.2f", nv, ns, np)
+	}
+	if nv < 1.2 || nv > 2.0 {
+		t.Errorf("VM-level at 50%% = %.2f, want ≈1.5", nv)
+	}
+	if pol.Chosen != PressureVMLevel {
+		t.Errorf("policy chose %v for shuffle-heavy job, want VM", pol.Chosen)
+	}
+	if self.RecomputeSecs <= 0 {
+		t.Error("self-deflation caused no recomputation on a shuffle-heavy job")
+	}
+	// Self beats preemption (restart overhead), by a modest margin (§6.2:
+	// ≈15%).
+	if np/ns < 1.03 {
+		t.Errorf("preemption %.2f not meaningfully worse than self %.2f", np, ns)
+	}
+}
+
+func TestScenarioOrderingMapHeavy(t *testing.T) {
+	// Fig. 6b shape: Self ≤ VM; policy picks self.
+	base := baseline(t, mapHeavyJob)
+	vm := runScenario(t, mapHeavyJob, PressureVMLevel, 0.5)
+	self := runScenario(t, mapHeavyJob, PressureSelf, 0.5)
+	pol := runScenario(t, mapHeavyJob, PressurePolicy, 0.5)
+
+	nv, ns := vm.DurationSecs/base, self.DurationSecs/base
+	if ns >= nv {
+		t.Errorf("self %.2f not better than VM %.2f for map-heavy job", ns, nv)
+	}
+	if ns < 1.1 || ns > 1.8 {
+		t.Errorf("self at 50%% = %.2f, want ≈1.4", ns)
+	}
+	if pol.Chosen != PressureSelf {
+		t.Errorf("policy chose %v for map-heavy job, want Self", pol.Chosen)
+	}
+}
+
+func TestScenarioDeflationPointCrossover(t *testing.T) {
+	// Fig. 7a shape: early deflation favors self (little to recompute);
+	// late deflation favors VM-level.
+	relAt := func(mech PressureMechanism, at float64) float64 {
+		c := mustCluster(t, 8, 4, 8192)
+		res, err := RunBatchScenario(c, shuffleHeavyJob(t), &PressureSpec{
+			AtProgress: at, Deflation: jitter(8, 0.5), Mechanism: mech,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.DurationSecs / baseline(t, shuffleHeavyJob)
+	}
+	earlySelf, earlyVM := relAt(PressureSelf, 0.15), relAt(PressureVMLevel, 0.15)
+	lateSelf, lateVM := relAt(PressureSelf, 0.7), relAt(PressureVMLevel, 0.7)
+	if earlySelf >= earlyVM {
+		t.Errorf("early: self %.2f not better than VM %.2f", earlySelf, earlyVM)
+	}
+	if lateSelf <= lateVM {
+		t.Errorf("late: self %.2f not worse than VM %.2f", lateSelf, lateVM)
+	}
+}
+
+func TestScenarioOverheadDecreasesWithLaterDeflation(t *testing.T) {
+	// Fig. 7a: "the overhead trends downwards for both techniques since a
+	// smaller fraction of the job needs to run with reduced resources."
+	prev := 10.0
+	for _, at := range []float64{0.2, 0.45, 0.7} {
+		c := mustCluster(t, 8, 4, 8192)
+		res, err := RunBatchScenario(c, shuffleHeavyJob(t), &PressureSpec{
+			AtProgress: at, Deflation: jitter(8, 0.5), Mechanism: PressureVMLevel,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := res.DurationSecs / baseline(t, shuffleHeavyJob)
+		if n >= prev {
+			t.Errorf("VM-level overhead at progress %.2f = %.2f, not below %.2f", at, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestScenarioNoPressureMatchesBaseline(t *testing.T) {
+	c := mustCluster(t, 8, 4, 8192)
+	res, err := RunBatchScenario(c, shuffleHeavyJob(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fired {
+		t.Error("pressure fired with nil spec")
+	}
+	if res.DurationSecs != baseline(t, shuffleHeavyJob) {
+		t.Error("nil-pressure run differs from baseline")
+	}
+}
+
+func TestVMLevelSpeedFactor(t *testing.T) {
+	if VMLevelSpeedFactor(0) != 1 {
+		t.Error("zero deflation has a penalty")
+	}
+	if VMLevelSpeedFactor(1) != 0.01 {
+		t.Error("full deflation floor wrong")
+	}
+	// Deflating 50% costs more than 50% of speed (overcommit residue).
+	f := VMLevelSpeedFactor(0.5)
+	if f >= 0.5 || f <= 0.2 {
+		t.Errorf("factor at 0.5 = %g, want in (0.2, 0.5)", f)
+	}
+	if VMLevelSpeedFactor(0.25) <= f {
+		t.Error("factor not monotone")
+	}
+}
+
+func TestTrainingScenarioShapes(t *testing.T) {
+	// Fig. 6c shape: VM-level mild, kill-based mechanisms harsh, policy
+	// picks VM-level.
+	cnn := func(ckpt bool) *TrainingJob {
+		j := &TrainingJob{Name: "cnn", Iterations: 80, IterSecs: 30, Workers: 8,
+			RecordsPerIter: 720 * 30, RestartSecs: 90, Curve: CurveCNNTraining}
+		if ckpt {
+			j.CheckpointEvery = 10
+			j.CheckpointOverhead = 0.2
+		}
+		return j
+	}
+	base, _, err := RunTrainingScenario(cnn(false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := func(m PressureMechanism) *PressureSpec {
+		return &PressureSpec{AtProgress: 0.5, Deflation: jitter(8, 0.5), Mechanism: m}
+	}
+	vmEl, chosen, err := RunTrainingScenario(cnn(false), spec(PressureVMLevel))
+	if err != nil || chosen != PressureVMLevel {
+		t.Fatalf("vm: %v %v", err, chosen)
+	}
+	selfEl, _, err := RunTrainingScenario(cnn(true), spec(PressureSelf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	preEl, _, err := RunTrainingScenario(cnn(true), spec(PressurePreempt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	polEl, polChosen, err := RunTrainingScenario(cnn(false), spec(PressurePolicy))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nv, ns, np := vmEl/base, selfEl/base, preEl/base
+	if nv < 1.1 || nv > 1.45 {
+		t.Errorf("CNN VM-level at 50%% = %.2f, want ≈1.2-1.3 (paper: 20%%)", nv)
+	}
+	if ns <= nv || np <= ns {
+		t.Errorf("ordering violated: VM %.2f, Self %.2f, Preempt %.2f", nv, ns, np)
+	}
+	// Paper: deflation ≈2× better than preemption for CNN.
+	if np/nv < 1.5 {
+		t.Errorf("preempt/VM ratio = %.2f, want ≥1.5 (paper ≈2)", np/nv)
+	}
+	if polChosen != PressureVMLevel {
+		t.Errorf("policy chose %v for training, want VM", polChosen)
+	}
+	_ = polEl
+}

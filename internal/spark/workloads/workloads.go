@@ -1,0 +1,131 @@
+// Package workloads builds the paper's four distributed workloads (Table 2)
+// on the mini-Spark engine: ALS and K-means as RDD DAG jobs with the
+// structural traits the paper's Fig. 6 behaviour depends on (ALS
+// shuffle-heavy, K-means map-heavy over a cached input), and CNN/RNN as
+// synchronous training jobs.
+package workloads
+
+import (
+	"fmt"
+
+	"deflation/internal/spark"
+)
+
+// Params sizes the batch workloads. The defaults mirror the paper's setup:
+// 8 worker VMs with 4 vCPUs each.
+type Params struct {
+	Workers    int // default 8
+	Slots      int // per worker, default 4
+	Partitions int // default 64
+	Iterations int // default 6
+	// SerialSecs is the driver overhead per stage (default 6s) — the
+	// source of sublinear executor scaling.
+	SerialSecs float64
+	// ExecMemMB is executor storage memory (default 8192).
+	ExecMemMB float64
+}
+
+func (p Params) withDefaults() Params {
+	if p.Workers == 0 {
+		p.Workers = 8
+	}
+	if p.Slots == 0 {
+		p.Slots = 4
+	}
+	if p.Partitions == 0 {
+		p.Partitions = 64
+	}
+	if p.Iterations == 0 {
+		p.Iterations = 6
+	}
+	if p.SerialSecs == 0 {
+		p.SerialSecs = 2.5
+	}
+	if p.ExecMemMB == 0 {
+		p.ExecMemMB = 8192
+	}
+	return p
+}
+
+// Cluster builds a fresh executor cluster matching the params.
+func (p Params) Cluster() (*spark.Cluster, error) {
+	p = p.withDefaults()
+	return spark.NewCluster(p.Workers, p.Slots, p.ExecMemMB)
+}
+
+// ALS builds the mllib Alternating-Least-Squares job (100 GB ratings):
+// every iteration alternates two shuffles (solve user factors from item
+// factors and vice versa), making the DAG shuffle-heavy — recomputation
+// after losing executors is expensive, so the paper's policy picks VM-level
+// deflation for it (Fig. 6a).
+func ALS(p Params) (*spark.BatchJob, error) {
+	p = p.withDefaults()
+	ctx := spark.NewContext()
+	ratings := ctx.Source("ratings", p.Partitions, 4.0, 80)
+	cur := ratings.Map("blockify", 1.5, 60)
+	for i := 0; i < p.Iterations; i++ {
+		cur = cur.Shuffle(fmt.Sprintf("user-solve-%d", i), p.Partitions, 3.2, 40)
+		cur = cur.Shuffle(fmt.Sprintf("item-solve-%d", i), p.Partitions, 3.2, 40)
+	}
+	final := cur.Shuffle("rmse", 8, 0.3, 1)
+	return spark.NewBatchJob("als", final, p.SerialSecs)
+}
+
+// KMeans builds the mllib dense K-means job (50 GB points): the input is
+// cached, iterations are dominated by the assignment map with only a tiny
+// center-aggregation shuffle — recomputation after executor loss is cheap,
+// so self-deflation wins (Fig. 6b).
+func KMeans(p Params) (*spark.BatchJob, error) {
+	p = p.withDefaults()
+	ctx := spark.NewContext()
+	points := ctx.Source("points", p.Partitions, 2.5, 60).Cache()
+	var centers *spark.RDD
+	for i := 0; i < p.Iterations; i++ {
+		deps := []spark.Dep{{Parent: points}}
+		if centers != nil {
+			// Each iteration reuses the cached points and consumes the
+			// previous iteration's centers (a tiny shuffled dataset).
+			deps = append(deps, spark.Dep{Parent: centers, Broadcast: true})
+		}
+		assign := ctx.Transform(fmt.Sprintf("assign-%d", i), p.Partitions, 2.2, 1, deps...)
+		centers = assign.Shuffle(fmt.Sprintf("update-centers-%d", i), 8, 0.15, 1).CollectToDriver()
+	}
+	return spark.NewBatchJob("kmeans", centers, p.SerialSecs)
+}
+
+// CNN builds the BigDL ResNet/CIFAR-10 training job (batch size 720,
+// depth 20): synchronous iterations on 8 workers.
+func CNN(checkpointing bool) *spark.TrainingJob {
+	j := &spark.TrainingJob{
+		Name:           "cnn",
+		Iterations:     80,
+		IterSecs:       30,
+		Workers:        8,
+		RecordsPerIter: 720 * 30, // ≈720 records/s at full speed
+		RestartSecs:    90,
+		Curve:          spark.CurveCNNTraining,
+	}
+	if checkpointing {
+		j.CheckpointEvery = 10
+		j.CheckpointOverhead = 0.20
+	}
+	return j
+}
+
+// RNN builds the BigDL recurrent-network job over the Shakespeare corpus.
+func RNN(checkpointing bool) *spark.TrainingJob {
+	j := &spark.TrainingJob{
+		Name:           "rnn",
+		Iterations:     80,
+		IterSecs:       24,
+		Workers:        8,
+		RecordsPerIter: 4096,
+		RestartSecs:    90,
+		Curve:          spark.CurveRNNTraining,
+	}
+	if checkpointing {
+		j.CheckpointEvery = 10
+		j.CheckpointOverhead = 0.20
+	}
+	return j
+}

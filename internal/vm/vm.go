@@ -1,0 +1,169 @@
+// Package vm composes a hypervisor domain, its guest OS, and an application
+// into a deflatable VM — the unit the paper's cascade deflation and cluster
+// manager operate on (§3, §5).
+//
+// A deflatable VM carries a priority class (high-priority VMs are never
+// deflated or preempted), an optional minimum size m_i below which deflation
+// is unsafe and preemption is used instead, and the application whose
+// deflation policy participates in the cascade.
+package vm
+
+import (
+	"fmt"
+	"time"
+
+	"deflation/internal/hypervisor"
+	"deflation/internal/restypes"
+)
+
+// Priority classifies a VM for reclamation purposes.
+type Priority int
+
+const (
+	// LowPriority VMs are deflatable (and, past their minimum size,
+	// preemptible). These are the transient VMs.
+	LowPriority Priority = iota
+	// HighPriority VMs are non-deflatable and non-preemptible.
+	HighPriority
+)
+
+// String returns "low" or "high".
+func (p Priority) String() string {
+	if p == HighPriority {
+		return "high"
+	}
+	return "low"
+}
+
+// Application is implemented by workloads that run inside a deflatable VM.
+// Implementations live in internal/apps and internal/spark.
+//
+// All methods are invoked from the single-threaded simulation loop.
+type Application interface {
+	// Name identifies the workload (for logs and reports).
+	Name() string
+
+	// Footprint returns the application's current memory footprint: its
+	// resident set and the page cache it generates. The VM propagates this
+	// to the guest OS after every change.
+	Footprint() (rssMB, pageCacheMB float64)
+
+	// SelfDeflate asks the application to voluntarily relinquish resources
+	// toward the reclamation target (absolute amounts). It returns what was
+	// actually relinquished — possibly zero for inelastic applications —
+	// and the latency of the application-level mechanism (LRU eviction,
+	// GC, task termination). Per §3.2.1 this is best-effort: applications
+	// may ignore the request entirely.
+	SelfDeflate(target restypes.Vector) (relinquished restypes.Vector, latency time.Duration)
+
+	// Reinflate notifies the application that previously reclaimed
+	// resources are available again, with its new full environment.
+	Reinflate(env hypervisor.Env)
+
+	// Throughput returns the application's normalized performance (1 = full
+	// allocation) in the given environment. Returns 0 once OOM-killed.
+	Throughput(env hypervisor.Env) float64
+}
+
+// EnvObserver is optionally implemented by applications that need to track
+// their effective environment as it changes (e.g. a Spark worker updating
+// its executor's task speed after VM-level deflation). The cascade
+// controller calls ObserveEnv after every deflation and reinflation.
+type EnvObserver interface {
+	ObserveEnv(env hypervisor.Env)
+}
+
+// ObserveEnv pushes the VM's current environment to the application if it
+// implements EnvObserver.
+func (v *VM) ObserveEnv() {
+	if obs, ok := v.app.(EnvObserver); ok {
+		obs.ObserveEnv(v.dom.Env())
+	}
+}
+
+// VM is a deflatable (or high-priority, non-deflatable) virtual machine.
+type VM struct {
+	dom      *hypervisor.Domain
+	app      Application
+	priority Priority
+	minSize  restypes.Vector // m_i: deflation floor; zero means "fully deflatable"
+}
+
+// Config bundles VM creation parameters.
+type Config struct {
+	Priority Priority
+	// MinSize is the minimum viable allocation m_i (§5). Deflating below it
+	// is refused by policy; the cluster manager preempts instead. A zero
+	// vector (the default) means the VM tolerates arbitrary deflation.
+	MinSize restypes.Vector
+}
+
+// New wraps a booted domain and its application as a deflatable VM.
+func New(dom *hypervisor.Domain, app Application, cfg Config) (*VM, error) {
+	if dom == nil {
+		return nil, fmt.Errorf("vm: nil domain")
+	}
+	if app == nil {
+		return nil, fmt.Errorf("vm: nil application")
+	}
+	if !cfg.MinSize.Fits(dom.Size()) {
+		return nil, fmt.Errorf("vm: min size %v exceeds VM size %v", cfg.MinSize, dom.Size())
+	}
+	v := &VM{dom: dom, app: app, priority: cfg.Priority, minSize: cfg.MinSize}
+	v.SyncFootprint()
+	return v, nil
+}
+
+// Name returns the underlying domain name.
+func (v *VM) Name() string { return v.dom.Name() }
+
+// Domain returns the underlying hypervisor domain.
+func (v *VM) Domain() *hypervisor.Domain { return v.dom }
+
+// App returns the application running in the VM.
+func (v *VM) App() Application { return v.app }
+
+// Priority returns the VM's priority class.
+func (v *VM) Priority() Priority { return v.priority }
+
+// Size returns the nominal booted size M_i.
+func (v *VM) Size() restypes.Vector { return v.dom.Size() }
+
+// Allocation returns the current physical allocation.
+func (v *VM) Allocation() restypes.Vector { return v.dom.Allocation() }
+
+// MinSize returns the deflation floor m_i.
+func (v *VM) MinSize() restypes.Vector { return v.minSize }
+
+// Deflatable returns how much can still be reclaimed from this VM before it
+// hits its minimum size: allocation − m_i for low-priority VMs, zero for
+// high-priority VMs. This is the Deflatable_j term of the placement
+// availability vector (§5, Eq. 4).
+func (v *VM) Deflatable() restypes.Vector {
+	if v.priority == HighPriority {
+		return restypes.Vector{}
+	}
+	return v.dom.Allocation().Sub(v.minSize).ClampNonNegative()
+}
+
+// Env returns the application's current effective environment.
+func (v *VM) Env() hypervisor.Env { return v.dom.Env() }
+
+// Throughput returns the application's current normalized performance.
+func (v *VM) Throughput() float64 { return v.app.Throughput(v.dom.Env()) }
+
+// SyncFootprint propagates the application's memory footprint to the guest
+// OS (which uses it to bound safe unplugging and to detect OOM). Call after
+// any operation that may change the footprint.
+func (v *VM) SyncFootprint() {
+	rss, cache := v.app.Footprint()
+	v.dom.Guest().SetAppFootprint(rss, cache)
+}
+
+// Preempt destroys the VM — the fail-stop reclamation used by today's
+// transient-VM offerings, and the fallback when deflation below m_i would
+// be required.
+func (v *VM) Preempt() { v.dom.Destroy() }
+
+// Preempted reports whether the VM has been preempted (domain destroyed).
+func (v *VM) Preempted() bool { return v.dom.Destroyed() }
