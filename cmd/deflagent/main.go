@@ -9,9 +9,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"deflation/internal/cascade"
 	"deflation/internal/cluster"
@@ -29,6 +34,7 @@ func main() {
 		netMBps  = flag.Float64("net-mbps", 4000, "network bandwidth (MB/s)")
 		mode     = flag.String("mode", "deflation", "reclamation mode: deflation or preemption-only")
 		levels   = flag.String("levels", "all", "cascade levels: all, vm (os+hypervisor), hypervisor, os")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Parse()
 
@@ -66,7 +72,29 @@ func main() {
 	if err != nil {
 		log.Fatalf("deflagent: %v", err)
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	srv := &http.Server{Addr: *listen, Handler: api.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("deflagent: serving %s (%g cores, %g GB, %s, levels %s) on %s",
 		*name, *cpus, *memGB, m, lv, *listen)
-	log.Fatal(http.ListenAndServe(*listen, api.Handler()))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("deflagent: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		log.Printf("deflagent: shutting down (draining for up to %v)", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("deflagent: drain incomplete: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("deflagent: %v", err)
+		}
+		log.Printf("deflagent: stopped")
+	}
 }

@@ -12,11 +12,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"deflation/internal/cascade"
 	"deflation/internal/cluster"
@@ -32,12 +37,15 @@ func (u *urlList) Set(s string) error { *u = append(*u, s); return nil }
 func main() {
 	var controllers urlList
 	var (
-		listen  = flag.String("listen", ":7000", "address to serve the manager API on")
-		servers = flag.Int("servers", 0, "number of in-process simulated servers (ignored with -controller)")
-		cpus    = flag.Float64("cpus", 32, "simulated servers: physical CPU cores")
-		memGB   = flag.Float64("mem-gb", 128, "simulated servers: physical memory (GB)")
-		policy  = flag.String("policy", "best-fit", "placement policy: best-fit, first-fit, 2-choices")
-		seed    = flag.Int64("seed", 1, "seed for the 2-choices policy")
+		listen    = flag.String("listen", ":7000", "address to serve the manager API on")
+		servers   = flag.Int("servers", 0, "number of in-process simulated servers (ignored with -controller)")
+		cpus      = flag.Float64("cpus", 32, "simulated servers: physical CPU cores")
+		memGB     = flag.Float64("mem-gb", 128, "simulated servers: physical memory (GB)")
+		policy    = flag.String("policy", "best-fit", "placement policy: best-fit, first-fit, 2-choices")
+		seed      = flag.Int64("seed", 1, "seed for the 2-choices policy")
+		heartbeat = flag.Duration("heartbeat", 10*time.Second, "failure-detector probe interval (0 disables)")
+		maxMisses = flag.Int("max-misses", 3, "consecutive heartbeat misses before a node is declared dead")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 	)
 	flag.Var(&controllers, "controller", "remote deflagent URL (repeatable)")
 	flag.Parse()
@@ -86,10 +94,64 @@ func main() {
 	if err != nil {
 		log.Fatalf("deflated: %v", err)
 	}
+	mgr.SetHealthPolicy(cluster.HealthPolicy{MaxMisses: *maxMisses})
 	api, err := cluster.NewManagerAPI(mgr)
 	if err != nil {
 		log.Fatalf("deflated: %v", err)
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Failure detector: heartbeat every server, evict and re-place VMs from
+	// nodes that miss too many probes in a row.
+	if *heartbeat > 0 {
+		go func() {
+			tick := time.NewTicker(*heartbeat)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+					for _, ev := range api.ProbeHealth() {
+						switch ev.Kind {
+						case cluster.NodeDown:
+							log.Printf("deflated: node %s dead (%v); evacuating", ev.Node, ev.Err)
+						case cluster.NodeUp:
+							log.Printf("deflated: node %s rejoined", ev.Node)
+						case cluster.VMEvicted:
+							log.Printf("deflated: VM %s evicted from dead node %s", ev.VM, ev.Node)
+						case cluster.VMReplaced:
+							log.Printf("deflated: VM %s re-placed (preempted %v)", ev.VM, ev.Preempted)
+						case cluster.VMLost:
+							log.Printf("deflated: VM %s lost: %v", ev.VM, ev.Err)
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: api.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("deflated: managing %d servers with %s placement on %s", len(nodes), pol, *listen)
-	log.Fatal(http.ListenAndServe(*listen, api.Handler()))
+
+	select {
+	case err := <-errc:
+		log.Fatalf("deflated: %v", err)
+	case <-ctx.Done():
+		stop() // restore default signal handling: a second ^C kills hard
+		log.Printf("deflated: shutting down (draining for up to %v)", *drain)
+		shutCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			log.Printf("deflated: drain incomplete: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("deflated: %v", err)
+		}
+		log.Printf("deflated: stopped")
+	}
 }

@@ -7,7 +7,8 @@
 //	deflbench -fig 1            # Figure 1
 //	deflbench -fig 6 -quick     # Figure 6 panels, reduced sweep sizes
 //
-// Figures: 1, 5a, 5b, 5c, 5d, 6, 7a, 7b, 8a, 8b, 8c, 8d.
+// Figures: 1, 5a, 5b, 5c, 5d, 6, 7a, 7b, 8a, 8b, 8c, 8d, plus the chaos
+// fault-injection sweep (-fig chaos).
 package main
 
 import (
@@ -20,7 +21,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, all)")
+	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, chaos, all)")
 	quick := flag.Bool("quick", false, "smaller sweeps for the cluster simulations")
 	flag.Parse()
 
@@ -40,9 +41,10 @@ func main() {
 		"8c":      runFig8c,
 		"8d":      runFig8d,
 		"revenue": func(quick bool) (fmt.Stringer, error) { return wrap(experiments.Revenue(quick)) },
+		"chaos":   runChaos,
 	}
 
-	order := []string{"table1", "table2", "1", "5a", "5b", "5c", "5d", "6", "7a", "7b", "8a", "8b", "8c", "8d", "revenue"}
+	order := []string{"table1", "table2", "1", "5a", "5b", "5c", "5d", "6", "7a", "7b", "8a", "8b", "8c", "8d", "revenue", "chaos"}
 	selected := order
 	if *fig != "all" {
 		if _, ok := runs[*fig]; !ok {
@@ -98,4 +100,12 @@ func runFig8c(quick bool) (fmt.Stringer, error) {
 
 func runFig8d(quick bool) (fmt.Stringer, error) {
 	return wrap(experiments.Fig8d(quick, 0))
+}
+
+func runChaos(quick bool) (fmt.Stringer, error) {
+	cfg := experiments.ChaosConfig{}
+	if quick {
+		cfg = experiments.QuickChaosConfig()
+	}
+	return wrap(experiments.Chaos(cfg))
 }

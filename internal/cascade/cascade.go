@@ -91,10 +91,35 @@ type Report struct {
 	// DeadlineExceeded reports that the controller's deadline truncated the
 	// higher levels and the hypervisor picked up the remainder.
 	DeadlineExceeded bool
+	// AppFailed and OSFailed report that the level failed (or hung past the
+	// budget) and the cascade degraded gracefully to the next level with
+	// the remaining target, rather than aborting.
+	AppFailed bool
+	OSFailed  bool
 	// TotalLatency is the end-to-end reclamation latency; the levels run
 	// sequentially per Fig. 3.
 	TotalLatency time.Duration
 }
+
+// LevelFault is an injected failure for one cascade level, supplied by a
+// FaultHook (chaos testing; see internal/faults).
+type LevelFault struct {
+	// Fail makes the level reclaim nothing (agent crash) — or, with
+	// Fraction > 0, only that fraction of its target (partial hot-unplug).
+	Fail bool
+	// Fraction is the fraction of the level's target that still succeeds
+	// when Fail is set (0 = total failure). Only meaningful for the OS
+	// level.
+	Fraction float64
+	// Hang is extra latency the level consumes before responding or
+	// failing; it burns the cascade's deadline budget.
+	Hang time.Duration
+}
+
+// FaultHook supplies injected faults per level ("app" or "os"); nil (the
+// default) injects nothing. The hypervisor level is the backstop and never
+// fails short of whole-node crash-stop, which the cluster layer models.
+type FaultHook func(level string) LevelFault
 
 // MemMechanism selects the guest-level memory reclamation mechanism.
 type MemMechanism int
@@ -124,6 +149,7 @@ type Controller struct {
 	levels   Levels
 	memVia   MemMechanism
 	deadline time.Duration // 0 = unbounded
+	faults   FaultHook     // nil = no injection
 }
 
 // New returns a controller with the given levels enabled.
@@ -143,6 +169,20 @@ func (c *Controller) SetMemMechanism(m MemMechanism) { c.memVia = m }
 // what page migration can move in the remaining budget — and the hypervisor
 // level completes regardless, as the backstop. Zero means unbounded.
 func (c *Controller) SetDeadline(d time.Duration) { c.deadline = d }
+
+// SetFaultHook installs a fault injector consulted once per level per
+// deflation. Failures degrade gracefully: a failed or hung level is skipped
+// (charging any hang against the deadline budget) and the remaining target
+// falls through to the next level, extending the §5 deadline semantics from
+// "slow" to "failed".
+func (c *Controller) SetFaultHook(h FaultHook) { c.faults = h }
+
+func (c *Controller) fault(level string) LevelFault {
+	if c.faults == nil {
+		return LevelFault{}
+	}
+	return c.faults(level)
+}
 
 // Deflate reclaims target resources from v using the enabled levels, per
 // the Fig. 3 control flow. The target must fit within v.Deflatable();
@@ -166,10 +206,25 @@ func (c *Controller) Deflate(v *vm.VM, target restypes.Vector) (Report, error) {
 	}
 
 	// Level 1: application self-deflation (best-effort, may return zero).
+	// A crashed or hung agent reclaims nothing; the full target falls
+	// through to the OS level. A hang that outlives the whole deadline is
+	// abandoned at the deadline — the controller does not wait forever on a
+	// wedged agent.
 	if c.levels.App {
-		rel, lat := v.App().SelfDeflate(target)
-		v.SyncFootprint()
-		r.App = LevelReport{Reclaimed: rel.ClampNonNegative(), Latency: lat}
+		f := c.fault("app")
+		switch {
+		case c.deadline > 0 && f.Hang >= c.deadline:
+			r.AppFailed = true
+			r.DeadlineExceeded = true
+			r.App = LevelReport{Latency: c.deadline}
+		case f.Fail:
+			r.AppFailed = true
+			r.App = LevelReport{Latency: f.Hang}
+		default:
+			rel, lat := v.App().SelfDeflate(target)
+			v.SyncFootprint()
+			r.App = LevelReport{Reclaimed: rel.ClampNonNegative(), Latency: lat + f.Hang}
+		}
 	}
 
 	// Level 2: guest OS hot-unplug. Per Fig. 3 the unplug target is
@@ -180,10 +235,20 @@ func (c *Controller) Deflate(v *vm.VM, target restypes.Vector) (Report, error) {
 	// allows — the hypervisor backstop takes the rest.
 	if c.levels.OS {
 		osTarget := target
+		// Injected partial hot-unplug failure: only a fraction of the
+		// requested unplug completes; the rest falls through to the
+		// hypervisor backstop (or becomes shortfall in OS-only mode).
+		if f := c.fault("os"); f.Fail {
+			r.OSFailed = true
+			osTarget = osTarget.Scale(f.Fraction)
+			r.OS.Latency += f.Hang
+		}
 		if c.deadline > 0 {
-			remaining := c.deadline - r.App.Latency
+			remaining := c.deadline - r.App.Latency - r.OS.Latency
 			if remaining <= 0 {
-				osTarget.MemoryMB = 0
+				// Budget exhausted (slow or hung upper level): skip the OS
+				// level entirely — failed, not just slow.
+				osTarget = restypes.Vector{}
 				r.DeadlineExceeded = true
 			} else if c.memVia == MemHotUnplug {
 				budgetMB := remaining.Seconds() * v.Domain().Guest().Config().PageMigrateMBps
@@ -193,7 +258,11 @@ func (c *Controller) Deflate(v *vm.VM, target restypes.Vector) (Report, error) {
 				}
 			}
 		}
-		r.OS = c.osReclaim(v, osTarget, !c.levels.Hypervisor)
+		if !osTarget.IsZero() {
+			rep := c.osReclaim(v, osTarget, !c.levels.Hypervisor)
+			rep.Latency += r.OS.Latency // injected hang, if any
+			r.OS = rep
+		}
 	}
 
 	// Level 3: hypervisor overcommitment reclaims the full remaining

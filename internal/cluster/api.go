@@ -2,9 +2,13 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"time"
@@ -47,29 +51,48 @@ type VMState struct {
 type ControllerAPI struct {
 	mu   sync.Mutex
 	ctrl *LocalController
+
+	// idem caches completed deflate responses by Idempotency-Key so a
+	// retried deflate (response lost in transit) replays the recorded
+	// outcome instead of double-reclaiming. Bounded FIFO.
+	idem      map[string]DeflateVMResponse
+	idemOrder []string
 }
+
+// idemCacheLimit bounds the idempotency replay cache.
+const idemCacheLimit = 1024
 
 // NewControllerAPI wraps a controller.
 func NewControllerAPI(ctrl *LocalController) (*ControllerAPI, error) {
 	if ctrl == nil {
 		return nil, fmt.Errorf("cluster: nil controller")
 	}
-	return &ControllerAPI{ctrl: ctrl}, nil
+	return &ControllerAPI{ctrl: ctrl, idem: make(map[string]DeflateVMResponse)}, nil
 }
 
 // Handler returns the controller's routes:
 //
+//	GET    /v1/healthz          — liveness probe (name)
 //	GET    /v1/state            — NodeState
 //	POST   /v1/vms              — LaunchSpec body → LaunchReport
 //	DELETE /v1/vms/{name}       — release
-//	POST   /v1/vms/{name}/deflate  — {"target": Vector} → cascade report
+//	POST   /v1/vms/{name}/deflate  — {"target": Vector} → cascade report;
+//	                              honors the Idempotency-Key header
 func (a *ControllerAPI) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", a.handleHealthz)
 	mux.HandleFunc("GET /v1/state", a.handleState)
 	mux.HandleFunc("POST /v1/vms", a.handleLaunch)
 	mux.HandleFunc("DELETE /v1/vms/{name}", a.handleRelease)
 	mux.HandleFunc("POST /v1/vms/{name}/deflate", a.handleDeflate)
 	return mux
+}
+
+func (a *ControllerAPI) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	a.mu.Lock()
+	name := a.ctrl.Name()
+	a.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"name": name, "status": "ok"})
 }
 
 func (a *ControllerAPI) state() NodeState {
@@ -149,8 +172,18 @@ func (a *ControllerAPI) handleDeflate(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "cluster: bad deflate request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	key := r.Header.Get("Idempotency-Key")
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	if key != "" {
+		if cached, ok := a.idem[key]; ok {
+			// Replay: the deflate already applied; the client retried
+			// because the response was lost. Do not reclaim twice.
+			w.Header().Set("Idempotency-Replayed", "true")
+			writeJSON(w, http.StatusOK, cached)
+			return
+		}
+	}
 	v, err := a.ctrl.VM(r.PathValue("name"))
 	if err != nil {
 		writeError(w, err)
@@ -161,11 +194,23 @@ func (a *ControllerAPI) handleDeflate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, DeflateVMResponse{
+	out := DeflateVMResponse{
 		NewAllocation: rep.NewAllocation,
 		Shortfall:     rep.Shortfall,
 		LatencyMS:     float64(rep.TotalLatency) / float64(time.Millisecond),
-	})
+	}
+	if key != "" {
+		if a.idem == nil {
+			a.idem = make(map[string]DeflateVMResponse)
+		}
+		if len(a.idemOrder) >= idemCacheLimit {
+			delete(a.idem, a.idemOrder[0])
+			a.idemOrder = a.idemOrder[1:]
+		}
+		a.idem[key] = out
+		a.idemOrder = append(a.idemOrder, key)
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -193,18 +238,48 @@ func writeError(w http.ResponseWriter, err error) {
 // RemoteNode implements Node over a ControllerAPI endpoint, letting the
 // centralized manager drive servers across the network exactly as the
 // paper's deployment does.
+//
+// Unlike a naive HTTP client, RemoteNode assumes the network fails: every
+// operation runs under a per-attempt context deadline (RetryPolicy.OpTimeout
+// — replacing the old single flat 30 s client timeout), idempotent
+// operations (State, Release, Deflate) retry with capped exponential backoff
+// plus jitter, and deflate requests carry idempotency keys so a retried
+// deflate never double-reclaims. Launch is not idempotent and never retries.
 type RemoteNode struct {
 	baseURL string
 	client  *http.Client
 	name    string
+	retry   RetryPolicy
+
+	mu      sync.Mutex
+	rng     *rand.Rand // backoff jitter + idempotency key entropy
+	idemSeq uint64
+	retries int   // lifetime retry count, for tests and metrics
+	lastErr error // most recent transport error, recorded distinctly
+
+	sleep func(time.Duration) // test seam; time.Sleep by default
 }
 
-// NewRemoteNode connects to a controller endpoint and caches its name.
+// NewRemoteNode connects to a controller endpoint with the default retry
+// policy and caches its name.
 func NewRemoteNode(baseURL string) (*RemoteNode, error) {
+	return NewRemoteNodeWithPolicy(baseURL, RetryPolicy{})
+}
+
+// NewRemoteNodeWithPolicy connects with an explicit retry policy.
+func NewRemoteNodeWithPolicy(baseURL string, policy RetryPolicy) (*RemoteNode, error) {
 	if baseURL == "" {
 		return nil, fmt.Errorf("cluster: empty controller URL")
 	}
-	n := &RemoteNode{baseURL: baseURL, client: &http.Client{Timeout: 30 * time.Second}}
+	h := fnv.New64a()
+	h.Write([]byte(baseURL))
+	n := &RemoteNode{
+		baseURL: baseURL,
+		client:  &http.Client{},
+		retry:   policy.withDefaults(),
+		rng:     rand.New(rand.NewSource(int64(h.Sum64()))),
+		sleep:   time.Sleep,
+	}
 	st, err := n.State()
 	if err != nil {
 		return nil, fmt.Errorf("cluster: connecting to %s: %w", baseURL, err)
@@ -213,25 +288,119 @@ func NewRemoteNode(baseURL string) (*RemoteNode, error) {
 	return n, nil
 }
 
-// State fetches the remote controller's full state.
+// Retries returns the lifetime number of retry attempts this client has
+// made (not counting first attempts).
+func (n *RemoteNode) Retries() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.retries
+}
+
+// LastTransportErr returns the most recent transport-level failure observed
+// (nil if none). It is recorded distinctly from application-level errors
+// like ErrVMNotFound so callers can tell "unreachable" from "gone".
+func (n *RemoteNode) LastTransportErr() error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.lastErr
+}
+
+// drainClose drains and closes an HTTP response body so the keep-alive
+// connection can be reused rather than torn down.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, 1<<20))
+	body.Close()
+}
+
+// attempt performs one HTTP round trip under the per-operation deadline and
+// hands the response to handle. Transport failures come back wrapped as
+// retryable transport errors.
+func (n *RemoteNode) attempt(method, path string, body []byte, hdr http.Header, handle func(*http.Response) error) error {
+	ctx, cancel := context.WithTimeout(context.Background(), n.retry.OpTimeout)
+	defer cancel()
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, n.baseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		n.mu.Lock()
+		n.lastErr = err
+		n.mu.Unlock()
+		return transportFailure(err)
+	}
+	defer drainClose(resp.Body)
+	return handle(resp)
+}
+
+// withRetry runs op under the retry policy. Only retryable failures
+// (transport errors, 5xx) are retried, with exponential backoff and jitter;
+// non-idempotent callers pass retry=false and get exactly one attempt.
+func (n *RemoteNode) withRetry(retryOK bool, op func() error) error {
+	attempts := n.retry.MaxAttempts
+	if !retryOK {
+		attempts = 1
+	}
+	var err error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			n.mu.Lock()
+			d := n.retry.backoff(i-1, n.rng)
+			n.retries++
+			n.mu.Unlock()
+			n.sleep(d)
+		}
+		err = op()
+		if err == nil || !isRetryable(err) {
+			return err
+		}
+	}
+	return err
+}
+
+// State fetches the remote controller's full state, retrying transient
+// failures.
 func (n *RemoteNode) State() (NodeState, error) {
 	var st NodeState
-	resp, err := n.client.Get(n.baseURL + "/v1/state")
-	if err != nil {
-		return st, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return st, fmt.Errorf("cluster: state: %s", resp.Status)
-	}
-	err = json.NewDecoder(resp.Body).Decode(&st)
+	err := n.withRetry(true, func() error {
+		return n.attempt(http.MethodGet, "/v1/state", nil, nil, func(resp *http.Response) error {
+			if resp.StatusCode != http.StatusOK {
+				return statusError("state", resp.Status, resp.StatusCode)
+			}
+			return json.NewDecoder(resp.Body).Decode(&st)
+		})
+	})
 	return st, err
+}
+
+// Ping implements Node with a single non-retried liveness probe: the health
+// monitor counts consecutive misses itself, so retrying here would only
+// mask real failures.
+func (n *RemoteNode) Ping() error {
+	return n.attempt(http.MethodGet, "/v1/healthz", nil, nil, func(resp *http.Response) error {
+		if resp.StatusCode != http.StatusOK {
+			return statusError("healthz", resp.Status, resp.StatusCode)
+		}
+		return nil
+	})
 }
 
 // Name implements Node.
 func (n *RemoteNode) Name() string { return n.name }
 
-// Launch implements Node.
+// Launch implements Node. Launch is not idempotent (a replay could place
+// the VM twice), so it never retries; it still runs under the per-attempt
+// deadline.
 func (n *RemoteNode) Launch(spec LaunchSpec) (LaunchReport, error) {
 	var rep LaunchReport
 	if spec.NewApp != nil {
@@ -241,57 +410,96 @@ func (n *RemoteNode) Launch(spec LaunchSpec) (LaunchReport, error) {
 	if err != nil {
 		return rep, err
 	}
-	resp, err := n.client.Post(n.baseURL+"/v1/vms", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return rep, err
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusCreated:
-		err = json.NewDecoder(resp.Body).Decode(&rep)
-		return rep, err
-	case http.StatusConflict:
-		return rep, fmt.Errorf("%w: %q", ErrVMExists, spec.Name)
-	case http.StatusInsufficientStorage:
-		return rep, fmt.Errorf("%w: remote %s", ErrNoCapacity, n.name)
-	default:
-		return rep, fmt.Errorf("cluster: remote launch: %s", resp.Status)
-	}
+	err = n.withRetry(false, func() error {
+		return n.attempt(http.MethodPost, "/v1/vms", body, nil, func(resp *http.Response) error {
+			switch resp.StatusCode {
+			case http.StatusCreated:
+				return json.NewDecoder(resp.Body).Decode(&rep)
+			case http.StatusConflict:
+				return fmt.Errorf("%w: %q", ErrVMExists, spec.Name)
+			case http.StatusInsufficientStorage:
+				return fmt.Errorf("%w: remote %s", ErrNoCapacity, n.name)
+			default:
+				return statusError("remote launch", resp.Status, resp.StatusCode)
+			}
+		})
+	})
+	return rep, err
 }
 
-// Release implements Node.
+// Release implements Node. Deleting a VM is idempotent, so Release retries;
+// a 404 on a retry that follows a transport failure is treated as success
+// (the earlier attempt applied and only the response was lost).
 func (n *RemoteNode) Release(name string) error {
-	req, err := http.NewRequest(http.MethodDelete, n.baseURL+"/v1/vms/"+name, nil)
-	if err != nil {
+	sawTransportFailure := false
+	return n.withRetry(true, func() error {
+		err := n.attempt(http.MethodDelete, "/v1/vms/"+name, nil, nil, func(resp *http.Response) error {
+			switch resp.StatusCode {
+			case http.StatusNoContent:
+				return nil
+			case http.StatusNotFound:
+				if sawTransportFailure {
+					return nil
+				}
+				return fmt.Errorf("%w: %q", ErrVMNotFound, name)
+			default:
+				return statusError("remote release", resp.Status, resp.StatusCode)
+			}
+		})
+		if isTransportFailure(err) {
+			sawTransportFailure = true
+		}
 		return err
-	}
-	resp, err := n.client.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	switch resp.StatusCode {
-	case http.StatusNoContent:
-		return nil
-	case http.StatusNotFound:
-		return fmt.Errorf("%w: %q", ErrVMNotFound, name)
-	default:
-		return fmt.Errorf("cluster: remote release: %s", resp.Status)
-	}
+	})
 }
 
-// Has implements Node.
-func (n *RemoteNode) Has(name string) bool {
+// nextIdemKey mints a unique idempotency key for one logical deflate.
+func (n *RemoteNode) nextIdemKey() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.idemSeq++
+	return fmt.Sprintf("defl-%d-%08x", n.idemSeq, n.rng.Uint32())
+}
+
+// Deflate asks the remote controller to deflate one VM. The request carries
+// an idempotency key, so retries after lost responses replay the recorded
+// outcome server-side instead of reclaiming twice.
+func (n *RemoteNode) Deflate(vmName string, target restypes.Vector) (DeflateVMResponse, error) {
+	var out DeflateVMResponse
+	body, err := json.Marshal(DeflateVMRequest{Target: target})
+	if err != nil {
+		return out, err
+	}
+	hdr := http.Header{"Idempotency-Key": []string{n.nextIdemKey()}}
+	err = n.withRetry(true, func() error {
+		return n.attempt(http.MethodPost, "/v1/vms/"+vmName+"/deflate", body, hdr, func(resp *http.Response) error {
+			switch resp.StatusCode {
+			case http.StatusOK:
+				return json.NewDecoder(resp.Body).Decode(&out)
+			case http.StatusNotFound:
+				return fmt.Errorf("%w: %q", ErrVMNotFound, vmName)
+			default:
+				return statusError("remote deflate", resp.Status, resp.StatusCode)
+			}
+		})
+	})
+	return out, err
+}
+
+// Has implements Node. A definitive "not running here" is (false, nil); an
+// unreachable controller returns the transport error so the caller never
+// mistakes a dead network for a dead VM.
+func (n *RemoteNode) Has(name string) (bool, error) {
 	st, err := n.State()
 	if err != nil {
-		return false
+		return false, fmt.Errorf("cluster: has %q: %w", name, err)
 	}
 	for _, v := range st.VMs {
 		if v.Name == name {
-			return true
+			return true, nil
 		}
 	}
-	return false
+	return false, nil
 }
 
 // Free implements Node.
@@ -366,12 +574,24 @@ type LaunchResponse struct {
 
 // ClusterState is the manager's aggregate view.
 type ClusterState struct {
-	VMs         int         `json:"vms"`
-	Rejected    int         `json:"rejected"`
-	Preemptions int         `json:"preemptions"`
-	Servers     []NodeState `json:"servers,omitempty"`
-	MeanOC      float64     `json:"mean_overcommitment"`
-	MaxOC       float64     `json:"max_overcommitment"`
+	VMs                int         `json:"vms"`
+	Rejected           int         `json:"rejected"`
+	Preemptions        int         `json:"preemptions"`
+	Servers            []NodeState `json:"servers,omitempty"`
+	MeanOC             float64     `json:"mean_overcommitment"`
+	MaxOC              float64     `json:"max_overcommitment"`
+	DeadServers        int         `json:"dead_servers,omitempty"`
+	FailurePreemptions int         `json:"failure_preemptions,omitempty"`
+	ReplacedVMs        int         `json:"replaced_vms,omitempty"`
+	LostVMs            int         `json:"lost_vms,omitempty"`
+}
+
+// ProbeHealth runs one heartbeat round under the API lock; cmd/deflated
+// calls it periodically.
+func (a *ManagerAPI) ProbeHealth() []HealthEvent {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.mgr.ProbeHealth()
 }
 
 // Handler returns the manager's routes:
@@ -423,11 +643,15 @@ func (a *ManagerAPI) handleCluster(w http.ResponseWriter, r *http.Request) {
 	defer a.mu.Unlock()
 	snap := a.mgr.Snapshot()
 	st := ClusterState{
-		VMs:         snap.VMs,
-		Rejected:    a.mgr.Rejected(),
-		Preemptions: a.mgr.Preemptions(),
-		MeanOC:      snap.MeanOvercommitment,
-		MaxOC:       snap.MaxOvercommitment,
+		VMs:                snap.VMs,
+		Rejected:           a.mgr.Rejected(),
+		Preemptions:        a.mgr.Preemptions(),
+		MeanOC:             snap.MeanOvercommitment,
+		MaxOC:              snap.MaxOvercommitment,
+		DeadServers:        snap.DeadServers,
+		FailurePreemptions: snap.FailurePreemptions,
+		ReplacedVMs:        snap.ReplacedVMs,
+		LostVMs:            snap.LostVMs,
 	}
 	if r.URL.Query().Get("servers") == "true" {
 		for _, n := range a.mgr.Servers() {

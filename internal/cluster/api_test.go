@@ -55,8 +55,11 @@ func TestControllerAPILifecycle(t *testing.T) {
 	if len(rep.Preempted) != 0 {
 		t.Errorf("launch report: %+v", rep)
 	}
-	if !ctrl.Has("a") || !node.Has("a") {
-		t.Error("VM not visible after remote launch")
+	if ok, _ := ctrl.Has("a"); !ok {
+		t.Error("VM not visible locally after remote launch")
+	}
+	if ok, err := node.Has("a"); !ok || err != nil {
+		t.Errorf("VM not visible remotely after launch: %v, %v", ok, err)
 	}
 	if _, err := node.Launch(wireSpec("a", vm.LowPriority)); err == nil {
 		t.Error("duplicate remote launch accepted")
@@ -79,7 +82,7 @@ func TestControllerAPILifecycle(t *testing.T) {
 	if err := node.Release("a"); err != nil {
 		t.Fatal(err)
 	}
-	if ctrl.Has("a") {
+	if ok, _ := ctrl.Has("a"); ok {
 		t.Error("VM still present after remote release")
 	}
 	if err := node.Release("a"); err == nil {

@@ -23,6 +23,9 @@ var (
 	ErrNoCapacity = errors.New("cluster: insufficient reclaimable capacity")
 	ErrVMExists   = errors.New("cluster: VM already exists")
 	ErrVMNotFound = errors.New("cluster: VM not found")
+	// ErrNodeDown marks operations against a crashed (or unreachable)
+	// server; the health monitor will evict and re-place its VMs.
+	ErrNodeDown = errors.New("cluster: node is down")
 )
 
 // Mode selects the reclamation strategy — deflation (the paper's system) or
@@ -137,10 +140,33 @@ func (c *LocalController) Host() *hypervisor.Host { return c.host }
 // Name implements Node.
 func (c *LocalController) Name() string { return c.host.Name() }
 
-// Has implements Node.
-func (c *LocalController) Has(name string) bool {
+// Has implements Node. In-process controllers are always reachable, so the
+// error is always nil.
+func (c *LocalController) Has(name string) (bool, error) {
 	_, ok := c.vms[name]
-	return ok
+	return ok, nil
+}
+
+// Ping implements Node; an in-process controller is always alive.
+func (c *LocalController) Ping() error { return nil }
+
+// Cascade returns the controller's cascade for configuration (deadlines,
+// memory mechanism, fault hooks).
+func (c *LocalController) Cascade() *cascade.Controller { return c.casc }
+
+// FailAll models a crash-stop host failure: every VM dies immediately. The
+// victims' names are returned (sorted) for the manager's failure
+// accounting; unlike Release or preemption, nothing reinflates and the
+// deaths do not count toward Preemptions(), which tracks capacity-driven
+// preemptions only — failure-induced ones are the manager's Stats.
+func (c *LocalController) FailAll() []string {
+	victims := make([]string, 0, len(c.vms))
+	for _, v := range c.VMs() {
+		victims = append(victims, v.Name())
+		v.Preempt()
+	}
+	c.vms = make(map[string]*vm.VM)
+	return victims
 }
 
 // Preemptions returns the number of VMs this controller has preempted.

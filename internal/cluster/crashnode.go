@@ -1,0 +1,87 @@
+package cluster
+
+import "deflation/internal/restypes"
+
+// crashableNode wraps a LocalController with a crash-stop switch, used by
+// fault-injecting simulations (SimConfig.Faults) and tests. While down, every
+// control-plane operation fails with ErrNodeDown and all capacity vectors
+// read zero, so the manager's placement policies and failure detector see
+// exactly what they would see from an unreachable server. Crashing wipes the
+// node's VMs — crash-stop failures lose all memory state — so a recovered
+// node rejoins empty.
+type crashableNode struct {
+	*LocalController
+	down    bool
+	crashes int
+}
+
+func newCrashableNode(c *LocalController) *crashableNode {
+	return &crashableNode{LocalController: c}
+}
+
+// crash takes the node down and returns the names of the VMs that died with
+// it.
+func (n *crashableNode) crash() []string {
+	n.down = true
+	n.crashes++
+	return n.LocalController.FailAll()
+}
+
+// recover brings the node back, empty.
+func (n *crashableNode) recover() { n.down = false }
+
+func (n *crashableNode) Ping() error {
+	if n.down {
+		return ErrNodeDown
+	}
+	return n.LocalController.Ping()
+}
+
+func (n *crashableNode) Launch(spec LaunchSpec) (LaunchReport, error) {
+	if n.down {
+		return LaunchReport{}, ErrNodeDown
+	}
+	return n.LocalController.Launch(spec)
+}
+
+func (n *crashableNode) Release(name string) error {
+	if n.down {
+		return ErrNodeDown
+	}
+	return n.LocalController.Release(name)
+}
+
+func (n *crashableNode) Has(name string) (bool, error) {
+	if n.down {
+		return false, ErrNodeDown
+	}
+	return n.LocalController.Has(name)
+}
+
+func (n *crashableNode) Free() restypes.Vector {
+	if n.down {
+		return restypes.Vector{}
+	}
+	return n.LocalController.Free()
+}
+
+func (n *crashableNode) Availability() restypes.Vector {
+	if n.down {
+		return restypes.Vector{}
+	}
+	return n.LocalController.Availability()
+}
+
+func (n *crashableNode) PreemptableCeiling() restypes.Vector {
+	if n.down {
+		return restypes.Vector{}
+	}
+	return n.LocalController.PreemptableCeiling()
+}
+
+func (n *crashableNode) Overcommitment() float64 {
+	if n.down {
+		return 0
+	}
+	return n.LocalController.Overcommitment()
+}

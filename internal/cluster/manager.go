@@ -35,16 +35,95 @@ func (p PlacementPolicy) String() string {
 	return fmt.Sprintf("PlacementPolicy(%d)", int(p))
 }
 
+// HealthPolicy configures the manager's failure detector.
+type HealthPolicy struct {
+	// MaxMisses is the number of consecutive failed heartbeats before a
+	// node is declared dead and evacuated (default 3).
+	MaxMisses int
+}
+
+func (p HealthPolicy) withDefaults() HealthPolicy {
+	if p.MaxMisses == 0 {
+		p.MaxMisses = 3
+	}
+	return p
+}
+
+// nodeHealth is the failure detector's per-node state.
+type nodeHealth struct {
+	misses int
+	dead   bool
+}
+
+// HealthEventKind enumerates failure-detector outcomes.
+type HealthEventKind int
+
+const (
+	// NodeDown: K consecutive heartbeat misses; the node's VMs are being
+	// evacuated.
+	NodeDown HealthEventKind = iota
+	// NodeUp: a previously-dead node answered a heartbeat and rejoined the
+	// placement pool (empty: crash-stop wipes its VMs).
+	NodeUp
+	// VMEvicted: a VM on a dead node was declared lost-in-place (a
+	// failure-induced preemption).
+	VMEvicted
+	// VMReplaced: an evicted VM was re-launched on a healthy node.
+	VMReplaced
+	// VMLost: no healthy node could host the evicted VM.
+	VMLost
+)
+
+// String names the kind.
+func (k HealthEventKind) String() string {
+	switch k {
+	case NodeDown:
+		return "node-down"
+	case NodeUp:
+		return "node-up"
+	case VMEvicted:
+		return "vm-evicted"
+	case VMReplaced:
+		return "vm-replaced"
+	case VMLost:
+		return "vm-lost"
+	}
+	return fmt.Sprintf("HealthEventKind(%d)", int(k))
+}
+
+// HealthEvent is one failure-detector outcome from ProbeHealth.
+type HealthEvent struct {
+	Kind HealthEventKind
+	Node string
+	VM   string
+	// Preempted lists capacity preemptions a re-placement caused on its
+	// new server (VMReplaced only).
+	Preempted []string
+	Err       error
+}
+
 // Manager is the centralized deflation-aware cluster manager: it places VMs
 // using the cosine-similarity fitness over availability (free + deflatable)
-// and delegates reclamation to the servers' local controllers.
+// and delegates reclamation to the servers' local controllers. It also runs
+// the cluster's failure detector: ProbeHealth heartbeats every server,
+// declares nodes dead after K consecutive misses, evacuates and re-places
+// their VMs, and lets recovered nodes rejoin.
 type Manager struct {
 	servers []Node
 	policy  PlacementPolicy
 	rng     *rand.Rand
 
-	placement map[string]int // VM name → server index
+	placement map[string]int        // VM name → server index
+	specs     map[string]LaunchSpec // VM name → launch spec, for re-placement
 	rejected  int
+
+	healthPolicy HealthPolicy
+	health       []nodeHealth
+	// failurePreemptions counts VMs killed by node failures (evictions);
+	// replacedVMs/lostVMs split them by re-placement outcome.
+	failurePreemptions int
+	replacedVMs        int
+	lostVMs            int
 
 	// freeOnlyFitness scores placements against free capacity instead of
 	// free+deflatable availability — the ablation of §5's Eq. 4 fitness.
@@ -63,11 +142,96 @@ func NewManager(servers []Node, policy PlacementPolicy, seed int64) (*Manager, e
 		return nil, fmt.Errorf("cluster: manager needs at least one server")
 	}
 	return &Manager{
-		servers:   servers,
-		policy:    policy,
-		rng:       rand.New(rand.NewSource(seed)),
-		placement: make(map[string]int),
+		servers:      servers,
+		policy:       policy,
+		rng:          rand.New(rand.NewSource(seed)),
+		placement:    make(map[string]int),
+		specs:        make(map[string]LaunchSpec),
+		healthPolicy: HealthPolicy{}.withDefaults(),
+		health:       make([]nodeHealth, len(servers)),
 	}, nil
+}
+
+// SetHealthPolicy configures the failure detector.
+func (m *Manager) SetHealthPolicy(p HealthPolicy) { m.healthPolicy = p.withDefaults() }
+
+// alive reports whether server i is in the placement pool.
+func (m *Manager) alive(i int) bool { return !m.health[i].dead }
+
+// DeadServers counts servers currently marked dead.
+func (m *Manager) DeadServers() int {
+	n := 0
+	for _, h := range m.health {
+		if h.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// FailurePreemptions counts VMs killed by node failures (whether or not
+// they were successfully re-placed).
+func (m *Manager) FailurePreemptions() int { return m.failurePreemptions }
+
+// ProbeHealth runs one heartbeat round: every server is pinged, consecutive
+// misses are counted, nodes crossing MaxMisses are declared dead and
+// evacuated (their VMs re-placed on healthy servers), and previously-dead
+// nodes that answer rejoin the pool. It returns the round's events in
+// deterministic order.
+func (m *Manager) ProbeHealth() []HealthEvent {
+	var events []HealthEvent
+	for i, s := range m.servers {
+		err := s.Ping()
+		h := &m.health[i]
+		if err == nil {
+			if h.dead {
+				h.dead = false
+				events = append(events, HealthEvent{Kind: NodeUp, Node: s.Name()})
+			}
+			h.misses = 0
+			continue
+		}
+		h.misses++
+		if !h.dead && h.misses >= m.healthPolicy.MaxMisses {
+			h.dead = true
+			events = append(events, HealthEvent{Kind: NodeDown, Node: s.Name(), Err: err})
+			events = append(events, m.evacuate(i)...)
+		}
+	}
+	return events
+}
+
+// evacuate declares every VM placed on the dead server idx a
+// failure-induced preemption and re-places each on the healthy servers from
+// its recorded launch spec. VM order is sorted for determinism.
+func (m *Manager) evacuate(idx int) []HealthEvent {
+	var names []string
+	for name, i := range m.placement {
+		if i == idx {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	node := m.servers[idx].Name()
+	var events []HealthEvent
+	for _, name := range names {
+		delete(m.placement, name)
+		m.failurePreemptions++
+		spec := m.specs[name]
+		delete(m.specs, name)
+		events = append(events, HealthEvent{Kind: VMEvicted, Node: node, VM: name})
+		// Re-place; the launch does not count toward Rejected(), which
+		// tracks user-facing admissions.
+		_, rep, err := m.launch(spec, false)
+		if err != nil {
+			m.lostVMs++
+			events = append(events, HealthEvent{Kind: VMLost, VM: name, Err: err})
+			continue
+		}
+		m.replacedVMs++
+		events = append(events, HealthEvent{Kind: VMReplaced, VM: name, Preempted: rep.Preempted})
+	}
+	return events
 }
 
 // Servers returns the managed servers.
@@ -120,6 +284,10 @@ func preemptFeasible(s Node, spec LaunchSpec) bool {
 // Launch places and starts a VM according to the placement policy. It
 // returns the chosen server index and the reclamation report.
 func (m *Manager) Launch(spec LaunchSpec) (int, LaunchReport, error) {
+	return m.launch(spec, true)
+}
+
+func (m *Manager) launch(spec LaunchSpec, countRejection bool) (int, LaunchReport, error) {
 	if _, ok := m.placement[spec.Name]; ok {
 		return -1, LaunchReport{}, fmt.Errorf("%w: %q", ErrVMExists, spec.Name)
 	}
@@ -130,7 +298,9 @@ func (m *Manager) Launch(spec LaunchSpec) (int, LaunchReport, error) {
 		idx = m.preemptFallback(spec)
 	}
 	if idx < 0 {
-		m.rejected++
+		if countRejection {
+			m.rejected++
+		}
 		return -1, LaunchReport{}, fmt.Errorf("%w: no feasible server for %v", ErrNoCapacity, spec.Size)
 	}
 	rep, err := m.servers[idx].Launch(spec)
@@ -138,9 +308,11 @@ func (m *Manager) Launch(spec LaunchSpec) (int, LaunchReport, error) {
 		return -1, rep, err
 	}
 	m.placement[spec.Name] = idx
+	m.specs[spec.Name] = spec
 	// Preempted VMs vanish from the placement map too.
 	for _, name := range rep.Preempted {
 		delete(m.placement, name)
+		delete(m.specs, name)
 	}
 	return idx, rep, nil
 }
@@ -149,7 +321,7 @@ func (m *Manager) pickServer(spec LaunchSpec) int {
 	switch m.policy {
 	case FirstFit:
 		for i, s := range m.servers {
-			if feasible(s, spec) {
+			if m.alive(i) && feasible(s, spec) {
 				return i
 			}
 		}
@@ -157,7 +329,8 @@ func (m *Manager) pickServer(spec LaunchSpec) int {
 	case TwoChoices:
 		a := m.rng.Intn(len(m.servers))
 		b := m.rng.Intn(len(m.servers))
-		fa, fb := feasible(m.servers[a], spec), feasible(m.servers[b], spec)
+		fa := m.alive(a) && feasible(m.servers[a], spec)
+		fb := m.alive(b) && feasible(m.servers[b], spec)
 		switch {
 		case fa && fb:
 			if m.fitness(m.servers[a], spec) >= m.fitness(m.servers[b], spec) {
@@ -181,7 +354,7 @@ func (m *Manager) pickServer(spec LaunchSpec) int {
 func (m *Manager) bestFit(spec LaunchSpec) int {
 	best, bestFitness := -1, -1.0
 	for i, s := range m.servers {
-		if !feasible(s, spec) {
+		if !m.alive(i) || !feasible(s, spec) {
 			continue
 		}
 		if f := m.fitness(s, spec); f > bestFitness {
@@ -194,7 +367,7 @@ func (m *Manager) bestFit(spec LaunchSpec) int {
 func (m *Manager) preemptFallback(spec LaunchSpec) int {
 	best, bestCeiling := -1, restypes.Vector{}
 	for i, s := range m.servers {
-		if !preemptFeasible(s, spec) {
+		if !m.alive(i) || !preemptFeasible(s, spec) {
 			continue
 		}
 		if c := s.PreemptableCeiling(); best < 0 || c.Norm() > bestCeiling.Norm() {
@@ -212,19 +385,27 @@ func (m *Manager) Release(name string) error {
 		return fmt.Errorf("%w: %q", ErrVMNotFound, name)
 	}
 	delete(m.placement, name)
+	delete(m.specs, name)
 	return m.servers[idx].Release(name)
 }
 
 // Placed reports whether the named VM is currently running (not preempted,
-// not released).
+// not released). An unreachable server is NOT evidence the VM is gone: the
+// placement is kept until the health monitor declares the node dead, so a
+// transient network failure never corrupts placement state.
 func (m *Manager) Placed(name string) bool {
 	idx, ok := m.placement[name]
 	if !ok {
 		return false
 	}
-	if !m.servers[idx].Has(name) {
+	has, err := m.servers[idx].Has(name)
+	if err != nil {
+		return true // can't confirm; the failure detector will decide
+	}
+	if !has {
 		// Preempted underneath: reconcile.
 		delete(m.placement, name)
+		delete(m.specs, name)
 		return false
 	}
 	return true
@@ -236,12 +417,23 @@ type Stats struct {
 	MeanOvercommitment   float64
 	MaxOvercommitment    float64
 	ServerOvercommitment []float64 // sorted ascending
+	// DeadServers and the failure counters summarize the failure
+	// detector's view: VMs killed by node crashes (failure-induced
+	// preemptions), split into re-placed and lost.
+	DeadServers        int
+	FailurePreemptions int
+	ReplacedVMs        int
+	LostVMs            int
 }
 
 // Snapshot computes current cluster statistics.
 func (m *Manager) Snapshot() Stats {
 	var st Stats
 	st.VMs = len(m.placement)
+	st.DeadServers = m.DeadServers()
+	st.FailurePreemptions = m.failurePreemptions
+	st.ReplacedVMs = m.replacedVMs
+	st.LostVMs = m.lostVMs
 	for _, s := range m.servers {
 		oc := s.Overcommitment()
 		st.ServerOvercommitment = append(st.ServerOvercommitment, oc)

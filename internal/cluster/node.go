@@ -26,8 +26,14 @@ type Node interface {
 	Launch(spec LaunchSpec) (LaunchReport, error)
 	// Release ends a VM's life and reinflates survivors.
 	Release(name string) error
-	// Has reports whether the named VM currently runs here.
-	Has(name string) bool
+	// Has reports whether the named VM currently runs here. The error is
+	// non-nil when the node could not be reached — distinctly different
+	// from a definitive (false, nil) "not found", so an unreachable server
+	// is never mistaken for a missing VM.
+	Has(name string) (bool, error)
+	// Ping probes liveness cheaply; the manager's health monitor counts
+	// consecutive failures to detect crash-stop node failures.
+	Ping() error
 	// Free, Availability, and PreemptableCeiling are the placement vectors.
 	Free() restypes.Vector
 	Availability() restypes.Vector

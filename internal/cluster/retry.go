@@ -1,0 +1,116 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy governs how RemoteNode retries idempotent control-plane
+// operations (State, Release, Deflate) against a flaky controller: capped
+// exponential backoff with jitter, and a per-attempt deadline replacing the
+// old single flat client timeout. Non-idempotent operations (Launch) get
+// the per-attempt deadline but never retry — a retried launch could
+// double-place a VM.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first
+	// (default 4; 1 disables retries).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (default 50ms); each
+	// further retry doubles it, capped at MaxDelay (default 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// JitterFraction spreads each backoff uniformly over ±fraction of
+	// itself (default 0.2), decorrelating retry storms.
+	JitterFraction float64
+	// OpTimeout bounds each attempt via a request context deadline
+	// (default 5s).
+	OpTimeout time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 50 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.JitterFraction == 0 {
+		p.JitterFraction = 0.2
+	}
+	if p.OpTimeout == 0 {
+		p.OpTimeout = 5 * time.Second
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number retry (0-based), with
+// jitter drawn from rng.
+func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
+	d := p.BaseDelay << uint(retry)
+	if d > p.MaxDelay || d <= 0 { // d <= 0 guards shift overflow
+		d = p.MaxDelay
+	}
+	if p.JitterFraction > 0 && rng != nil {
+		j := 1 + p.JitterFraction*(2*rng.Float64()-1)
+		d = time.Duration(float64(d) * j)
+	}
+	return d
+}
+
+// retryableError marks a failure as safe to retry: the request either never
+// definitively reached the server (connection refused/dropped, timeout — a
+// transport failure) or the server answered with a 5xx without committing a
+// state change — or the operation carries an idempotency key making replays
+// safe anyway. transport distinguishes the ambiguous "may have applied"
+// failures, which delete-style callers use to accept a 404 on replay.
+type retryableError struct {
+	err       error
+	transport bool
+}
+
+func (e retryableError) Error() string { return e.err.Error() }
+func (e retryableError) Unwrap() error { return e.err }
+
+// retryable wraps err for the retry loop (server answered, safe to retry).
+func retryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return retryableError{err: err}
+}
+
+// transportFailure wraps a connection-level error (request may or may not
+// have been applied).
+func transportFailure(err error) error {
+	if err == nil {
+		return nil
+	}
+	return retryableError{err: err, transport: true}
+}
+
+// isRetryable reports whether the retry loop may try again.
+func isRetryable(err error) bool {
+	var r retryableError
+	return errors.As(err, &r)
+}
+
+// isTransportFailure reports whether err was a connection-level failure.
+func isTransportFailure(err error) bool {
+	var r retryableError
+	return errors.As(err, &r) && r.transport
+}
+
+// statusError converts an unexpected HTTP status into an error, marking
+// server-side (5xx) statuses retryable.
+func statusError(op, status string, code int) error {
+	err := fmt.Errorf("cluster: %s: %s", op, status)
+	if code >= 500 {
+		return retryable(err)
+	}
+	return err
+}

@@ -1,11 +1,13 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
 	"deflation/internal/apps/curveapp"
 	"deflation/internal/cascade"
+	"deflation/internal/faults"
 	"deflation/internal/hypervisor"
 	"deflation/internal/perfmodel"
 	"deflation/internal/pricing"
@@ -39,6 +41,17 @@ type SimConfig struct {
 	// before each arrival, low-priority VMs are pre-deflated so free
 	// capacity covers the demand forecast over this horizon. Zero disables.
 	ProactiveHorizon time.Duration
+	// Faults configures deterministic fault injection: crash-stop node
+	// failures detected by the manager's heartbeats, and agent/OS-level
+	// cascade faults. The zero value disables injection entirely and the
+	// simulation takes exactly the fault-free code path, so a chaos sweep's
+	// zero-fault cell reproduces the baseline figures bit for bit.
+	Faults faults.Config
+	// HeartbeatInterval is the failure detector's probe period (default 30s;
+	// only used when Faults is enabled).
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses overrides the misses-before-dead threshold (default 3).
+	HeartbeatMisses int
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -63,6 +76,12 @@ func (c SimConfig) withDefaults() SimConfig {
 	if c.Trace.Seed == 0 {
 		c.Trace.Seed = c.Seed + 1
 	}
+	if c.HeartbeatInterval == 0 {
+		c.HeartbeatInterval = 30 * time.Second
+	}
+	if c.Faults.Seed == 0 {
+		c.Faults.Seed = c.Seed + 2
+	}
 	return c
 }
 
@@ -70,8 +89,9 @@ func (c SimConfig) withDefaults() SimConfig {
 type SimResult struct {
 	LowPriorityStarted int
 	Preemptions        int
-	// PreemptionProbability = Preemptions / LowPriorityStarted (Fig. 8c's
-	// y-axis).
+	// PreemptionProbability = (Preemptions + failure-induced evictions of
+	// low-priority VMs) / LowPriorityStarted (Fig. 8c's y-axis; the failure
+	// term is zero without SimConfig.Faults).
 	PreemptionProbability float64
 	Rejections            int
 	AchievedOvercommit    float64 // time-averaged admitted nominal / capacity
@@ -94,6 +114,18 @@ type SimResult struct {
 	// minimum-size (m_i) tradeoff: smaller minimums mean fewer preemptions
 	// but deeper deflation.
 	MeanLowThroughput float64
+	// Goodput is the time-sampled aggregate normalized throughput summed
+	// over all running VMs — the cluster's useful work rate. Crashes and
+	// lost VMs lower it directly; deflation and injected agent faults lower
+	// it through per-VM throughput.
+	Goodput float64
+	// NodeCrashes, FailurePreemptions, VMsReplaced, and VMsLost summarize
+	// injected crash-stop failures (all zero without SimConfig.Faults).
+	// FailurePreemptions = VMsReplaced + VMsLost.
+	NodeCrashes        int
+	FailurePreemptions int
+	VMsReplaced        int
+	VMsLost            int
 }
 
 // curves cycled across low-priority VMs: the mixed application population
@@ -122,13 +154,43 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 		}
 		servers[i] = NewLocalController(h, cascade.AllLevels(), cfg.Mode)
 	}
+	// Without fault injection the controllers are used directly — the exact
+	// fault-free code path — so zeroed Faults reproduce baseline figures.
+	injectFaults := cfg.Faults.Enabled()
+	var inj *faults.Injector
+	var crashables []*crashableNode
 	nodes := make([]Node, len(servers))
 	for i, s := range servers {
 		nodes[i] = s
 	}
+	if injectFaults {
+		inj = faults.New(cfg.Faults)
+		crashables = make([]*crashableNode, len(servers))
+		for i, s := range servers {
+			crashables[i] = newCrashableNode(s)
+			nodes[i] = crashables[i]
+			// Cascade-level faults: hung or failed deflation agents and
+			// partially-failed hot-unplugs, degrading to the next level.
+			s.Cascade().SetFaultHook(func(level string) cascade.LevelFault {
+				switch level {
+				case "app":
+					o := inj.AgentFault()
+					return cascade.LevelFault{Fail: o.Fail, Hang: o.Hang}
+				case "os":
+					if o := inj.OSFault(); o.Fail {
+						return cascade.LevelFault{Fail: true, Fraction: o.Fraction}
+					}
+				}
+				return cascade.LevelFault{}
+			})
+		}
+	}
 	mgr, err := NewManager(nodes, cfg.Policy, cfg.Seed)
 	if err != nil {
 		return res, err
+	}
+	if injectFaults {
+		mgr.SetHealthPolicy(HealthPolicy{MaxMisses: cfg.HeartbeatMisses})
 	}
 
 	events, err := trace.Generate(cfg.Trace)
@@ -146,10 +208,11 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 
 	running := make(map[string]trace.Event) // admitted and still placed
 	nominalHigh, nominalLow := restypes.Vector{}, restypes.Vector{}
-	var ocSamples, srvMeanSamples, srvP95Samples, lowTpSamples []float64
+	var ocSamples, srvMeanSamples, srvP95Samples, lowTpSamples, gpSamples []float64
 	var reclaimLatencies []time.Duration
 	warmup := len(events) / 4 // skip ramp-up when sampling
 	admitted := 0
+	failureEvictions := 0 // low-priority VMs killed by node crashes
 	var simErr error
 
 	// reconcile drops preempted VMs from the nominal-load accounting.
@@ -199,7 +262,9 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 		} else {
 			nominalLow = nominalLow.Sub(e.Size)
 		}
-		if err := mgr.Release(name); err != nil && simErr == nil {
+		// A VM departing from a crashed-but-undetected node cannot be
+		// released over the control plane; the crash already destroyed it.
+		if err := mgr.Release(name); err != nil && !errors.Is(err, ErrNodeDown) && simErr == nil {
 			simErr = err
 		}
 	}
@@ -284,10 +349,11 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 			snap := mgr.Snapshot()
 			srvMeanSamples = append(srvMeanSamples, snap.MeanOvercommitment)
 			srvP95Samples = append(srvP95Samples, quantile(snap.ServerOvercommitment, 0.95))
-			var tpSum float64
+			var tpSum, gp float64
 			tpN := 0
 			for _, s := range servers {
 				for _, v := range s.VMs() {
+					gp += v.Throughput()
 					if v.Priority() == vm.LowPriority {
 						tpSum += v.Throughput()
 						tpN++
@@ -297,6 +363,70 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 			if tpN > 0 {
 				lowTpSamples = append(lowTpSamples, tpSum/float64(tpN))
 			}
+			gpSamples = append(gpSamples, gp)
+		}
+	}
+
+	if injectFaults {
+		// The arrival window bounds both heartbeats and crash scheduling so
+		// the event queue drains (an unbounded chain would never terminate).
+		var horizon time.Duration
+		for _, e := range events {
+			if e.Arrival > horizon {
+				horizon = e.Arrival
+			}
+		}
+		// Heartbeat rounds drive the failure detector; its events feed the
+		// sim's nominal-load and preemption accounting.
+		clock.Every(cfg.HeartbeatInterval, func(now time.Duration) bool {
+			for _, ev := range mgr.ProbeHealth() {
+				switch ev.Kind {
+				case VMEvicted:
+					if e, ok := running[ev.VM]; ok && !e.HighPriority {
+						failureEvictions++
+					}
+				case VMReplaced:
+					// The VM restarted elsewhere and keeps running; any
+					// capacity preemptions its re-placement caused are
+					// reconciled like any others.
+					reconcile(ev.Preempted)
+				case VMLost:
+					if e, ok := running[ev.VM]; ok {
+						delete(running, ev.VM)
+						if e.HighPriority {
+							nominalHigh = nominalHigh.Sub(e.Size)
+						} else {
+							nominalLow = nominalLow.Sub(e.Size)
+						}
+					}
+				}
+			}
+			return now < horizon
+		})
+		// Crash-stop node failures: exponentially-distributed inter-crash
+		// gaps per node; a crashed node recovers empty after RecoveryTime and
+		// its next crash is drawn then, from its own stream.
+		var scheduleCrash func(i int)
+		scheduleCrash = func(i int) {
+			gap, ok := inj.NextCrash(servers[i].Name())
+			if !ok {
+				return
+			}
+			at := clock.Now() + gap
+			if at > horizon {
+				return
+			}
+			clock.At(at, func(time.Duration) {
+				crashables[i].crash()
+				res.NodeCrashes++
+				clock.After(inj.RecoveryTime(servers[i].Name()), func(time.Duration) {
+					crashables[i].recover()
+					scheduleCrash(i)
+				})
+			})
+		}
+		for i := range crashables {
+			scheduleCrash(i)
 		}
 	}
 
@@ -313,8 +443,13 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 	// already reconciled them. Final accounting:
 	res.Preemptions = mgr.Preemptions()
 	if res.LowPriorityStarted > 0 {
-		res.PreemptionProbability = float64(res.Preemptions) / float64(res.LowPriorityStarted)
+		res.PreemptionProbability = float64(res.Preemptions+failureEvictions) / float64(res.LowPriorityStarted)
 	}
+	res.Goodput = mean(gpSamples)
+	res.FailurePreemptions = mgr.FailurePreemptions()
+	finalStats := mgr.Snapshot()
+	res.VMsReplaced = finalStats.ReplacedVMs
+	res.VMsLost = finalStats.LostVMs
 	res.AchievedOvercommit = mean(ocSamples)
 	res.ServerOvercommitMean = mean(srvMeanSamples)
 	res.ServerOvercommitP95 = mean(srvP95Samples)

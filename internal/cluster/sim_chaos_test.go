@@ -1,0 +1,89 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"deflation/internal/faults"
+)
+
+func chaosSim() SimConfig {
+	cfg := smallSim(ModeDeflation, 1.6)
+	cfg.Faults = faults.Config{
+		CrashMTBF:     20 * time.Minute, // aggressive: several crashes per run
+		RecoveryTime:  2 * time.Minute,
+		AgentFailProb: 0.05,
+		AgentHangProb: 0.05,
+		OSFailProb:    0.05,
+	}
+	cfg.HeartbeatInterval = 10 * time.Second
+	return cfg
+}
+
+func TestChaosSimDeterministic(t *testing.T) {
+	// The acceptance bar: two chaos runs with identical seeds produce
+	// byte-identical results — crashes, evictions, goodput, everything.
+	a, err := RunSim(chaosSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(chaosSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("chaos sim not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestZeroedFaultsReproduceBaseline(t *testing.T) {
+	// A Faults struct with every rate zeroed must take the exact fault-free
+	// code path: the chaos sweep's zero-fault cell IS the Fig. 8c baseline.
+	baseline, err := RunSim(smallSim(ModeDeflation, 1.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroed := smallSim(ModeDeflation, 1.6)
+	zeroed.Faults = faults.Config{Seed: 999} // seed alone enables nothing
+	got, err := RunSim(zeroed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != baseline {
+		t.Errorf("zeroed faults diverge from baseline:\n%+v\n%+v", got, baseline)
+	}
+}
+
+func TestChaosSimInjectsAndRecovers(t *testing.T) {
+	res, err := RunSim(chaosSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NodeCrashes == 0 {
+		t.Fatal("no node crashes injected at 20m MTBF over a multi-hour trace")
+	}
+	if res.FailurePreemptions == 0 {
+		t.Error("crashes killed no VMs")
+	}
+	if res.FailurePreemptions != res.VMsReplaced+res.VMsLost {
+		t.Errorf("accounting: %d preemptions != %d replaced + %d lost",
+			res.FailurePreemptions, res.VMsReplaced, res.VMsLost)
+	}
+	if res.VMsReplaced == 0 {
+		t.Error("no evicted VM was ever re-placed despite spare capacity")
+	}
+	if res.Goodput <= 0 {
+		t.Error("goodput not sampled")
+	}
+
+	// Failures raise the effective preemption probability above the
+	// fault-free baseline at the same overcommitment.
+	baseline, err := RunSim(smallSim(ModeDeflation, 1.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PreemptionProbability <= baseline.PreemptionProbability {
+		t.Errorf("chaos preemption probability %.4f not above baseline %.4f",
+			res.PreemptionProbability, baseline.PreemptionProbability)
+	}
+}

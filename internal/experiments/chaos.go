@@ -1,0 +1,148 @@
+package experiments
+
+import (
+	"strconv"
+	"time"
+
+	"deflation/internal/cluster"
+	"deflation/internal/faults"
+	"deflation/internal/trace"
+)
+
+// ChaosConfig sizes the chaos experiment: the Fig. 8c trace-driven cluster
+// simulation swept over node-failure rate × overcommitment, under deflation
+// mode with the fault-tolerant control plane (heartbeat failure detection,
+// eviction and re-placement). The zero value is the full experiment.
+type ChaosConfig struct {
+	// FaultRates are the x-axis cells in crashes per node per day
+	// (CrashMTBF = 24h / rate; 0 disables injection entirely, so that row
+	// is exactly the Fig. 8c deflation baseline).
+	FaultRates []float64
+	// Overcommits are the target overcommitment ratios swept per rate
+	// (default 1.1–1.9).
+	Overcommits []float64
+	// CascadeFaultProb is the probability, applied whenever the fault rate
+	// is nonzero, of each cascade-level fault: agent failure, agent hang,
+	// and partial hot-unplug failure (default 0.02).
+	CascadeFaultProb float64
+	// RecoveryTime is how long a crashed node stays down (default 5m).
+	RecoveryTime time.Duration
+	// TraceCount, MeanInterarrival, LifetimeMedian, and Servers mirror
+	// Fig8cConfig (defaults 4000, 2s, 1h, 100).
+	TraceCount       int
+	MeanInterarrival time.Duration
+	LifetimeMedian   time.Duration
+	Servers          int
+	Seed             int64
+}
+
+// QuickChaosConfig returns a reduced sweep that still crashes nodes often
+// enough to exercise detection and re-placement.
+func QuickChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		FaultRates:       []float64{0, 8, 32},
+		Overcommits:      []float64{1.5, 1.8},
+		RecoveryTime:     2 * time.Minute,
+		TraceCount:       2500,
+		MeanInterarrival: 2 * time.Second,
+		LifetimeMedian:   10 * time.Minute,
+		Servers:          25,
+	}
+}
+
+// ChaosResult reports the sweep: preemption probability (capacity plus
+// failure-induced, Fig. 8c's metric extended to failures) and cluster
+// goodput, one series per fault rate across overcommitment levels.
+type ChaosResult struct {
+	OvercommitPct []float64
+	Preemption    []series
+	Goodput       []series
+	Crashes       []series
+}
+
+// Table renders the sweep.
+func (r ChaosResult) Table() string {
+	return renderTable("Chaos: preemption probability vs overcommitment by node-failure rate",
+		"overcommit%", r.OvercommitPct, r.Preemption) +
+		renderTable("Chaos: cluster goodput (aggregate normalized throughput)",
+			"overcommit%", r.OvercommitPct, r.Goodput) +
+		renderTable("Chaos: node crashes injected",
+			"overcommit%", r.OvercommitPct, r.Crashes)
+}
+
+// chaosFaults builds the injection config for one fault-rate cell. Rate 0
+// returns the zero Config: injection fully disabled, baseline code path.
+func chaosFaults(cfg ChaosConfig, rate float64) faults.Config {
+	if rate <= 0 {
+		return faults.Config{}
+	}
+	return faults.Config{
+		CrashMTBF:     time.Duration(float64(24*time.Hour) / rate),
+		RecoveryTime:  cfg.RecoveryTime,
+		AgentFailProb: cfg.CascadeFaultProb,
+		AgentHangProb: cfg.CascadeFaultProb,
+		OSFailProb:    cfg.CascadeFaultProb,
+	}
+}
+
+// Chaos runs the fault-rate × overcommitment sweep.
+func Chaos(cfg ChaosConfig) (ChaosResult, error) {
+	if len(cfg.FaultRates) == 0 {
+		cfg.FaultRates = []float64{0, 1, 4, 16}
+	}
+	if len(cfg.Overcommits) == 0 {
+		cfg.Overcommits = []float64{1.1, 1.3, 1.5, 1.7, 1.9}
+	}
+	if cfg.CascadeFaultProb == 0 {
+		cfg.CascadeFaultProb = 0.02
+	}
+	if cfg.TraceCount == 0 {
+		cfg.TraceCount = 4000
+	}
+	if cfg.MeanInterarrival == 0 {
+		cfg.MeanInterarrival = 2 * time.Second
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	var res ChaosResult
+	for _, oc := range cfg.Overcommits {
+		res.OvercommitPct = append(res.OvercommitPct, (oc-1)*100)
+	}
+	for _, rate := range cfg.FaultRates {
+		pp := series{Name: rateName(rate)}
+		gp := series{Name: rateName(rate)}
+		cr := series{Name: rateName(rate)}
+		for _, oc := range cfg.Overcommits {
+			sim, err := cluster.RunSim(cluster.SimConfig{
+				Mode:             cluster.ModeDeflation,
+				TargetOvercommit: oc,
+				Seed:             cfg.Seed,
+				Servers:          cfg.Servers,
+				Trace: trace.Config{
+					Count:            cfg.TraceCount,
+					MeanInterarrival: cfg.MeanInterarrival,
+					LifetimeMedian:   cfg.LifetimeMedian,
+				},
+				Faults: chaosFaults(cfg, rate),
+			})
+			if err != nil {
+				return res, err
+			}
+			pp.Values = append(pp.Values, sim.PreemptionProbability)
+			gp.Values = append(gp.Values, sim.Goodput)
+			cr.Values = append(cr.Values, float64(sim.NodeCrashes))
+		}
+		res.Preemption = append(res.Preemption, pp)
+		res.Goodput = append(res.Goodput, gp)
+		res.Crashes = append(res.Crashes, cr)
+	}
+	return res, nil
+}
+
+func rateName(rate float64) string {
+	if rate <= 0 {
+		return "no faults"
+	}
+	return strconv.FormatFloat(rate, 'g', -1, 64) + "/node/day"
+}

@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// tinyChaos keeps the sweep small enough for unit tests while still crashing
+// nodes.
+func tinyChaos() ChaosConfig {
+	return ChaosConfig{
+		FaultRates:       []float64{0, 32},
+		Overcommits:      []float64{1.5},
+		RecoveryTime:     2 * time.Minute,
+		TraceCount:       1200,
+		MeanInterarrival: 2 * time.Second,
+		LifetimeMedian:   10 * time.Minute,
+		Servers:          15,
+	}
+}
+
+func TestChaosZeroRateReproducesFig8cBaseline(t *testing.T) {
+	// The acceptance bar: the chaos sweep's zero-fault row must equal the
+	// Fig. 8c deflation curve for the same simulation parameters, exactly.
+	cfg := tinyChaos()
+	chaos, err := Chaos(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig8c, err := Fig8c(Fig8cConfig{
+		OvercommitLevels: cfg.Overcommits,
+		TraceCount:       cfg.TraceCount,
+		MeanInterarrival: cfg.MeanInterarrival,
+		LifetimeMedian:   cfg.LifetimeMedian,
+		Servers:          cfg.Servers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfg.Overcommits {
+		if got, want := chaos.Preemption[0].Values[i], fig8c.Deflation.Values[i]; got != want {
+			t.Errorf("oc=%.1f: zero-fault preemption %.6f != Fig 8c deflation %.6f",
+				cfg.Overcommits[i], got, want)
+		}
+	}
+}
+
+func TestChaosFaultsDegradeTheCluster(t *testing.T) {
+	chaos, err := Chaos(tinyChaos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(chaos.Preemption); n != 2 {
+		t.Fatalf("series count = %d", n)
+	}
+	base, faulty := chaos.Preemption[0].Values[0], chaos.Preemption[1].Values[0]
+	if faulty <= base {
+		t.Errorf("preemption probability under faults %.4f not above baseline %.4f", faulty, base)
+	}
+	if chaos.Crashes[0].Values[0] != 0 {
+		t.Errorf("zero-fault cell injected %v crashes", chaos.Crashes[0].Values[0])
+	}
+	if chaos.Crashes[1].Values[0] == 0 {
+		t.Error("faulty cell injected no crashes")
+	}
+	if gp := chaos.Goodput[1].Values[0]; gp <= 0 {
+		t.Errorf("goodput under faults = %v", gp)
+	}
+
+	table := chaos.Table()
+	for _, want := range []string{"preemption probability", "goodput", "no faults", "32/node/day"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}

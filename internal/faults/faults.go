@@ -1,0 +1,222 @@
+// Package faults provides a seeded, deterministic fault injector for the
+// deflation control plane. A real transiency-exploiting cluster sees server
+// revocations, hung deflation agents, partially-failed hot-unplugs, and a
+// flaky network between the manager and its local controllers; this package
+// models all four so chaos experiments (internal/experiments.Chaos) can
+// measure the system under them.
+//
+// Determinism is the design constraint: every decision is drawn from an
+// independent per-category PRNG stream derived from Config.Seed, so two runs
+// with the same seed inject byte-identical fault schedules regardless of
+// which categories are enabled — enabling HTTP faults never perturbs the
+// node-crash schedule. The injector composes with internal/simclock: it
+// produces durations and outcomes, and the caller schedules them on the
+// simulation clock (or applies them to real wall-clock operations).
+package faults
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Config parameterizes fault injection. The zero value disables every
+// category; Enabled reports whether any category is active.
+type Config struct {
+	// Seed drives all injection decisions. Runs with equal seeds (and equal
+	// workloads) produce identical fault schedules.
+	Seed int64
+
+	// CrashMTBF is the per-node mean time between crash-stop failures
+	// (exponentially distributed). Zero disables node crashes.
+	CrashMTBF time.Duration
+	// RecoveryTime is how long a crashed node stays down before it reboots
+	// empty and may rejoin (default 5m).
+	RecoveryTime time.Duration
+
+	// AgentFailProb is the probability that the application deflation agent
+	// fails outright during a cascade (reclaims nothing at its level).
+	AgentFailProb float64
+	// AgentHangProb is the probability that the agent hangs for
+	// AgentHangDelay before responding (or failing), consuming the
+	// cascade's time budget.
+	AgentHangProb float64
+	// AgentHangDelay is the hang duration (default 30s).
+	AgentHangDelay time.Duration
+
+	// OSFailProb is the probability that a guest hot-unplug partially
+	// fails: only a fraction of the requested unplug completes and the
+	// remainder falls through to the hypervisor level.
+	OSFailProb float64
+	// OSPartialMax bounds the fraction of the unplug target that still
+	// succeeds on a partial failure; the achieved fraction is drawn
+	// uniformly from [0, OSPartialMax] (default 0.5).
+	OSPartialMax float64
+
+	// HTTPErrorProb, HTTPDropProb, and HTTPDelayProb inject REST-plane
+	// faults: a 5xx response, a dropped connection, or an added delay of up
+	// to HTTPDelayMax (default 2s).
+	HTTPErrorProb float64
+	HTTPDropProb  float64
+	HTTPDelayProb float64
+	HTTPDelayMax  time.Duration
+}
+
+// Enabled reports whether any fault category is configured.
+func (c Config) Enabled() bool {
+	return c.CrashMTBF > 0 ||
+		c.AgentFailProb > 0 || c.AgentHangProb > 0 ||
+		c.OSFailProb > 0 ||
+		c.HTTPErrorProb > 0 || c.HTTPDropProb > 0 || c.HTTPDelayProb > 0
+}
+
+func (c Config) withDefaults() Config {
+	if c.RecoveryTime == 0 {
+		c.RecoveryTime = 5 * time.Minute
+	}
+	if c.AgentHangDelay == 0 {
+		c.AgentHangDelay = 30 * time.Second
+	}
+	if c.OSPartialMax == 0 {
+		c.OSPartialMax = 0.5
+	}
+	if c.HTTPDelayMax == 0 {
+		c.HTTPDelayMax = 2 * time.Second
+	}
+	return c
+}
+
+// Injector draws fault decisions from independent per-category streams.
+// It is safe for concurrent use (the HTTP middleware runs on server
+// goroutines).
+type Injector struct {
+	cfg Config
+
+	mu      sync.Mutex
+	streams map[string]*rand.Rand
+}
+
+// New builds an injector from cfg.
+func New(cfg Config) *Injector {
+	return &Injector{cfg: cfg.withDefaults(), streams: make(map[string]*rand.Rand)}
+}
+
+// Config returns the (defaulted) configuration.
+func (in *Injector) Config() Config { return in.cfg }
+
+// stream returns the named category's PRNG, creating it deterministically
+// from the seed and the name. Callers must hold in.mu.
+func (in *Injector) stream(name string) *rand.Rand {
+	if r, ok := in.streams[name]; ok {
+		return r
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	r := rand.New(rand.NewSource(in.cfg.Seed ^ int64(h.Sum64())))
+	in.streams[name] = r
+	return r
+}
+
+// NextCrash returns the time until the named node's next crash-stop failure
+// (measured from "now", whatever clock the caller runs on). ok is false when
+// node crashes are disabled. Each node has its own stream, so the crash
+// schedule of one node is independent of how many others exist.
+func (in *Injector) NextCrash(node string) (d time.Duration, ok bool) {
+	if in.cfg.CrashMTBF <= 0 {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.stream("crash/" + node)
+	return time.Duration(r.ExpFloat64() * float64(in.cfg.CrashMTBF)), true
+}
+
+// RecoveryTime returns how long the named node stays down after a crash.
+func (in *Injector) RecoveryTime(node string) time.Duration {
+	return in.cfg.RecoveryTime
+}
+
+// LevelOutcome describes an injected application-agent fault during one
+// cascade deflation.
+type LevelOutcome struct {
+	Fail bool          // the agent reclaims nothing
+	Hang time.Duration // extra latency consumed before responding/failing
+}
+
+// AgentFault draws the application-agent outcome for one cascade. The same
+// number of random values is consumed regardless of outcome, keeping the
+// stream stable across configurations.
+func (in *Injector) AgentFault() LevelOutcome {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.stream("agent")
+	hang, fail := r.Float64(), r.Float64()
+	var o LevelOutcome
+	if hang < in.cfg.AgentHangProb {
+		o.Hang = in.cfg.AgentHangDelay
+	}
+	o.Fail = fail < in.cfg.AgentFailProb
+	return o
+}
+
+// UnplugOutcome describes an injected guest hot-unplug fault.
+type UnplugOutcome struct {
+	// Fail marks the unplug as partially failed; Fraction of the target
+	// still succeeded (0 = total failure).
+	Fail     bool
+	Fraction float64
+}
+
+// OSFault draws the hot-unplug outcome for one cascade.
+func (in *Injector) OSFault() UnplugOutcome {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.stream("os")
+	p, frac := r.Float64(), r.Float64()
+	var o UnplugOutcome
+	if p < in.cfg.OSFailProb {
+		o.Fail = true
+		o.Fraction = frac * in.cfg.OSPartialMax
+	}
+	return o
+}
+
+// HTTPFaultKind enumerates REST-plane fault types.
+type HTTPFaultKind int
+
+const (
+	// HTTPNone injects nothing.
+	HTTPNone HTTPFaultKind = iota
+	// HTTPError returns a 5xx without reaching the handler.
+	HTTPError
+	// HTTPDrop severs the connection without a response.
+	HTTPDrop
+	// HTTPDelay delays the request by Delay, then serves it normally.
+	HTTPDelay
+)
+
+// HTTPOutcome is one drawn REST-plane fault.
+type HTTPOutcome struct {
+	Kind  HTTPFaultKind
+	Delay time.Duration
+}
+
+// HTTPFault draws the fault (if any) for one HTTP request. The categories
+// are disjoint: error, then drop, then delay, by cumulative probability.
+func (in *Injector) HTTPFault() HTTPOutcome {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.stream("http")
+	p, scale := r.Float64(), r.Float64()
+	cfg := in.cfg
+	switch {
+	case p < cfg.HTTPErrorProb:
+		return HTTPOutcome{Kind: HTTPError}
+	case p < cfg.HTTPErrorProb+cfg.HTTPDropProb:
+		return HTTPOutcome{Kind: HTTPDrop}
+	case p < cfg.HTTPErrorProb+cfg.HTTPDropProb+cfg.HTTPDelayProb:
+		return HTTPOutcome{Kind: HTTPDelay, Delay: time.Duration(scale * float64(cfg.HTTPDelayMax))}
+	}
+	return HTTPOutcome{}
+}

@@ -1,0 +1,64 @@
+package faults
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Middleware wraps an HTTP handler with injected REST-plane faults: 5xx
+// responses, dropped connections, and delays, drawn from the injector's
+// "http" stream. It is how tests (and live chaos drills) make a controller
+// endpoint flaky without touching the controller itself.
+//
+// Dropped connections abort via http.ErrAbortHandler, which the net/http
+// server turns into a severed connection — the client sees an EOF / reset,
+// exactly the ambiguous "did my request apply?" failure idempotency keys
+// exist for.
+func Middleware(in *Injector, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch f := in.HTTPFault(); f.Kind {
+		case HTTPError:
+			http.Error(w, "faults: injected server error", http.StatusInternalServerError)
+			return
+		case HTTPDrop:
+			panic(http.ErrAbortHandler)
+		case HTTPDelay:
+			time.Sleep(f.Delay)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// Transport is a client-side http.RoundTripper that injects faults before
+// the request leaves: errors become synthetic 502s, drops become transport
+// errors, delays sleep. Useful to harden-test clients without a server.
+type Transport struct {
+	Injector *Injector
+	// Base is the underlying transport (http.DefaultTransport when nil).
+	Base http.RoundTripper
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch f := t.Injector.HTTPFault(); f.Kind {
+	case HTTPError:
+		resp := &http.Response{
+			StatusCode: http.StatusBadGateway,
+			Status:     "502 Bad Gateway (injected)",
+			Body:       http.NoBody,
+			Header:     make(http.Header),
+			Request:    req,
+		}
+		return resp, nil
+	case HTTPDrop:
+		return nil, fmt.Errorf("faults: injected connection drop for %s %s", req.Method, req.URL.Path)
+	case HTTPDelay:
+		time.Sleep(f.Delay)
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}
