@@ -22,6 +22,7 @@ import (
 	"deflation/internal/cluster"
 	"deflation/internal/hypervisor"
 	"deflation/internal/restypes"
+	"deflation/internal/telemetry"
 )
 
 func main() {
@@ -72,10 +73,21 @@ func main() {
 	if err != nil {
 		log.Fatalf("deflagent: %v", err)
 	}
+
+	// Telemetry: per-level cascade metrics and trace events, plus scrape-time
+	// node allocation gauges. Served on the same listener as the API, so
+	// graceful shutdown covers it.
+	sink := telemetry.NewSink()
+	ctrl.SetTelemetry(sink)
+	api.AttachTelemetry(sink)
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", api.Handler())
+	sink.Attach(mux)
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{Addr: *listen, Handler: api.Handler()}
+	srv := &http.Server{Addr: *listen, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("deflagent: serving %s (%g cores, %g GB, %s, levels %s) on %s",

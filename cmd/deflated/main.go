@@ -27,6 +27,7 @@ import (
 	"deflation/internal/cluster"
 	"deflation/internal/hypervisor"
 	"deflation/internal/restypes"
+	"deflation/internal/telemetry"
 )
 
 type urlList []string
@@ -100,6 +101,13 @@ func main() {
 		log.Fatalf("deflated: %v", err)
 	}
 
+	// Telemetry: cascade decisions, placement and failure-detector counters,
+	// RPC latencies (remote fleets), plus scrape-time cluster gauges. Served
+	// on the same listener as the API, so graceful shutdown covers it.
+	sink := telemetry.NewSink()
+	mgr.SetTelemetry(sink)
+	api.AttachTelemetry(sink)
+
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
@@ -133,7 +141,11 @@ func main() {
 		}()
 	}
 
-	srv := &http.Server{Addr: *listen, Handler: api.Handler()}
+	mux := http.NewServeMux()
+	mux.Handle("/v1/", api.Handler())
+	sink.Attach(mux)
+
+	srv := &http.Server{Addr: *listen, Handler: mux}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("deflated: managing %d servers with %s placement on %s", len(nodes), pol, *listen)

@@ -6,6 +6,9 @@
 //	deflctl -manager http://localhost:7000 launch -name batch-1 -app kcompile -priority low -min-frac 0.25
 //	deflctl -manager http://localhost:7000 release -name web-1
 //	deflctl -manager http://localhost:7000 status -servers
+//	deflctl -manager http://localhost:7000 metrics
+//	deflctl metrics -node http://10.0.0.1:7070
+//	deflctl trace -node http://10.0.0.1:7070 -n 20
 package main
 
 import (
@@ -16,11 +19,18 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"time"
 
 	"deflation/internal/cluster"
 	"deflation/internal/restypes"
+	"deflation/internal/telemetry"
 	"deflation/internal/vm"
 )
+
+// client is the shared HTTP client for every subcommand. The explicit
+// timeout means a wedged daemon fails the CLI fast instead of hanging it
+// forever (http.DefaultClient has no timeout at all).
+var client = &http.Client{Timeout: 15 * time.Second}
 
 func main() {
 	manager := flag.String("manager", "http://localhost:7000", "manager base URL")
@@ -37,6 +47,10 @@ func main() {
 		err = release(*manager, args[1:])
 	case "status":
 		err = status(*manager, args[1:])
+	case "metrics":
+		err = metrics(*manager, args[1:])
+	case "trace":
+		err = traceCmd(*manager, args[1:])
 	default:
 		usage()
 	}
@@ -52,7 +66,9 @@ func usage() {
 commands:
   launch  -name NAME [-cpus N] [-mem-gb N] [-app KIND] [-priority low|high] [-min-frac F] [-warm]
   release -name NAME
-  status  [-servers]`)
+  status  [-servers]
+  metrics [-node URL] [-raw]     scrape and pretty-print a node's metrics registry
+  trace   [-node URL] [-n K]     show the last K cascade decisions`)
 	os.Exit(2)
 }
 
@@ -89,7 +105,7 @@ func launch(manager string, args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.Post(manager+"/v1/vms", "application/json", bytes.NewReader(body))
+	resp, err := client.Post(manager+"/v1/vms", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return err
 	}
@@ -125,7 +141,7 @@ func release(manager string, args []string) error {
 	if err != nil {
 		return err
 	}
-	resp, err := http.DefaultClient.Do(req)
+	resp, err := client.Do(req)
 	if err != nil {
 		return err
 	}
@@ -147,7 +163,7 @@ func status(manager string, args []string) error {
 	if *servers {
 		url += "?servers=true"
 	}
-	resp, err := http.Get(url)
+	resp, err := client.Get(url)
 	if err != nil {
 		return err
 	}
@@ -167,6 +183,161 @@ func status(manager string, args []string) error {
 			fmt.Printf("    %-14s %-5s app=%-16s alloc=%v tput=%.2f\n",
 				v.Name, v.Priority, v.App, v.Allocation, v.Throughput)
 		}
+	}
+	return nil
+}
+
+// metrics scrapes a node's /metrics endpoint (the manager by default) and
+// pretty-prints the registry: counters and gauges one per line, histograms
+// with count, sum, and tail quantiles computed from the bucket counts.
+func metrics(manager string, args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	node := fs.String("node", "", "node base URL (default: the manager)")
+	raw := fs.Bool("raw", false, "print the raw Prometheus text exposition")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := *node
+	if base == "" {
+		base = manager
+	}
+	if *raw {
+		resp, err := client.Get(base + "/metrics")
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return httpError("metrics", resp)
+		}
+		_, err = io.Copy(os.Stdout, resp.Body)
+		return err
+	}
+	resp, err := client.Get(base + "/metrics?format=json")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("metrics", resp)
+	}
+	var snaps []telemetry.MetricSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snaps); err != nil {
+		return err
+	}
+	if len(snaps) == 0 {
+		fmt.Println("no metrics registered")
+		return nil
+	}
+	for _, m := range snaps {
+		switch m.Type {
+		case "histogram":
+			fmt.Printf("%-58s count=%d sum=%.4g p50=%.4g p99=%.4g\n",
+				metricLabel(m), m.Count, m.Sum, bucketQuantile(m, 0.5), bucketQuantile(m, 0.99))
+		default:
+			fmt.Printf("%-58s %g\n", metricLabel(m), m.Value)
+		}
+	}
+	return nil
+}
+
+func metricLabel(m telemetry.MetricSnapshot) string {
+	if len(m.Labels) == 0 {
+		return m.Name
+	}
+	// Deterministic label order mirrors the exposition format.
+	keys := make([]string, 0, len(m.Labels))
+	for k := range m.Labels {
+		keys = append(keys, k)
+	}
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			if keys[j] < keys[i] {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	s := m.Name + "{"
+	for i, k := range keys {
+		if i > 0 {
+			s += ","
+		}
+		s += k + "=" + m.Labels[k]
+	}
+	return s + "}"
+}
+
+// bucketQuantile estimates a quantile from a snapshot's cumulative buckets
+// with linear interpolation, mirroring telemetry.Histogram.Quantile.
+func bucketQuantile(m telemetry.MetricSnapshot, q float64) float64 {
+	if m.Count == 0 || len(m.Buckets) == 0 {
+		return 0
+	}
+	rank := q * float64(m.Count)
+	lower, prevCum := 0.0, uint64(0)
+	for i, b := range m.Buckets {
+		if float64(b.CumulativeCount) >= rank {
+			upper := b.UpperBound
+			if i == len(m.Buckets)-1 && i > 0 {
+				return m.Buckets[i-1].UpperBound // +Inf bucket: clamp
+			}
+			width := upper - lower
+			inBucket := float64(b.CumulativeCount - prevCum)
+			if inBucket == 0 {
+				return upper
+			}
+			return lower + width*(rank-float64(prevCum))/inBucket
+		}
+		lower, prevCum = b.UpperBound, b.CumulativeCount
+	}
+	return m.Buckets[len(m.Buckets)-1].UpperBound
+}
+
+// traceCmd fetches a node's /debug/trace ring and prints the cascade
+// decisions chronologically.
+func traceCmd(manager string, args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	node := fs.String("node", "", "node base URL (default: the manager)")
+	n := fs.Int("n", 32, "number of most-recent events to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	base := *node
+	if base == "" {
+		base = manager
+	}
+	resp, err := client.Get(fmt.Sprintf("%s/debug/trace?n=%d", base, *n))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("trace", resp)
+	}
+	var tr telemetry.TraceResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tr); err != nil {
+		return err
+	}
+	fmt.Printf("%d cascade decisions recorded, %d retained\n", tr.Total, tr.Retained)
+	for _, e := range tr.Events {
+		fmt.Printf("#%-6d %s %-9s node=%s vm=%s levels=%s reached=%s target=%v dur=%v",
+			e.Seq, e.Time.Format(time.RFC3339), e.Kind, e.Node, e.VM, e.Levels, e.LevelReached, e.Target, e.Duration)
+		if !e.Shortfall.IsZero() {
+			fmt.Printf(" shortfall=%v", e.Shortfall)
+		}
+		if e.DeadlineExceeded {
+			fmt.Print(" deadline-exceeded")
+		}
+		if e.AppFailed {
+			fmt.Print(" app-failed")
+		}
+		if e.OSFailed {
+			fmt.Print(" os-failed")
+		}
+		if e.Err != "" {
+			fmt.Printf(" err=%q", e.Err)
+		}
+		fmt.Println()
 	}
 	return nil
 }

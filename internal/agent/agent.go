@@ -16,6 +16,7 @@ import (
 
 	"deflation/internal/hypervisor"
 	"deflation/internal/restypes"
+	"deflation/internal/telemetry"
 	"deflation/internal/vm"
 )
 
@@ -48,6 +49,13 @@ type StatusResponse struct {
 type Server struct {
 	mu  sync.Mutex
 	app vm.Application
+
+	sink *telemetry.Sink // nil = no instrumentation
+	tel  struct {
+		deflates     *telemetry.Counter
+		reinflates   *telemetry.Counter
+		relinquished [restypes.NumKinds]*telemetry.Counter
+	}
 }
 
 // NewServer wraps app.
@@ -58,16 +66,48 @@ func NewServer(app vm.Application) (*Server, error) {
 	return &Server{app: app}, nil
 }
 
+// SetTelemetry instruments the agent: deflation/reinflation request
+// counters and relinquished-amount counters per resource dimension. The
+// sink's introspection endpoints (/metrics, /debug/trace, /debug/pprof)
+// are mounted by Handler. A nil sink detaches.
+func (s *Server) SetTelemetry(sink *telemetry.Sink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sink = sink
+	if sink == nil {
+		return
+	}
+	r := sink.Registry
+	s.tel.deflates = r.Counter("deflation_agent_deflates_total",
+		"deflation vectors received from the local controller", nil)
+	s.tel.reinflates = r.Counter("deflation_agent_reinflates_total",
+		"reinflation notifications received", nil)
+	for _, k := range restypes.Kinds() {
+		s.tel.relinquished[k] = r.Counter("deflation_agent_relinquished_total",
+			"resources voluntarily relinquished by the application (cores, MB, MB/s)",
+			telemetry.Labels{"resource": k.String()})
+	}
+}
+
 // Handler returns the agent's HTTP routes:
 //
 //	POST /deflate   — body DeflateRequest, response DeflateResponse
 //	POST /reinflate — body ReinflateRequest
 //	GET  /status    — response StatusResponse
+//
+// When a telemetry sink is set, the sink's introspection endpoints
+// (/metrics, /debug/trace, /debug/pprof) are mounted too.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /deflate", s.handleDeflate)
 	mux.HandleFunc("POST /reinflate", s.handleReinflate)
 	mux.HandleFunc("GET /status", s.handleStatus)
+	s.mu.Lock()
+	sink := s.sink
+	s.mu.Unlock()
+	if sink != nil {
+		sink.Attach(mux)
+	}
 	return mux
 }
 
@@ -79,6 +119,12 @@ func (s *Server) handleDeflate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	rel, lat := s.app.SelfDeflate(req.Target)
+	if s.sink != nil {
+		s.tel.deflates.Inc()
+		for _, k := range restypes.Kinds() {
+			s.tel.relinquished[k].Add(rel.At(k))
+		}
+	}
 	s.mu.Unlock()
 	writeJSON(w, DeflateResponse{Relinquished: rel, LatencyMS: float64(lat) / float64(time.Millisecond)})
 }
@@ -91,6 +137,9 @@ func (s *Server) handleReinflate(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	s.app.Reinflate(req.Env)
+	if s.sink != nil {
+		s.tel.reinflates.Inc()
+	}
 	s.mu.Unlock()
 	w.WriteHeader(http.StatusNoContent)
 }

@@ -148,8 +148,9 @@ func (m MemMechanism) String() string {
 type Controller struct {
 	levels   Levels
 	memVia   MemMechanism
-	deadline time.Duration // 0 = unbounded
-	faults   FaultHook     // nil = no injection
+	deadline time.Duration        // 0 = unbounded
+	faults   FaultHook            // nil = no injection
+	tel      *controllerTelemetry // nil = no instrumentation
 }
 
 // New returns a controller with the given levels enabled.
@@ -189,6 +190,14 @@ func (c *Controller) fault(level string) LevelFault {
 // the caller (the cluster manager's proportional policy) is responsible for
 // choosing feasible targets and for preempting VMs that cannot meet them.
 func (c *Controller) Deflate(v *vm.VM, target restypes.Vector) (Report, error) {
+	r, err := c.deflate(v, target)
+	if c.tel != nil {
+		c.tel.record("deflate", c.levels, v.Name(), r, err)
+	}
+	return r, err
+}
+
+func (c *Controller) deflate(v *vm.VM, target restypes.Vector) (Report, error) {
 	r := Report{Target: target}
 	if v.Preempted() {
 		return r, ErrPreempted
@@ -339,6 +348,14 @@ func (c *Controller) osReclaim(v *vm.VM, target restypes.Vector, force bool) Lev
 // re-plugs CPUs and memory, and finally the application's deflation agent is
 // told about the new availability.
 func (c *Controller) Reinflate(v *vm.VM, amount restypes.Vector) (Report, error) {
+	r, err := c.reinflate(v, amount)
+	if c.tel != nil {
+		c.tel.record("reinflate", c.levels, v.Name(), r, err)
+	}
+	return r, err
+}
+
+func (c *Controller) reinflate(v *vm.VM, amount restypes.Vector) (Report, error) {
 	r := Report{Target: amount}
 	if v.Preempted() {
 		return r, ErrPreempted

@@ -254,8 +254,9 @@ type RemoteNode struct {
 	mu      sync.Mutex
 	rng     *rand.Rand // backoff jitter + idempotency key entropy
 	idemSeq uint64
-	retries int   // lifetime retry count, for tests and metrics
-	lastErr error // most recent transport error, recorded distinctly
+	retries int                  // lifetime retry count, for tests and metrics
+	lastErr error                // most recent transport error, recorded distinctly
+	tel     *remoteNodeTelemetry // nil = no instrumentation
 
 	sleep func(time.Duration) // test seam; time.Sleep by default
 }
@@ -336,7 +337,11 @@ func (n *RemoteNode) attempt(method, path string, body []byte, hdr http.Header, 
 	if err != nil {
 		n.mu.Lock()
 		n.lastErr = err
+		tel := n.tel
 		n.mu.Unlock()
+		if tel != nil {
+			tel.transportErrors.Inc()
+		}
 		return transportFailure(err)
 	}
 	defer drainClose(resp.Body)
@@ -346,7 +351,10 @@ func (n *RemoteNode) attempt(method, path string, body []byte, hdr http.Header, 
 // withRetry runs op under the retry policy. Only retryable failures
 // (transport errors, 5xx) are retried, with exponential backoff and jitter;
 // non-idempotent callers pass retry=false and get exactly one attempt.
-func (n *RemoteNode) withRetry(retryOK bool, op func() error) error {
+// opName labels the RPC latency histogram; the observation covers all
+// attempts including backoff, i.e. the latency the manager actually paid.
+func (n *RemoteNode) withRetry(opName string, retryOK bool, op func() error) error {
+	defer n.observeRPC(opName, time.Now())
 	attempts := n.retry.MaxAttempts
 	if !retryOK {
 		attempts = 1
@@ -357,7 +365,11 @@ func (n *RemoteNode) withRetry(retryOK bool, op func() error) error {
 			n.mu.Lock()
 			d := n.retry.backoff(i-1, n.rng)
 			n.retries++
+			tel := n.tel
 			n.mu.Unlock()
+			if tel != nil {
+				tel.retries.Inc()
+			}
 			n.sleep(d)
 		}
 		err = op()
@@ -372,7 +384,7 @@ func (n *RemoteNode) withRetry(retryOK bool, op func() error) error {
 // failures.
 func (n *RemoteNode) State() (NodeState, error) {
 	var st NodeState
-	err := n.withRetry(true, func() error {
+	err := n.withRetry("state", true, func() error {
 		return n.attempt(http.MethodGet, "/v1/state", nil, nil, func(resp *http.Response) error {
 			if resp.StatusCode != http.StatusOK {
 				return statusError("state", resp.Status, resp.StatusCode)
@@ -387,6 +399,7 @@ func (n *RemoteNode) State() (NodeState, error) {
 // monitor counts consecutive misses itself, so retrying here would only
 // mask real failures.
 func (n *RemoteNode) Ping() error {
+	defer n.observeRPC("ping", time.Now())
 	return n.attempt(http.MethodGet, "/v1/healthz", nil, nil, func(resp *http.Response) error {
 		if resp.StatusCode != http.StatusOK {
 			return statusError("healthz", resp.Status, resp.StatusCode)
@@ -410,7 +423,7 @@ func (n *RemoteNode) Launch(spec LaunchSpec) (LaunchReport, error) {
 	if err != nil {
 		return rep, err
 	}
-	err = n.withRetry(false, func() error {
+	err = n.withRetry("launch", false, func() error {
 		return n.attempt(http.MethodPost, "/v1/vms", body, nil, func(resp *http.Response) error {
 			switch resp.StatusCode {
 			case http.StatusCreated:
@@ -432,7 +445,7 @@ func (n *RemoteNode) Launch(spec LaunchSpec) (LaunchReport, error) {
 // (the earlier attempt applied and only the response was lost).
 func (n *RemoteNode) Release(name string) error {
 	sawTransportFailure := false
-	return n.withRetry(true, func() error {
+	return n.withRetry("release", true, func() error {
 		err := n.attempt(http.MethodDelete, "/v1/vms/"+name, nil, nil, func(resp *http.Response) error {
 			switch resp.StatusCode {
 			case http.StatusNoContent:
@@ -471,7 +484,7 @@ func (n *RemoteNode) Deflate(vmName string, target restypes.Vector) (DeflateVMRe
 		return out, err
 	}
 	hdr := http.Header{"Idempotency-Key": []string{n.nextIdemKey()}}
-	err = n.withRetry(true, func() error {
+	err = n.withRetry("deflate", true, func() error {
 		return n.attempt(http.MethodPost, "/v1/vms/"+vmName+"/deflate", body, hdr, func(resp *http.Response) error {
 			switch resp.StatusCode {
 			case http.StatusOK:

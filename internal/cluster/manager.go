@@ -129,6 +129,8 @@ type Manager struct {
 	// free+deflatable availability — the ablation of §5's Eq. 4 fitness.
 	// Feasibility is unchanged.
 	freeOnlyFitness bool
+
+	tel *managerTelemetry // nil = no instrumentation
 }
 
 // SetFreeOnlyFitness toggles the fitness ablation: score servers by free
@@ -187,14 +189,23 @@ func (m *Manager) ProbeHealth() []HealthEvent {
 			if h.dead {
 				h.dead = false
 				events = append(events, HealthEvent{Kind: NodeUp, Node: s.Name()})
+				if m.tel != nil {
+					m.tel.nodeUp.Inc()
+				}
 			}
 			h.misses = 0
 			continue
 		}
 		h.misses++
+		if m.tel != nil {
+			m.tel.heartbeatMisses.Inc()
+		}
 		if !h.dead && h.misses >= m.healthPolicy.MaxMisses {
 			h.dead = true
 			events = append(events, HealthEvent{Kind: NodeDown, Node: s.Name(), Err: err})
+			if m.tel != nil {
+				m.tel.nodeDown.Inc()
+			}
 			events = append(events, m.evacuate(i)...)
 		}
 	}
@@ -220,15 +231,24 @@ func (m *Manager) evacuate(idx int) []HealthEvent {
 		spec := m.specs[name]
 		delete(m.specs, name)
 		events = append(events, HealthEvent{Kind: VMEvicted, Node: node, VM: name})
+		if m.tel != nil {
+			m.tel.evictions.Inc()
+		}
 		// Re-place; the launch does not count toward Rejected(), which
 		// tracks user-facing admissions.
 		_, rep, err := m.launch(spec, false)
 		if err != nil {
 			m.lostVMs++
+			if m.tel != nil {
+				m.tel.vmLost.Inc()
+			}
 			events = append(events, HealthEvent{Kind: VMLost, VM: name, Err: err})
 			continue
 		}
 		m.replacedVMs++
+		if m.tel != nil {
+			m.tel.vmReplaced.Inc()
+		}
 		events = append(events, HealthEvent{Kind: VMReplaced, VM: name, Preempted: rep.Preempted})
 	}
 	return events
@@ -300,12 +320,18 @@ func (m *Manager) launch(spec LaunchSpec, countRejection bool) (int, LaunchRepor
 	if idx < 0 {
 		if countRejection {
 			m.rejected++
+			if m.tel != nil {
+				m.tel.rejections.Inc()
+			}
 		}
 		return -1, LaunchReport{}, fmt.Errorf("%w: no feasible server for %v", ErrNoCapacity, spec.Size)
 	}
 	rep, err := m.servers[idx].Launch(spec)
 	if err != nil {
 		return -1, rep, err
+	}
+	if m.tel != nil {
+		m.tel.placements[idx].Inc()
 	}
 	m.placement[spec.Name] = idx
 	m.specs[spec.Name] = spec

@@ -13,6 +13,7 @@ import (
 	"deflation/internal/pricing"
 	"deflation/internal/restypes"
 	"deflation/internal/simclock"
+	"deflation/internal/telemetry"
 	"deflation/internal/trace"
 	"deflation/internal/vm"
 )
@@ -52,6 +53,12 @@ type SimConfig struct {
 	HeartbeatInterval time.Duration
 	// HeartbeatMisses overrides the misses-before-dead threshold (default 3).
 	HeartbeatMisses int
+	// Telemetry, when non-nil, instruments the simulated cluster: cascade
+	// decisions are traced and counted per server, and the manager's
+	// failure-detector and placement counters accrue into the sink's
+	// registry. Nil (the default) leaves the simulation on the exact
+	// uninstrumented hot path.
+	Telemetry *telemetry.Sink
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -191,6 +198,9 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 	}
 	if injectFaults {
 		mgr.SetHealthPolicy(HealthPolicy{MaxMisses: cfg.HeartbeatMisses})
+	}
+	if cfg.Telemetry != nil {
+		mgr.SetTelemetry(cfg.Telemetry)
 	}
 
 	events, err := trace.Generate(cfg.Trace)

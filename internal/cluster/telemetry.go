@@ -1,0 +1,213 @@
+package cluster
+
+import (
+	"time"
+
+	"deflation/internal/restypes"
+	"deflation/internal/telemetry"
+)
+
+// This file wires the control plane into internal/telemetry. The split
+// follows the concurrency model: counters and histograms are atomic and may
+// be bumped from anywhere (Manager, LocalController, and the sim are
+// single-threaded by design, RemoteNode is not), while GaugeFuncs read
+// mutable controller/manager state and are therefore registered only at the
+// API layer, where their closures serialize through the same mutex as every
+// other access.
+
+// SetTelemetry instruments the controller's cascade: per-level latencies,
+// reclaimed amounts, failures, shortfalls, and one trace event per
+// deflation/reinflation decision, labeled with this server's name. A nil
+// sink detaches.
+func (c *LocalController) SetTelemetry(sink *telemetry.Sink) {
+	c.casc.SetTelemetry(sink, c.host.Name())
+}
+
+// managerTelemetry is the manager's pre-created instrument set.
+type managerTelemetry struct {
+	heartbeatMisses *telemetry.Counter
+	nodeDown        *telemetry.Counter
+	nodeUp          *telemetry.Counter
+	evictions       *telemetry.Counter
+	vmReplaced      *telemetry.Counter
+	vmLost          *telemetry.Counter
+	rejections      *telemetry.Counter
+	placements      []*telemetry.Counter // by server index
+}
+
+// SetTelemetry instruments the manager (heartbeat misses, node up/down
+// transitions, evictions and their re-placement outcomes, placement
+// decisions per server, rejections) and propagates the sink to every
+// managed node that supports instrumentation — in-process LocalControllers
+// (including crash-wrapped ones) and RemoteNodes alike. A nil sink
+// detaches the manager but not nodes already instrumented.
+func (m *Manager) SetTelemetry(sink *telemetry.Sink) {
+	if sink == nil {
+		m.tel = nil
+		return
+	}
+	r := sink.Registry
+	t := &managerTelemetry{
+		heartbeatMisses: r.Counter("deflation_manager_heartbeat_misses_total",
+			"failed heartbeat probes observed by the failure detector", nil),
+		nodeDown: r.Counter("deflation_manager_node_down_total",
+			"nodes declared dead after consecutive heartbeat misses", nil),
+		nodeUp: r.Counter("deflation_manager_node_up_total",
+			"dead nodes that answered a heartbeat and rejoined", nil),
+		evictions: r.Counter("deflation_manager_evictions_total",
+			"VMs declared lost-in-place on dead nodes (failure-induced preemptions)", nil),
+		vmReplaced: r.Counter("deflation_manager_vm_replaced_total",
+			"evicted VMs successfully re-launched on healthy nodes", nil),
+		vmLost: r.Counter("deflation_manager_vm_lost_total",
+			"evicted VMs no healthy node could host", nil),
+		rejections: r.Counter("deflation_manager_rejections_total",
+			"launches that found no feasible server", nil),
+	}
+	t.placements = make([]*telemetry.Counter, len(m.servers))
+	for i, s := range m.servers {
+		t.placements[i] = r.Counter("deflation_manager_placements_total",
+			"placement decisions by chosen server",
+			telemetry.Labels{"node": s.Name()})
+	}
+	m.tel = t
+	for _, s := range m.servers {
+		if ts, ok := s.(interface{ SetTelemetry(*telemetry.Sink) }); ok {
+			ts.SetTelemetry(sink)
+		}
+	}
+}
+
+// remoteNodeTelemetry instruments the manager-side RPC client.
+type remoteNodeTelemetry struct {
+	rpcSeconds      map[string]*telemetry.Histogram // by op
+	retries         *telemetry.Counter
+	transportErrors *telemetry.Counter
+}
+
+// SetTelemetry instruments the client: one wall-clock latency histogram per
+// control-plane operation (covering all retry attempts and backoff), a
+// retry counter, and a transport-error counter, labeled with the remote
+// server's name. A nil sink detaches.
+func (n *RemoteNode) SetTelemetry(sink *telemetry.Sink) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if sink == nil {
+		n.tel = nil
+		return
+	}
+	r := sink.Registry
+	t := &remoteNodeTelemetry{
+		rpcSeconds: make(map[string]*telemetry.Histogram),
+		retries: r.Counter("deflation_rpc_retries_total",
+			"control-plane RPC retry attempts (not counting first attempts)",
+			telemetry.Labels{"node": n.name}),
+		transportErrors: r.Counter("deflation_rpc_transport_errors_total",
+			"connection-level RPC failures (refused, dropped, timed out)",
+			telemetry.Labels{"node": n.name}),
+	}
+	for _, op := range []string{"state", "launch", "release", "deflate", "ping"} {
+		t.rpcSeconds[op] = r.Histogram("deflation_rpc_seconds",
+			"control-plane RPC latency including retries and backoff (seconds)",
+			telemetry.DefBuckets(), telemetry.Labels{"node": n.name, "op": op})
+	}
+	n.tel = t
+}
+
+// observeRPC records one completed RPC's wall-clock latency.
+func (n *RemoteNode) observeRPC(op string, start time.Time) {
+	n.mu.Lock()
+	t := n.tel
+	n.mu.Unlock()
+	if t == nil {
+		return
+	}
+	if h, ok := t.rpcSeconds[op]; ok {
+		h.Observe(time.Since(start).Seconds())
+	}
+}
+
+// AttachTelemetry registers scrape-time gauges over the wrapped controller's
+// state: capacity, free, allocated, availability, and nominal vectors per
+// resource dimension, plus VM count, overcommitment, and preemptions. The
+// gauge closures take the API mutex — the LocalController is not itself
+// thread-safe, so the gauges must be registered here rather than on the
+// controller.
+func (a *ControllerAPI) AttachTelemetry(sink *telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	r := sink.Registry
+	a.mu.Lock()
+	node := a.ctrl.Name()
+	a.mu.Unlock()
+	vec := func(name, help string, read func(*LocalController) restypes.Vector) {
+		for _, k := range restypes.Kinds() {
+			k := k
+			r.GaugeFunc(name, help, telemetry.Labels{"node": node, "resource": k.String()},
+				func() float64 {
+					a.mu.Lock()
+					defer a.mu.Unlock()
+					return read(a.ctrl).At(k)
+				})
+		}
+	}
+	vec("deflation_node_capacity", "physical server capacity (cores, MB, MB/s)",
+		func(c *LocalController) restypes.Vector { return c.host.Capacity() })
+	vec("deflation_node_free", "unallocated physical capacity",
+		func(c *LocalController) restypes.Vector { return c.Free() })
+	vec("deflation_node_allocated", "current physical allocation across VMs",
+		func(c *LocalController) restypes.Vector { return c.host.Allocated() })
+	vec("deflation_node_nominal", "sum of the VMs' nominal sizes",
+		func(c *LocalController) restypes.Vector { return c.NominalSize() })
+	vec("deflation_node_availability", "placement availability: free + deflatable",
+		func(c *LocalController) restypes.Vector { return c.Availability() })
+	scalar := func(name, help string, read func(*LocalController) float64) {
+		r.GaugeFunc(name, help, telemetry.Labels{"node": node}, func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return read(a.ctrl)
+		})
+	}
+	scalar("deflation_node_vms", "VMs currently running on this server",
+		func(c *LocalController) float64 { return float64(len(c.vms)) })
+	scalar("deflation_node_overcommitment", "nominal load over capacity on the binding dimension",
+		func(c *LocalController) float64 { return c.Overcommitment() })
+	scalar("deflation_node_preemptions", "capacity-driven preemptions this server has performed",
+		func(c *LocalController) float64 { return float64(c.preemptions) })
+}
+
+// AttachTelemetry registers scrape-time gauges over the manager's aggregate
+// view (placed VMs, rejections, preemptions, failure-detector state, and
+// cluster overcommitment). The closures take the API mutex, mirroring
+// ControllerAPI.AttachTelemetry.
+func (a *ManagerAPI) AttachTelemetry(sink *telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	r := sink.Registry
+	scalar := func(name, help string, read func(*Manager) float64) {
+		r.GaugeFunc(name, help, nil, func() float64 {
+			a.mu.Lock()
+			defer a.mu.Unlock()
+			return read(a.mgr)
+		})
+	}
+	scalar("deflation_cluster_vms", "VMs currently placed cluster-wide",
+		func(m *Manager) float64 { return float64(len(m.placement)) })
+	scalar("deflation_cluster_rejections", "launches that found no feasible server",
+		func(m *Manager) float64 { return float64(m.rejected) })
+	scalar("deflation_cluster_preemptions", "capacity-driven preemptions across all servers",
+		func(m *Manager) float64 { return float64(m.Preemptions()) })
+	scalar("deflation_cluster_dead_servers", "servers currently marked dead",
+		func(m *Manager) float64 { return float64(m.DeadServers()) })
+	scalar("deflation_cluster_failure_preemptions", "VMs killed by node failures",
+		func(m *Manager) float64 { return float64(m.failurePreemptions) })
+	scalar("deflation_cluster_replaced_vms", "failure-evicted VMs re-placed on healthy nodes",
+		func(m *Manager) float64 { return float64(m.replacedVMs) })
+	scalar("deflation_cluster_lost_vms", "failure-evicted VMs that could not be re-placed",
+		func(m *Manager) float64 { return float64(m.lostVMs) })
+	scalar("deflation_cluster_mean_overcommitment", "mean server overcommitment",
+		func(m *Manager) float64 { return m.Snapshot().MeanOvercommitment })
+	scalar("deflation_cluster_max_overcommitment", "max server overcommitment",
+		func(m *Manager) float64 { return m.Snapshot().MaxOvercommitment })
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+)
+
+// Attach mounts the sink's introspection endpoints on mux:
+//
+//	GET /metrics             — Prometheus text exposition
+//	GET /metrics?format=json — JSON snapshot ([]MetricSnapshot)
+//	GET /debug/trace?n=K     — last K cascade events as JSON (default 32)
+//	GET /debug/pprof/...     — net/http/pprof profiles
+//
+// The endpoints live on the daemon's existing http.Server, so the existing
+// graceful-shutdown path (Server.Shutdown) tears them down with the rest of
+// the API.
+func (s *Sink) Attach(mux *http.ServeMux) {
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace", s.handleTrace)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// Handler returns a standalone handler serving only the sink's endpoints —
+// for embedding telemetry into servers that build their own mux.
+func (s *Sink) Handler() http.Handler {
+	mux := http.NewServeMux()
+	s.Attach(mux)
+	return mux
+}
+
+func (s *Sink) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		if err := json.NewEncoder(w).Encode(s.Registry.Snapshot()); err != nil {
+			_ = err // headers already sent
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(s.Registry.Text()))
+}
+
+// TraceResponse is the /debug/trace payload.
+type TraceResponse struct {
+	// Total is the number of events ever recorded; Retained is how many the
+	// ring currently holds.
+	Total    uint64         `json:"total"`
+	Retained int            `json:"retained"`
+	Events   []CascadeEvent `json:"events"`
+}
+
+func (s *Sink) handleTrace(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			http.Error(w, "telemetry: bad n: "+q, http.StatusBadRequest)
+			return
+		}
+		n = v
+	}
+	resp := TraceResponse{
+		Total:    s.Tracer.Total(),
+		Retained: s.Tracer.Len(),
+		Events:   s.Tracer.Last(n),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(resp); err != nil {
+		_ = err
+	}
+}

@@ -1,0 +1,81 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentScrapeWhileUpdate hammers every metric type from writer
+// goroutines while scrapers render text and JSON snapshots and the tracer is
+// read — the exact interleaving a live daemon sees when Prometheus scrapes
+// mid-deflation. Run under -race this verifies the lock-free update paths;
+// the final assertions verify no updates were lost.
+func TestConcurrentScrapeWhileUpdate(t *testing.T) {
+	s := NewSink()
+	const writers = 8
+	const perWriter = 2000
+
+	ctr := s.Registry.Counter("race_total", "", nil)
+	gauge := s.Registry.Gauge("race_gauge", "", nil)
+	hist := s.Registry.Histogram("race_seconds", "", []float64{0.25, 0.5, 0.75}, nil)
+	s.Registry.GaugeFunc("race_func", "", nil, func() float64 { return ctr.Value() })
+
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				ctr.Inc()
+				ctr.Add(0.5)
+				gauge.Set(float64(i))
+				hist.Observe(float64(i%100) / 100)
+				s.Tracer.Record(CascadeEvent{VM: fmt.Sprintf("vm-%d-%d", w, i), Kind: "deflate"})
+				// Writers also race metric creation (distinct labels).
+				s.Registry.Counter("race_labeled_total", "", Labels{"w": fmt.Sprint(w)}).Inc()
+			}
+		}(w)
+	}
+
+	done := make(chan struct{})
+	var scrapeWG sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				_ = s.Registry.Text()
+				_ = s.Registry.Snapshot()
+				_ = s.Tracer.Last(16)
+				_ = s.Tracer.Total()
+				_ = hist.Quantile(0.95)
+			}
+		}()
+	}
+
+	wg.Wait()
+	close(done)
+	scrapeWG.Wait()
+
+	if got, want := ctr.Value(), float64(writers*perWriter)*1.5; got != want {
+		t.Errorf("counter = %v, want %v (lost updates)", got, want)
+	}
+	if got, want := hist.Count(), uint64(writers*perWriter); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got, want := s.Tracer.Total(), uint64(writers*perWriter); got != want {
+		t.Errorf("tracer total = %d, want %d", got, want)
+	}
+	for w := 0; w < writers; w++ {
+		c := s.Registry.Counter("race_labeled_total", "", Labels{"w": fmt.Sprint(w)})
+		if c.Value() != perWriter {
+			t.Errorf("labeled counter w=%d = %v, want %d", w, c.Value(), perWriter)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"deflation/internal/restypes"
+)
+
+func TestTracerRingWraps(t *testing.T) {
+	tr := NewTracer(4)
+	for i := 1; i <= 10; i++ {
+		tr.Record(CascadeEvent{VM: fmt.Sprintf("vm-%d", i)})
+	}
+	if tr.Total() != 10 {
+		t.Fatalf("total = %d, want 10", tr.Total())
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("len = %d, want 4", tr.Len())
+	}
+	got := tr.Last(0)
+	if len(got) != 4 {
+		t.Fatalf("Last(0) returned %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		wantVM := fmt.Sprintf("vm-%d", 7+i) // chronological: vm-7 .. vm-10
+		if e.VM != wantVM || e.Seq != uint64(7+i) {
+			t.Errorf("event[%d] = {vm %s seq %d}, want {vm %s seq %d}", i, e.VM, e.Seq, wantVM, 7+i)
+		}
+	}
+	// Last(n) smaller than retained: the most recent n.
+	last2 := tr.Last(2)
+	if len(last2) != 2 || last2[0].VM != "vm-9" || last2[1].VM != "vm-10" {
+		t.Errorf("Last(2) = %+v, want vm-9, vm-10", last2)
+	}
+	// Larger than retained: clamped.
+	if n := len(tr.Last(100)); n != 4 {
+		t.Errorf("Last(100) returned %d, want 4", n)
+	}
+}
+
+func TestTracerStampsTimeAndSeq(t *testing.T) {
+	tr := NewTracer(2)
+	tr.Record(CascadeEvent{VM: "a"})
+	e := tr.Last(1)[0]
+	if e.Seq != 1 {
+		t.Errorf("seq = %d, want 1", e.Seq)
+	}
+	if e.Time.IsZero() {
+		t.Error("time not stamped")
+	}
+}
+
+func TestSinkHTTPEndpoints(t *testing.T) {
+	s := NewSink()
+	s.Registry.Counter("defl_test_total", "test counter", nil).Add(5)
+	// A histogram's snapshot carries a +Inf tail bucket; it must survive the
+	// JSON round trip (encoding/json rejects bare ±Inf floats).
+	s.Registry.Histogram("defl_test_seconds", "test histogram", []float64{0.1, 1}, nil).Observe(0.5)
+	s.Tracer.Record(CascadeEvent{
+		Kind: "deflate", VM: "web-1", Node: "s0", Levels: "app+os+hypervisor",
+		Target: restypes.V(2, 4096, 0, 0), LevelReached: "hypervisor",
+	})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 || !strings.Contains(body, "defl_test_total 5") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+
+	code, body = get("/metrics?format=json")
+	if code != 200 {
+		t.Fatalf("/metrics?format=json = %d", code)
+	}
+	var snaps []MetricSnapshot
+	if err := json.Unmarshal([]byte(body), &snaps); err != nil {
+		t.Fatalf("bad JSON snapshot: %v", err)
+	}
+	if len(snaps) != 2 {
+		t.Fatalf("JSON snapshot = %+v, want 2 metrics", snaps)
+	}
+	var hist, ctr *MetricSnapshot
+	for i := range snaps {
+		switch snaps[i].Type {
+		case "histogram":
+			hist = &snaps[i]
+		case "counter":
+			ctr = &snaps[i]
+		}
+	}
+	if ctr == nil || ctr.Value != 5 {
+		t.Errorf("counter snapshot = %+v", ctr)
+	}
+	if hist == nil || hist.Count != 1 || len(hist.Buckets) != 3 {
+		t.Fatalf("histogram snapshot = %+v", hist)
+	}
+	tail := hist.Buckets[len(hist.Buckets)-1]
+	if !math.IsInf(tail.UpperBound, 1) || tail.CumulativeCount != 1 {
+		t.Errorf("+Inf tail bucket did not round-trip: %+v", tail)
+	}
+
+	code, body = get("/debug/trace?n=10")
+	if code != 200 {
+		t.Fatalf("/debug/trace = %d", code)
+	}
+	var tr TraceResponse
+	if err := json.Unmarshal([]byte(body), &tr); err != nil {
+		t.Fatalf("bad trace JSON: %v", err)
+	}
+	if tr.Total != 1 || len(tr.Events) != 1 || tr.Events[0].VM != "web-1" || tr.Events[0].LevelReached != "hypervisor" {
+		t.Errorf("trace = %+v", tr)
+	}
+
+	if code, _ := get("/debug/trace?n=bogus"); code != 400 {
+		t.Errorf("bad n = %d, want 400", code)
+	}
+
+	// pprof index answers (the profiles themselves are exercised by pprof's
+	// own tests; we only assert the wiring).
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+}
