@@ -9,6 +9,13 @@
 //	deflated -listen :7000 \
 //	    -controller http://10.0.0.1:7070 \
 //	    -controller http://10.0.0.2:7070                    # remote fleet
+//	deflated -listen :7000 -state-dir /var/lib/deflated \
+//	    -controller http://10.0.0.1:7070                    # durable manager
+//
+// With -state-dir, every placement and failure-detector transition is
+// journaled; on start the manager recovers from the journal and reconciles
+// against each node's actual VM inventory, so a SIGKILL'd manager restarts
+// without evicting healthy workloads.
 package main
 
 import (
@@ -47,6 +54,9 @@ func main() {
 		heartbeat = flag.Duration("heartbeat", 10*time.Second, "failure-detector probe interval (0 disables)")
 		maxMisses = flag.Int("max-misses", 3, "consecutive heartbeat misses before a node is declared dead")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+		stateDir  = flag.String("state-dir", "", "directory for the durable state journal (empty = in-memory only)")
+		snapEvery = flag.Int("snapshot-every", 256, "journal records between compacted snapshots")
+		syncEvery = flag.Int("sync-every", 8, "journal records between batched fsyncs")
 	)
 	flag.Var(&controllers, "controller", "remote deflagent URL (repeatable)")
 	flag.Parse()
@@ -91,15 +101,34 @@ func main() {
 		log.Fatalf("deflated: unknown policy %q", *policy)
 	}
 
-	mgr, err := cluster.NewManager(nodes, pol, *seed)
-	if err != nil {
-		log.Fatalf("deflated: %v", err)
+	var mgr *cluster.Manager
+	var recovery *cluster.RecoveryReport
+	if *stateDir != "" {
+		var err error
+		mgr, recovery, err = cluster.Recover(cluster.DurabilityConfig{
+			Dir: *stateDir, SnapshotEvery: *snapEvery, SyncEvery: *syncEvery,
+		}, nodes, pol, *seed)
+		if err != nil {
+			log.Fatalf("deflated: recovering from %s: %v", *stateDir, err)
+		}
+		log.Printf("deflated: recovered %d placements from %s in %v "+
+			"(replayed %d records; repairs: %d adopted, %d replaced, %d lost, %d reasserted, %d stale)",
+			recovery.Placements, *stateDir, recovery.Duration.Round(time.Millisecond),
+			recovery.RecordsReplayed, recovery.Adopted, recovery.Replaced,
+			recovery.Lost, recovery.Reasserted, recovery.StaleReleased)
+	} else {
+		var err error
+		mgr, err = cluster.NewManager(nodes, pol, *seed)
+		if err != nil {
+			log.Fatalf("deflated: %v", err)
+		}
 	}
 	mgr.SetHealthPolicy(cluster.HealthPolicy{MaxMisses: *maxMisses})
 	api, err := cluster.NewManagerAPI(mgr)
 	if err != nil {
 		log.Fatalf("deflated: %v", err)
 	}
+	api.SetRecovery(recovery)
 
 	// Telemetry: cascade decisions, placement and failure-detector counters,
 	// RPC latencies (remote fleets), plus scrape-time cluster gauges. Served
@@ -107,6 +136,11 @@ func main() {
 	sink := telemetry.NewSink()
 	mgr.SetTelemetry(sink)
 	api.AttachTelemetry(sink)
+	if j := mgr.Journal(); j != nil {
+		j.SetTelemetry(sink)
+		recovery.Publish(sink)
+		defer j.Close()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -134,6 +168,10 @@ func main() {
 							log.Printf("deflated: VM %s re-placed (preempted %v)", ev.VM, ev.Preempted)
 						case cluster.VMLost:
 							log.Printf("deflated: VM %s lost: %v", ev.VM, ev.Err)
+						case cluster.VMAdopted:
+							log.Printf("deflated: VM %s adopted from rejoined node %s", ev.VM, ev.Node)
+						case cluster.VMStaleReleased:
+							log.Printf("deflated: stale VM %s released from rejoined node %s", ev.VM, ev.Node)
 						}
 					}
 				}

@@ -106,17 +106,7 @@ func (a *ControllerAPI) state() NodeState {
 		Overcommitment:     c.Overcommitment(),
 		Preemptions:        c.Preemptions(),
 	}
-	for _, v := range c.VMs() {
-		st.VMs = append(st.VMs, VMState{
-			Name:       v.Name(),
-			Priority:   v.Priority().String(),
-			Size:       v.Size(),
-			Allocation: v.Allocation(),
-			MinSize:    v.MinSize(),
-			Throughput: v.Throughput(),
-			App:        v.App().Name(),
-		})
-	}
+	st.VMs, _ = c.Inventory()
 	return st
 }
 
@@ -499,6 +489,17 @@ func (n *RemoteNode) Deflate(vmName string, target restypes.Vector) (DeflateVMRe
 	return out, err
 }
 
+// Inventory implements InventoryNode over the wire: the remote server's
+// actual VM list, or a transport error when it is unreachable (the
+// reconciler then keeps the journaled view rather than guessing).
+func (n *RemoteNode) Inventory() ([]VMState, error) {
+	st, err := n.State()
+	if err != nil {
+		return nil, err
+	}
+	return st.VMs, nil
+}
+
 // Has implements Node. A definitive "not running here" is (false, nil); an
 // unreachable controller returns the transport error so the caller never
 // mistakes a dead network for a dead VM.
@@ -567,8 +568,17 @@ func (n *RemoteNode) Preemptions() int {
 
 // ManagerAPI serves the centralized manager over HTTP (cmd/deflated).
 type ManagerAPI struct {
-	mu  sync.Mutex
-	mgr *Manager
+	mu       sync.Mutex
+	mgr      *Manager
+	recovery *RecoveryReport // last recovery outcome, if the manager recovered
+}
+
+// SetRecovery records the manager's last recovery outcome so /v1/state can
+// report it to operators.
+func (a *ManagerAPI) SetRecovery(rep *RecoveryReport) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.recovery = rep
 }
 
 // NewManagerAPI wraps a manager.
@@ -612,11 +622,13 @@ func (a *ManagerAPI) ProbeHealth() []HealthEvent {
 //	POST   /v1/vms        — LaunchSpec → LaunchResponse
 //	DELETE /v1/vms/{name} — release
 //	GET    /v1/cluster    — ClusterState
+//	GET    /v1/state      — ManagerStateResponse (durable-state debugging)
 func (a *ManagerAPI) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/vms", a.handleLaunch)
 	mux.HandleFunc("DELETE /v1/vms/{name}", a.handleRelease)
 	mux.HandleFunc("GET /v1/cluster", a.handleCluster)
+	mux.HandleFunc("GET /v1/state", a.handleState)
 	return mux
 }
 
@@ -649,6 +661,57 @@ func (a *ManagerAPI) handleRelease(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
+}
+
+// JournalStatus is the wire form of the manager's journal state.
+type JournalStatus struct {
+	Dir             string  `json:"dir"`
+	Seq             uint64  `json:"seq"`
+	Appended        uint64  `json:"records_appended"`
+	Fsyncs          uint64  `json:"fsyncs"`
+	AppendErrors    uint64  `json:"append_errors,omitempty"`
+	SnapshotSeq     uint64  `json:"snapshot_seq"`
+	SnapshotBytes   int     `json:"snapshot_bytes"`
+	SnapshotAgeSecs float64 `json:"snapshot_age_seconds"`
+}
+
+// ManagerStateResponse is the manager's durable-state view for operator
+// debugging (deflctl state): current placements, journal position, last
+// snapshot age, and the last recovery's report when the manager recovered.
+type ManagerStateResponse struct {
+	Placements map[string]string `json:"placements"`
+	VMs        int               `json:"vms"`
+	Durable    bool              `json:"durable"`
+	Journal    *JournalStatus    `json:"journal,omitempty"`
+	Recovery   *RecoveryReport   `json:"recovery,omitempty"`
+}
+
+func (a *ManagerAPI) handleState(w http.ResponseWriter, _ *http.Request) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	resp := ManagerStateResponse{
+		Placements: a.mgr.Placements(),
+		Recovery:   a.recovery,
+	}
+	resp.VMs = len(resp.Placements)
+	if j := a.mgr.Journal(); j != nil {
+		resp.Durable = true
+		st := j.Stats()
+		js := &JournalStatus{
+			Dir:           j.Dir(),
+			Seq:           st.Seq,
+			Appended:      st.Appended,
+			Fsyncs:        st.Fsyncs,
+			AppendErrors:  st.AppendErrors,
+			SnapshotSeq:   st.SnapshotSeq,
+			SnapshotBytes: st.SnapshotBytes,
+		}
+		if !st.SnapshotTime.IsZero() {
+			js.SnapshotAgeSecs = time.Since(st.SnapshotTime).Seconds()
+		}
+		resp.Journal = js
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (a *ManagerAPI) handleCluster(w http.ResponseWriter, r *http.Request) {

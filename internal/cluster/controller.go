@@ -182,6 +182,26 @@ func (c *LocalController) VMs() []*vm.VM {
 	return out
 }
 
+// Inventory implements InventoryNode: the ground-truth list of VMs this
+// server actually runs, in wire form, sorted by name. The manager's
+// anti-entropy reconciliation compares it against the journaled view.
+func (c *LocalController) Inventory() ([]VMState, error) {
+	vms := c.VMs()
+	out := make([]VMState, 0, len(vms))
+	for _, v := range vms {
+		out = append(out, VMState{
+			Name:       v.Name(),
+			Priority:   v.Priority().String(),
+			Size:       v.Size(),
+			Allocation: v.Allocation(),
+			MinSize:    v.MinSize(),
+			Throughput: v.Throughput(),
+			App:        v.App().Name(),
+		})
+	}
+	return out, nil
+}
+
 // VM looks up a VM by name.
 func (c *LocalController) VM(name string) (*vm.VM, error) {
 	v, ok := c.vms[name]

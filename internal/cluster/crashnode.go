@@ -30,6 +30,15 @@ func (n *crashableNode) crash() []string {
 // recover brings the node back, empty.
 func (n *crashableNode) recover() { n.down = false }
 
+// isolate partitions the node away without killing its VMs — the manager
+// sees a dead node, but the workloads keep running (an agent that outlived
+// its network, or a manager that outlived its agent). heal reconnects it,
+// VMs intact, so rejoin reconciliation can re-adopt them.
+func (n *crashableNode) isolate() { n.down = true }
+
+// heal ends an isolate partition.
+func (n *crashableNode) heal() { n.down = false }
+
 func (n *crashableNode) Ping() error {
 	if n.down {
 		return ErrNodeDown
@@ -56,6 +65,13 @@ func (n *crashableNode) Has(name string) (bool, error) {
 		return false, ErrNodeDown
 	}
 	return n.LocalController.Has(name)
+}
+
+func (n *crashableNode) Inventory() ([]VMState, error) {
+	if n.down {
+		return nil, ErrNodeDown
+	}
+	return n.LocalController.Inventory()
 }
 
 func (n *crashableNode) Free() restypes.Vector {

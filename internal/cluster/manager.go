@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"deflation/internal/journal"
 	"deflation/internal/restypes"
 	"deflation/internal/vm"
 )
@@ -72,6 +73,12 @@ const (
 	VMReplaced
 	// VMLost: no healthy node could host the evicted VM.
 	VMLost
+	// VMAdopted: a rejoined node still ran a VM the manager did not place
+	// there; the VM was adopted instead of the node being wiped.
+	VMAdopted
+	// VMStaleReleased: a rejoined node held a stale copy of a VM that was
+	// re-placed elsewhere while the node was dead; the copy was released.
+	VMStaleReleased
 )
 
 // String names the kind.
@@ -87,6 +94,10 @@ func (k HealthEventKind) String() string {
 		return "vm-replaced"
 	case VMLost:
 		return "vm-lost"
+	case VMAdopted:
+		return "vm-adopted"
+	case VMStaleReleased:
+		return "vm-stale-released"
 	}
 	return fmt.Sprintf("HealthEventKind(%d)", int(k))
 }
@@ -124,6 +135,18 @@ type Manager struct {
 	failurePreemptions int
 	replacedVMs        int
 	lostVMs            int
+	// adoptedVMs/staleReleases count anti-entropy reconciliation repairs:
+	// VMs found running without a journaled placement, and stale copies
+	// released from rejoined nodes.
+	adoptedVMs    int
+	staleReleases int
+
+	// rec receives every state transition (nil = no recording); journal is
+	// the attached WAL when the manager is durable. recoveryOrphans holds
+	// VMs journaled on servers absent from the fleet, pending re-placement.
+	rec             Recorder
+	journal         *journal.Journal
+	recoveryOrphans []string
 
 	// freeOnlyFitness scores placements against free capacity instead of
 	// free+deflatable availability — the ablation of §5's Eq. 4 fitness.
@@ -189,9 +212,14 @@ func (m *Manager) ProbeHealth() []HealthEvent {
 			if h.dead {
 				h.dead = false
 				events = append(events, HealthEvent{Kind: NodeUp, Node: s.Name()})
+				m.record(Event{Kind: evNodeUp, Node: s.Name()})
 				if m.tel != nil {
 					m.tel.nodeUp.Inc()
 				}
+				// The node may rejoin with VMs still running (a partition,
+				// or an agent that outlived its manager): reconcile against
+				// its actual inventory instead of assuming it is empty.
+				events = append(events, m.reconcileNode(i)...)
 			}
 			h.misses = 0
 			continue
@@ -203,6 +231,7 @@ func (m *Manager) ProbeHealth() []HealthEvent {
 		if !h.dead && h.misses >= m.healthPolicy.MaxMisses {
 			h.dead = true
 			events = append(events, HealthEvent{Kind: NodeDown, Node: s.Name(), Err: err})
+			m.record(Event{Kind: evNodeDown, Node: s.Name()})
 			if m.tel != nil {
 				m.tel.nodeDown.Inc()
 			}
@@ -231,14 +260,16 @@ func (m *Manager) evacuate(idx int) []HealthEvent {
 		spec := m.specs[name]
 		delete(m.specs, name)
 		events = append(events, HealthEvent{Kind: VMEvicted, Node: node, VM: name})
+		m.record(Event{Kind: evEvict, VM: name, Node: node})
 		if m.tel != nil {
 			m.tel.evictions.Inc()
 		}
 		// Re-place; the launch does not count toward Rejected(), which
 		// tracks user-facing admissions.
-		_, rep, err := m.launch(spec, false)
+		to, rep, err := m.launch(spec, false)
 		if err != nil {
 			m.lostVMs++
+			m.record(Event{Kind: evLost, VM: name})
 			if m.tel != nil {
 				m.tel.vmLost.Inc()
 			}
@@ -246,10 +277,56 @@ func (m *Manager) evacuate(idx int) []HealthEvent {
 			continue
 		}
 		m.replacedVMs++
+		m.record(Event{Kind: evReplace, VM: name, Node: m.servers[to].Name(),
+			Spec: &spec, Preempted: rep.Preempted})
 		if m.tel != nil {
 			m.tel.vmReplaced.Inc()
 		}
 		events = append(events, HealthEvent{Kind: VMReplaced, VM: name, Preempted: rep.Preempted})
+	}
+	return events
+}
+
+// reconcileNode compares a rejoined node's actual VM inventory with the
+// manager's placements: VMs the manager placed there re-adopt silently,
+// unknown VMs are adopted into the placement map, and stale copies of VMs
+// re-placed elsewhere while the node was dead are released. Nodes without
+// an inventory (or still unreachable) reconcile to nothing, preserving the
+// crash-stop "rejoins empty" behavior.
+func (m *Manager) reconcileNode(i int) []HealthEvent {
+	inv, err := nodeInventory(m.servers[i])
+	if err != nil || len(inv) == 0 {
+		return nil
+	}
+	node := m.servers[i].Name()
+	sort.Slice(inv, func(a, b int) bool { return inv[a].Name < inv[b].Name })
+	var events []HealthEvent
+	for _, vs := range inv {
+		cur, ok := m.placement[vs.Name]
+		switch {
+		case !ok:
+			spec := specFromVMState(vs)
+			m.placement[vs.Name] = i
+			m.specs[vs.Name] = spec
+			m.adoptedVMs++
+			m.record(Event{Kind: evAdopt, VM: vs.Name, Node: node, Spec: &spec})
+			if m.tel != nil {
+				m.tel.vmAdopted.Inc()
+			}
+			events = append(events, HealthEvent{Kind: VMAdopted, Node: node, VM: vs.Name})
+		case cur == i:
+			// Consistent: the journal (or a surviving manager) already
+			// places it here.
+		default:
+			if err := m.servers[i].Release(vs.Name); err == nil {
+				m.staleReleases++
+				m.record(Event{Kind: evStale, VM: vs.Name, Node: node})
+				if m.tel != nil {
+					m.tel.vmStaleReleased.Inc()
+				}
+				events = append(events, HealthEvent{Kind: VMStaleReleased, Node: node, VM: vs.Name})
+			}
+		}
 	}
 	return events
 }
@@ -320,6 +397,7 @@ func (m *Manager) launch(spec LaunchSpec, countRejection bool) (int, LaunchRepor
 	if idx < 0 {
 		if countRejection {
 			m.rejected++
+			m.record(Event{Kind: evReject, VM: spec.Name})
 			if m.tel != nil {
 				m.tel.rejections.Inc()
 			}
@@ -339,6 +417,12 @@ func (m *Manager) launch(spec LaunchSpec, countRejection bool) (int, LaunchRepor
 	for _, name := range rep.Preempted {
 		delete(m.placement, name)
 		delete(m.specs, name)
+	}
+	if countRejection {
+		// User-facing placement; internal re-placements journal as
+		// "replace" (or reconciliation repairs) at the call site instead.
+		m.record(Event{Kind: evLaunch, VM: spec.Name, Node: m.servers[idx].Name(),
+			Spec: &spec, Preempted: rep.Preempted})
 	}
 	return idx, rep, nil
 }
@@ -412,6 +496,7 @@ func (m *Manager) Release(name string) error {
 	}
 	delete(m.placement, name)
 	delete(m.specs, name)
+	m.record(Event{Kind: evRelease, VM: name})
 	return m.servers[idx].Release(name)
 }
 
@@ -432,6 +517,7 @@ func (m *Manager) Placed(name string) bool {
 		// Preempted underneath: reconcile.
 		delete(m.placement, name)
 		delete(m.specs, name)
+		m.record(Event{Kind: evPreempt, VM: name})
 		return false
 	}
 	return true
@@ -450,6 +536,10 @@ type Stats struct {
 	FailurePreemptions int
 	ReplacedVMs        int
 	LostVMs            int
+	// AdoptedVMs and StaleReleases count anti-entropy reconciliation
+	// repairs (rejoin adoption and stale-copy release).
+	AdoptedVMs    int
+	StaleReleases int
 }
 
 // Snapshot computes current cluster statistics.
@@ -460,6 +550,8 @@ func (m *Manager) Snapshot() Stats {
 	st.FailurePreemptions = m.failurePreemptions
 	st.ReplacedVMs = m.replacedVMs
 	st.LostVMs = m.lostVMs
+	st.AdoptedVMs = m.adoptedVMs
+	st.StaleReleases = m.staleReleases
 	for _, s := range m.servers {
 		oc := s.Overcommitment()
 		st.ServerOvercommitment = append(st.ServerOvercommitment, oc)

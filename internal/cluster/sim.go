@@ -3,12 +3,14 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"os"
 	"time"
 
 	"deflation/internal/apps/curveapp"
 	"deflation/internal/cascade"
 	"deflation/internal/faults"
 	"deflation/internal/hypervisor"
+	"deflation/internal/journal"
 	"deflation/internal/perfmodel"
 	"deflation/internal/pricing"
 	"deflation/internal/restypes"
@@ -133,6 +135,10 @@ type SimResult struct {
 	FailurePreemptions int
 	VMsReplaced        int
 	VMsLost            int
+	// ManagerCrashes counts injected manager crash-restart cycles; each one
+	// rebuilds the manager from its journal via Recover (zero unless
+	// Faults.ManagerCrashMTBF is set).
+	ManagerCrashes int
 }
 
 // curves cycled across low-priority VMs: the mixed application population
@@ -201,6 +207,26 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 	}
 	if cfg.Telemetry != nil {
 		mgr.SetTelemetry(cfg.Telemetry)
+	}
+	// Manager crash-restart faults need a journal to recover from; it lives
+	// in a temp dir for the simulation's lifetime. Batched fsyncs and a
+	// coarse snapshot cadence keep the sim fast — in-process "crashes" lose
+	// nothing the kernel accepted, which is exactly the durability model.
+	const simSyncEvery, simSnapshotEvery = 64, 512
+	var jdir string
+	if injectFaults && cfg.Faults.ManagerCrashMTBF > 0 {
+		var err error
+		jdir, err = os.MkdirTemp("", "deflsim-wal-")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(jdir)
+		j, err := journal.Open(jdir, journal.Options{SyncEvery: simSyncEvery})
+		if err != nil {
+			return res, err
+		}
+		defer func() { mgr.Journal().Close() }()
+		mgr.AttachJournal(j, simSnapshotEvery)
 	}
 
 	events, err := trace.Generate(cfg.Trace)
@@ -315,12 +341,21 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 			minSize = restypes.Vector{}
 		}
 		curve := curves[admitted%len(curves)]
+		// AppKind is the serializable fallback for the closure: NewApp takes
+		// precedence while this manager lives, but a journal replay cannot
+		// carry a function, so post-recovery re-placements relaunch the VM
+		// from the registered generic kind instead.
+		appKind := "elastic"
+		if e.HighPriority {
+			appKind = "inelastic"
+		}
 		spec := LaunchSpec{
 			Name:     e.ID,
 			Size:     e.Size,
 			MinSize:  minSize,
 			Priority: prio,
 			Warm:     true,
+			AppKind:  appKind,
 			NewApp: func(size restypes.Vector) vm.Application {
 				return curveapp.New(curveapp.Config{
 					Curve: curve, Size: size, Elastic: !e.HighPriority,
@@ -437,6 +472,44 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 		}
 		for i := range crashables {
 			scheduleCrash(i)
+		}
+		// Manager crash-restart failures: the manager process dies, losing
+		// all in-memory state, and immediately restarts via Recover — replay
+		// the journal, then reconcile against node inventories. The nodes
+		// (and their VMs) keep running throughout, exactly like deflagent
+		// processes outliving a SIGKILL'd deflated.
+		if cfg.Faults.ManagerCrashMTBF > 0 {
+			var scheduleMgrCrash func()
+			scheduleMgrCrash = func() {
+				gap, ok := inj.NextManagerCrash()
+				if !ok {
+					return
+				}
+				at := clock.Now() + gap
+				if at > horizon {
+					return
+				}
+				clock.At(at, func(time.Duration) {
+					mgr.Journal().Close()
+					m2, _, err := Recover(DurabilityConfig{
+						Dir: jdir, SnapshotEvery: simSnapshotEvery, SyncEvery: simSyncEvery,
+					}, nodes, cfg.Policy, cfg.Seed)
+					if err != nil {
+						if simErr == nil {
+							simErr = fmt.Errorf("cluster: sim manager recovery: %w", err)
+						}
+						return
+					}
+					m2.SetHealthPolicy(HealthPolicy{MaxMisses: cfg.HeartbeatMisses})
+					if cfg.Telemetry != nil {
+						m2.SetTelemetry(cfg.Telemetry)
+					}
+					mgr = m2 // arrive/depart/heartbeat closures see the new manager
+					res.ManagerCrashes++
+					scheduleMgrCrash()
+				})
+			}
+			scheduleMgrCrash()
 		}
 	}
 

@@ -36,6 +36,36 @@ func TestChaosSimDeterministic(t *testing.T) {
 	}
 }
 
+func TestChaosSimWithManagerCrashesDeterministic(t *testing.T) {
+	// Manager crash-restart cycles recover the manager from the write-ahead
+	// journal mid-simulation. Same seed must still mean byte-identical
+	// results, and crashes must actually fire at an aggressive MTBF (the
+	// small trace spans well under an hour of simulated time).
+	mgrChaos := func() SimConfig {
+		cfg := chaosSim()
+		cfg.Faults.ManagerCrashMTBF = 5 * time.Minute
+		return cfg
+	}
+	a, err := RunSim(mgrChaos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(mgrChaos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("manager-crash chaos sim not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.ManagerCrashes == 0 {
+		t.Fatal("no manager crashes injected at 5m MTBF")
+	}
+	if a.FailurePreemptions != a.VMsReplaced+a.VMsLost {
+		t.Errorf("accounting: %d preemptions != %d replaced + %d lost",
+			a.FailurePreemptions, a.VMsReplaced, a.VMsLost)
+	}
+}
+
 func TestZeroedFaultsReproduceBaseline(t *testing.T) {
 	// A Faults struct with every rate zeroed must take the exact fault-free
 	// code path: the chaos sweep's zero-fault cell IS the Fig. 8c baseline.

@@ -31,6 +31,8 @@ type managerTelemetry struct {
 	evictions       *telemetry.Counter
 	vmReplaced      *telemetry.Counter
 	vmLost          *telemetry.Counter
+	vmAdopted       *telemetry.Counter
+	vmStaleReleased *telemetry.Counter
 	rejections      *telemetry.Counter
 	placements      []*telemetry.Counter // by server index
 }
@@ -60,6 +62,10 @@ func (m *Manager) SetTelemetry(sink *telemetry.Sink) {
 			"evicted VMs successfully re-launched on healthy nodes", nil),
 		vmLost: r.Counter("deflation_manager_vm_lost_total",
 			"evicted VMs no healthy node could host", nil),
+		vmAdopted: r.Counter("deflation_manager_vm_adopted_total",
+			"VMs found running on rejoined nodes and adopted into the placement", nil),
+		vmStaleReleased: r.Counter("deflation_manager_vm_stale_released_total",
+			"stale VM copies released from rejoined nodes", nil),
 		rejections: r.Counter("deflation_manager_rejections_total",
 			"launches that found no feasible server", nil),
 	}
@@ -206,6 +212,10 @@ func (a *ManagerAPI) AttachTelemetry(sink *telemetry.Sink) {
 		func(m *Manager) float64 { return float64(m.replacedVMs) })
 	scalar("deflation_cluster_lost_vms", "failure-evicted VMs that could not be re-placed",
 		func(m *Manager) float64 { return float64(m.lostVMs) })
+	scalar("deflation_cluster_adopted_vms", "VMs adopted from node inventories by reconciliation",
+		func(m *Manager) float64 { return float64(m.adoptedVMs) })
+	scalar("deflation_cluster_stale_releases", "stale VM copies released by reconciliation",
+		func(m *Manager) float64 { return float64(m.staleReleases) })
 	scalar("deflation_cluster_mean_overcommitment", "mean server overcommitment",
 		func(m *Manager) float64 { return m.Snapshot().MeanOvercommitment })
 	scalar("deflation_cluster_max_overcommitment", "max server overcommitment",

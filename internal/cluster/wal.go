@@ -1,0 +1,516 @@
+package cluster
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"deflation/internal/journal"
+	"deflation/internal/telemetry"
+	"deflation/internal/vm"
+)
+
+// This file is the manager's durability layer: every placement, priority,
+// and failure-detector transition is recorded through a Recorder into an
+// append-only journal (internal/journal), periodically compacted into a
+// snapshot, and rebuilt by Recover — replay first, then an anti-entropy
+// reconciliation pass against each live node's actual VM inventory. The
+// Recorder is nil by default (no-op, mirroring SimConfig.Telemetry): a
+// manager without a state dir pays nothing.
+
+// Event kinds journaled by the manager. Each is one state transition; the
+// set is append-only so old journals stay replayable.
+const (
+	evLaunch   = "launch"    // user-facing placement (Spec, Node, Preempted)
+	evReject   = "reject"    // launch found no feasible server
+	evRelease  = "release"   // normal end of life
+	evPreempt  = "preempt"   // capacity preemption observed out-of-band
+	evNodeDown = "node-down" // failure detector declared the node dead
+	evNodeUp   = "node-up"   // dead node rejoined
+	evEvict    = "evict"     // VM declared lost-in-place on a dead node
+	evReplace  = "replace"   // evicted VM re-placed (Spec, new Node, Preempted)
+	evLost     = "lost"      // evicted VM no healthy node could host
+	evAdopt    = "adopt"     // VM found on a node, adopted into the placement
+	evStale    = "stale"     // stale VM copy released from a rejoined node
+)
+
+// Event is one journaled manager state transition, JSON-serializable.
+// Spec omits NewApp (functions do not serialize); remote and AppKind-based
+// launches replay fully, local closures replay as placements without a
+// relaunchable app (re-placement then falls back to registered kinds).
+type Event struct {
+	Kind      string      `json:"kind"`
+	VM        string      `json:"vm,omitempty"`
+	Node      string      `json:"node,omitempty"`
+	Spec      *LaunchSpec `json:"spec,omitempty"`
+	Preempted []string    `json:"preempted,omitempty"`
+}
+
+// Recorder receives every manager state transition. Implementations must
+// not call back into the manager. A nil recorder on the manager disables
+// recording entirely.
+type Recorder interface {
+	Record(Event)
+}
+
+// record forwards a transition to the attached recorder, if any.
+func (m *Manager) record(e Event) {
+	if m.rec != nil {
+		m.rec.Record(e)
+	}
+}
+
+// WALState is the manager's durable state in wire form: the compacted
+// snapshot payload, and the structure journal replay rebuilds. Placements
+// reference servers by name, not index, so a fleet can be re-declared in a
+// different order across restarts.
+type WALState struct {
+	// AppliedSeq is the last journal sequence folded into this state.
+	// Apply is idempotent through it: records at or below it are no-ops,
+	// so double-replay equals single-replay.
+	AppliedSeq uint64                `json:"applied_seq"`
+	Placements map[string]string     `json:"placements,omitempty"` // VM → node name
+	Specs      map[string]LaunchSpec `json:"specs,omitempty"`
+	Dead       map[string]bool       `json:"dead,omitempty"` // nodes marked dead
+
+	Rejected           int `json:"rejected,omitempty"`
+	FailurePreemptions int `json:"failure_preemptions,omitempty"`
+	Replaced           int `json:"replaced,omitempty"`
+	Lost               int `json:"lost,omitempty"`
+	Adopted            int `json:"adopted,omitempty"`
+	StaleReleased      int `json:"stale_released,omitempty"`
+}
+
+// NewWALState returns an empty state ready for replay.
+func NewWALState() *WALState {
+	return &WALState{
+		Placements: make(map[string]string),
+		Specs:      make(map[string]LaunchSpec),
+		Dead:       make(map[string]bool),
+	}
+}
+
+// Apply folds one journal record into the state. It is idempotent and
+// crash-point-insensitive: records already covered by AppliedSeq are
+// skipped, unknown kinds are ignored (forward compatibility), and every
+// transition maps to a set/delete so replaying any prefix of the log yields
+// a consistent state.
+func (s *WALState) Apply(rec journal.Record) error {
+	if rec.Seq <= s.AppliedSeq {
+		return nil
+	}
+	var e Event
+	if err := json.Unmarshal(rec.Data, &e); err != nil {
+		return fmt.Errorf("cluster: replaying record %d: %w", rec.Seq, err)
+	}
+	switch e.Kind {
+	case evLaunch, evReplace, evAdopt:
+		s.Placements[e.VM] = e.Node
+		if e.Spec != nil {
+			s.Specs[e.VM] = *e.Spec
+		}
+		for _, name := range e.Preempted {
+			delete(s.Placements, name)
+			delete(s.Specs, name)
+		}
+		switch e.Kind {
+		case evReplace:
+			s.Replaced++
+		case evAdopt:
+			s.Adopted++
+		}
+	case evReject:
+		s.Rejected++
+	case evRelease, evPreempt:
+		delete(s.Placements, e.VM)
+		delete(s.Specs, e.VM)
+	case evEvict:
+		delete(s.Placements, e.VM)
+		s.FailurePreemptions++
+	case evLost:
+		delete(s.Specs, e.VM)
+		s.Lost++
+	case evNodeDown:
+		s.Dead[e.Node] = true
+	case evNodeUp:
+		delete(s.Dead, e.Node)
+	case evStale:
+		s.StaleReleased++
+	}
+	s.AppliedSeq = rec.Seq
+	return nil
+}
+
+// walState captures the manager's current durable state in wire form.
+func (m *Manager) walState() *WALState {
+	st := NewWALState()
+	for name, idx := range m.placement {
+		st.Placements[name] = m.servers[idx].Name()
+	}
+	for name, spec := range m.specs {
+		spec.NewApp = nil
+		st.Specs[name] = spec
+	}
+	for i, h := range m.health {
+		if h.dead {
+			st.Dead[m.servers[i].Name()] = true
+		}
+	}
+	st.Rejected = m.rejected
+	st.FailurePreemptions = m.failurePreemptions
+	st.Replaced = m.replacedVMs
+	st.Lost = m.lostVMs
+	st.Adopted = m.adoptedVMs
+	st.StaleReleased = m.staleReleases
+	return st
+}
+
+// durableRecorder appends every transition to a journal and compacts a
+// snapshot every SnapshotEvery records. It runs on the manager's goroutine
+// (all manager access serializes through the API mutex), so reading manager
+// state for the snapshot is safe.
+type durableRecorder struct {
+	m         *Manager
+	j         *journal.Journal
+	every     int
+	sinceSnap int
+}
+
+func (r *durableRecorder) Record(e Event) {
+	if _, err := r.j.Append(e.Kind, e); err != nil {
+		// Best-effort: the journal tracks AppendErrors; losing a record
+		// degrades recovery to reconciliation, which repairs the divergence.
+		return
+	}
+	r.sinceSnap++
+	if r.sinceSnap >= r.every {
+		r.snapshot()
+	}
+}
+
+func (r *durableRecorder) snapshot() {
+	st := r.m.walState()
+	st.AppliedSeq = r.j.Seq()
+	if err := r.j.Snapshot(st); err == nil {
+		r.sinceSnap = 0
+	}
+}
+
+// DurabilityConfig parameterizes the manager's journal.
+type DurabilityConfig struct {
+	// Dir is the state directory holding journal.log and snapshot.json.
+	Dir string
+	// SnapshotEvery compacts a snapshot after this many journal records
+	// (default 256).
+	SnapshotEvery int
+	// SyncEvery batches journal fsyncs (default journal.Options's 8).
+	SyncEvery int
+}
+
+func (c DurabilityConfig) withDefaults() DurabilityConfig {
+	if c.SnapshotEvery <= 0 {
+		c.SnapshotEvery = 256
+	}
+	return c
+}
+
+// RecoveryReport summarizes one Recover: what was replayed and what the
+// anti-entropy pass had to repair.
+type RecoveryReport struct {
+	SnapshotSeq     uint64 `json:"snapshot_seq"`
+	LastSeq         uint64 `json:"last_seq"`
+	RecordsReplayed int    `json:"records_replayed"`
+	TornTail        bool   `json:"torn_tail,omitempty"`
+	// Placements is the recovered placement count after reconciliation.
+	Placements int `json:"placements"`
+	// Reconciliation repairs by kind: Adopted VMs ran on a node without a
+	// journal entry; Replaced/Lost were journaled but gone from their node
+	// (re-placed via the evacuation path, or unplaceable); Reasserted specs
+	// diverged from the node's ground-truth allocation; StaleReleased
+	// copies were journaled on a different node than the one running them.
+	Adopted       int           `json:"adopted"`
+	Replaced      int           `json:"replaced"`
+	Lost          int           `json:"lost"`
+	Reasserted    int           `json:"reasserted"`
+	StaleReleased int           `json:"stale_released"`
+	Duration      time.Duration `json:"duration_ns"`
+}
+
+// Publish registers the recovery outcome in a telemetry sink: repairs by
+// kind, replayed record count, and recovery duration.
+func (rep *RecoveryReport) Publish(sink *telemetry.Sink) {
+	if rep == nil || sink == nil {
+		return
+	}
+	r := sink.Registry
+	for kind, n := range map[string]int{
+		"adopted":        rep.Adopted,
+		"replaced":       rep.Replaced,
+		"lost":           rep.Lost,
+		"reasserted":     rep.Reasserted,
+		"stale-released": rep.StaleReleased,
+	} {
+		r.Counter("deflation_recovery_repairs_total",
+			"anti-entropy reconciliation repairs during manager recovery",
+			telemetry.Labels{"kind": kind}).Add(float64(n))
+	}
+	r.Gauge("deflation_recovery_records_replayed",
+		"journal records replayed by the last recovery", nil).Set(float64(rep.RecordsReplayed))
+	r.Gauge("deflation_recovery_duration_seconds",
+		"wall-clock duration of the last recovery (replay + reconciliation)", nil).Set(rep.Duration.Seconds())
+}
+
+// InventoryNode is implemented by nodes that can enumerate the VMs they
+// actually run — the ground truth the anti-entropy pass reconciles against.
+// LocalController and RemoteNode both implement it; nodes that cannot are
+// skipped by reconciliation.
+type InventoryNode interface {
+	Inventory() ([]VMState, error)
+}
+
+var errNoInventory = errors.New("cluster: node does not expose a VM inventory")
+
+func nodeInventory(n Node) ([]VMState, error) {
+	inv, ok := n.(InventoryNode)
+	if !ok {
+		return nil, errNoInventory
+	}
+	return inv.Inventory()
+}
+
+// specFromVMState reconstructs a launch spec from a node's ground-truth VM
+// state, used when adopting VMs the journal does not know. The app kind is
+// the VM's own app name when registered, else the generic elastic/inelastic
+// kind for its priority.
+func specFromVMState(vs VMState) LaunchSpec {
+	spec := LaunchSpec{Name: vs.Name, Size: vs.Size, MinSize: vs.MinSize, Warm: true}
+	if vs.Priority == vm.HighPriority.String() {
+		spec.Priority = vm.HighPriority
+	}
+	if _, err := AppKind(vs.App); err == nil {
+		spec.AppKind = vs.App
+	} else if spec.Priority == vm.HighPriority {
+		spec.AppKind = "inelastic"
+	} else {
+		spec.AppKind = "elastic"
+	}
+	return spec
+}
+
+// Recover rebuilds a manager from a state directory: it loads the snapshot,
+// replays the journal tail idempotently, restores placements, specs,
+// counters, and failure-detector state, then runs an anti-entropy
+// reconciliation pass against each live node's actual inventory — VMs the
+// journal knows but the node lost are re-placed via the evacuation path,
+// VMs the node runs but the journal missed are adopted, diverged
+// allocations are re-asserted from the node's ground truth, and stale
+// copies are released. The journal stays attached for continued recording,
+// and a fresh compacted snapshot is written so the next recovery starts
+// warm. An empty directory recovers to an empty state (plus any adoptions),
+// so Recover is also the first-boot entry point.
+func Recover(cfg DurabilityConfig, servers []Node, policy PlacementPolicy, seed int64) (*Manager, *RecoveryReport, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	j, err := journal.Open(cfg.Dir, journal.Options{SyncEvery: cfg.SyncEvery})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	st := NewWALState()
+	if raw := j.SnapshotData(); raw != nil {
+		if err := json.Unmarshal(raw, st); err != nil {
+			j.Close()
+			return nil, nil, fmt.Errorf("cluster: decoding snapshot: %w", err)
+		}
+	}
+	jstats := j.Stats()
+	if jstats.SnapshotSeq > st.AppliedSeq {
+		st.AppliedSeq = jstats.SnapshotSeq
+	}
+	rep := &RecoveryReport{
+		SnapshotSeq:     jstats.SnapshotSeq,
+		LastSeq:         jstats.Seq,
+		RecordsReplayed: len(j.Tail()),
+		TornTail:        jstats.TornTail,
+	}
+	for _, rec := range j.Tail() {
+		if err := st.Apply(rec); err != nil {
+			j.Close()
+			return nil, nil, err
+		}
+	}
+
+	m, err := NewManager(servers, policy, seed)
+	if err != nil {
+		j.Close()
+		return nil, nil, err
+	}
+	m.installWALState(st)
+	m.reconcileAll(rep)
+
+	// Attach the journal for continued recording, then compact everything
+	// recovery just established into a fresh snapshot.
+	rec := &durableRecorder{m: m, j: j, every: cfg.SnapshotEvery}
+	m.rec = rec
+	m.journal = j
+	rec.snapshot()
+
+	rep.Placements = len(m.placement)
+	rep.Duration = time.Since(start)
+	return m, rep, nil
+}
+
+// installWALState loads a replayed state into a fresh manager. Placements
+// naming servers absent from the fleet become orphans, re-placed by the
+// reconciliation pass.
+func (m *Manager) installWALState(st *WALState) {
+	byName := make(map[string]int, len(m.servers))
+	for i, s := range m.servers {
+		byName[s.Name()] = i
+	}
+	for node := range st.Dead {
+		if i, ok := byName[node]; ok {
+			m.health[i].dead = true
+		}
+	}
+	var orphans []string
+	for name, node := range st.Placements {
+		if i, ok := byName[node]; ok {
+			m.placement[name] = i
+		} else {
+			orphans = append(orphans, name)
+		}
+		m.specs[name] = st.Specs[name]
+	}
+	sort.Strings(orphans)
+	m.recoveryOrphans = orphans
+	m.rejected = st.Rejected
+	m.failurePreemptions = st.FailurePreemptions
+	m.replacedVMs = st.Replaced
+	m.lostVMs = st.Lost
+	m.adoptedVMs = st.Adopted
+	m.staleReleases = st.StaleReleased
+}
+
+// reconcileAll is the anti-entropy pass: every live node's inventory is
+// compared against the journaled view and divergence is repaired.
+func (m *Manager) reconcileAll(rep *RecoveryReport) {
+	// VMs journaled on servers no longer in the fleet: re-place them.
+	for _, name := range m.recoveryOrphans {
+		spec := m.specs[name]
+		delete(m.specs, name)
+		m.repairReplace(spec, rep)
+	}
+	m.recoveryOrphans = nil
+
+	for i, s := range m.servers {
+		if m.health[i].dead {
+			continue // will reconcile on rejoin, via ProbeHealth
+		}
+		inv, err := nodeInventory(s)
+		if err != nil {
+			// Unreachable (or inventory-less): keep the journaled view; the
+			// failure detector decides, exactly as Placed() does.
+			continue
+		}
+		onNode := make(map[string]VMState, len(inv))
+		for _, vs := range inv {
+			onNode[vs.Name] = vs
+		}
+
+		// Journal → node: VMs we place here that the node no longer runs.
+		var missing []string
+		for name, idx := range m.placement {
+			if idx == i {
+				if _, ok := onNode[name]; !ok {
+					missing = append(missing, name)
+				}
+			}
+		}
+		sort.Strings(missing)
+		for _, name := range missing {
+			delete(m.placement, name)
+			spec := m.specs[name]
+			delete(m.specs, name)
+			m.repairReplace(spec, rep)
+		}
+
+		// Node → journal: adopt unknown VMs, re-assert diverged specs,
+		// release stale copies of VMs placed elsewhere.
+		names := make([]string, 0, len(onNode))
+		for name := range onNode {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			vs := onNode[name]
+			cur, ok := m.placement[name]
+			switch {
+			case !ok:
+				m.placement[name] = i
+				m.specs[name] = specFromVMState(vs)
+				m.adoptedVMs++
+				rep.Adopted++
+			case cur == i:
+				if spec := m.specs[name]; spec.Size != vs.Size || spec.MinSize != vs.MinSize {
+					// The node's allocation is ground truth.
+					spec.Size = vs.Size
+					spec.MinSize = vs.MinSize
+					m.specs[name] = spec
+					rep.Reasserted++
+				}
+			default:
+				// Journaled elsewhere: this copy is stale (the VM was
+				// re-placed while the journal entry for this node was lost).
+				if err := s.Release(name); err == nil {
+					m.staleReleases++
+					rep.StaleReleased++
+				}
+			}
+		}
+	}
+}
+
+// repairReplace re-places one VM the journal knows but no node runs, via
+// the same path evacuation uses. Counted as a failure-induced preemption:
+// the VM did die, just while the manager was down.
+func (m *Manager) repairReplace(spec LaunchSpec, rep *RecoveryReport) {
+	m.failurePreemptions++
+	if _, _, err := m.launch(spec, false); err != nil {
+		m.lostVMs++
+		rep.Lost++
+		return
+	}
+	m.replacedVMs++
+	rep.Replaced++
+}
+
+// Journal returns the attached journal (nil when the manager is not
+// durable).
+func (m *Manager) Journal() *journal.Journal { return m.journal }
+
+// SetRecorder attaches a state-transition recorder (nil detaches). Recover
+// attaches a journal-backed recorder automatically; SetRecorder exists for
+// tests and custom sinks.
+func (m *Manager) SetRecorder(r Recorder) { m.rec = r }
+
+// AttachJournal starts recording this manager's transitions into j,
+// snapshotting every snapshotEvery records (≤0 uses the default).
+func (m *Manager) AttachJournal(j *journal.Journal, snapshotEvery int) {
+	if snapshotEvery <= 0 {
+		snapshotEvery = DurabilityConfig{}.withDefaults().SnapshotEvery
+	}
+	m.journal = j
+	m.rec = &durableRecorder{m: m, j: j, every: snapshotEvery}
+}
+
+// Placements returns the current VM → node-name placement map (a copy).
+func (m *Manager) Placements() map[string]string {
+	out := make(map[string]string, len(m.placement))
+	for name, idx := range m.placement {
+		out[name] = m.servers[idx].Name()
+	}
+	return out
+}

@@ -1,0 +1,576 @@
+package cluster
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"deflation/internal/journal"
+	"deflation/internal/restypes"
+	"deflation/internal/vm"
+)
+
+// durSpec is a fully-serializable launch spec (AppKind, no closure), as a
+// durable deployment would use: replayed and re-placed specs must relaunch
+// from the registry.
+func durSpec(name string, prio vm.Priority, minFrac float64) LaunchSpec {
+	size := restypes.V(4, 16384, 100, 100)
+	kind := "elastic"
+	if prio == vm.HighPriority {
+		kind = "inelastic"
+	}
+	return LaunchSpec{
+		Name: name, Size: size, MinSize: size.Scale(minFrac), Priority: prio,
+		AppKind: kind, Warm: true,
+	}
+}
+
+// newDurableCluster builds a crashable cluster whose manager journals every
+// transition into dir. snapshotEvery <= 0 disables compaction so tests can
+// slice the raw log.
+func newDurableCluster(t *testing.T, dir string, n int, snapshotEvery int) (*Manager, []*crashableNode) {
+	t.Helper()
+	m, nodes := newCrashableCluster(t, n, BestFit)
+	j, err := journal.Open(dir, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snapshotEvery <= 0 {
+		snapshotEvery = 1 << 30
+	}
+	m.AttachJournal(j, snapshotEvery)
+	return m, nodes
+}
+
+// scriptedRun drives a manager through every journaled transition kind:
+// launches, a release, a rejection, a node crash with eviction and
+// re-placement, and an empty rejoin.
+func scriptedRun(t *testing.T, m *Manager, nodes []*crashableNode) {
+	t.Helper()
+	for i := 0; i < 6; i++ {
+		if _, _, err := m.Launch(durSpec(fmt.Sprintf("vm-%d", i), vm.LowPriority, 0.25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := m.Launch(durSpec("hp-0", vm.HighPriority, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Release("vm-5"); err != nil {
+		t.Fatal(err)
+	}
+	// A rejection: far larger than any server.
+	huge := durSpec("huge", vm.LowPriority, 1.0)
+	huge.Size = restypes.V(1024, 1<<30, 1, 1)
+	huge.MinSize = huge.Size
+	if _, _, err := m.Launch(huge); err == nil {
+		t.Fatal("huge launch unexpectedly admitted")
+	}
+	nodes[0].crash()
+	probeUntilDead(t, m)
+	nodes[0].recover()
+	m.ProbeHealth() // rejoin (empty after crash-stop)
+}
+
+func TestRecoverRestoresPlacementsWithoutEvictions(t *testing.T) {
+	dir := t.TempDir()
+	m, nodes := newDurableCluster(t, dir, 3, 0)
+	scriptedRun(t, m, nodes)
+	want := m.Placements()
+	wantStats := m.Snapshot()
+	preempts := make([]int, len(nodes))
+	vmCounts := make([]int, len(nodes))
+	for i, n := range nodes {
+		preempts[i] = n.Preemptions()
+		vmCounts[i] = len(n.VMs())
+	}
+	if err := m.Journal().Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// SIGKILL-equivalent: the manager object is dropped with no farewell
+	// write; Recover rebuilds from the same dir against the same (still
+	// running) nodes.
+	servers := make([]Node, len(nodes))
+	for i, n := range nodes {
+		servers[i] = n
+	}
+	m2, rep, err := Recover(DurabilityConfig{Dir: dir}, servers, BestFit, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Journal().Close()
+	if got := m2.Placements(); !reflect.DeepEqual(got, want) {
+		t.Errorf("recovered placements = %v, want %v", got, want)
+	}
+	// Healthy VMs must survive recovery untouched: no repairs, no new
+	// preemptions, node inventories unchanged.
+	if rep.Adopted != 0 || rep.Replaced != 0 || rep.Lost != 0 || rep.Reasserted != 0 || rep.StaleReleased != 0 {
+		t.Errorf("clean recovery repaired something: %+v", rep)
+	}
+	for i, n := range nodes {
+		if n.Preemptions() != preempts[i] {
+			t.Errorf("node %d preemptions %d != %d after recovery", i, n.Preemptions(), preempts[i])
+		}
+		if len(n.VMs()) != vmCounts[i] {
+			t.Errorf("node %d runs %d VMs != %d after recovery", i, len(n.VMs()), vmCounts[i])
+		}
+	}
+	// Counters carry over.
+	got := m2.Snapshot()
+	if got.FailurePreemptions != wantStats.FailurePreemptions ||
+		got.ReplacedVMs != wantStats.ReplacedVMs || got.LostVMs != wantStats.LostVMs {
+		t.Errorf("recovered stats %+v, want %+v", got, wantStats)
+	}
+	if m2.Rejected() != 1 {
+		t.Errorf("Rejected = %d after recovery, want 1", m2.Rejected())
+	}
+	if rep.Placements != len(want) {
+		t.Errorf("report placements = %d, want %d", rep.Placements, len(want))
+	}
+
+	// The recovered manager keeps journaling: a new launch survives another
+	// recovery.
+	if _, _, err := m2.Launch(durSpec("post-recovery", vm.LowPriority, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	m2.Journal().Close()
+	m3, _, err := Recover(DurabilityConfig{Dir: dir}, servers, BestFit, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m3.Journal().Close()
+	if _, ok := m3.Placements()["post-recovery"]; !ok {
+		t.Error("post-recovery launch lost by second recovery")
+	}
+}
+
+// TestReplayCrashPointInsensitive is the satellite property test: replaying
+// any prefix of the journal truncated at a record boundary (and with a torn
+// final record) yields a consistent state, and double-replay equals
+// single-replay at every crash point.
+func TestReplayCrashPointInsensitive(t *testing.T) {
+	dir := t.TempDir()
+	m, nodes := newDurableCluster(t, dir, 3, 0)
+	scriptedRun(t, m, nodes)
+	liveState := m.walState()
+	if err := m.Journal().Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "journal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Split keeping each record's terminating newline so every prefix is a
+	// well-formed log ending at a record boundary.
+	lines := strings.SplitAfter(string(raw), "\n")
+	if lines[len(lines)-1] == "" {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) < 10 {
+		t.Fatalf("scripted run journaled only %d records", len(lines))
+	}
+
+	replay := func(t *testing.T, dir string) (*WALState, *journal.Journal) {
+		t.Helper()
+		j, err := journal.Open(dir, journal.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := NewWALState()
+		for _, rec := range j.Tail() {
+			if err := st.Apply(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st, j
+	}
+
+	for k := 0; k <= len(lines); k++ {
+		pdir := t.TempDir()
+		prefix := strings.Join(lines[:k], "")
+		if err := os.WriteFile(filepath.Join(pdir, "journal.log"), []byte(prefix), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		once, j := replay(t, pdir)
+		// Idempotency: replaying the same records again must change nothing,
+		// counters included.
+		twice := *once
+		twice.Placements = copyMap(once.Placements)
+		twice.Specs = copySpecs(once.Specs)
+		twice.Dead = copyMap2(once.Dead)
+		for _, rec := range j.Tail() {
+			if err := twice.Apply(rec); err != nil {
+				t.Fatal(err)
+			}
+		}
+		j.Close()
+		if !reflect.DeepEqual(*once, twice) {
+			t.Fatalf("prefix %d: double-replay diverged:\n%+v\n%+v", k, *once, twice)
+		}
+		if k > 0 && once.AppliedSeq == 0 {
+			t.Fatalf("prefix %d: nothing applied", k)
+		}
+		// Consistency: every placement has a spec and vice versa.
+		for name := range once.Placements {
+			if _, ok := once.Specs[name]; !ok {
+				t.Fatalf("prefix %d: placement %q has no spec", k, name)
+			}
+		}
+
+		// Torn crash point: the next record half-written. Replay must land on
+		// exactly the k-record state.
+		if k < len(lines) {
+			tdir := t.TempDir()
+			torn := prefix + lines[k][:len(lines[k])/2]
+			if err := os.WriteFile(filepath.Join(tdir, "journal.log"), []byte(torn), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			tornState, tj := replay(t, tdir)
+			tj.Close()
+			if !reflect.DeepEqual(*once, *tornState) {
+				t.Fatalf("prefix %d + torn record diverged from clean prefix:\n%+v\n%+v", k, *once, *tornState)
+			}
+		}
+	}
+
+	// The full log replays to exactly the live manager's state.
+	full, j := replay(t, dir)
+	j.Close()
+	liveState.AppliedSeq = full.AppliedSeq // live state is not seq-stamped
+	if !reflect.DeepEqual(*full, *liveState) {
+		t.Errorf("full replay != live state:\n%+v\n%+v", *full, *liveState)
+	}
+}
+
+func copyMap(m map[string]string) map[string]string {
+	out := make(map[string]string, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copySpecs(m map[string]LaunchSpec) map[string]LaunchSpec {
+	out := make(map[string]LaunchSpec, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func copyMap2(m map[string]bool) map[string]bool {
+	out := make(map[string]bool, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func TestRecoverReconciliationRepairs(t *testing.T) {
+	dir := t.TempDir()
+	m, nodes := newDurableCluster(t, dir, 3, 0)
+	placedOn := make(map[string]int)
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("vm-%d", i)
+		idx, _, err := m.Launch(durSpec(name, vm.LowPriority, 0.25))
+		if err != nil {
+			t.Fatal(err)
+		}
+		placedOn[name] = idx
+	}
+	m.Journal().Close()
+
+	// Divergence injected behind the dead manager's back:
+	// 1. vm-0's node lost it (journal-has / node-lost → re-place).
+	if err := nodes[placedOn["vm-0"]].LocalController.Release("vm-0"); err != nil {
+		t.Fatal(err)
+	}
+	// 2. A VM the journal never saw (node-has / journal-missing → adopt).
+	if _, err := nodes[2].LocalController.Launch(durSpec("orphan", vm.LowPriority, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	// 3. vm-1 was resized out-of-band: the node's ground truth wins
+	//    (conflict → re-assert).
+	n1 := nodes[placedOn["vm-1"]]
+	if err := n1.LocalController.Release("vm-1"); err != nil {
+		t.Fatal(err)
+	}
+	resized := durSpec("vm-1", vm.LowPriority, 0.25)
+	resized.Size = restypes.V(2, 8192, 50, 50)
+	resized.MinSize = resized.Size.Scale(0.25)
+	if _, err := n1.LocalController.Launch(resized); err != nil {
+		t.Fatal(err)
+	}
+	// 4. A stale copy of vm-2 on a node the journal does not place it on.
+	staleHost := (placedOn["vm-2"] + 1) % 3
+	if _, err := nodes[staleHost].LocalController.Launch(durSpec("vm-2", vm.LowPriority, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+
+	servers := make([]Node, len(nodes))
+	for i, n := range nodes {
+		servers[i] = n
+	}
+	m2, rep, err := Recover(DurabilityConfig{Dir: dir}, servers, BestFit, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Journal().Close()
+
+	if rep.Replaced != 1 || rep.Adopted != 1 || rep.Reasserted != 1 || rep.StaleReleased != 1 || rep.Lost != 0 {
+		t.Fatalf("repairs = %+v, want 1 replaced / 1 adopted / 1 reasserted / 1 stale / 0 lost", rep)
+	}
+	pl := m2.Placements()
+	if _, ok := pl["vm-0"]; !ok {
+		t.Error("lost vm-0 not re-placed")
+	}
+	if has, _ := nodes[placedOn["vm-0"]].Has("vm-0"); !has {
+		// Re-placement may land anywhere; wherever it is, it must be real.
+		if node, ok := pl["vm-0"]; ok {
+			found := false
+			for _, n := range nodes {
+				if n.Name() == node {
+					found, _ = n.Has("vm-0")
+				}
+			}
+			if !found {
+				t.Errorf("vm-0 placement %q does not actually run it", node)
+			}
+		}
+	}
+	if node, ok := pl["orphan"]; !ok || node != nodes[2].Name() {
+		t.Errorf("orphan not adopted in place: %v", pl)
+	}
+	if sz := m2.specs["vm-1"].Size; sz != resized.Size {
+		t.Errorf("vm-1 spec not re-asserted from ground truth: %v", sz)
+	}
+	if has, _ := nodes[staleHost].Has("vm-2"); has {
+		t.Error("stale vm-2 copy still running on the wrong node")
+	}
+	if node := pl["vm-2"]; node != servers[placedOn["vm-2"]].Name() {
+		t.Errorf("vm-2 moved by stale-release: on %s", node)
+	}
+	st := m2.Snapshot()
+	if st.AdoptedVMs != 1 || st.StaleReleases != 1 {
+		t.Errorf("stats: adopted=%d stale=%d", st.AdoptedVMs, st.StaleReleases)
+	}
+}
+
+func TestRecoverEmptyDirIsFirstBoot(t *testing.T) {
+	dir := t.TempDir()
+	_, nodes := newCrashableCluster(t, 2, BestFit)
+	// One VM already runs on a node (an agent that started first).
+	if _, err := nodes[1].LocalController.Launch(durSpec("pre-existing", vm.LowPriority, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	servers := []Node{nodes[0], nodes[1]}
+	m, rep, err := Recover(DurabilityConfig{Dir: dir}, servers, BestFit, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Journal().Close()
+	if rep.RecordsReplayed != 0 || rep.SnapshotSeq != 0 {
+		t.Errorf("first boot replayed state: %+v", rep)
+	}
+	if rep.Adopted != 1 {
+		t.Errorf("first boot adopted %d VMs, want 1", rep.Adopted)
+	}
+	if node := m.Placements()["pre-existing"]; node != nodes[1].Name() {
+		t.Errorf("pre-existing VM adopted on %q", node)
+	}
+}
+
+func TestRecoverAfterThousandEventsUnderOneSecond(t *testing.T) {
+	dir := t.TempDir()
+	m, nodes := newDurableCluster(t, dir, 3, 0)
+	// 1k+ journal records: churn launches and releases, keeping a stable
+	// core of survivors.
+	for i := 0; i < 8; i++ {
+		if _, _, err := m.Launch(durSpec(fmt.Sprintf("core-%d", i), vm.LowPriority, 0.25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("churn-%d", i)
+		if _, _, err := m.Launch(durSpec(name, vm.LowPriority, 0.25)); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Release(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seq := m.Journal().Seq(); seq < 1000 {
+		t.Fatalf("journal holds %d records, want >= 1000", seq)
+	}
+	want := m.Placements()
+	m.Journal().Close()
+
+	servers := make([]Node, len(nodes))
+	for i, n := range nodes {
+		servers[i] = n
+	}
+	start := time.Now()
+	m2, rep, err := Recover(DurabilityConfig{Dir: dir}, servers, BestFit, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Journal().Close()
+	elapsed := time.Since(start)
+	if rep.RecordsReplayed < 1000 {
+		t.Errorf("replayed %d records, want >= 1000", rep.RecordsReplayed)
+	}
+	if elapsed >= time.Second {
+		t.Errorf("recovery of a 1k-event journal took %v, want < 1s", elapsed)
+	}
+	if !reflect.DeepEqual(m2.Placements(), want) {
+		t.Errorf("placements diverged after 1k-event recovery")
+	}
+}
+
+// TestRejoinWithVMsReconciles covers the satellite fix: a partitioned node
+// whose VMs kept running rejoins and is reconciled — stale copies of
+// re-placed VMs are released, and VMs the manager wrote off are re-adopted —
+// instead of being treated as fresh empty capacity.
+func TestRejoinWithVMsReconciles(t *testing.T) {
+	m, nodes := newCrashableCluster(t, 3, BestFit)
+	for i := 0; i < 6; i++ {
+		if _, _, err := m.Launch(spec(fmt.Sprintf("v%d", i), vm.LowPriority, 0.25)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := -1
+	for _, idx := range m.placement {
+		victim = idx
+		break
+	}
+	var victimVMs []string
+	for name, idx := range m.placement {
+		if idx == victim {
+			victimVMs = append(victimVMs, name)
+		}
+	}
+	if len(victimVMs) == 0 {
+		t.Fatal("victim hosts nothing")
+	}
+
+	// Partition (not crash): VMs keep running on the isolated node. The
+	// manager declares it dead and re-places its VMs elsewhere.
+	nodes[victim].isolate()
+	probeUntilDead(t, m)
+	for _, name := range victimVMs {
+		if idx, ok := m.placement[name]; !ok || idx == victim {
+			t.Fatalf("VM %s not re-placed off the partitioned node", name)
+		}
+	}
+
+	// Heal: the node rejoins still holding the old copies; every one is now
+	// stale (placed elsewhere) and must be released, not double-run.
+	nodes[victim].heal()
+	events := m.ProbeHealth()
+	var ups, stale, adopted int
+	for _, ev := range events {
+		switch ev.Kind {
+		case NodeUp:
+			ups++
+		case VMStaleReleased:
+			stale++
+			if ev.Node != nodes[victim].Name() {
+				t.Errorf("stale release on %s, want %s", ev.Node, nodes[victim].Name())
+			}
+		case VMAdopted:
+			adopted++
+		}
+	}
+	if ups != 1 || stale != len(victimVMs) || adopted != 0 {
+		t.Fatalf("rejoin events: %d up / %d stale / %d adopted, want 1/%d/0 (%v)",
+			ups, stale, adopted, len(victimVMs), events)
+	}
+	if n := len(nodes[victim].VMs()); n != 0 {
+		t.Errorf("partitioned node still runs %d stale VMs after reconciliation", n)
+	}
+	if st := m.Snapshot(); st.StaleReleases != len(victimVMs) {
+		t.Errorf("StaleReleases = %d, want %d", st.StaleReleases, len(victimVMs))
+	}
+}
+
+func TestRejoinAdoptsUnplaceableVMs(t *testing.T) {
+	m, nodes := newCrashableCluster(t, 2, BestFit)
+	// Fill both servers with undeflatable VMs so evicted VMs cannot be
+	// re-placed anywhere.
+	for i := 0; i < 8; i++ {
+		if _, _, err := m.Launch(spec(fmt.Sprintf("v%d", i), vm.LowPriority, 1.0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var victimVMs []string
+	for name, idx := range m.placement {
+		if idx == 0 {
+			victimVMs = append(victimVMs, name)
+		}
+	}
+	if len(victimVMs) == 0 {
+		t.Fatal("server 0 hosts nothing")
+	}
+	nodes[0].isolate()
+	events := probeUntilDead(t, m)
+	var lost int
+	for _, ev := range events {
+		if ev.Kind == VMLost {
+			lost++
+		}
+	}
+	if lost != len(victimVMs) {
+		t.Fatalf("lost %d VMs, want %d", lost, len(victimVMs))
+	}
+
+	// The node rejoins with its VMs intact: they were written off as lost,
+	// so reconciliation re-adopts every one.
+	nodes[0].heal()
+	var adopted int
+	for _, ev := range m.ProbeHealth() {
+		if ev.Kind == VMAdopted {
+			adopted++
+		}
+	}
+	if adopted != len(victimVMs) {
+		t.Fatalf("adopted %d VMs on rejoin, want %d", adopted, len(victimVMs))
+	}
+	for _, name := range victimVMs {
+		if idx, ok := m.placement[name]; !ok || idx != 0 {
+			t.Errorf("VM %s not re-adopted onto server 0", name)
+		}
+	}
+	if st := m.Snapshot(); st.AdoptedVMs != len(victimVMs) {
+		t.Errorf("AdoptedVMs = %d, want %d", st.AdoptedVMs, len(victimVMs))
+	}
+}
+
+func TestSnapshotCompactionPreservesRecovery(t *testing.T) {
+	dir := t.TempDir()
+	// Snapshot every 4 records: the scripted run compacts several times, so
+	// recovery exercises snapshot + tail replay rather than pure log replay.
+	m, nodes := newDurableCluster(t, dir, 3, 4)
+	scriptedRun(t, m, nodes)
+	want := m.Placements()
+	m.Journal().Close()
+
+	servers := make([]Node, len(nodes))
+	for i, n := range nodes {
+		servers[i] = n
+	}
+	m2, rep, err := Recover(DurabilityConfig{Dir: dir, SnapshotEvery: 4}, servers, BestFit, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Journal().Close()
+	if rep.SnapshotSeq == 0 {
+		t.Error("no snapshot was compacted at SnapshotEvery=4")
+	}
+	if !reflect.DeepEqual(m2.Placements(), want) {
+		t.Errorf("placements after snapshot+tail recovery = %v, want %v", m2.Placements(), want)
+	}
+}

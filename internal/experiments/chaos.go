@@ -27,6 +27,12 @@ type ChaosConfig struct {
 	CascadeFaultProb float64
 	// RecoveryTime is how long a crashed node stays down (default 5m).
 	RecoveryTime time.Duration
+	// ManagerMTBF is the mean time between manager crash-restart cycles,
+	// applied whenever the node-fault rate is nonzero: each crash loses the
+	// manager's memory and recovers it from the write-ahead journal
+	// mid-simulation (default 1h; zero-rate rows never crash the manager,
+	// keeping the baseline cell exact).
+	ManagerMTBF time.Duration
 	// TraceCount, MeanInterarrival, LifetimeMedian, and Servers mirror
 	// Fig8cConfig (defaults 4000, 2s, 1h, 100).
 	TraceCount       int
@@ -43,6 +49,7 @@ func QuickChaosConfig() ChaosConfig {
 		FaultRates:       []float64{0, 8, 32},
 		Overcommits:      []float64{1.5, 1.8},
 		RecoveryTime:     2 * time.Minute,
+		ManagerMTBF:      30 * time.Minute,
 		TraceCount:       2500,
 		MeanInterarrival: 2 * time.Second,
 		LifetimeMedian:   10 * time.Minute,
@@ -77,11 +84,12 @@ func chaosFaults(cfg ChaosConfig, rate float64) faults.Config {
 		return faults.Config{}
 	}
 	return faults.Config{
-		CrashMTBF:     time.Duration(float64(24*time.Hour) / rate),
-		RecoveryTime:  cfg.RecoveryTime,
-		AgentFailProb: cfg.CascadeFaultProb,
-		AgentHangProb: cfg.CascadeFaultProb,
-		OSFailProb:    cfg.CascadeFaultProb,
+		CrashMTBF:        time.Duration(float64(24*time.Hour) / rate),
+		RecoveryTime:     cfg.RecoveryTime,
+		ManagerCrashMTBF: cfg.ManagerMTBF,
+		AgentFailProb:    cfg.CascadeFaultProb,
+		AgentHangProb:    cfg.CascadeFaultProb,
+		OSFailProb:       cfg.CascadeFaultProb,
 	}
 }
 
@@ -95,6 +103,9 @@ func Chaos(cfg ChaosConfig) (ChaosResult, error) {
 	}
 	if cfg.CascadeFaultProb == 0 {
 		cfg.CascadeFaultProb = 0.02
+	}
+	if cfg.ManagerMTBF == 0 {
+		cfg.ManagerMTBF = time.Hour
 	}
 	if cfg.TraceCount == 0 {
 		cfg.TraceCount = 4000

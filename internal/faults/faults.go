@@ -35,6 +35,12 @@ type Config struct {
 	// empty and may rejoin (default 5m).
 	RecoveryTime time.Duration
 
+	// ManagerCrashMTBF is the mean time between crash-restart failures of
+	// the centralized manager itself (exponentially distributed). The
+	// manager loses all in-memory state and recovers from its journal; the
+	// nodes keep running. Zero disables manager crashes.
+	ManagerCrashMTBF time.Duration
+
 	// AgentFailProb is the probability that the application deflation agent
 	// fails outright during a cascade (reclaims nothing at its level).
 	AgentFailProb float64
@@ -65,7 +71,7 @@ type Config struct {
 
 // Enabled reports whether any fault category is configured.
 func (c Config) Enabled() bool {
-	return c.CrashMTBF > 0 ||
+	return c.CrashMTBF > 0 || c.ManagerCrashMTBF > 0 ||
 		c.AgentFailProb > 0 || c.AgentHangProb > 0 ||
 		c.OSFailProb > 0 ||
 		c.HTTPErrorProb > 0 || c.HTTPDropProb > 0 || c.HTTPDelayProb > 0
@@ -130,6 +136,20 @@ func (in *Injector) NextCrash(node string) (d time.Duration, ok bool) {
 	defer in.mu.Unlock()
 	r := in.stream("crash/" + node)
 	return time.Duration(r.ExpFloat64() * float64(in.cfg.CrashMTBF)), true
+}
+
+// NextManagerCrash returns the time until the manager's next crash-restart
+// failure. ok is false when manager crashes are disabled. The "manager"
+// stream is independent of every node's crash stream, so enabling manager
+// crashes never perturbs the node-crash schedule.
+func (in *Injector) NextManagerCrash() (d time.Duration, ok bool) {
+	if in.cfg.ManagerCrashMTBF <= 0 {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.stream("manager")
+	return time.Duration(r.ExpFloat64() * float64(in.cfg.ManagerCrashMTBF)), true
 }
 
 // RecoveryTime returns how long the named node stays down after a crash.

@@ -1,0 +1,426 @@
+// Package journal implements the durability substrate of the cluster
+// manager: an append-only write-ahead log of JSON-line records, each framed
+// by a CRC32 checksum so torn or corrupted tails are detected on recovery,
+// plus periodic compacted snapshots of the full state written atomically
+// (temp file + rename). Appends hit the OS immediately (no userspace
+// buffering — a crashed process loses nothing the kernel accepted); fsyncs
+// are batched every Options.SyncEvery appends to bound the cost of
+// durability on the placement hot path.
+//
+// The on-disk layout inside a journal directory is two files:
+//
+//	journal.log    one record per line: "<crc32-hex8> <json>\n" where the
+//	               JSON is {"seq":N,"type":T,"data":...}; seq increases
+//	               strictly and survives restarts
+//	snapshot.json  {"seq":N,"taken_unix_nano":...,"crc":C,"state":...};
+//	               records with seq ≤ N are redundant with the snapshot
+//
+// Open loads both, verifies every checksum, truncates a torn final record
+// (the only corruption a crash can produce), and positions the log for
+// appending; a corrupt record followed by valid ones indicates real disk
+// damage and fails loudly instead. Snapshot writes the state, then compacts
+// the log — crash-safe in either order because replay skips records the
+// snapshot already covers.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"deflation/internal/telemetry"
+)
+
+const (
+	logName  = "journal.log"
+	snapName = "snapshot.json"
+)
+
+// Options configures a journal.
+type Options struct {
+	// SyncEvery batches fsyncs: the log is synced after every SyncEvery-th
+	// append (default 8; 1 syncs every append). Snapshots and Close always
+	// sync.
+	SyncEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncEvery <= 0 {
+		o.SyncEvery = 8
+	}
+	return o
+}
+
+// Record is one journaled state transition.
+type Record struct {
+	Seq  uint64          `json:"seq"`
+	Type string          `json:"type"`
+	Data json.RawMessage `json:"data,omitempty"`
+}
+
+// snapEnvelope is the on-disk snapshot framing.
+type snapEnvelope struct {
+	Seq   uint64          `json:"seq"`
+	Taken int64           `json:"taken_unix_nano"`
+	CRC   uint32          `json:"crc"`
+	State json.RawMessage `json:"state"`
+}
+
+// Stats is a point-in-time view of the journal's counters.
+type Stats struct {
+	// Seq is the sequence number of the last record written or loaded.
+	Seq uint64
+	// Appended counts records appended by this process (not replayed ones).
+	Appended uint64
+	// Fsyncs counts log fsyncs issued (batched per Options.SyncEvery).
+	Fsyncs uint64
+	// AppendErrors counts appends that failed to reach the log.
+	AppendErrors uint64
+	// SnapshotSeq is the sequence the last snapshot covers (0 = none).
+	SnapshotSeq uint64
+	// SnapshotBytes is the last snapshot's state size.
+	SnapshotBytes int
+	// SnapshotTime is when the last snapshot was taken (zero = none).
+	SnapshotTime time.Time
+	// TornTail reports whether Open truncated a torn final record.
+	TornTail bool
+}
+
+// Journal is an open write-ahead log. Safe for concurrent use, though the
+// cluster manager serializes all writes through its API mutex anyway.
+type Journal struct {
+	mu   sync.Mutex
+	dir  string
+	opts Options
+	log  *os.File
+
+	seq       uint64
+	sinceSync int
+	stats     Stats
+	snapData  json.RawMessage // state loaded from snapshot.json, nil if none
+	tail      []Record        // records after the snapshot, loaded at Open
+	closed    bool
+}
+
+// Open creates or loads the journal in dir, verifying checksums, truncating
+// a torn tail, and positioning the log for appends that continue the
+// sequence.
+func Open(dir string, opts Options) (*Journal, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("journal: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts.withDefaults()}
+
+	if err := j.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	if err := j.loadLog(); err != nil {
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *Journal) loadSnapshot() error {
+	raw, err := os.ReadFile(filepath.Join(j.dir, snapName))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: reading snapshot: %w", err)
+	}
+	var env snapEnvelope
+	if err := json.Unmarshal(raw, &env); err != nil {
+		return fmt.Errorf("journal: corrupt snapshot: %w", err)
+	}
+	if crc32.ChecksumIEEE(env.State) != env.CRC {
+		return fmt.Errorf("journal: snapshot checksum mismatch (seq %d)", env.Seq)
+	}
+	j.snapData = env.State
+	j.seq = env.Seq
+	j.stats.SnapshotSeq = env.Seq
+	j.stats.SnapshotBytes = len(env.State)
+	j.stats.SnapshotTime = time.Unix(0, env.Taken)
+	return nil
+}
+
+// parseLine decodes one framed record line (without its trailing newline).
+func parseLine(line []byte) (Record, error) {
+	var rec Record
+	if len(line) < 10 || line[8] != ' ' {
+		return rec, fmt.Errorf("journal: short or unframed record")
+	}
+	crc, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return rec, fmt.Errorf("journal: bad checksum frame: %w", err)
+	}
+	payload := line[9:]
+	if crc32.ChecksumIEEE(payload) != uint32(crc) {
+		return rec, fmt.Errorf("journal: record checksum mismatch")
+	}
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return rec, fmt.Errorf("journal: corrupt record: %w", err)
+	}
+	return rec, nil
+}
+
+func (j *Journal) loadLog() error {
+	path := filepath.Join(j.dir, logName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+
+	valid := 0 // byte offset of the end of the last good record
+	offset := 0
+	for offset < len(data) {
+		nl := bytes.IndexByte(data[offset:], '\n')
+		if nl < 0 {
+			// No terminating newline: a torn final record.
+			break
+		}
+		rec, err := parseLine(data[offset : offset+nl])
+		if err != nil {
+			break
+		}
+		if rec.Seq > j.stats.SnapshotSeq {
+			j.tail = append(j.tail, rec)
+		}
+		if rec.Seq > j.seq {
+			j.seq = rec.Seq
+		}
+		offset += nl + 1
+		valid = offset
+	}
+	if valid < len(data) {
+		// Something after the valid prefix failed to parse. A crash can only
+		// tear the final record; if any *later* line still parses, the
+		// damage is mid-file corruption and replaying around it would
+		// silently drop acknowledged state — fail instead.
+		rest := data[valid:]
+		for {
+			nl := bytes.IndexByte(rest, '\n')
+			if nl < 0 {
+				break
+			}
+			if _, err := parseLine(rest[:nl]); err == nil {
+				f.Close()
+				return fmt.Errorf("journal: corrupt record mid-log at offset %d (valid records follow)", valid)
+			}
+			rest = rest[nl+1:]
+		}
+		j.stats.TornTail = true
+		if err := f.Truncate(int64(valid)); err != nil {
+			f.Close()
+			return fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.log = f
+	return nil
+}
+
+// Dir returns the journal's directory.
+func (j *Journal) Dir() string { return j.dir }
+
+// SnapshotData returns the state payload of the snapshot loaded at Open
+// (nil if the directory had none). The bytes are owned by the journal.
+func (j *Journal) SnapshotData() json.RawMessage { return j.snapData }
+
+// Tail returns the records loaded at Open that the snapshot does not cover,
+// in sequence order.
+func (j *Journal) Tail() []Record { return j.tail }
+
+// Seq returns the last written (or loaded) sequence number.
+func (j *Journal) Seq() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Stats returns a snapshot of the journal's counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := j.stats
+	st.Seq = j.seq
+	return st
+}
+
+// Append writes one record, assigns it the next sequence number, and
+// returns it. The write reaches the kernel before Append returns; it is
+// fsynced per the batching policy.
+func (j *Journal) Append(typ string, data any) (uint64, error) {
+	payload, err := json.Marshal(data)
+	if err != nil {
+		return 0, fmt.Errorf("journal: marshaling %s record: %w", typ, err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return 0, fmt.Errorf("journal: closed")
+	}
+	j.seq++
+	rec := Record{Seq: j.seq, Type: typ, Data: payload}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		j.seq--
+		j.stats.AppendErrors++
+		return 0, fmt.Errorf("journal: %w", err)
+	}
+	framed := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(line), line)
+	if _, err := j.log.WriteString(framed); err != nil {
+		j.seq--
+		j.stats.AppendErrors++
+		return 0, fmt.Errorf("journal: appending: %w", err)
+	}
+	j.stats.Appended++
+	j.sinceSync++
+	if j.sinceSync >= j.opts.SyncEvery {
+		if err := j.syncLocked(); err != nil {
+			return j.seq, err
+		}
+	}
+	return j.seq, nil
+}
+
+// Sync forces any batched appends to stable storage.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed || j.sinceSync == 0 {
+		return nil
+	}
+	return j.syncLocked()
+}
+
+func (j *Journal) syncLocked() error {
+	if err := j.log.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.stats.Fsyncs++
+	j.sinceSync = 0
+	return nil
+}
+
+// Snapshot atomically persists the full state at the current sequence and
+// compacts the log: records the snapshot covers are dropped. Crash-safe at
+// every step — replay skips records with seq ≤ the snapshot's.
+func (j *Journal) Snapshot(state any) error {
+	raw, err := json.Marshal(state)
+	if err != nil {
+		return fmt.Errorf("journal: marshaling snapshot: %w", err)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return fmt.Errorf("journal: closed")
+	}
+	if j.sinceSync > 0 {
+		if err := j.syncLocked(); err != nil {
+			return err
+		}
+	}
+	env := snapEnvelope{Seq: j.seq, Taken: time.Now().UnixNano(), CRC: crc32.ChecksumIEEE(raw), State: raw}
+	buf, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	tmp := filepath.Join(j.dir, snapName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: writing snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(j.dir, snapName)); err != nil {
+		return fmt.Errorf("journal: publishing snapshot: %w", err)
+	}
+	// Compact: every logged record is now redundant with the snapshot.
+	if err := j.log.Close(); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	nf, err := os.OpenFile(filepath.Join(j.dir, logName), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: reopening log: %w", err)
+	}
+	j.log = nf
+	j.sinceSync = 0
+	j.stats.SnapshotSeq = j.seq
+	j.stats.SnapshotBytes = len(raw)
+	j.stats.SnapshotTime = time.Unix(0, env.Taken)
+	return nil
+}
+
+// Close syncs and closes the log. Further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return nil
+	}
+	j.closed = true
+	if j.sinceSync > 0 {
+		if err := j.log.Sync(); err == nil {
+			j.stats.Fsyncs++
+		}
+	}
+	return j.log.Close()
+}
+
+// SetTelemetry registers scrape-time gauges over the journal's counters:
+// sequence number, records appended, fsyncs, append errors, and snapshot
+// size/age — the operational view of durability health.
+func (j *Journal) SetTelemetry(sink *telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	r := sink.Registry
+	stat := func(name, help string, read func(Stats) float64) {
+		r.GaugeFunc(name, help, nil, func() float64 { return read(j.Stats()) })
+	}
+	stat("deflation_journal_seq", "last written journal sequence number",
+		func(s Stats) float64 { return float64(s.Seq) })
+	stat("deflation_journal_records_appended", "journal records appended by this process",
+		func(s Stats) float64 { return float64(s.Appended) })
+	stat("deflation_journal_fsyncs", "batched log fsyncs issued",
+		func(s Stats) float64 { return float64(s.Fsyncs) })
+	stat("deflation_journal_append_errors", "journal appends that failed to reach the log",
+		func(s Stats) float64 { return float64(s.AppendErrors) })
+	stat("deflation_journal_snapshot_seq", "sequence number the last snapshot covers",
+		func(s Stats) float64 { return float64(s.SnapshotSeq) })
+	stat("deflation_journal_snapshot_bytes", "size of the last compacted snapshot",
+		func(s Stats) float64 { return float64(s.SnapshotBytes) })
+	stat("deflation_journal_snapshot_age_seconds", "time since the last snapshot was taken",
+		func(s Stats) float64 {
+			if s.SnapshotTime.IsZero() {
+				return 0
+			}
+			return time.Since(s.SnapshotTime).Seconds()
+		})
+}

@@ -1,0 +1,217 @@
+package journal
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+type payload struct {
+	VM   string `json:"vm"`
+	Node string `json:"node,omitempty"`
+}
+
+func mustAppend(t *testing.T, j *Journal, typ string, p payload) uint64 {
+	t.Helper()
+	seq, err := j.Append(typ, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func TestAppendLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SyncEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ev := range []payload{{VM: "a", Node: "n0"}, {VM: "b", Node: "n1"}, {VM: "a"}} {
+		if seq := mustAppend(t, j, "event", ev); seq != uint64(i+1) {
+			t.Fatalf("seq = %d, want %d", seq, i+1)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	tail := j2.Tail()
+	if len(tail) != 3 {
+		t.Fatalf("tail = %d records, want 3", len(tail))
+	}
+	var p payload
+	if err := json.Unmarshal(tail[1].Data, &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.VM != "b" || p.Node != "n1" || tail[1].Seq != 2 || tail[1].Type != "event" {
+		t.Errorf("record 2 = %+v / %+v", tail[1], p)
+	}
+	// Appends continue the sequence after reopen.
+	if seq := mustAppend(t, j2, "event", payload{VM: "c"}); seq != 4 {
+		t.Errorf("post-reopen seq = %d, want 4", seq)
+	}
+}
+
+func TestTornFinalRecordTruncated(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, "event", payload{VM: "a"})
+	mustAppend(t, j, "event", payload{VM: "b"})
+	j.Close()
+
+	// Tear the final record mid-line, as a crash during write would.
+	path := filepath.Join(dir, logName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-7], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if !j2.Stats().TornTail {
+		t.Error("torn tail not reported")
+	}
+	if n := len(j2.Tail()); n != 1 {
+		t.Fatalf("tail = %d records after tear, want 1", n)
+	}
+	// The torn bytes are gone: the next append must not corrupt the log.
+	mustAppend(t, j2, "event", payload{VM: "c"})
+	j2.Close()
+	j3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if n := len(j3.Tail()); n != 2 {
+		t.Errorf("tail = %d records after post-tear append, want 2", n)
+	}
+}
+
+func TestMidLogCorruptionFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, "event", payload{VM: "a"})
+	mustAppend(t, j, "event", payload{VM: "b"})
+	mustAppend(t, j, "event", payload{VM: "c"})
+	j.Close()
+
+	path := filepath.Join(dir, logName)
+	data, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(data), "\n")
+	// Flip a byte inside the second record's payload: valid records follow.
+	corrupt := []byte(lines[1])
+	corrupt[len(corrupt)/2] ^= 0xff
+	mangled := lines[0] + string(corrupt) + lines[2]
+	if err := os.WriteFile(path, []byte(mangled), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("mid-log corruption with valid records after it must fail, not silently truncate")
+	}
+}
+
+func TestSnapshotCompactsAndLoads(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, "event", payload{VM: "a"})
+	mustAppend(t, j, "event", payload{VM: "b"})
+	state := map[string]string{"a": "n0", "b": "n1"}
+	if err := j.Snapshot(state); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.SnapshotSeq != 2 || st.SnapshotBytes == 0 || st.SnapshotTime.IsZero() {
+		t.Errorf("snapshot stats: %+v", st)
+	}
+	// Records after the snapshot survive compaction; earlier ones are gone.
+	mustAppend(t, j, "event", payload{VM: "c"})
+	j.Close()
+
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var got map[string]string
+	if err := json.Unmarshal(j2.SnapshotData(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got["a"] != "n0" || got["b"] != "n1" {
+		t.Errorf("snapshot state = %v", got)
+	}
+	tail := j2.Tail()
+	if len(tail) != 1 || tail[0].Seq != 3 {
+		t.Fatalf("tail after compaction = %+v, want single seq-3 record", tail)
+	}
+	if j2.Seq() != 3 {
+		t.Errorf("seq = %d, want 3", j2.Seq())
+	}
+}
+
+func TestCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, "event", payload{VM: "a"})
+	if err := j.Snapshot(map[string]string{"a": "n0"}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	path := filepath.Join(dir, snapName)
+	data, _ := os.ReadFile(path)
+	// Flip a byte inside the state payload: the stored CRC must catch it.
+	i := strings.Index(string(data), `"state"`) + 10
+	data[i] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); err == nil {
+		t.Fatal("corrupt snapshot must be rejected")
+	}
+}
+
+func TestFsyncBatching(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SyncEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 7; i++ {
+		mustAppend(t, j, "event", payload{VM: "x"})
+	}
+	if got := j.Stats().Fsyncs; got != 1 {
+		t.Errorf("fsyncs after 7 appends at SyncEvery=4: %d, want 1", got)
+	}
+	if err := j.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Stats().Fsyncs; got != 2 {
+		t.Errorf("fsyncs after explicit Sync: %d, want 2", got)
+	}
+}
