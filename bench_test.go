@@ -193,6 +193,22 @@ func BenchmarkFig8d(b *testing.B) {
 	}
 }
 
+func BenchmarkFigMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.FigMigration(experiments.QuickFigMigrationConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			// Policy order: preempt-only, migration-only, deflation, deflate+migrate.
+			b.ReportMetric(r.Preemption[1].Values[0], "mig-only-p@50%oc")
+			b.ReportMetric(r.Preemption[3].Values[0], "dtm-p@50%oc")
+			b.ReportMetric(r.MovedGB[1].Values[0], "mig-only-gb@50%oc")
+			b.ReportMetric(r.MovedGB[3].Values[0], "dtm-gb@50%oc")
+		}
+	}
+}
+
 // --- Table benchmarks ---------------------------------------------------
 
 // BenchmarkTable1Mechanisms exercises each application-level reclamation

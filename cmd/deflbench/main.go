@@ -8,7 +8,8 @@
 //	deflbench -fig 6 -quick     # Figure 6 panels, reduced sweep sizes
 //
 // Figures: 1, 5a, 5b, 5c, 5d, 6, 7a, 7b, 8a, 8b, 8c, 8d, plus the chaos
-// fault-injection sweep (-fig chaos).
+// fault-injection sweep (-fig chaos) and the migration-vs-deflation policy
+// sweep (-fig migration).
 package main
 
 import (
@@ -21,30 +22,31 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, chaos, all)")
+	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, chaos, migration, all)")
 	quick := flag.Bool("quick", false, "smaller sweeps for the cluster simulations")
 	flag.Parse()
 
 	runs := map[string]func(bool) (fmt.Stringer, error){
-		"table1":  func(bool) (fmt.Stringer, error) { return wrap(experiments.Table1()) },
-		"table2":  func(bool) (fmt.Stringer, error) { return wrap(experiments.Table2()) },
-		"1":       func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig1()) },
-		"5a":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig5a()) },
-		"5b":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig5b()) },
-		"5c":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig5c()) },
-		"5d":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig5d()) },
-		"6":       runFig6,
-		"7a":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig7a()) },
-		"7b":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig7b()) },
-		"8a":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig8a()) },
-		"8b":      func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig8b()) },
-		"8c":      runFig8c,
-		"8d":      runFig8d,
-		"revenue": func(quick bool) (fmt.Stringer, error) { return wrap(experiments.Revenue(quick)) },
-		"chaos":   runChaos,
+		"table1":    func(bool) (fmt.Stringer, error) { return wrap(experiments.Table1()) },
+		"table2":    func(bool) (fmt.Stringer, error) { return wrap(experiments.Table2()) },
+		"1":         func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig1()) },
+		"5a":        func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig5a()) },
+		"5b":        func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig5b()) },
+		"5c":        func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig5c()) },
+		"5d":        func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig5d()) },
+		"6":         runFig6,
+		"7a":        func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig7a()) },
+		"7b":        func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig7b()) },
+		"8a":        func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig8a()) },
+		"8b":        func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig8b()) },
+		"8c":        runFig8c,
+		"8d":        runFig8d,
+		"revenue":   func(quick bool) (fmt.Stringer, error) { return wrap(experiments.Revenue(quick)) },
+		"chaos":     runChaos,
+		"migration": runMigration,
 	}
 
-	order := []string{"table1", "table2", "1", "5a", "5b", "5c", "5d", "6", "7a", "7b", "8a", "8b", "8c", "8d", "revenue", "chaos"}
+	order := []string{"table1", "table2", "1", "5a", "5b", "5c", "5d", "6", "7a", "7b", "8a", "8b", "8c", "8d", "revenue", "chaos", "migration"}
 	selected := order
 	if *fig != "all" {
 		if _, ok := runs[*fig]; !ok {
@@ -108,4 +110,12 @@ func runChaos(quick bool) (fmt.Stringer, error) {
 		cfg = experiments.QuickChaosConfig()
 	}
 	return wrap(experiments.Chaos(cfg))
+}
+
+func runMigration(quick bool) (fmt.Stringer, error) {
+	cfg := experiments.FigMigrationConfig{}
+	if quick {
+		cfg = experiments.QuickFigMigrationConfig()
+	}
+	return wrap(experiments.FigMigration(cfg))
 }

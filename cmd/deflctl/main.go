@@ -5,6 +5,7 @@
 //	deflctl -manager http://localhost:7000 launch -name web-1 -cpus 4 -mem-gb 16 -app memcached-aware
 //	deflctl -manager http://localhost:7000 launch -name batch-1 -app kcompile -priority low -min-frac 0.25
 //	deflctl -manager http://localhost:7000 release -name web-1
+//	deflctl -manager http://localhost:7000 migrate -name batch-1 -dest node-2
 //	deflctl -manager http://localhost:7000 status -servers
 //	deflctl -manager http://localhost:7000 state
 //	deflctl -manager http://localhost:7000 metrics
@@ -47,6 +48,8 @@ func main() {
 		err = launch(*manager, args[1:])
 	case "release":
 		err = release(*manager, args[1:])
+	case "migrate":
+		err = migrate(*manager, args[1:])
 	case "status":
 		err = status(*manager, args[1:])
 	case "state":
@@ -70,6 +73,7 @@ func usage() {
 commands:
   launch  -name NAME [-cpus N] [-mem-gb N] [-app KIND] [-priority low|high] [-min-frac F] [-warm]
   release -name NAME
+  migrate -name NAME -dest NODE   live-migrate a VM to the named server
   status  [-servers]
   state   [-json]                dump durable state: placements, journal seq, snapshot age
   metrics [-node URL] [-raw]     scrape and pretty-print a node's metrics registry
@@ -155,6 +159,42 @@ func release(manager string, args []string) error {
 		return httpError("release", resp)
 	}
 	fmt.Printf("released %s\n", *name)
+	return nil
+}
+
+// migrate live-migrates a VM to a named destination server. On failure the
+// VM keeps running on its source (pre-copy rolls back cleanly), so the error
+// path is safe to retry against a different destination.
+func migrate(manager string, args []string) error {
+	fs := flag.NewFlagSet("migrate", flag.ExitOnError)
+	name := fs.String("name", "", "VM name (required)")
+	dest := fs.String("dest", "", "destination server name (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *name == "" || *dest == "" {
+		return fmt.Errorf("migrate: -name and -dest are required")
+	}
+	body, err := json.Marshal(cluster.MigrateRequest{VM: *name, Dest: *dest})
+	if err != nil {
+		return err
+	}
+	resp, err := client.Post(manager+"/v1/migrate", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("migrate", resp)
+	}
+	var rep cluster.MigrationReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("migrated %s %s → %s: %.0f MB in %d rounds over %v at %.0f MB/s, downtime %v\n",
+		rep.VM, rep.From, rep.To, rep.Result.TransferredMB, rep.Result.Rounds,
+		rep.Result.Duration.Round(time.Millisecond), rep.RateMBps,
+		rep.Result.Downtime.Round(time.Millisecond))
 	return nil
 }
 

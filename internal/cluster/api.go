@@ -85,6 +85,11 @@ func (a *ControllerAPI) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/vms", a.handleLaunch)
 	mux.HandleFunc("DELETE /v1/vms/{name}", a.handleRelease)
 	mux.HandleFunc("POST /v1/vms/{name}/deflate", a.handleDeflate)
+	mux.HandleFunc("GET /v1/vms/{name}/checkpoint", a.handleCheckpoint)
+	mux.HandleFunc("POST /v1/vms/{name}/deflate-fully", a.handleDeflateFully)
+	mux.HandleFunc("POST /v1/restore", a.handleRestore)
+	mux.HandleFunc("POST /v1/streams/{stream}/reserve", a.handleReserveStream)
+	mux.HandleFunc("DELETE /v1/streams/{stream}", a.handleReleaseStream)
 	return mux
 }
 
@@ -203,6 +208,91 @@ func (a *ControllerAPI) handleDeflate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// The live-migration routes (see migrate.go). Checkpoint is a read;
+// restore creates the VM on this (destination) server; the stream routes
+// hold and release migration link bandwidth; deflate-fully is the
+// deflate-then-migrate preparation step.
+
+func (a *ControllerAPI) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	cp, err := a.ctrl.Checkpoint(r.PathValue("name"))
+	a.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, cp)
+}
+
+func (a *ControllerAPI) handleRestore(w http.ResponseWriter, r *http.Request) {
+	var cp VMCheckpoint
+	if err := json.NewDecoder(r.Body).Decode(&cp); err != nil {
+		http.Error(w, "cluster: bad checkpoint: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	a.mu.Lock()
+	err := a.ctrl.RestoreVM(cp)
+	a.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusCreated)
+}
+
+// ReserveStreamRequest asks for migration link bandwidth.
+type ReserveStreamRequest struct {
+	RateMBps float64 `json:"rate_mbps"`
+}
+
+// ReserveStreamResponse reports the rate actually granted.
+type ReserveStreamResponse struct {
+	GrantedMBps float64 `json:"granted_mbps"`
+}
+
+func (a *ControllerAPI) handleReserveStream(w http.ResponseWriter, r *http.Request) {
+	var req ReserveStreamRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "cluster: bad stream request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	a.mu.Lock()
+	granted, err := a.ctrl.ReserveStream(r.PathValue("stream"), req.RateMBps)
+	a.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ReserveStreamResponse{GrantedMBps: granted})
+}
+
+func (a *ControllerAPI) handleReleaseStream(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	err := a.ctrl.ReleaseStream(r.PathValue("stream"))
+	a.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// DeflateFullyResponse reports the cascade latency of a full deflation.
+type DeflateFullyResponse struct {
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+func (a *ControllerAPI) handleDeflateFully(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	d, err := a.ctrl.DeflateFully(r.PathValue("name"))
+	a.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, DeflateFullyResponse{LatencyMS: float64(d) / float64(time.Millisecond)})
+}
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -221,6 +311,10 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, ErrNoCapacity):
 		code = http.StatusInsufficientStorage
+	case errors.Is(err, ErrNodeNotFound):
+		code = http.StatusNotFound
+	case errors.Is(err, ErrMigrationFailed):
+		code = http.StatusConflict
 	}
 	http.Error(w, err.Error(), code)
 }
@@ -566,6 +660,116 @@ func (n *RemoteNode) Preemptions() int {
 	return st.Preemptions
 }
 
+// Checkpoint implements Node over the wire. Reading a checkpoint does not
+// change server state, so it retries. The returned checkpoint carries no
+// live application object; the destination rebuilds it from AppKind.
+func (n *RemoteNode) Checkpoint(name string) (VMCheckpoint, error) {
+	var cp VMCheckpoint
+	err := n.withRetry("checkpoint", true, func() error {
+		return n.attempt(http.MethodGet, "/v1/vms/"+name+"/checkpoint", nil, nil, func(resp *http.Response) error {
+			switch resp.StatusCode {
+			case http.StatusOK:
+				return json.NewDecoder(resp.Body).Decode(&cp)
+			case http.StatusNotFound:
+				return fmt.Errorf("%w: %q", ErrVMNotFound, name)
+			case http.StatusConflict:
+				return fmt.Errorf("%w: checkpoint %q", ErrMigrationFailed, name)
+			default:
+				return statusError("remote checkpoint", resp.Status, resp.StatusCode)
+			}
+		})
+	})
+	return cp, err
+}
+
+// RestoreVM implements Node over the wire. Restoring is creation, but a 409
+// on a retry that follows a transport failure means the earlier attempt
+// landed and only the response was lost — that is success, mirroring
+// Release's lost-response handling.
+func (n *RemoteNode) RestoreVM(cp VMCheckpoint) error {
+	body, err := json.Marshal(cp)
+	if err != nil {
+		return err
+	}
+	name := cp.VM.Domain.Name
+	sawTransportFailure := false
+	return n.withRetry("restore", true, func() error {
+		err := n.attempt(http.MethodPost, "/v1/restore", body, nil, func(resp *http.Response) error {
+			switch resp.StatusCode {
+			case http.StatusCreated:
+				return nil
+			case http.StatusConflict:
+				if sawTransportFailure {
+					return nil
+				}
+				return fmt.Errorf("%w: %q", ErrVMExists, name)
+			case http.StatusInsufficientStorage:
+				return fmt.Errorf("%w: restoring %q on remote %s", ErrNoCapacity, name, n.name)
+			default:
+				return statusError("remote restore", resp.Status, resp.StatusCode)
+			}
+		})
+		if isTransportFailure(err) {
+			sawTransportFailure = true
+		}
+		return err
+	})
+}
+
+// ReserveStream implements Node over the wire. The server-side reservation
+// is idempotent per stream name, so retries are safe.
+func (n *RemoteNode) ReserveStream(stream string, rateMBps float64) (float64, error) {
+	body, err := json.Marshal(ReserveStreamRequest{RateMBps: rateMBps})
+	if err != nil {
+		return 0, err
+	}
+	var out ReserveStreamResponse
+	err = n.withRetry("reserve-stream", true, func() error {
+		return n.attempt(http.MethodPost, "/v1/streams/"+stream+"/reserve", body, nil, func(resp *http.Response) error {
+			switch resp.StatusCode {
+			case http.StatusOK:
+				return json.NewDecoder(resp.Body).Decode(&out)
+			case http.StatusInsufficientStorage:
+				return fmt.Errorf("%w: stream %q on remote %s", ErrNoCapacity, stream, n.name)
+			default:
+				return statusError("remote reserve-stream", resp.Status, resp.StatusCode)
+			}
+		})
+	})
+	return out.GrantedMBps, err
+}
+
+// ReleaseStream implements Node over the wire; releasing is idempotent.
+func (n *RemoteNode) ReleaseStream(stream string) error {
+	return n.withRetry("release-stream", true, func() error {
+		return n.attempt(http.MethodDelete, "/v1/streams/"+stream, nil, nil, func(resp *http.Response) error {
+			if resp.StatusCode != http.StatusNoContent {
+				return statusError("remote release-stream", resp.Status, resp.StatusCode)
+			}
+			return nil
+		})
+	})
+}
+
+// DeflateFully implements Node over the wire. Squeezing a VM to its minimum
+// is idempotent in effect (a second squeeze is a no-op), so it retries.
+func (n *RemoteNode) DeflateFully(name string) (time.Duration, error) {
+	var out DeflateFullyResponse
+	err := n.withRetry("deflate-fully", true, func() error {
+		return n.attempt(http.MethodPost, "/v1/vms/"+name+"/deflate-fully", nil, nil, func(resp *http.Response) error {
+			switch resp.StatusCode {
+			case http.StatusOK:
+				return json.NewDecoder(resp.Body).Decode(&out)
+			case http.StatusNotFound:
+				return fmt.Errorf("%w: %q", ErrVMNotFound, name)
+			default:
+				return statusError("remote deflate-fully", resp.Status, resp.StatusCode)
+			}
+		})
+	})
+	return time.Duration(out.LatencyMS * float64(time.Millisecond)), err
+}
+
 // ManagerAPI serves the centralized manager over HTTP (cmd/deflated).
 type ManagerAPI struct {
 	mu       sync.Mutex
@@ -629,7 +833,34 @@ func (a *ManagerAPI) Handler() http.Handler {
 	mux.HandleFunc("DELETE /v1/vms/{name}", a.handleRelease)
 	mux.HandleFunc("GET /v1/cluster", a.handleCluster)
 	mux.HandleFunc("GET /v1/state", a.handleState)
+	mux.HandleFunc("POST /v1/migrate", a.handleMigrate)
 	return mux
+}
+
+// MigrateRequest names a placed VM and its destination server.
+type MigrateRequest struct {
+	VM   string `json:"vm"`
+	Dest string `json:"dest"`
+}
+
+func (a *ManagerAPI) handleMigrate(w http.ResponseWriter, r *http.Request) {
+	var req MigrateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "cluster: bad migrate request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.VM == "" || req.Dest == "" {
+		http.Error(w, "cluster: migrate needs vm and dest", http.StatusBadRequest)
+		return
+	}
+	a.mu.Lock()
+	rep, err := a.mgr.Migrate(req.VM, req.Dest)
+	a.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (a *ManagerAPI) handleLaunch(w http.ResponseWriter, r *http.Request) {

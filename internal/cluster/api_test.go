@@ -237,6 +237,74 @@ func TestManagerAPI(t *testing.T) {
 	}
 }
 
+func TestManagerAPIMigrate(t *testing.T) {
+	mgr := newCluster(t, 2, FirstFit)
+	api, err := NewManagerAPI(mgr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(api.Handler())
+	defer srv.Close()
+
+	if _, _, err := mgr.Launch(spec("a", vm.LowPriority, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	src := mgr.Placements()["a"]
+	var dest string
+	for _, s := range mgr.Servers() {
+		if s.Name() != src {
+			dest = s.Name()
+		}
+	}
+
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/migrate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	marshal := func(req MigrateRequest) string {
+		b, _ := json.Marshal(req)
+		return string(b)
+	}
+
+	// Error paths surface as non-2xx statuses the CLI reports verbatim.
+	if resp := post("{not json"); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON status = %s", resp.Status)
+	}
+	if resp := post(marshal(MigrateRequest{VM: "a"})); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("missing dest status = %s", resp.Status)
+	}
+	if resp := post(marshal(MigrateRequest{VM: "ghost", Dest: dest})); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown VM status = %s", resp.Status)
+	}
+	if resp := post(marshal(MigrateRequest{VM: "a", Dest: "nowhere"})); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown node status = %s", resp.Status)
+	}
+	if resp := post(marshal(MigrateRequest{VM: "a", Dest: src})); resp.StatusCode != http.StatusConflict {
+		t.Errorf("same-node status = %s", resp.Status)
+	}
+
+	// Success returns the full migration report.
+	resp := post(marshal(MigrateRequest{VM: "a", Dest: dest}))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("migrate status = %s", resp.Status)
+	}
+	var rep MigrationReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.From != src || rep.To != dest || !rep.Result.Converged || rep.Result.TransferredMB <= 0 {
+		t.Errorf("report: %+v", rep)
+	}
+	if got := mgr.Placements()["a"]; got != dest {
+		t.Errorf("placement %q, want %q", got, dest)
+	}
+}
+
 func TestAppKindRegistry(t *testing.T) {
 	if _, err := AppKind("no-such-kind"); err == nil {
 		t.Error("unknown kind resolved")

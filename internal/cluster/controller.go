@@ -116,6 +116,10 @@ type LocalController struct {
 	split SplitPolicy
 	vms   map[string]*vm.VM
 
+	// streams tracks active migration link-bandwidth reservations (see
+	// ReserveStream in migrate.go). Nil until the first reservation.
+	streams map[string]*migrationStream
+
 	preemptions int
 }
 

@@ -1,6 +1,10 @@
 package cluster
 
-import "deflation/internal/restypes"
+import (
+	"time"
+
+	"deflation/internal/restypes"
+)
 
 // crashableNode wraps a LocalController with a crash-stop switch, used by
 // fault-injecting simulations (SimConfig.Faults) and tests. While down, every
@@ -100,4 +104,39 @@ func (n *crashableNode) Overcommitment() float64 {
 		return 0
 	}
 	return n.LocalController.Overcommitment()
+}
+
+func (n *crashableNode) Checkpoint(name string) (VMCheckpoint, error) {
+	if n.down {
+		return VMCheckpoint{}, ErrNodeDown
+	}
+	return n.LocalController.Checkpoint(name)
+}
+
+func (n *crashableNode) RestoreVM(cp VMCheckpoint) error {
+	if n.down {
+		return ErrNodeDown
+	}
+	return n.LocalController.RestoreVM(cp)
+}
+
+func (n *crashableNode) ReserveStream(stream string, rateMBps float64) (float64, error) {
+	if n.down {
+		return 0, ErrNodeDown
+	}
+	return n.LocalController.ReserveStream(stream, rateMBps)
+}
+
+func (n *crashableNode) ReleaseStream(stream string) error {
+	if n.down {
+		return ErrNodeDown
+	}
+	return n.LocalController.ReleaseStream(stream)
+}
+
+func (n *crashableNode) DeflateFully(name string) (time.Duration, error) {
+	if n.down {
+		return 0, ErrNodeDown
+	}
+	return n.LocalController.DeflateFully(name)
 }

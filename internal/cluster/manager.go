@@ -4,8 +4,11 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"time"
 
+	"deflation/internal/faults"
 	"deflation/internal/journal"
+	"deflation/internal/migration"
 	"deflation/internal/restypes"
 	"deflation/internal/vm"
 )
@@ -147,11 +150,32 @@ type Manager struct {
 	rec             Recorder
 	journal         *journal.Journal
 	recoveryOrphans []string
+	// recoveryMigrations holds migrations that were in flight when the
+	// manager died, pending resolution against the destination's inventory.
+	recoveryMigrations map[string]MigrationIntent
 
 	// freeOnlyFitness scores placements against free capacity instead of
 	// free+deflatable availability — the ablation of §5's Eq. 4 fitness.
 	// Feasibility is unchanged.
 	freeOnlyFitness bool
+
+	// Migration state (see migrate.go). reclaim selects the reclamation
+	// fallback for high-priority placements; its zero value (ReclaimPreempt)
+	// takes exactly the pre-migration code path. inflight tracks migrations
+	// between their start and done/fail journal events so a mid-migration
+	// snapshot stays recoverable.
+	reclaim      ReclaimPolicy
+	migModel     migration.Model
+	migScheduler func(d time.Duration, f func())
+	migFaults    *faults.Injector
+	inflight     map[string]MigrationIntent
+
+	migrations          int
+	migrationFailures   int
+	convergenceFailures int
+	migratedMB          float64
+	migrationTime       time.Duration
+	migrationDowntime   time.Duration
 
 	tel *managerTelemetry // nil = no instrumentation
 }
@@ -389,6 +413,12 @@ func (m *Manager) launch(spec LaunchSpec, countRejection bool) (int, LaunchRepor
 		return -1, LaunchReport{}, fmt.Errorf("%w: %q", ErrVMExists, spec.Name)
 	}
 	idx := m.pickServer(spec)
+	if idx < 0 && m.reclaim != ReclaimPreempt {
+		// Migration-based reclamation: move low-priority VMs out of the
+		// way (deflating them first under deflate-then-migrate) instead of
+		// killing them.
+		idx = m.migrateFallback(spec)
+	}
 	if idx < 0 {
 		// No server can host without disruption; high-priority VMs fall
 		// back to the server where preemption frees the most room.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"deflation/internal/apps/curveapp"
 	"deflation/internal/apps/jvm"
@@ -44,6 +45,18 @@ type Node interface {
 	Overcommitment() float64
 	// Preemptions returns the server's lifetime preemption count.
 	Preemptions() int
+
+	// The live-migration surface (see migrate.go): Checkpoint captures a
+	// VM's transferable state on the source, RestoreVM materializes it on
+	// the destination, ReserveStream/ReleaseStream hold migration link
+	// bandwidth (throttling co-located low-priority VMs when the NIC is
+	// saturated), and DeflateFully squeezes a VM to its minimum footprint
+	// before a deflate-then-migrate move.
+	Checkpoint(name string) (VMCheckpoint, error)
+	RestoreVM(cp VMCheckpoint) error
+	ReserveStream(stream string, rateMBps float64) (float64, error)
+	ReleaseStream(stream string) error
+	DeflateFully(name string) (time.Duration, error)
 }
 
 // AppFactory builds an application for a VM of the given nominal size.

@@ -11,6 +11,7 @@ import (
 	"deflation/internal/faults"
 	"deflation/internal/hypervisor"
 	"deflation/internal/journal"
+	"deflation/internal/migration"
 	"deflation/internal/perfmodel"
 	"deflation/internal/pricing"
 	"deflation/internal/restypes"
@@ -55,6 +56,15 @@ type SimConfig struct {
 	HeartbeatInterval time.Duration
 	// HeartbeatMisses overrides the misses-before-dead threshold (default 3).
 	HeartbeatMisses int
+	// Reclaim selects the manager's reclamation fallback (see ReclaimPolicy).
+	// The zero value (ReclaimPreempt) takes exactly the pre-migration code
+	// path, so migration-disabled runs reproduce baseline figures bit for
+	// bit.
+	Reclaim ReclaimPolicy
+	// Migration parameterizes the live-migration performance model; the zero
+	// model uses defaults (dedicated 10 GbE link, 300 ms downtime target).
+	// Only consulted when Reclaim enables migration.
+	Migration migration.Model
 	// Telemetry, when non-nil, instruments the simulated cluster: cascade
 	// decisions are traced and counted per server, and the manager's
 	// failure-detector and placement counters accrue into the sink's
@@ -139,6 +149,16 @@ type SimResult struct {
 	// rebuilds the manager from its journal via Recover (zero unless
 	// Faults.ManagerCrashMTBF is set).
 	ManagerCrashes int
+	// Migration activity (all zero unless SimConfig.Reclaim enables
+	// migration-based reclamation): completed migrations, failed/aborted
+	// ones, pre-copy convergence failures, bytes moved, and the summed copy
+	// duration and stop-and-copy downtime.
+	Migrations          int
+	MigrationFailures   int
+	ConvergenceFailures int
+	MigratedMB          float64
+	MigrationTime       time.Duration
+	MigrationDowntime   time.Duration
 }
 
 // curves cycled across low-priority VMs: the mixed application population
@@ -266,6 +286,24 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 	// The simulation runs on the shared discrete-event clock: one event per
 	// arrival, departures scheduled dynamically at admission time.
 	clock := simclock.New()
+
+	// wireMigration configures migration-based reclamation on a manager
+	// (including one rebuilt by crash recovery). With the zero policy the
+	// manager is left untouched — the exact pre-migration code path.
+	wireMigration := func(m *Manager) {
+		if cfg.Reclaim == ReclaimPreempt {
+			return
+		}
+		m.SetReclaimPolicy(cfg.Reclaim)
+		m.SetMigrationModel(cfg.Migration)
+		m.SetMigrationScheduler(func(d time.Duration, f func()) {
+			clock.After(d, func(time.Duration) { f() })
+		})
+		if injectFaults {
+			m.SetMigrationFaults(inj)
+		}
+	}
+	wireMigration(mgr)
 
 	// meterSample accrues revenue for the interval that just ended, using
 	// the allocations in effect up to now.
@@ -504,6 +542,7 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 					if cfg.Telemetry != nil {
 						m2.SetTelemetry(cfg.Telemetry)
 					}
+					wireMigration(m2)
 					mgr = m2 // arrive/depart/heartbeat closures see the new manager
 					res.ManagerCrashes++
 					scheduleMgrCrash()
@@ -530,6 +569,13 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 	}
 	res.Goodput = mean(gpSamples)
 	res.FailurePreemptions = mgr.FailurePreemptions()
+	ms := mgr.MigrationStats()
+	res.Migrations = ms.Migrations
+	res.MigrationFailures = ms.Failures
+	res.ConvergenceFailures = ms.ConvergenceFailures
+	res.MigratedMB = ms.MigratedMB
+	res.MigrationTime = ms.TotalDuration
+	res.MigrationDowntime = ms.TotalDowntime
 	finalStats := mgr.Snapshot()
 	res.VMsReplaced = finalStats.ReplacedVMs
 	res.VMsLost = finalStats.LostVMs

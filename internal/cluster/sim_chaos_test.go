@@ -84,6 +84,59 @@ func TestZeroedFaultsReproduceBaseline(t *testing.T) {
 	}
 }
 
+func TestMigrationChaosSimDeterministic(t *testing.T) {
+	// Migration-enabled chaos runs — crash-stop nodes, manager crashes, and
+	// injected mid-copy migration faults on top of deflate-then-migrate
+	// reclamation — must still be byte-identical across same-seed runs.
+	migChaos := func() SimConfig {
+		cfg := chaosSim()
+		cfg.Reclaim = ReclaimDeflateThenMigrate
+		cfg.Faults.ManagerCrashMTBF = 5 * time.Minute
+		cfg.Faults.MigrationFailProb = 0.2
+		return cfg
+	}
+	a, err := RunSim(migChaos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(migChaos())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("migration chaos sim not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.Migrations == 0 {
+		t.Error("deflate-then-migrate chaos run performed no migrations")
+	}
+}
+
+func TestZeroMigrationReproducesFig8cBaseline(t *testing.T) {
+	// With the zero ReclaimPreempt policy the simulation must take exactly
+	// the pre-migration code path — the migration-disabled deflation and
+	// preemption-only rows ARE the existing Fig. 8c curves, bit for bit.
+	for _, mode := range []Mode{ModeDeflation, ModePreemptionOnly} {
+		baseline, err := RunSim(smallSim(mode, 1.6))
+		if err != nil {
+			t.Fatal(err)
+		}
+		disabled := smallSim(mode, 1.6)
+		disabled.Reclaim = ReclaimPreempt
+		disabled.Migration.LinkMBps = 9999 // model alone must change nothing
+		got, err := RunSim(disabled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != baseline {
+			t.Errorf("mode %v: migration-disabled run diverges from baseline:\n%+v\n%+v",
+				mode, got, baseline)
+		}
+		if got.Migrations != 0 || got.MigratedMB != 0 {
+			t.Errorf("mode %v: migrations occurred with migration disabled: %+v", mode, got)
+		}
+	}
+}
+
 func TestChaosSimInjectsAndRecovers(t *testing.T) {
 	res, err := RunSim(chaosSim())
 	if err != nil {

@@ -35,6 +35,14 @@ type managerTelemetry struct {
 	vmStaleReleased *telemetry.Counter
 	rejections      *telemetry.Counter
 	placements      []*telemetry.Counter // by server index
+
+	// Live-migration instruments (see migrate.go).
+	migrations          *telemetry.Counter
+	migrationFailures   *telemetry.Counter
+	convergenceFailures *telemetry.Counter
+	migrationSeconds    *telemetry.Histogram
+	migrationDowntime   *telemetry.Histogram
+	migratedMB          *telemetry.Histogram
 }
 
 // SetTelemetry instruments the manager (heartbeat misses, node up/down
@@ -68,6 +76,21 @@ func (m *Manager) SetTelemetry(sink *telemetry.Sink) {
 			"stale VM copies released from rejoined nodes", nil),
 		rejections: r.Counter("deflation_manager_rejections_total",
 			"launches that found no feasible server", nil),
+		migrations: r.Counter("deflation_manager_migrations_total",
+			"live migrations completed", nil),
+		migrationFailures: r.Counter("deflation_manager_migration_failures_total",
+			"live migrations aborted (fault, capacity, or checkpoint failure)", nil),
+		convergenceFailures: r.Counter("deflation_manager_migration_convergence_failures_total",
+			"pre-copy migrations whose dirty rate outran the link", nil),
+		migrationSeconds: r.Histogram("deflation_manager_migration_seconds",
+			"end-to-end live-migration duration (seconds)",
+			telemetry.DefBuckets(), nil),
+		migrationDowntime: r.Histogram("deflation_manager_migration_downtime_seconds",
+			"stop-and-copy downtime per migration (seconds)",
+			telemetry.DefBuckets(), nil),
+		migratedMB: r.Histogram("deflation_manager_migrated_mb",
+			"bytes transferred per migration (MB)",
+			telemetry.ExpBuckets(64, 2, 12), nil),
 	}
 	t.placements = make([]*telemetry.Counter, len(m.servers))
 	for i, s := range m.servers {

@@ -34,6 +34,15 @@ const (
 	evLost     = "lost"      // evicted VM no healthy node could host
 	evAdopt    = "adopt"     // VM found on a node, adopted into the placement
 	evStale    = "stale"     // stale VM copy released from a rejoined node
+
+	// Migration events. The intent journals before any state moves and the
+	// placement changes only at migrate-done, so a crash at any point
+	// between them recovers with the VM still placed on its source; the
+	// reconciliation pass resolves the in-flight entry by asking the
+	// destination whether the copy completed.
+	evMigrateStart = "migrate-start" // migration intent (From → Node)
+	evMigrateDone  = "migrate-done"  // switchover complete; placement moves
+	evMigrateFail  = "migrate-fail"  // rolled back to the source
 )
 
 // Event is one journaled manager state transition, JSON-serializable.
@@ -46,6 +55,9 @@ type Event struct {
 	Node      string      `json:"node,omitempty"`
 	Spec      *LaunchSpec `json:"spec,omitempty"`
 	Preempted []string    `json:"preempted,omitempty"`
+	// From is the source node of a migration event (Node is the
+	// destination).
+	From string `json:"from,omitempty"`
 }
 
 // Recorder receives every manager state transition. Implementations must
@@ -75,12 +87,26 @@ type WALState struct {
 	Specs      map[string]LaunchSpec `json:"specs,omitempty"`
 	Dead       map[string]bool       `json:"dead,omitempty"` // nodes marked dead
 
+	// Migrating holds in-flight migrations: intents journaled (or
+	// snapshotted) without a matching done/fail event. Recovery resolves
+	// each by asking the destination whether the copy completed.
+	Migrating map[string]MigrationIntent `json:"migrating,omitempty"`
+
 	Rejected           int `json:"rejected,omitempty"`
 	FailurePreemptions int `json:"failure_preemptions,omitempty"`
 	Replaced           int `json:"replaced,omitempty"`
 	Lost               int `json:"lost,omitempty"`
 	Adopted            int `json:"adopted,omitempty"`
 	StaleReleased      int `json:"stale_released,omitempty"`
+	Migrations         int `json:"migrations,omitempty"`
+	MigrationFailures  int `json:"migration_failures,omitempty"`
+}
+
+// MigrationIntent is one journaled in-flight migration: source and
+// destination node names.
+type MigrationIntent struct {
+	From string `json:"from"`
+	To   string `json:"to"`
 }
 
 // NewWALState returns an empty state ready for replay.
@@ -89,6 +115,7 @@ func NewWALState() *WALState {
 		Placements: make(map[string]string),
 		Specs:      make(map[string]LaunchSpec),
 		Dead:       make(map[string]bool),
+		Migrating:  make(map[string]MigrationIntent),
 	}
 }
 
@@ -138,6 +165,18 @@ func (s *WALState) Apply(rec journal.Record) error {
 		delete(s.Dead, e.Node)
 	case evStale:
 		s.StaleReleased++
+	case evMigrateStart:
+		if s.Migrating == nil {
+			s.Migrating = make(map[string]MigrationIntent)
+		}
+		s.Migrating[e.VM] = MigrationIntent{From: e.From, To: e.Node}
+	case evMigrateDone:
+		delete(s.Migrating, e.VM)
+		s.Placements[e.VM] = e.Node
+		s.Migrations++
+	case evMigrateFail:
+		delete(s.Migrating, e.VM)
+		s.MigrationFailures++
 	}
 	s.AppliedSeq = rec.Seq
 	return nil
@@ -158,12 +197,17 @@ func (m *Manager) walState() *WALState {
 			st.Dead[m.servers[i].Name()] = true
 		}
 	}
+	for name, intent := range m.inflight {
+		st.Migrating[name] = intent
+	}
 	st.Rejected = m.rejected
 	st.FailurePreemptions = m.failurePreemptions
 	st.Replaced = m.replacedVMs
 	st.Lost = m.lostVMs
 	st.Adopted = m.adoptedVMs
 	st.StaleReleased = m.staleReleases
+	st.Migrations = m.migrations
+	st.MigrationFailures = m.migrationFailures
 	return st
 }
 
@@ -230,12 +274,18 @@ type RecoveryReport struct {
 	// (re-placed via the evacuation path, or unplaceable); Reasserted specs
 	// diverged from the node's ground-truth allocation; StaleReleased
 	// copies were journaled on a different node than the one running them.
-	Adopted       int           `json:"adopted"`
-	Replaced      int           `json:"replaced"`
-	Lost          int           `json:"lost"`
-	Reasserted    int           `json:"reasserted"`
-	StaleReleased int           `json:"stale_released"`
-	Duration      time.Duration `json:"duration_ns"`
+	Adopted       int `json:"adopted"`
+	Replaced      int `json:"replaced"`
+	Lost          int `json:"lost"`
+	Reasserted    int `json:"reasserted"`
+	StaleReleased int `json:"stale_released"`
+	// MigrationsResolved/MigrationsRolledBack settle migrations that were
+	// in flight at crash time: resolved means the destination held the
+	// copy (the move is adopted), rolled back means the VM stayed on its
+	// source.
+	MigrationsResolved   int           `json:"migrations_resolved"`
+	MigrationsRolledBack int           `json:"migrations_rolled_back"`
+	Duration             time.Duration `json:"duration_ns"`
 }
 
 // Publish registers the recovery outcome in a telemetry sink: repairs by
@@ -386,17 +436,30 @@ func (m *Manager) installWALState(st *WALState) {
 	}
 	sort.Strings(orphans)
 	m.recoveryOrphans = orphans
+	if len(st.Migrating) > 0 {
+		m.recoveryMigrations = make(map[string]MigrationIntent, len(st.Migrating))
+		for name, intent := range st.Migrating {
+			m.recoveryMigrations[name] = intent
+		}
+	}
 	m.rejected = st.Rejected
 	m.failurePreemptions = st.FailurePreemptions
 	m.replacedVMs = st.Replaced
 	m.lostVMs = st.Lost
 	m.adoptedVMs = st.Adopted
 	m.staleReleases = st.StaleReleased
+	m.migrations = st.Migrations
+	m.migrationFailures = st.MigrationFailures
 }
 
 // reconcileAll is the anti-entropy pass: every live node's inventory is
 // compared against the journaled view and divergence is repaired.
 func (m *Manager) reconcileAll(rep *RecoveryReport) {
+	// In-flight migrations first, so placements are settled before the
+	// generic inventory sweep: the destination's inventory is ground truth
+	// for whether the switchover completed before the crash.
+	m.resolveRecoveryMigrations(rep)
+
 	// VMs journaled on servers no longer in the fleet: re-place them.
 	for _, name := range m.recoveryOrphans {
 		spec := m.specs[name]
@@ -471,6 +534,59 @@ func (m *Manager) reconcileAll(rep *RecoveryReport) {
 			}
 		}
 	}
+}
+
+// resolveRecoveryMigrations settles migrations that were in flight when the
+// manager died. The switchover's last step on the data plane is restoring
+// the VM on the destination, so the destination's Has answer decides:
+//   - destination has the VM → the migration completed; the placement moves
+//     there and any stale source copy is released;
+//   - destination does not have it → rollback; the VM keeps its journaled
+//     (source) placement untouched.
+//
+// An unreachable destination keeps the journaled view — exactly as Placed()
+// does — and the failure detector decides later.
+func (m *Manager) resolveRecoveryMigrations(rep *RecoveryReport) {
+	if len(m.recoveryMigrations) == 0 {
+		return
+	}
+	names := make([]string, 0, len(m.recoveryMigrations))
+	for name := range m.recoveryMigrations {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		intent := m.recoveryMigrations[name]
+		dstIdx := m.serverIndex(intent.To)
+		if dstIdx < 0 || m.health[dstIdx].dead {
+			rep.MigrationsRolledBack++
+			m.migrationFailures++
+			continue
+		}
+		has, err := m.servers[dstIdx].Has(name)
+		if err != nil || !has {
+			// Rolled back (or undecidable): the journaled source placement
+			// stands.
+			rep.MigrationsRolledBack++
+			m.migrationFailures++
+			continue
+		}
+		// Completed before the crash: adopt the move.
+		if srcIdx := m.serverIndex(intent.From); srcIdx >= 0 && !m.health[srcIdx].dead {
+			if stale, err := m.servers[srcIdx].Has(name); err == nil && stale {
+				if err := m.servers[srcIdx].Release(name); err == nil {
+					m.staleReleases++
+					rep.StaleReleased++
+				}
+			}
+		}
+		m.placement[name] = dstIdx
+		m.migrations++
+		rep.MigrationsResolved++
+	}
+	// Like the other reconciliation repairs, the resolution is settled by
+	// the fresh snapshot Recover writes, not by journal events.
+	m.recoveryMigrations = nil
 }
 
 // repairReplace re-places one VM the journal knows but no node runs, via

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"deflation/internal/faults"
 	"deflation/internal/journal"
 	"deflation/internal/restypes"
 	"deflation/internal/vm"
@@ -62,6 +63,26 @@ func scriptedRun(t *testing.T, m *Manager, nodes []*crashableNode) {
 	if err := m.Release("vm-5"); err != nil {
 		t.Fatal(err)
 	}
+	// A completed and a failed live migration, exercising all three
+	// migration event kinds.
+	migrateOff := func(name string) string {
+		src := m.Placements()[name]
+		for _, s := range m.Servers() {
+			if s.Name() != src {
+				return s.Name()
+			}
+		}
+		t.Fatalf("no migration target for %s", name)
+		return ""
+	}
+	if _, err := m.Migrate("vm-0", migrateOff("vm-0")); err != nil {
+		t.Fatal(err)
+	}
+	m.SetMigrationFaults(faults.New(faults.Config{MigrationFailProb: 1, Seed: 5}))
+	if _, err := m.Migrate("vm-1", migrateOff("vm-1")); err == nil {
+		t.Fatal("fault-injected migration unexpectedly succeeded")
+	}
+	m.SetMigrationFaults(nil)
 	// A rejection: far larger than any server.
 	huge := durSpec("huge", vm.LowPriority, 1.0)
 	huge.Size = restypes.V(1024, 1<<30, 1, 1)
@@ -202,6 +223,7 @@ func TestReplayCrashPointInsensitive(t *testing.T) {
 		twice.Placements = copyMap(once.Placements)
 		twice.Specs = copySpecs(once.Specs)
 		twice.Dead = copyMap2(once.Dead)
+		twice.Migrating = copyIntents(once.Migrating)
 		for _, rec := range j.Tail() {
 			if err := twice.Apply(rec); err != nil {
 				t.Fatal(err)
@@ -268,6 +290,105 @@ func copyMap2(m map[string]bool) map[string]bool {
 		out[k] = v
 	}
 	return out
+}
+
+func copyIntents(m map[string]MigrationIntent) map[string]MigrationIntent {
+	out := make(map[string]MigrationIntent, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// TestRecoverMidMigration SIGKILLs the manager at the two decisive points of
+// a live migration. The journal records the intent (evMigrateStart) before
+// anything moves and the placement change (evMigrateDone) only after the
+// destination holds the copy, so recovery resolves the in-flight entry by
+// asking the destination: copy absent → roll back to the source; copy
+// present → adopt the move and release the stale source copy. Either way
+// the VM is neither lost nor double-placed.
+func TestRecoverMidMigration(t *testing.T) {
+	setup := func(t *testing.T, dir string) (m *Manager, nodes []*crashableNode, srcIdx, dstIdx int) {
+		m, nodes = newDurableCluster(t, dir, 2, 0)
+		if _, _, err := m.Launch(durSpec("a", vm.LowPriority, 0.25)); err != nil {
+			t.Fatal(err)
+		}
+		srcIdx = 0
+		if m.Placements()["a"] == nodes[1].Name() {
+			srcIdx = 1
+		}
+		return m, nodes, srcIdx, 1 - srcIdx
+	}
+	recover2 := func(t *testing.T, dir string, nodes []*crashableNode) (*Manager, *RecoveryReport) {
+		t.Helper()
+		m2, rep, err := Recover(DurabilityConfig{Dir: dir}, []Node{nodes[0], nodes[1]}, BestFit, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { m2.Journal().Close() })
+		return m2, rep
+	}
+
+	t.Run("before switchover rolls back", func(t *testing.T) {
+		dir := t.TempDir()
+		m, nodes, srcIdx, dstIdx := setup(t, dir)
+		// The intent journals, then the manager dies before any state moves.
+		m.record(Event{Kind: evMigrateStart, VM: "a", Node: nodes[dstIdx].Name(), From: nodes[srcIdx].Name()})
+		m.Journal().Close()
+
+		m2, rep := recover2(t, dir, nodes)
+		if rep.MigrationsRolledBack != 1 || rep.MigrationsResolved != 0 {
+			t.Fatalf("report: %+v, want 1 rolled back / 0 resolved", rep)
+		}
+		if m2.Placements()["a"] != nodes[srcIdx].Name() {
+			t.Errorf("placement %q, want source %q", m2.Placements()["a"], nodes[srcIdx].Name())
+		}
+		if has, _ := nodes[srcIdx].Has("a"); !has {
+			t.Error("VM lost from source")
+		}
+		if has, _ := nodes[dstIdx].Has("a"); has {
+			t.Error("VM double-placed on destination")
+		}
+		if st := m2.MigrationStats(); st.Migrations != 0 || st.Failures != 1 {
+			t.Errorf("stats: %+v", st)
+		}
+	})
+
+	t.Run("after destination restore adopts the move", func(t *testing.T) {
+		dir := t.TempDir()
+		m, nodes, srcIdx, dstIdx := setup(t, dir)
+		// The copy landed on the destination, but the manager died before
+		// journaling evMigrateDone (and before releasing the source).
+		m.record(Event{Kind: evMigrateStart, VM: "a", Node: nodes[dstIdx].Name(), From: nodes[srcIdx].Name()})
+		cp, err := nodes[srcIdx].Checkpoint("a")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nodes[dstIdx].RestoreVM(cp); err != nil {
+			t.Fatal(err)
+		}
+		m.Journal().Close()
+
+		m2, rep := recover2(t, dir, nodes)
+		if rep.MigrationsResolved != 1 || rep.MigrationsRolledBack != 0 {
+			t.Fatalf("report: %+v, want 1 resolved / 0 rolled back", rep)
+		}
+		if m2.Placements()["a"] != nodes[dstIdx].Name() {
+			t.Errorf("placement %q, want destination %q", m2.Placements()["a"], nodes[dstIdx].Name())
+		}
+		if has, _ := nodes[dstIdx].Has("a"); !has {
+			t.Error("VM lost from destination")
+		}
+		if has, _ := nodes[srcIdx].Has("a"); has {
+			t.Error("stale source copy not released — VM double-placed")
+		}
+		if rep.StaleReleased != 1 {
+			t.Errorf("StaleReleased = %d, want 1", rep.StaleReleased)
+		}
+		if st := m2.MigrationStats(); st.Migrations != 1 || st.Failures != 0 {
+			t.Errorf("stats: %+v", st)
+		}
+	})
 }
 
 func TestRecoverReconciliationRepairs(t *testing.T) {

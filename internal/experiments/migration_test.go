@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigMigrationQuickShapeClaims(t *testing.T) {
+	cfg := QuickFigMigrationConfig()
+	r, err := FigMigration(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Preemption) != 4 || len(r.Migrations) != 4 || len(r.MovedGB) != 4 {
+		t.Fatalf("series count: %d policies", len(r.Preemption))
+	}
+	// Index by the policy table order.
+	const (
+		preemptOnly = iota
+		migrationOnly
+		deflation
+		deflateMigrate
+	)
+
+	// The migration-disabled rows ARE the Fig. 8c curves — byte-identical,
+	// not approximately equal (the zero reclaim policy takes the exact
+	// pre-migration code path).
+	fig8c, err := Fig8c(QuickFig8cConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.OvercommitPct {
+		if got, want := r.Preemption[preemptOnly].Values[i], fig8c.PreemptOnly.Values[i]; got != want {
+			t.Errorf("oc=%g%%: preempt-only %.6f != Fig 8c preempt-only %.6f",
+				r.OvercommitPct[i], got, want)
+		}
+		if got, want := r.Preemption[deflation].Values[i], fig8c.Deflation.Values[i]; got != want {
+			t.Errorf("oc=%g%%: deflation %.6f != Fig 8c deflation %.6f",
+				r.OvercommitPct[i], got, want)
+		}
+	}
+
+	for i, oc := range r.OvercommitPct {
+		// Migration-disabled policies move nothing; migration-enabled ones
+		// actually migrate.
+		for _, p := range []int{preemptOnly, deflation} {
+			if r.Migrations[p].Values[i] != 0 || r.MovedGB[p].Values[i] != 0 {
+				t.Errorf("oc=%g%%: %s migrated (%v migrations, %v GB) with migration disabled",
+					oc, migrationPolicies[p].Name, r.Migrations[p].Values[i], r.MovedGB[p].Values[i])
+			}
+		}
+		for _, p := range []int{migrationOnly, deflateMigrate} {
+			if r.Migrations[p].Values[i] == 0 {
+				t.Errorf("oc=%g%%: %s performed no migrations", oc, migrationPolicies[p].Name)
+			}
+		}
+		// Migrating victims out of the way preempts fewer of them than
+		// killing them outright.
+		if mo, po := r.Preemption[migrationOnly].Values[i], r.Preemption[preemptOnly].Values[i]; mo >= po {
+			t.Errorf("oc=%g%%: migration-only preemption %.4f not below preempt-only %.4f", oc, mo, po)
+		}
+		// The headline claim: deflating victims before migrating them moves
+		// fewer bytes and pauses VMs for less total downtime than migrating
+		// them at full size — at every overcommit level ≥1.5× in the sweep.
+		if dm, mo := r.MovedGB[deflateMigrate].Values[i], r.MovedGB[migrationOnly].Values[i]; dm >= mo {
+			t.Errorf("oc=%g%%: deflate+migrate moved %.1f GB, not below migration-only %.1f GB", oc, dm, mo)
+		}
+		if dm, mo := r.DowntimeSec[deflateMigrate].Values[i], r.DowntimeSec[migrationOnly].Values[i]; dm >= mo {
+			t.Errorf("oc=%g%%: deflate+migrate downtime %.1fs not below migration-only %.1fs", oc, dm, mo)
+		}
+	}
+
+	table := r.Table()
+	for _, want := range []string{"preemption probability", "data moved (GB)", "stop-and-copy downtime",
+		"Preempt-only", "Migration-only", "Deflation", "Deflate+migrate"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q", want)
+		}
+	}
+}

@@ -67,6 +67,11 @@ type Config struct {
 	HTTPDropProb  float64
 	HTTPDelayProb float64
 	HTTPDelayMax  time.Duration
+
+	// MigrationFailProb is the probability that a live migration fails
+	// mid-copy (link error, destination qemu crash) after the pre-copy
+	// stream has run; the VM rolls back to the source.
+	MigrationFailProb float64
 }
 
 // Enabled reports whether any fault category is configured.
@@ -74,7 +79,8 @@ func (c Config) Enabled() bool {
 	return c.CrashMTBF > 0 || c.ManagerCrashMTBF > 0 ||
 		c.AgentFailProb > 0 || c.AgentHangProb > 0 ||
 		c.OSFailProb > 0 ||
-		c.HTTPErrorProb > 0 || c.HTTPDropProb > 0 || c.HTTPDelayProb > 0
+		c.HTTPErrorProb > 0 || c.HTTPDropProb > 0 || c.HTTPDelayProb > 0 ||
+		c.MigrationFailProb > 0
 }
 
 func (c Config) withDefaults() Config {
@@ -200,6 +206,16 @@ func (in *Injector) OSFault() UnplugOutcome {
 		o.Fraction = frac * in.cfg.OSPartialMax
 	}
 	return o
+}
+
+// MigrationFault draws whether one live migration fails mid-copy. The
+// "migration" stream is independent of every other category, so enabling
+// migration faults never perturbs crash, agent, OS, or HTTP schedules.
+func (in *Injector) MigrationFault() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.stream("migration")
+	return r.Float64() < in.cfg.MigrationFailProb
 }
 
 // HTTPFaultKind enumerates REST-plane fault types.

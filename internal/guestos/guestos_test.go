@@ -246,3 +246,72 @@ func TestQuickPlugBounds(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestDirtyRateTracksRSS(t *testing.T) {
+	g, err := New(Config{CPUs: 4, MemoryMB: 16384})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.DirtyRateMBps() != 0 {
+		t.Errorf("idle guest dirty rate %g, want 0", g.DirtyRateMBps())
+	}
+	g.SetAppFootprint(8192, 1024)
+	full := g.DirtyRateMBps()
+	if full != 8192*0.02 {
+		t.Errorf("dirty rate %g, want RSS * default write intensity", full)
+	}
+	// Deflation shrinks the RSS and, with it, the dirty rate — the
+	// deflate-then-migrate premise.
+	g.SetAppFootprint(2048, 0)
+	if got := g.DirtyRateMBps(); got >= full {
+		t.Errorf("deflated dirty rate %g not below full %g", got, full)
+	}
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	g, err := New(Config{CPUs: 8, MemoryMB: 16384, WriteIntensity: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetAppFootprint(4096, 2048)
+	g.UnplugCPUs(3)
+	g.UnplugMemory(2000)
+	g.InflateBalloon(512)
+
+	r, err := Restore(g.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CPUs() != g.CPUs() || r.MemoryMB() != g.MemoryMB() ||
+		r.AppRSSMB() != g.AppRSSMB() || r.PageCacheMB() != g.PageCacheMB() ||
+		r.BalloonMB() != g.BalloonMB() || r.DirtyRateMBps() != g.DirtyRateMBps() {
+		t.Errorf("restore diverges:\n%+v\n%+v", r.Snapshot(), g.Snapshot())
+	}
+	if r.OOMKilled() {
+		t.Error("restored guest spuriously OOM-killed")
+	}
+}
+
+func TestRestoreRejectsCorruptSnapshots(t *testing.T) {
+	g, err := New(Config{CPUs: 4, MemoryMB: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.SetAppFootprint(2048, 0)
+	base := g.Snapshot()
+
+	for name, mutate := range map[string]func(*Snapshot){
+		"cpus-over-boot":   func(s *Snapshot) { s.CPUs = 5 },
+		"cpus-zero":        func(s *Snapshot) { s.CPUs = 0 },
+		"mem-over-boot":    func(s *Snapshot) { s.MemoryMB = 9000 },
+		"mem-under-kernel": func(s *Snapshot) { s.MemoryMB = 100 },
+		"rss-oom":          func(s *Snapshot) { s.AppRSSMB = 8100 },
+		"negative-cache":   func(s *Snapshot) { s.PageCacheMB = -1 },
+	} {
+		s := base
+		mutate(&s)
+		if _, err := Restore(s); err == nil {
+			t.Errorf("%s: corrupt snapshot accepted", name)
+		}
+	}
+}

@@ -72,6 +72,11 @@ func (c Config) withDefaults() Config {
 type Host struct {
 	cfg     Config
 	domains map[string]*Domain
+
+	// reserved is capacity set aside outside any domain's allocation —
+	// live-migration streams reserve network bandwidth here so that new
+	// domains cannot take it mid-copy. Always zero unless Reserve is used.
+	reserved restypes.Vector
 }
 
 // NewHost creates a host with the given physical capacity.
@@ -100,10 +105,30 @@ func (h *Host) Allocated() restypes.Vector {
 	return sum
 }
 
-// FreePhysical returns unallocated physical capacity.
+// FreePhysical returns unallocated, unreserved physical capacity.
 func (h *Host) FreePhysical() restypes.Vector {
-	return h.cfg.Capacity.Sub(h.Allocated()).ClampNonNegative()
+	return h.cfg.Capacity.Sub(h.Allocated()).Sub(h.reserved).ClampNonNegative()
 }
+
+// Reserve sets aside capacity outside any domain (e.g. network bandwidth for
+// a migration stream). It fails when the reservation does not fit in free
+// physical capacity.
+func (h *Host) Reserve(v restypes.Vector) error {
+	v = v.ClampNonNegative()
+	if !v.Fits(h.FreePhysical()) {
+		return fmt.Errorf("%w: reserving %v, free %v", ErrInsufficientCapacity, v, h.FreePhysical())
+	}
+	h.reserved = h.reserved.Add(v)
+	return nil
+}
+
+// Unreserve returns previously reserved capacity.
+func (h *Host) Unreserve(v restypes.Vector) {
+	h.reserved = h.reserved.Sub(v.ClampNonNegative()).ClampNonNegative()
+}
+
+// Reserved returns the currently reserved capacity.
+func (h *Host) Reserved() restypes.Vector { return h.reserved }
 
 // Domains returns all live domains sorted by name (deterministic order).
 func (h *Host) Domains() []*Domain {
@@ -265,6 +290,56 @@ func minf(a, b float64) float64 {
 		return a
 	}
 	return b
+}
+
+// DomainSnapshot is the transferable state of a domain, as shipped by live
+// migration: the nominal size, the current (possibly deflated) allocation,
+// the host-resident high-water mark, and the guest kernel's state.
+type DomainSnapshot struct {
+	Name          string           `json:"name"`
+	Size          restypes.Vector  `json:"size"`
+	Alloc         restypes.Vector  `json:"alloc"`
+	EverTouchedMB float64          `json:"ever_touched_mb"`
+	Guest         guestos.Snapshot `json:"guest"`
+}
+
+// Snapshot captures the domain's transferable state.
+func (d *Domain) Snapshot() DomainSnapshot {
+	return DomainSnapshot{
+		Name:          d.name,
+		Size:          d.size,
+		Alloc:         d.alloc,
+		EverTouchedMB: d.refreshEverTouched(),
+		Guest:         d.guest.Snapshot(),
+	}
+}
+
+// RestoreDomain materializes a migrated domain from a snapshot. Admission is
+// by the snapshot's *allocation*, not its nominal size: a deflated VM needs
+// only its deflated footprint on the destination — the reason deflation and
+// migration compose (a deflated VM fits more destinations). The domain may
+// later reinflate toward its nominal size through SetAllocation, subject to
+// the usual capacity checks.
+func (h *Host) RestoreDomain(s DomainSnapshot) (*Domain, error) {
+	if _, ok := h.domains[s.Name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrDomainExists, s.Name)
+	}
+	if !s.Size.Positive() {
+		return nil, fmt.Errorf("hypervisor: snapshot size must be positive in all dimensions, got %v", s.Size)
+	}
+	alloc := s.Alloc.Min(s.Size).ClampNonNegative()
+	if !alloc.Fits(h.FreePhysical()) {
+		return nil, fmt.Errorf("%w: restoring %v, free %v", ErrInsufficientCapacity, alloc, h.FreePhysical())
+	}
+	g, err := guestos.Restore(s.Guest)
+	if err != nil {
+		return nil, err
+	}
+	d := &Domain{host: h, name: s.Name, size: s.Size, alloc: alloc, guest: g}
+	d.everTouchedMB = s.EverTouchedMB
+	d.refreshEverTouched()
+	h.domains[s.Name] = d
+	return d, nil
 }
 
 // Env is the effective execution environment a domain's application sees.

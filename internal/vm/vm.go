@@ -167,3 +167,35 @@ func (v *VM) Preempt() { v.dom.Destroy() }
 
 // Preempted reports whether the VM has been preempted (domain destroyed).
 func (v *VM) Preempted() bool { return v.dom.Destroyed() }
+
+// Snapshot is the transferable state of a VM: the domain-plus-guest snapshot
+// and the VM-level policy attributes that must follow it to the destination.
+type Snapshot struct {
+	Domain   hypervisor.DomainSnapshot `json:"domain"`
+	Priority Priority                  `json:"priority"`
+	MinSize  restypes.Vector           `json:"min_size"`
+}
+
+// Snapshot captures the VM's transferable state for live migration.
+func (v *VM) Snapshot() Snapshot {
+	return Snapshot{Domain: v.dom.Snapshot(), Priority: v.priority, MinSize: v.minSize}
+}
+
+// Restore materializes a migrated VM on host from a snapshot, attaching app
+// as its application. The snapshot's guest footprint is authoritative — it
+// is NOT overwritten from the application's Footprint, so a live application
+// object handed off in-process stays exactly in sync, and a registry-built
+// replacement converges through later deflate/reinflate cycles.
+func Restore(host *hypervisor.Host, s Snapshot, app Application) (*VM, error) {
+	if app == nil {
+		return nil, fmt.Errorf("vm: nil application")
+	}
+	if !s.MinSize.Fits(s.Domain.Size) {
+		return nil, fmt.Errorf("vm: min size %v exceeds VM size %v", s.MinSize, s.Domain.Size)
+	}
+	dom, err := host.RestoreDomain(s.Domain)
+	if err != nil {
+		return nil, err
+	}
+	return &VM{dom: dom, app: app, priority: s.Priority, minSize: s.MinSize}, nil
+}

@@ -167,3 +167,60 @@ func TestThroughputDelegates(t *testing.T) {
 		t.Errorf("Throughput = %g, want 0.42", got)
 	}
 }
+
+func TestSnapshotRestoreMigratesDeflatedState(t *testing.T) {
+	src, err := hypervisor.NewHost(hypervisor.Config{Name: "src", Capacity: restypes.V(16, 65536, 400, 400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := src.CreateDomain("vm0", restypes.V(4, 16384, 100, 100), guestos.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := apptest.New("a")
+	app.RSSMB, app.CacheMB = 4000, 1000
+	v, err := New(d, app, Config{Priority: LowPriority, MinSize: restypes.V(1, 4096, 10, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.MarkWarm()
+	// Deflate to half allocation: the destination must admit by this
+	// deflated footprint, not the nominal size.
+	if _, err := d.SetAllocation(restypes.V(2, 8192, 50, 50)); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := v.Snapshot()
+
+	// A destination too small for the nominal size but big enough for the
+	// deflated allocation accepts the restore — the deflate-then-migrate
+	// placement advantage.
+	tight, err := hypervisor.NewHost(hypervisor.Config{Name: "tight", Capacity: restypes.V(3, 12000, 60, 60)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(tight, snap, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Name() != "vm0" || r.Priority() != LowPriority || r.MinSize() != v.MinSize() {
+		t.Errorf("restored identity diverges: %s/%v/%v", r.Name(), r.Priority(), r.MinSize())
+	}
+	if r.Allocation() != v.Allocation() {
+		t.Errorf("restored alloc %v != source %v", r.Allocation(), v.Allocation())
+	}
+	if r.Size() != v.Size() {
+		t.Errorf("restored nominal size %v != source %v", r.Size(), v.Size())
+	}
+	if got, want := r.Env().EverTouchedMB, v.Env().EverTouchedMB; got != want {
+		t.Errorf("restored ever-touched %g != source %g", got, want)
+	}
+	if r.Env().OOMKilled {
+		t.Error("restore OOM-killed the guest")
+	}
+
+	// Duplicate restore on the same host must fail (no double-placement).
+	if _, err := Restore(tight, snap, app); err == nil {
+		t.Error("duplicate restore accepted")
+	}
+}
