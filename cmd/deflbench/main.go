@@ -3,28 +3,50 @@
 //
 // Usage:
 //
-//	deflbench -fig all          # every figure (slow: full 100-node sims)
-//	deflbench -fig 1            # Figure 1
-//	deflbench -fig 6 -quick     # Figure 6 panels, reduced sweep sizes
+//	deflbench -fig all              # every figure (slow: full 100-node sims)
+//	deflbench -fig 1                # Figure 1
+//	deflbench -fig 6 -quick         # Figure 6 panels, reduced sweep sizes
+//	deflbench -fig fig8 -parallel 8 # Figure 8 panels, 8 sweep workers
+//	deflbench -fig 8c -parallel 1   # exact legacy serial path
 //
 // Figures: 1, 5a, 5b, 5c, 5d, 6, 7a, 7b, 8a, 8b, 8c, 8d, plus the chaos
 // fault-injection sweep (-fig chaos) and the migration-vs-deflation policy
-// sweep (-fig migration).
+// sweep (-fig migration). Group aliases run whole panels: 5 (5a–5d),
+// 7 (7a, 7b), 8 (8a–8d); a "fig" prefix is accepted everywhere (fig8c ≡ 8c).
+//
+// Every figure sweep fans its independent simulation cells out across
+// -parallel workers (default GOMAXPROCS) with a deterministic merge, so
+// output is bit-for-bit identical at any parallelism; -parallel 1 runs the
+// legacy serial path. -memoize reuses results of identical simulation
+// cells across sweeps (e.g. the chaos zero-fault row is exactly a Fig. 8c
+// cell); it never changes results, only wall-clock time.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 	"time"
 
 	"deflation/internal/experiments"
+	"deflation/internal/sweep"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, chaos, migration, all)")
+	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, chaos, migration, group aliases 5/7/8, all)")
 	quick := flag.Bool("quick", false, "smaller sweeps for the cluster simulations")
+	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep workers; 1 = exact legacy serial path, N>1 fans cells out over N goroutines")
+	memoize := flag.Bool("memoize", true, "reuse results of identical simulation cells across sweeps (never changes output)")
+	progress := flag.Bool("progress", true, "live sweep progress on stderr")
 	flag.Parse()
+
+	experiments.SetParallelism(*parallel)
+	experiments.SetMemoization(*memoize)
+	if *progress {
+		experiments.SetSweepProgress(printProgress)
+	}
 
 	runs := map[string]func(bool) (fmt.Stringer, error){
 		"table1":    func(bool) (fmt.Stringer, error) { return wrap(experiments.Table1()) },
@@ -47,13 +69,23 @@ func main() {
 	}
 
 	order := []string{"table1", "table2", "1", "5a", "5b", "5c", "5d", "6", "7a", "7b", "8a", "8b", "8c", "8d", "revenue", "chaos", "migration"}
+	groups := map[string][]string{
+		"5": {"5a", "5b", "5c", "5d"},
+		"7": {"7a", "7b"},
+		"8": {"8a", "8b", "8c", "8d"},
+	}
+
 	selected := order
 	if *fig != "all" {
-		if _, ok := runs[*fig]; !ok {
+		name := strings.TrimPrefix(strings.ToLower(*fig), "fig")
+		if g, ok := groups[name]; ok {
+			selected = g
+		} else if _, ok := runs[name]; ok {
+			selected = []string{name}
+		} else {
 			fmt.Fprintf(os.Stderr, "deflbench: unknown figure %q\n", *fig)
 			os.Exit(2)
 		}
-		selected = []string{*fig}
 	}
 
 	for _, f := range selected {
@@ -66,6 +98,27 @@ func main() {
 		fmt.Println(out.String())
 		fmt.Printf("(figure %s regenerated in %v)\n\n", f, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// printProgress renders one sweep's live state on stderr, overwriting the
+// line until the sweep completes.
+func printProgress(p sweep.Progress) {
+	var b strings.Builder
+	fmt.Fprintf(&b, "\r%-12s %3d/%3d cells", p.Label, p.Done, p.Total)
+	if p.CacheHits > 0 {
+		fmt.Fprintf(&b, " (%d cached)", p.CacheHits)
+	}
+	if p.Errors > 0 {
+		fmt.Fprintf(&b, " (%d failed)", p.Errors)
+	}
+	if p.ETA > 0 {
+		fmt.Fprintf(&b, "  ETA %-8v", p.ETA.Round(time.Second))
+	}
+	if p.Done == p.Total {
+		fmt.Fprintf(&b, "  done in %v", p.Elapsed.Round(time.Millisecond))
+		b.WriteByte('\n')
+	}
+	fmt.Fprint(os.Stderr, b.String())
 }
 
 // tabler adapts the experiment results' Table() to fmt.Stringer.

@@ -624,5 +624,13 @@ func quantile(sorted []float64, q float64) float64 {
 		return 0
 	}
 	i := int(q * float64(len(sorted)-1))
+	// Out-of-range q (or a rounding excursion at q≈1) must not index out
+	// of bounds: clamp to the data.
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
 	return sorted[i]
 }

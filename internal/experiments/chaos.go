@@ -6,6 +6,7 @@ import (
 
 	"deflation/internal/cluster"
 	"deflation/internal/faults"
+	"deflation/internal/sweep"
 	"deflation/internal/trace"
 )
 
@@ -120,12 +121,10 @@ func Chaos(cfg ChaosConfig) (ChaosResult, error) {
 	for _, oc := range cfg.Overcommits {
 		res.OvercommitPct = append(res.OvercommitPct, (oc-1)*100)
 	}
+	var cells []sweep.Cell[cluster.SimResult]
 	for _, rate := range cfg.FaultRates {
-		pp := series{Name: rateName(rate)}
-		gp := series{Name: rateName(rate)}
-		cr := series{Name: rateName(rate)}
 		for _, oc := range cfg.Overcommits {
-			sim, err := cluster.RunSim(cluster.SimConfig{
+			cells = append(cells, simCell("chaos", cluster.SimConfig{
 				Mode:             cluster.ModeDeflation,
 				TargetOvercommit: oc,
 				Seed:             cfg.Seed,
@@ -136,10 +135,19 @@ func Chaos(cfg ChaosConfig) (ChaosResult, error) {
 					LifetimeMedian:   cfg.LifetimeMedian,
 				},
 				Faults: chaosFaults(cfg, rate),
-			})
-			if err != nil {
-				return res, err
-			}
+			}))
+		}
+	}
+	sims, err := runCells("chaos", cells)
+	if err != nil {
+		return res, err
+	}
+	for ri, rate := range cfg.FaultRates {
+		pp := series{Name: rateName(rate)}
+		gp := series{Name: rateName(rate)}
+		cr := series{Name: rateName(rate)}
+		for oi := range cfg.Overcommits {
+			sim := sims[ri*len(cfg.Overcommits)+oi]
 			pp.Values = append(pp.Values, sim.PreemptionProbability)
 			gp.Values = append(gp.Values, sim.Goodput)
 			cr.Values = append(cr.Values, float64(sim.NodeCrashes))

@@ -9,6 +9,7 @@ import (
 	"deflation/internal/restypes"
 	"deflation/internal/spark"
 	"deflation/internal/spark/workloads"
+	"deflation/internal/vm"
 )
 
 // Fig1Result reproduces Figure 1: normalized application performance as a
@@ -40,74 +41,70 @@ func (r Fig1Result) SeriesValue(w string, dPct float64) (float64, error) {
 	return 0, fmt.Errorf("experiments: no point %q @ %g%%", w, dPct)
 }
 
+// fig1DeflatedThroughput builds a fresh VM around app, deflates it
+// uniformly by d percent through the full cascade, and returns throughput.
+func fig1DeflatedThroughput(app vm.Application, d float64) (float64, error) {
+	v, err := newHostAndVM(app)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := deflateBy(v, cascade.AllLevels(), restypes.Uniform(d/100)); err != nil {
+		return 0, err
+	}
+	return v.Throughput(), nil
+}
+
 // Fig1 measures each workload at increasing uniform deflation, using the
 // full cascade with the workload's own deflation policy — the deployment
-// the paper motivates.
+// the paper motivates. Every (workload, deflation) point is one sweep
+// cell with its own host, VM, and application.
 func Fig1() (Fig1Result, error) {
 	res := Fig1Result{}
 	for d := 0.0; d <= 90; d += 10 {
 		res.DeflationPct = append(res.DeflationPct, d)
 	}
 
-	jbb := series{Name: "SpecJBB"}
-	for _, d := range res.DeflationPct {
-		app, err := jvm.NewApp(jvm.AppConfig{
-			MaxHeapMB: 12000, LiveMB: 1200, DeflationAware: true, Cores: 4,
-		})
-		if err != nil {
-			return res, err
-		}
-		v, err := newHostAndVM(app)
-		if err != nil {
-			return res, err
-		}
-		if _, err := deflateBy(v, cascade.AllLevels(), restypes.Uniform(d/100)); err != nil {
-			return res, err
-		}
-		jbb.Values = append(jbb.Values, v.Throughput())
+	workloads := []struct {
+		name string
+		run  func(d float64) (float64, error)
+	}{
+		{"SpecJBB", func(d float64) (float64, error) {
+			app, err := jvm.NewApp(jvm.AppConfig{
+				MaxHeapMB: 12000, LiveMB: 1200, DeflationAware: true, Cores: 4,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return fig1DeflatedThroughput(app, d)
+		}},
+		{"Kcompile", func(d float64) (float64, error) {
+			return fig1DeflatedThroughput(kcompile.NewApp(kcompile.AppConfig{}), d)
+		}},
+		{"Memcached", func(d float64) (float64, error) {
+			app, err := memcacheAppFig5a(true)
+			if err != nil {
+				return 0, err
+			}
+			return fig1DeflatedThroughput(app, d)
+		}},
+		{"Spark-Kmeans", func(d float64) (float64, error) {
+			norm, err := kmeansNormalizedRuntime(d / 100)
+			if err != nil {
+				return 0, err
+			}
+			return 1 / norm, nil
+		}},
 	}
-	res.Series = append(res.Series, jbb)
 
-	kc := series{Name: "Kcompile"}
-	for _, d := range res.DeflationPct {
-		v, err := newHostAndVM(kcompile.NewApp(kcompile.AppConfig{}))
-		if err != nil {
-			return res, err
-		}
-		if _, err := deflateBy(v, cascade.AllLevels(), restypes.Uniform(d/100)); err != nil {
-			return res, err
-		}
-		kc.Values = append(kc.Values, v.Throughput())
+	vals, err := sweepGrid("fig1", len(workloads), len(res.DeflationPct), func(si, xi int) (float64, error) {
+		return workloads[si].run(res.DeflationPct[xi])
+	})
+	if err != nil {
+		return res, err
 	}
-	res.Series = append(res.Series, kc)
-
-	mc := series{Name: "Memcached"}
-	for _, d := range res.DeflationPct {
-		app, err := memcacheAppFig5a(true)
-		if err != nil {
-			return res, err
-		}
-		v, err := newHostAndVM(app)
-		if err != nil {
-			return res, err
-		}
-		if _, err := deflateBy(v, cascade.AllLevels(), restypes.Uniform(d/100)); err != nil {
-			return res, err
-		}
-		mc.Values = append(mc.Values, v.Throughput())
+	for si, w := range workloads {
+		res.Series = append(res.Series, series{Name: w.name, Values: vals[si]})
 	}
-	res.Series = append(res.Series, mc)
-
-	km := series{Name: "Spark-Kmeans"}
-	for _, d := range res.DeflationPct {
-		norm, err := kmeansNormalizedRuntime(d / 100)
-		if err != nil {
-			return res, err
-		}
-		km.Values = append(km.Values, 1/norm)
-	}
-	res.Series = append(res.Series, km)
-
 	return res, nil
 }
 

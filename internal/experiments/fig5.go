@@ -1,11 +1,39 @@
 package experiments
 
 import (
+	"context"
+
 	"deflation/internal/apps/jvm"
 	"deflation/internal/apps/kcompile"
 	"deflation/internal/cascade"
 	"deflation/internal/restypes"
+	"deflation/internal/sweep"
 )
+
+// sweepGrid fans a (series × x-points) grid out through the sweep engine:
+// cell (si, xi) computes one y-value, and the merged series come back in
+// submission order. Each cell builds its own host and VM, so the grid
+// parallelizes with no shared state.
+func sweepGrid(label string, nSeries, nPoints int, cell func(si, xi int) (float64, error)) ([][]float64, error) {
+	var cells []sweep.Cell[float64]
+	for si := 0; si < nSeries; si++ {
+		for xi := 0; xi < nPoints; xi++ {
+			si, xi := si, xi
+			cells = append(cells, sweep.Cell[float64]{
+				Run: func(context.Context) (float64, error) { return cell(si, xi) },
+			})
+		}
+	}
+	vals, err := runCells(label, cells)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]float64, nSeries)
+	for si := range out {
+		out[si] = vals[si*nPoints : (si+1)*nPoints]
+	}
+	return out, nil
+}
 
 // Fig5aResult reproduces Figure 5a: memcached throughput (normalized) under
 // memory-only deflation, comparing hypervisor-only, OS-only, and
@@ -35,24 +63,26 @@ func Fig5a() (Fig5aResult, error) {
 		{"OS-only", cascade.OSOnly()},
 		{"Hypervisor+OS", cascade.VMLevel()},
 	}
-	for _, cfg := range configs {
-		s := series{Name: cfg.name}
-		for _, d := range res.DeflationPct {
-			app, err := memcacheAppFig5a(false)
-			if err != nil {
-				return res, err
-			}
-			v, err := newHostAndVM(app)
-			if err != nil {
-				return res, err
-			}
-			frac := restypes.Vector{MemoryMB: d / 100}
-			if _, err := deflateBy(v, cfg.levels, frac); err != nil {
-				return res, err
-			}
-			s.Values = append(s.Values, v.Throughput())
+	vals, err := sweepGrid("fig5a", len(configs), len(res.DeflationPct), func(si, xi int) (float64, error) {
+		app, err := memcacheAppFig5a(false)
+		if err != nil {
+			return 0, err
 		}
-		res.Series = append(res.Series, s)
+		v, err := newHostAndVM(app)
+		if err != nil {
+			return 0, err
+		}
+		frac := restypes.Vector{MemoryMB: res.DeflationPct[xi] / 100}
+		if _, err := deflateBy(v, configs[si].levels, frac); err != nil {
+			return 0, err
+		}
+		return v.Throughput(), nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for si, cfg := range configs {
+		res.Series = append(res.Series, series{Name: cfg.name, Values: vals[si]})
 	}
 	return res, nil
 }
@@ -84,20 +114,22 @@ func Fig5b() (Fig5bResult, error) {
 		{"OS-only", cascade.OSOnly()},
 		{"Hypervisor+OS", cascade.VMLevel()},
 	}
-	for _, cfg := range configs {
-		s := series{Name: cfg.name}
-		for _, d := range res.DeflationPct {
-			v, err := newHostAndVM(kcompile.NewApp(kcompile.AppConfig{}))
-			if err != nil {
-				return res, err
-			}
-			frac := restypes.Vector{CPU: d / 100}
-			if _, err := deflateBy(v, cfg.levels, frac); err != nil {
-				return res, err
-			}
-			s.Values = append(s.Values, v.Throughput())
+	vals, err := sweepGrid("fig5b", len(configs), len(res.DeflationPct), func(si, xi int) (float64, error) {
+		v, err := newHostAndVM(kcompile.NewApp(kcompile.AppConfig{}))
+		if err != nil {
+			return 0, err
 		}
-		res.Series = append(res.Series, s)
+		frac := restypes.Vector{CPU: res.DeflationPct[xi] / 100}
+		if _, err := deflateBy(v, configs[si].levels, frac); err != nil {
+			return 0, err
+		}
+		return v.Throughput(), nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for si, cfg := range configs {
+		res.Series = append(res.Series, series{Name: cfg.name, Values: vals[si]})
 	}
 	return res, nil
 }
@@ -130,24 +162,26 @@ func Fig5c() (Fig5cResult, error) {
 		{"Unmodified", false, cascade.VMLevel()},
 		{"App-Deflation", true, cascade.AllLevels()},
 	}
-	for _, cfg := range configs {
-		s := series{Name: cfg.name}
-		for _, d := range res.DeflationPct {
-			app, err := memcacheAppFig5c(cfg.aware)
-			if err != nil {
-				return res, err
-			}
-			v, err := newHostAndVM(app)
-			if err != nil {
-				return res, err
-			}
-			frac := restypes.Vector{MemoryMB: d / 100}
-			if _, err := deflateBy(v, cfg.levels, frac); err != nil {
-				return res, err
-			}
-			s.Values = append(s.Values, app.KGETS(v.Env()))
+	vals, err := sweepGrid("fig5c", len(configs), len(res.DeflationPct), func(si, xi int) (float64, error) {
+		app, err := memcacheAppFig5c(configs[si].aware)
+		if err != nil {
+			return 0, err
 		}
-		res.Series = append(res.Series, s)
+		v, err := newHostAndVM(app)
+		if err != nil {
+			return 0, err
+		}
+		frac := restypes.Vector{MemoryMB: res.DeflationPct[xi] / 100}
+		if _, err := deflateBy(v, configs[si].levels, frac); err != nil {
+			return 0, err
+		}
+		return app.KGETS(v.Env()), nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for si, cfg := range configs {
+		res.Series = append(res.Series, series{Name: cfg.name, Values: vals[si]})
 	}
 	return res, nil
 }
@@ -180,26 +214,29 @@ func Fig5d() (Fig5dResult, error) {
 		{"Unmodified", false, cascade.VMLevel()},
 		{"App-Deflation", true, cascade.AllLevels()},
 	}
-	for _, cfg := range configs {
-		s := series{Name: cfg.name}
-		for _, d := range res.DeflationPct {
-			app, err := jvm.NewApp(jvm.AppConfig{
-				MaxHeapMB: 12000, LiveMB: 3000, DeflationAware: cfg.aware, Cores: 4,
-			})
-			if err != nil {
-				return res, err
-			}
-			v, err := newHostAndVM(app)
-			if err != nil {
-				return res, err
-			}
-			frac := restypes.Vector{CPU: d / 100, MemoryMB: d / 100}
-			if _, err := deflateBy(v, cfg.levels, frac); err != nil {
-				return res, err
-			}
-			s.Values = append(s.Values, app.ResponseTimeUS(v.Env()))
+	vals, err := sweepGrid("fig5d", len(configs), len(res.DeflationPct), func(si, xi int) (float64, error) {
+		app, err := jvm.NewApp(jvm.AppConfig{
+			MaxHeapMB: 12000, LiveMB: 3000, DeflationAware: configs[si].aware, Cores: 4,
+		})
+		if err != nil {
+			return 0, err
 		}
-		res.Series = append(res.Series, s)
+		v, err := newHostAndVM(app)
+		if err != nil {
+			return 0, err
+		}
+		d := res.DeflationPct[xi]
+		frac := restypes.Vector{CPU: d / 100, MemoryMB: d / 100}
+		if _, err := deflateBy(v, configs[si].levels, frac); err != nil {
+			return 0, err
+		}
+		return app.ResponseTimeUS(v.Env()), nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for si, cfg := range configs {
+		res.Series = append(res.Series, series{Name: cfg.name, Values: vals[si]})
 	}
 	return res, nil
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"deflation/internal/spark"
 	"deflation/internal/spark/workloads"
+	"deflation/internal/sweep"
 )
 
 // Fig6Workload identifies one of the four Spark workloads of Figure 6.
@@ -89,21 +91,42 @@ func jitteredDeflation(n int, d float64) []float64 {
 	return out
 }
 
-// Fig6 runs one workload panel.
+// fig6Cell is one (deflation, mechanism) point of a Figure 6 panel.
+type fig6Cell struct {
+	Norm   float64
+	Chosen spark.PressureMechanism
+}
+
+// Fig6 runs one workload panel. Every (deflation, mechanism) point is an
+// independent sweep cell: each builds its own Spark cluster and baseline.
 func Fig6(w Fig6Workload) (Fig6Result, error) {
 	res := Fig6Result{Workload: w, Deflation: fig6Deflations(w)}
-	for _, m := range fig6Mechanisms() {
+	mechs := fig6Mechanisms()
+	for _, m := range mechs {
 		res.Series = append(res.Series, series{Name: m.String()})
 	}
+	var cells []sweep.Cell[fig6Cell]
 	for _, d := range res.Deflation {
-		for si, m := range fig6Mechanisms() {
-			norm, chosen, err := fig6Run(w, m, d)
-			if err != nil {
-				return res, err
-			}
-			res.Series[si].Values = append(res.Series[si].Values, norm)
+		for _, m := range mechs {
+			d, m := d, m
+			cells = append(cells, sweep.Cell[fig6Cell]{
+				Run: func(context.Context) (fig6Cell, error) {
+					norm, chosen, err := fig6Run(w, m, d)
+					return fig6Cell{Norm: norm, Chosen: chosen}, err
+				},
+			})
+		}
+	}
+	vals, err := runCells("fig6-"+string(w), cells)
+	if err != nil {
+		return res, err
+	}
+	for di := range res.Deflation {
+		for si, m := range mechs {
+			c := vals[di*len(mechs)+si]
+			res.Series[si].Values = append(res.Series[si].Values, c.Norm)
 			if m == spark.PressurePolicy {
-				res.Chosen = append(res.Chosen, chosen)
+				res.Chosen = append(res.Chosen, c.Chosen)
 			}
 		}
 	}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"deflation/internal/metrics"
 	"deflation/internal/spark"
 	"deflation/internal/spark/workloads"
+	"deflation/internal/sweep"
 )
 
 // Fig7aResult reproduces Figure 7a: ALS normalized running time when 50%
@@ -24,27 +26,31 @@ func (r Fig7aResult) Table() string {
 		"progress%", r.ProgressPct, r.Series)
 }
 
-// Fig7a runs the progress sweep.
+// Fig7a runs the progress sweep: the shared baseline first, then one sweep
+// cell per (mechanism, progress) point, each running its own ALS job.
 func Fig7a() (Fig7aResult, error) {
 	res := Fig7aResult{ProgressPct: []float64{20, 30, 40, 50, 60, 70}}
 	base, err := runBatch(workloads.ALS, nil)
 	if err != nil {
 		return res, err
 	}
-	for _, m := range []spark.PressureMechanism{spark.PressureSelf, spark.PressureVMLevel} {
-		s := series{Name: m.String()}
-		for _, at := range res.ProgressPct {
-			run, err := runBatch(workloads.ALS, &spark.PressureSpec{
-				AtProgress: at / 100,
-				Deflation:  jitteredDeflation(8, 0.5),
-				Mechanism:  m,
-			})
-			if err != nil {
-				return res, err
-			}
-			s.Values = append(s.Values, run/base)
+	mechs := []spark.PressureMechanism{spark.PressureSelf, spark.PressureVMLevel}
+	vals, err := sweepGrid("fig7a", len(mechs), len(res.ProgressPct), func(si, xi int) (float64, error) {
+		run, err := runBatch(workloads.ALS, &spark.PressureSpec{
+			AtProgress: res.ProgressPct[xi] / 100,
+			Deflation:  jitteredDeflation(8, 0.5),
+			Mechanism:  mechs[si],
+		})
+		if err != nil {
+			return 0, err
 		}
-		res.Series = append(res.Series, s)
+		return run / base, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for si, m := range mechs {
+		res.Series = append(res.Series, series{Name: m.String(), Values: vals[si]})
 	}
 	return res, nil
 }
@@ -70,7 +76,10 @@ func fig7bJob(ckpt bool) *spark.TrainingJob {
 	return j
 }
 
-// Fig7b produces the three throughput timelines.
+// Fig7b produces the three throughput timelines. Each deployment is one
+// sweep cell running its own training job start to finish; the timelines
+// within a cell stay strictly sequential (virtual time), so the merged
+// result is identical at any parallelism.
 func Fig7b() (Fig7bResult, error) {
 	const (
 		pressureStart = 10 * time.Minute
@@ -78,97 +87,113 @@ func Fig7b() (Fig7bResult, error) {
 		window        = 80 * time.Minute
 		deflation     = 0.5
 	)
-	res := Fig7bResult{
-		Baseline:   metrics.NewTimeSeries("baseline records/s"),
-		Deflation:  metrics.NewTimeSeries("deflation records/s"),
-		Preemption: metrics.NewTimeSeries("preemption records/s"),
-	}
 
 	record := func(ts *metrics.TimeSeries, run *spark.TrainingRun) error {
 		return ts.Add(time.Duration(run.ElapsedSecs()*float64(time.Second)), run.Throughput())
 	}
 
-	// Baseline: untouched, no checkpointing.
-	base, err := spark.NewTrainingRun(fig7bJob(false))
-	if err != nil {
-		return res, err
-	}
-	for base.ElapsedSecs() < window.Seconds() && !base.Done() {
-		if err := base.Step(); err != nil {
-			return res, err
+	baselineCell := func(context.Context) (*metrics.TimeSeries, error) {
+		// Baseline: untouched, no checkpointing.
+		ts := metrics.NewTimeSeries("baseline records/s")
+		base, err := spark.NewTrainingRun(fig7bJob(false))
+		if err != nil {
+			return ts, err
 		}
-		if err := record(res.Baseline, base); err != nil {
-			return res, err
-		}
-	}
-
-	// Deflation: all workers deflated 50% during the pressure window; the
-	// job keeps running throughout.
-	defl, err := spark.NewTrainingRun(fig7bJob(false))
-	if err != nil {
-		return res, err
-	}
-	phase := 0 // 0 = before pressure, 1 = deflated, 2 = restored
-	for defl.ElapsedSecs() < window.Seconds() && !defl.Done() {
-		el := time.Duration(defl.ElapsedSecs() * float64(time.Second))
-		if phase == 0 && el >= pressureStart {
-			phase = 1
-			for i := 0; i < 8; i++ {
-				if err := defl.SetWorkerSpeed(i, 1-deflation); err != nil {
-					return res, err
-				}
+		for base.ElapsedSecs() < window.Seconds() && !base.Done() {
+			if err := base.Step(); err != nil {
+				return ts, err
+			}
+			if err := record(ts, base); err != nil {
+				return ts, err
 			}
 		}
-		if phase == 1 && el >= pressureEnd {
-			phase = 2
-			for i := 0; i < 8; i++ {
-				if err := defl.SetWorkerSpeed(i, 1); err != nil {
-					return res, err
-				}
-			}
-		}
-		if err := defl.Step(); err != nil {
-			return res, err
-		}
-		if err := record(res.Deflation, defl); err != nil {
-			return res, err
-		}
+		return ts, nil
 	}
 
-	// Preemption: checkpointing always on; half the workers revoked at the
-	// pressure start (throughput gap during restart), revived at the end.
-	pre, err := spark.NewTrainingRun(fig7bJob(true))
-	if err != nil {
-		return res, err
+	deflationCell := func(context.Context) (*metrics.TimeSeries, error) {
+		// Deflation: all workers deflated 50% during the pressure window;
+		// the job keeps running throughout.
+		ts := metrics.NewTimeSeries("deflation records/s")
+		defl, err := spark.NewTrainingRun(fig7bJob(false))
+		if err != nil {
+			return ts, err
+		}
+		phase := 0 // 0 = before pressure, 1 = deflated, 2 = restored
+		for defl.ElapsedSecs() < window.Seconds() && !defl.Done() {
+			el := time.Duration(defl.ElapsedSecs() * float64(time.Second))
+			if phase == 0 && el >= pressureStart {
+				phase = 1
+				for i := 0; i < 8; i++ {
+					if err := defl.SetWorkerSpeed(i, 1-deflation); err != nil {
+						return ts, err
+					}
+				}
+			}
+			if phase == 1 && el >= pressureEnd {
+				phase = 2
+				for i := 0; i < 8; i++ {
+					if err := defl.SetWorkerSpeed(i, 1); err != nil {
+						return ts, err
+					}
+				}
+			}
+			if err := defl.Step(); err != nil {
+				return ts, err
+			}
+			if err := record(ts, defl); err != nil {
+				return ts, err
+			}
+		}
+		return ts, nil
 	}
-	prePhase := 0 // 0 = before pressure, 1 = revoked, 2 = revived
-	for pre.ElapsedSecs() < window.Seconds() && !pre.Done() {
-		el := time.Duration(pre.ElapsedSecs() * float64(time.Second))
-		if prePhase == 0 && el >= pressureStart {
-			prePhase = 1
-			if err := record(res.Preemption, pre); err != nil { // last point before the gap
-				return res, err
+
+	preemptionCell := func(context.Context) (*metrics.TimeSeries, error) {
+		// Preemption: checkpointing always on; half the workers revoked at
+		// the pressure start (throughput gap during restart), revived at
+		// the end.
+		ts := metrics.NewTimeSeries("preemption records/s")
+		pre, err := spark.NewTrainingRun(fig7bJob(true))
+		if err != nil {
+			return ts, err
+		}
+		prePhase := 0 // 0 = before pressure, 1 = revoked, 2 = revived
+		for pre.ElapsedSecs() < window.Seconds() && !pre.Done() {
+			el := time.Duration(pre.ElapsedSecs() * float64(time.Second))
+			if prePhase == 0 && el >= pressureStart {
+				prePhase = 1
+				if err := record(ts, pre); err != nil { // last point before the gap
+					return ts, err
+				}
+				if err := pre.KillWorkers(4); err != nil {
+					return ts, err
+				}
+				// The restart gap: zero throughput while the job resubmits.
+				if err := ts.Add(el, 0); err != nil {
+					return ts, err
+				}
 			}
-			if err := pre.KillWorkers(4); err != nil {
-				return res, err
+			if prePhase == 1 && el >= pressureEnd {
+				prePhase = 2
+				if err := pre.ReviveWorkers(4); err != nil {
+					return ts, err
+				}
 			}
-			// The restart gap: zero throughput while the job resubmits.
-			if err := res.Preemption.Add(el, 0); err != nil {
-				return res, err
+			if err := pre.Step(); err != nil {
+				return ts, err
+			}
+			if err := record(ts, pre); err != nil {
+				return ts, err
 			}
 		}
-		if prePhase == 1 && el >= pressureEnd {
-			prePhase = 2
-			if err := pre.ReviveWorkers(4); err != nil {
-				return res, err
-			}
-		}
-		if err := pre.Step(); err != nil {
-			return res, err
-		}
-		if err := record(res.Preemption, pre); err != nil {
-			return res, err
-		}
+		return ts, nil
 	}
-	return res, nil
+
+	timelines, err := runCells("fig7b", []sweep.Cell[*metrics.TimeSeries]{
+		{Run: baselineCell}, {Run: deflationCell}, {Run: preemptionCell},
+	})
+	res := Fig7bResult{}
+	if len(timelines) == 3 {
+		res.Baseline, res.Deflation, res.Preemption = timelines[0], timelines[1], timelines[2]
+	}
+	return res, err
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"deflation/internal/metrics"
 	"deflation/internal/restypes"
 	"deflation/internal/spark"
+	"deflation/internal/sweep"
 	"deflation/internal/trace"
 	"deflation/internal/vm"
 )
@@ -153,7 +155,9 @@ func (r Fig8bResult) Table() string {
 		"defl%", r.DeflationPct, r.Series)
 }
 
-// Fig8b measures reclamation latency per level configuration.
+// Fig8b measures reclamation latency per level configuration. Each
+// (configuration, deflation) point is one independent sweep cell: it builds
+// its own host and VM, so cells parallelize freely.
 func Fig8b() (Fig8bResult, error) {
 	res := Fig8bResult{}
 	for d := 10.0; d <= 55; d += 5 {
@@ -169,36 +173,51 @@ func Fig8b() (Fig8bResult, error) {
 		{"Cascade", cascade.AllLevels(), true},
 	}
 	giant := restypes.V(48, 102400, 2000, 5000)
+	var cells []sweep.Cell[float64]
 	for _, cfg := range configs {
-		s := series{Name: cfg.name}
+		cfg := cfg
 		for _, d := range res.DeflationPct {
-			host, err := hypervisor.NewHost(hypervisor.Config{
-				Name: "giant", Capacity: giant.Scale(1.2),
+			d := d
+			cells = append(cells, sweep.Cell[float64]{
+				Run: func(context.Context) (float64, error) {
+					host, err := hypervisor.NewHost(hypervisor.Config{
+						Name: "giant", Capacity: giant.Scale(1.2),
+					})
+					if err != nil {
+						return 0, err
+					}
+					dom, err := host.CreateDomain("giant-vm", giant, guestos.Config{CPUs: 48, MemoryMB: giant.MemoryMB})
+					if err != nil {
+						return 0, err
+					}
+					dom.MarkWarm()
+					app := curveapp.New(curveapp.Config{
+						Name: "giant-memcached", Size: giant,
+						RSSFraction: 0.6, CacheFraction: 0.2,
+						Elastic: cfg.elastic, MinRSSFraction: 0.1,
+					})
+					v, err := vm.New(dom, app, vm.Config{})
+					if err != nil {
+						return 0, err
+					}
+					rep, err := cascade.New(cfg.levels).Deflate(v, giant.Scale(d/100))
+					if err != nil {
+						return 0, err
+					}
+					return rep.TotalLatency.Seconds(), nil
+				},
 			})
-			if err != nil {
-				return res, err
-			}
-			dom, err := host.CreateDomain("giant-vm", giant, guestos.Config{CPUs: 48, MemoryMB: giant.MemoryMB})
-			if err != nil {
-				return res, err
-			}
-			dom.MarkWarm()
-			app := curveapp.New(curveapp.Config{
-				Name: "giant-memcached", Size: giant,
-				RSSFraction: 0.6, CacheFraction: 0.2,
-				Elastic: cfg.elastic, MinRSSFraction: 0.1,
-			})
-			v, err := vm.New(dom, app, vm.Config{})
-			if err != nil {
-				return res, err
-			}
-			rep, err := cascade.New(cfg.levels).Deflate(v, giant.Scale(d/100))
-			if err != nil {
-				return res, err
-			}
-			s.Values = append(s.Values, rep.TotalLatency.Seconds())
 		}
-		res.Series = append(res.Series, s)
+	}
+	vals, err := runCells("fig8b", cells)
+	if err != nil {
+		return res, err
+	}
+	for ci, cfg := range configs {
+		res.Series = append(res.Series, series{
+			Name:   cfg.name,
+			Values: vals[ci*len(res.DeflationPct) : (ci+1)*len(res.DeflationPct)],
+		})
 	}
 	return res, nil
 }
@@ -266,10 +285,12 @@ func Fig8c(cfg Fig8cConfig) (Fig8cResult, error) {
 		Deflation:   series{Name: "Deflation"},
 		PreemptOnly: series{Name: "Preemption-only"},
 	}
+	modes := []cluster.Mode{cluster.ModeDeflation, cluster.ModePreemptionOnly}
+	var cells []sweep.Cell[cluster.SimResult]
 	for _, oc := range cfg.OvercommitLevels {
 		res.OvercommitPct = append(res.OvercommitPct, (oc-1)*100)
-		for _, mode := range []cluster.Mode{cluster.ModeDeflation, cluster.ModePreemptionOnly} {
-			sim, err := cluster.RunSim(cluster.SimConfig{
+		for _, mode := range modes {
+			cells = append(cells, simCell("fig8c", cluster.SimConfig{
 				Mode:             mode,
 				TargetOvercommit: oc,
 				Seed:             cfg.Seed,
@@ -279,16 +300,16 @@ func Fig8c(cfg Fig8cConfig) (Fig8cResult, error) {
 					MeanInterarrival: cfg.MeanInterarrival,
 					LifetimeMedian:   cfg.LifetimeMedian,
 				},
-			})
-			if err != nil {
-				return res, err
-			}
-			if mode == cluster.ModeDeflation {
-				res.Deflation.Values = append(res.Deflation.Values, sim.PreemptionProbability)
-			} else {
-				res.PreemptOnly.Values = append(res.PreemptOnly.Values, sim.PreemptionProbability)
-			}
+			}))
 		}
+	}
+	sims, err := runCells("fig8c", cells)
+	if err != nil {
+		return res, err
+	}
+	for i := range cfg.OvercommitLevels {
+		res.Deflation.Values = append(res.Deflation.Values, sims[i*len(modes)].PreemptionProbability)
+		res.PreemptOnly.Values = append(res.PreemptOnly.Values, sims[i*len(modes)+1].PreemptionProbability)
 	}
 	return res, nil
 }
@@ -328,21 +349,26 @@ func Fig8d(quick bool, seed int64) (Fig8dResult, error) {
 		servers = 25
 	}
 	var res Fig8dResult
-	for _, p := range []cluster.PlacementPolicy{cluster.BestFit, cluster.FirstFit, cluster.TwoChoices} {
-		sim, err := cluster.RunSim(cluster.SimConfig{
+	policies := []cluster.PlacementPolicy{cluster.BestFit, cluster.FirstFit, cluster.TwoChoices}
+	var cells []sweep.Cell[cluster.SimResult]
+	for _, p := range policies {
+		cells = append(cells, simCell("fig8d", cluster.SimConfig{
 			Policy:           p,
 			Mode:             cluster.ModeDeflation,
 			TargetOvercommit: 1.6,
 			Seed:             seed,
 			Servers:          servers,
 			Trace:            tr,
-		})
-		if err != nil {
-			return res, err
-		}
+		}))
+	}
+	sims, err := runCells("fig8d", cells)
+	if err != nil {
+		return res, err
+	}
+	for i, p := range policies {
 		res.Policies = append(res.Policies, p.String())
-		res.Mean = append(res.Mean, sim.ServerOvercommitMean)
-		res.P95 = append(res.P95, sim.ServerOvercommitP95)
+		res.Mean = append(res.Mean, sims[i].ServerOvercommitMean)
+		res.P95 = append(res.P95, sims[i].ServerOvercommitP95)
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 
 	"deflation/internal/cluster"
 	"deflation/internal/migration"
+	"deflation/internal/sweep"
 	"deflation/internal/trace"
 )
 
@@ -101,14 +102,10 @@ func FigMigration(cfg FigMigrationConfig) (FigMigrationResult, error) {
 	for _, oc := range cfg.OvercommitLevels {
 		res.OvercommitPct = append(res.OvercommitPct, (oc-1)*100)
 	}
+	var cells []sweep.Cell[cluster.SimResult]
 	for _, pol := range migrationPolicies {
-		pp := series{Name: pol.Name}
-		gp := series{Name: pol.Name}
-		mg := series{Name: pol.Name}
-		mv := series{Name: pol.Name}
-		dt := series{Name: pol.Name}
 		for _, oc := range cfg.OvercommitLevels {
-			sim, err := cluster.RunSim(cluster.SimConfig{
+			cells = append(cells, simCell("migration", cluster.SimConfig{
 				Mode:             pol.Mode,
 				Reclaim:          pol.Reclaim,
 				Migration:        cfg.Migration,
@@ -120,10 +117,21 @@ func FigMigration(cfg FigMigrationConfig) (FigMigrationResult, error) {
 					MeanInterarrival: cfg.MeanInterarrival,
 					LifetimeMedian:   cfg.LifetimeMedian,
 				},
-			})
-			if err != nil {
-				return res, err
-			}
+			}))
+		}
+	}
+	sims, err := runCells("migration", cells)
+	if err != nil {
+		return res, err
+	}
+	for pi, pol := range migrationPolicies {
+		pp := series{Name: pol.Name}
+		gp := series{Name: pol.Name}
+		mg := series{Name: pol.Name}
+		mv := series{Name: pol.Name}
+		dt := series{Name: pol.Name}
+		for oi := range cfg.OvercommitLevels {
+			sim := sims[pi*len(cfg.OvercommitLevels)+oi]
 			pp.Values = append(pp.Values, sim.PreemptionProbability)
 			gp.Values = append(gp.Values, sim.Goodput)
 			mg.Values = append(mg.Values, float64(sim.Migrations))

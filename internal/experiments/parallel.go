@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"deflation/internal/cluster"
+	"deflation/internal/sweep"
+	"deflation/internal/telemetry"
+)
+
+// The experiments package fans every figure sweep out through one shared
+// sweep engine. Each cell of a sweep (one simulated cluster, one host+VM
+// deflation, one Spark run) owns its entire state — its own hypervisor,
+// RNGs, and simclock — so the merged results are bit-for-bit identical at
+// any parallelism, a property proven by the determinism tests alongside
+// this package.
+
+var (
+	// parallelism is the configured worker count; 0 means GOMAXPROCS.
+	parallelism atomic.Int64
+
+	// engineMu guards the optional engine attachments below (set once by
+	// the harness at startup, read at each sweep launch).
+	engineMu      sync.RWMutex
+	sweepProgress func(sweep.Progress)
+	sweepSink     *telemetry.Sink
+	sweepCache    *sweep.Cache
+)
+
+// SetParallelism bounds sweep concurrency across all figure experiments:
+// n > 1 fans cells out over n workers, n = 1 forces the exact legacy
+// serial path, and n <= 0 restores the default (GOMAXPROCS workers).
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	parallelism.Store(int64(n))
+}
+
+// Parallelism reports the configured worker bound (0 = GOMAXPROCS).
+func Parallelism() int { return int(parallelism.Load()) }
+
+// SetSweepProgress installs a live progress callback invoked after every
+// sweep cell completes (nil disables). Calls are serialized.
+func SetSweepProgress(fn func(sweep.Progress)) {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	sweepProgress = fn
+}
+
+// SetSweepTelemetry accrues sweep counters and per-cell latency histograms
+// into sink's registry (nil disables).
+func SetSweepTelemetry(sink *telemetry.Sink) {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	sweepSink = sink
+}
+
+// SetMemoization toggles cross-sweep result memoization: identical cells
+// (same simulation config) reuse the first computed result instead of
+// re-running — e.g. the chaos sweep's zero-fault row is exactly a Fig. 8c
+// cell. Off by default so timing comparisons and determinism tests always
+// exercise real runs; enabling it never changes results, only wall-clock.
+func SetMemoization(on bool) {
+	engineMu.Lock()
+	defer engineMu.Unlock()
+	if on {
+		if sweepCache == nil {
+			sweepCache = sweep.NewCache()
+		}
+	} else {
+		sweepCache = nil
+	}
+}
+
+// engine assembles the sweep engine from the package configuration.
+func engine() *sweep.Engine {
+	engineMu.RLock()
+	defer engineMu.RUnlock()
+	return &sweep.Engine{
+		Workers:   Parallelism(),
+		Cache:     sweepCache,
+		Telemetry: sweepSink,
+		Progress:  sweepProgress,
+	}
+}
+
+// runCells fans the cells of one figure sweep out through the configured
+// engine, returning results in submission order.
+func runCells[T any](label string, cells []sweep.Cell[T]) ([]T, error) {
+	return sweep.Run(context.Background(), engine(), label, cells)
+}
+
+// simCell builds a memoizable sweep cell around one cluster simulation.
+// Configs carrying live attachments (a revenue meter, a telemetry sink)
+// have side effects beyond the returned result, so those cells are never
+// memoized.
+func simCell(figure string, cfg cluster.SimConfig) sweep.Cell[cluster.SimResult] {
+	key := ""
+	if cfg.Meter == nil && cfg.Telemetry == nil {
+		// The key spans the full SimConfig: any two sims with equal JSON
+		// forms are the same deterministic computation, whichever figure
+		// asks for them — so the namespace is the cell type, not the figure.
+		key = sweep.Key("cluster.RunSim", cfg)
+	}
+	return sweep.Cell[cluster.SimResult]{
+		Key: key,
+		Run: func(context.Context) (cluster.SimResult, error) {
+			return cluster.RunSim(cfg)
+		},
+	}
+}

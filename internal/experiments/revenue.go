@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
 
 	"deflation/internal/cluster"
 	"deflation/internal/pricing"
+	"deflation/internal/sweep"
 	"deflation/internal/trace"
 )
 
@@ -58,28 +60,42 @@ func Revenue(quick bool) (RevenueResult, error) {
 		{"deflation + flat discount", cluster.ModeDeflation, pricing.FlatDiscount{Rates: rates, Discount: 0.3}},
 		{"deflation + RaaS", cluster.ModeDeflation, pricing.ResourceAsAService{Rates: rates, Discount: 0.5}},
 	}
+	// One cell per deployment; each builds its own meter inside the cell so
+	// concurrent deployments accrue revenue independently. Meter cells are
+	// never memoized (the meter is a side effect of the run).
+	var cells []sweep.Cell[RevenueRow]
 	for _, cfg := range configs {
-		meter, err := pricing.NewMeter(cfg.model)
-		if err != nil {
-			return res, err
-		}
-		sim, err := cluster.RunSim(cluster.SimConfig{
-			Mode:             cfg.mode,
-			TargetOvercommit: 1.6,
-			Seed:             42,
-			Servers:          servers,
-			Trace:            tr,
-			Meter:            meter,
-		})
-		if err != nil {
-			return res, err
-		}
-		res.Rows = append(res.Rows, RevenueRow{
-			Deployment:    cfg.name,
-			Revenue:       meter.Total(),
-			CoreHoursSold: meter.CoreHoursSold,
-			PreemptProb:   sim.PreemptionProbability,
+		cfg := cfg
+		cells = append(cells, sweep.Cell[RevenueRow]{
+			Run: func(context.Context) (RevenueRow, error) {
+				meter, err := pricing.NewMeter(cfg.model)
+				if err != nil {
+					return RevenueRow{}, err
+				}
+				sim, err := cluster.RunSim(cluster.SimConfig{
+					Mode:             cfg.mode,
+					TargetOvercommit: 1.6,
+					Seed:             42,
+					Servers:          servers,
+					Trace:            tr,
+					Meter:            meter,
+				})
+				if err != nil {
+					return RevenueRow{}, err
+				}
+				return RevenueRow{
+					Deployment:    cfg.name,
+					Revenue:       meter.Total(),
+					CoreHoursSold: meter.CoreHoursSold,
+					PreemptProb:   sim.PreemptionProbability,
+				}, nil
+			},
 		})
 	}
+	rows, err := runCells("revenue", cells)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = rows
 	return res, nil
 }

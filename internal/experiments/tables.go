@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -10,6 +11,7 @@ import (
 	"deflation/internal/restypes"
 	"deflation/internal/spark"
 	"deflation/internal/spark/workloads"
+	"deflation/internal/sweep"
 )
 
 // Table1Result reproduces Table 1 (application-level deflation mechanisms)
@@ -156,47 +158,50 @@ func Table2() (Table2Result, error) {
 		"SpecJBB 2015, fixed-IR mode",
 		fmt.Sprintf("%.0f µs response time", jv.ResponseTimeUS(env))})
 
+	// The four Spark baselines dominate Table 2's wall-clock; each is one
+	// independent sweep cell (own cluster, own job) merged in row order.
 	p := workloads.Params{}
-	for _, w := range []struct {
-		name, desc string
-		build      func(workloads.Params) (*spark.BatchJob, error)
-	}{
-		{"ALS", "Spark mllib alternating least squares, 100 GB", workloads.ALS},
-		{"K-means", "Spark mllib dense clustering, 50 GB, cached input", workloads.KMeans},
-	} {
-		cl, err := p.Cluster()
-		if err != nil {
-			return r, err
-		}
-		job, err := w.build(p)
-		if err != nil {
-			return r, err
-		}
-		res, err := spark.RunBatchScenario(cl, job, nil)
-		if err != nil {
-			return r, err
-		}
-		r.Rows = append(r.Rows, Table2Row{w.name, w.desc,
-			fmt.Sprintf("%.0f s on 8 workers", res.DurationSecs)})
+	batchCell := func(name, desc string, build func(workloads.Params) (*spark.BatchJob, error)) sweep.Cell[Table2Row] {
+		return sweep.Cell[Table2Row]{Run: func(context.Context) (Table2Row, error) {
+			cl, err := p.Cluster()
+			if err != nil {
+				return Table2Row{}, err
+			}
+			job, err := build(p)
+			if err != nil {
+				return Table2Row{}, err
+			}
+			res, err := spark.RunBatchScenario(cl, job, nil)
+			if err != nil {
+				return Table2Row{}, err
+			}
+			return Table2Row{name, desc,
+				fmt.Sprintf("%.0f s on 8 workers", res.DurationSecs)}, nil
+		}}
 	}
-
-	for _, w := range []struct {
-		name, desc string
-		job        *spark.TrainingJob
-	}{
-		{"CNN", "ResNet on CIFAR-10 via BigDL-style sync training", workloads.CNN(false)},
-		{"RNN", "recurrent network on the Shakespeare corpus", workloads.RNN(false)},
-	} {
-		run, err := spark.NewTrainingRun(w.job)
-		if err != nil {
-			return r, err
-		}
-		secs, err := run.Run(nil)
-		if err != nil {
-			return r, err
-		}
-		r.Rows = append(r.Rows, Table2Row{w.name, w.desc,
-			fmt.Sprintf("%.0f s / %.0f records/s", secs, run.Throughput())})
+	trainingCell := func(name, desc string, job *spark.TrainingJob) sweep.Cell[Table2Row] {
+		return sweep.Cell[Table2Row]{Run: func(context.Context) (Table2Row, error) {
+			run, err := spark.NewTrainingRun(job)
+			if err != nil {
+				return Table2Row{}, err
+			}
+			secs, err := run.Run(nil)
+			if err != nil {
+				return Table2Row{}, err
+			}
+			return Table2Row{name, desc,
+				fmt.Sprintf("%.0f s / %.0f records/s", secs, run.Throughput())}, nil
+		}}
 	}
+	rows, err := runCells("table2", []sweep.Cell[Table2Row]{
+		batchCell("ALS", "Spark mllib alternating least squares, 100 GB", workloads.ALS),
+		batchCell("K-means", "Spark mllib dense clustering, 50 GB, cached input", workloads.KMeans),
+		trainingCell("CNN", "ResNet on CIFAR-10 via BigDL-style sync training", workloads.CNN(false)),
+		trainingCell("RNN", "recurrent network on the Shakespeare corpus", workloads.RNN(false)),
+	})
+	if err != nil {
+		return r, err
+	}
+	r.Rows = append(r.Rows, rows...)
 	return r, nil
 }

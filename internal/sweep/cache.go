@@ -1,0 +1,80 @@
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sync"
+)
+
+// Cache memoizes cell results by key, safe for concurrent sweeps. Both
+// values and errors are stored: a cell that failed deterministically fails
+// again on a hit without re-running. The cache holds results for the
+// process lifetime — sweep cells are figure results, small relative to the
+// simulations that produce them.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]cacheEntry
+	hits    uint64
+	misses  uint64
+}
+
+type cacheEntry struct {
+	value any
+	err   error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]cacheEntry)}
+}
+
+// lookup returns the stored result for key.
+func (c *Cache) lookup(key string) (any, error, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return e.value, e.err, ok
+}
+
+// store records a computed result. First store wins: concurrent cells with
+// the same key compute identical results (cells are deterministic), so
+// keeping the existing entry preserves result identity for later hits.
+func (c *Cache) store(key string, value any, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; !ok {
+		c.entries[key] = cacheEntry{value: value, err: err}
+	}
+}
+
+// Stats reports lookups since creation.
+func (c *Cache) Stats() (entries int, hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries), c.hits, c.misses
+}
+
+// Key builds a memoization key from a namespace and a configuration value.
+// The config is serialized with encoding/json (deterministic: struct fields
+// in declaration order, map keys sorted) and hashed; the namespace keeps
+// identically-shaped configs of different cell types from colliding — it
+// must also pin the result type, since a cache hit asserts the stored
+// value back to the requesting sweep's type. Returns "" (never memoize) if
+// the config does not marshal.
+func Key(namespace string, config any) string {
+	raw, err := json.Marshal(config)
+	if err != nil {
+		return ""
+	}
+	h := fnv.New64a()
+	h.Write([]byte(namespace))
+	h.Write([]byte{0})
+	h.Write(raw)
+	return fmt.Sprintf("%s:%016x", namespace, h.Sum64())
+}

@@ -1,0 +1,300 @@
+// Package sweep is the parallel experiment-sweep engine: it fans a grid of
+// independent simulation cells out across a bounded worker pool and merges
+// the results deterministically, so that every figure sweep in
+// internal/experiments runs N× faster on an N-core machine while producing
+// bit-for-bit the output of the legacy serial loops.
+//
+// Determinism is the design center. Results never depend on completion
+// order: each cell is submitted with an index and its result lands in a
+// pre-sized slice at that index, so the merged output of Run is a pure
+// function of the cells themselves. Every cell owns its entire state (the
+// cluster simulations each build their own hosts, RNGs, and simclock), so
+// running cells concurrently changes wall-clock time and nothing else —
+// a property the experiments package proves with parallel-vs-serial
+// determinism tests and a race-detector run.
+//
+// The engine also hardens sweeps: a panicking cell is captured and
+// converted into that cell's error (one bad cell fails loudly without
+// tearing down the other workers), context cancellation stops dispatch
+// promptly, and optional memoization short-circuits cells whose key was
+// already computed (sweeps across figures share identical SimConfig cells,
+// e.g. the chaos experiment's zero-fault row is exactly a Fig. 8c cell).
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"deflation/internal/telemetry"
+)
+
+// Cell is one unit of sweep work producing a T.
+type Cell[T any] struct {
+	// Key, when non-empty, memoizes the cell's result in the engine's
+	// Cache: a later cell (in this sweep or any other sweep sharing the
+	// cache) with the same key returns the stored result without running.
+	// Cells with side effects (metering, telemetry sinks) must leave Key
+	// empty. Keys must be collision-free across *different* computations;
+	// hash the full config (see Key helper).
+	Key string
+	// Run computes the cell. It must be self-contained: no state shared
+	// with other cells except immutable inputs. The context is the sweep's;
+	// long-running cells may honor its cancellation.
+	Run func(ctx context.Context) (T, error)
+}
+
+// Progress is a point-in-time view of a running sweep, delivered to the
+// engine's Progress callback after every cell completion.
+type Progress struct {
+	Label     string        // the sweep's label (figure name)
+	Done      int           // cells finished (including cache hits)
+	Total     int           // cells submitted
+	CacheHits int           // cells satisfied from the cache
+	Errors    int           // cells that returned an error (or panicked)
+	Elapsed   time.Duration // wall-clock since Run started
+	// ETA estimates the remaining wall-clock time from the mean cell
+	// latency so far and the configured worker count (zero until the
+	// first cell completes).
+	ETA time.Duration
+}
+
+// Engine runs sweeps. The zero value runs with GOMAXPROCS workers, no
+// memoization, no telemetry, and no progress reporting; an Engine is
+// immutable during Run and may be reused across sweeps.
+type Engine struct {
+	// Workers bounds cell concurrency. 0 (or negative) means
+	// runtime.GOMAXPROCS(0). 1 reproduces the legacy serial path exactly:
+	// cells run inline on the calling goroutine in submission order.
+	Workers int
+	// Cache, when non-nil, memoizes keyed cells (see Cell.Key).
+	Cache *Cache
+	// Telemetry, when non-nil, accrues sweep counters (cells run, cache
+	// hits, errors) and a per-cell latency histogram into the sink's
+	// registry, labeled by sweep.
+	Telemetry *telemetry.Sink
+	// Progress, when non-nil, is called after every cell completion. Calls
+	// are serialized by the engine but may come from worker goroutines;
+	// the callback must not block for long.
+	Progress func(Progress)
+}
+
+// workers resolves the effective worker count for n cells.
+func (e *Engine) workers(n int) int {
+	w := e.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// CellError wraps the failure of one cell with its position in the sweep.
+type CellError struct {
+	Label string // sweep label
+	Index int    // cell index within the sweep
+	Err   error
+}
+
+// Error implements error.
+func (e *CellError) Error() string {
+	return fmt.Sprintf("sweep %s: cell %d: %v", e.Label, e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying cell failure.
+func (e *CellError) Unwrap() error { return e.Err }
+
+// sweepMetrics are the telemetry instruments of one labeled sweep.
+type sweepMetrics struct {
+	cells, hits, errs *telemetry.Counter
+	latency           *telemetry.Histogram
+	inflight          *telemetry.Gauge
+}
+
+func (e *Engine) metrics(label string) *sweepMetrics {
+	if e.Telemetry == nil {
+		return nil
+	}
+	r := e.Telemetry.Registry
+	l := telemetry.Labels{"sweep": label}
+	return &sweepMetrics{
+		cells: r.Counter("deflation_sweep_cells_total",
+			"sweep cells executed (cache hits excluded)", l),
+		hits: r.Counter("deflation_sweep_cache_hits_total",
+			"sweep cells satisfied from the memoization cache", l),
+		errs: r.Counter("deflation_sweep_cell_errors_total",
+			"sweep cells that returned an error or panicked", l),
+		latency: r.Histogram("deflation_sweep_cell_seconds",
+			"per-cell wall-clock latency",
+			telemetry.ExpBuckets(0.001, 4, 12), l),
+		inflight: r.Gauge("deflation_sweep_inflight_cells",
+			"cells currently executing", l),
+	}
+}
+
+// Run executes cells and returns their results in submission order:
+// out[i] is cells[i]'s value. All cells are attempted (an error in one
+// does not stop the others); the returned error is nil only if every cell
+// succeeded, and otherwise wraps each failing cell's error as a *CellError
+// in cell order. If ctx is canceled mid-sweep, cells not yet started fail
+// with ctx's error and Run returns promptly after in-flight cells finish.
+func Run[T any](ctx context.Context, e *Engine, label string, cells []Cell[T]) ([]T, error) {
+	if e == nil {
+		e = &Engine{}
+	}
+	out := make([]T, len(cells))
+	if len(cells) == 0 {
+		return out, nil
+	}
+	errs := make([]error, len(cells))
+	m := e.metrics(label)
+
+	start := time.Now()
+	var mu sync.Mutex // guards the progress counters below
+	done, hits, errCount := 0, 0, 0
+	workers := e.workers(len(cells))
+	finish := func(i int, hit bool) {
+		mu.Lock()
+		done++
+		if hit {
+			hits++
+		}
+		if errs[i] != nil {
+			errCount++
+		}
+		p := Progress{
+			Label: label, Done: done, Total: len(cells),
+			CacheHits: hits, Errors: errCount, Elapsed: time.Since(start),
+		}
+		if done > 0 && done < len(cells) {
+			perCell := p.Elapsed / time.Duration(done)
+			remaining := len(cells) - done
+			// Remaining cells drain through the worker pool in waves.
+			waves := (remaining + workers - 1) / workers
+			p.ETA = perCell * time.Duration(waves)
+		}
+		cb := e.Progress
+		if cb != nil {
+			cb(p)
+		}
+		mu.Unlock()
+	}
+
+	runCell := func(i int) {
+		c := cells[i]
+		if c.Key != "" && e.Cache != nil {
+			if v, err, ok := e.Cache.lookup(c.Key); ok {
+				if tv, tok := v.(T); tok {
+					out[i] = tv
+				}
+				errs[i] = err
+				if m != nil {
+					m.hits.Inc()
+					if err != nil {
+						m.errs.Inc()
+					}
+				}
+				finish(i, true)
+				return
+			}
+		}
+		if m != nil {
+			m.inflight.Add(1)
+		}
+		cellStart := time.Now()
+		v, err := protect(ctx, label, i, c.Run)
+		if m != nil {
+			m.inflight.Add(-1)
+			m.cells.Inc()
+			m.latency.Observe(time.Since(cellStart).Seconds())
+			if err != nil {
+				m.errs.Inc()
+			}
+		}
+		// The value is kept even alongside an error, mirroring the legacy
+		// serial loops, which returned partially-built results on failure.
+		out[i] = v
+		errs[i] = err
+		if c.Key != "" && e.Cache != nil {
+			e.Cache.store(c.Key, v, err)
+		}
+		finish(i, false)
+	}
+
+	if workers == 1 {
+		// The legacy serial path: submission order, calling goroutine.
+		for i := range cells {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				finish(i, false)
+				continue
+			}
+			runCell(i)
+		}
+	} else {
+		idx := make(chan int)
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for i := range idx {
+					runCell(i)
+				}
+			}()
+		}
+	dispatch:
+		for i := range cells {
+			select {
+			case idx <- i:
+			case <-ctx.Done():
+				// Cells not yet dispatched fail with the context's error.
+				for j := i; j < len(cells); j++ {
+					errs[j] = ctx.Err()
+					finish(j, false)
+				}
+				break dispatch
+			}
+		}
+		close(idx)
+		wg.Wait()
+	}
+
+	var joined error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		var ce *CellError
+		if e, ok := err.(*CellError); ok {
+			ce = e
+		} else {
+			ce = &CellError{Label: label, Index: i, Err: err}
+		}
+		if joined == nil {
+			joined = ce
+		} else {
+			joined = fmt.Errorf("%w; %w", joined, ce)
+		}
+	}
+	return out, joined
+}
+
+// protect runs one cell body, converting a panic into that cell's error.
+func protect[T any](ctx context.Context, label string, i int, fn func(context.Context) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &CellError{Label: label, Index: i,
+				Err: fmt.Errorf("panic: %v\n%s", r, debug.Stack())}
+		}
+	}()
+	return fn(ctx)
+}

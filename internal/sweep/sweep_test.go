@@ -1,0 +1,448 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"deflation/internal/telemetry"
+)
+
+// intCells builds n cells where cell i returns i.
+func intCells(n int) []Cell[int] {
+	cells := make([]Cell[int], n)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{Run: func(context.Context) (int, error) { return i, nil }}
+	}
+	return cells
+}
+
+// TestOrderingInvariant proves results land by submission index, not
+// completion order, across worker counts — including more workers than
+// cells and cells that finish in reverse submission order.
+func TestOrderingInvariant(t *testing.T) {
+	const n = 9
+	for _, workers := range []int{0, 1, 2, 3, n, n * 4} {
+		cells := make([]Cell[int], n)
+		for i := range cells {
+			i := i
+			cells[i] = Cell[int]{Run: func(context.Context) (int, error) {
+				// Later cells finish first: completion order is the reverse
+				// of submission order under any worker count > 1.
+				time.Sleep(time.Duration(n-i) * time.Millisecond)
+				return i, nil
+			}}
+		}
+		out, err := Run(context.Background(), &Engine{Workers: workers}, "order", cells)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, v := range out {
+			if v != i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i)
+			}
+		}
+	}
+}
+
+// TestPanicBecomesCellError proves a panicking cell fails alone: its error
+// carries the cell index and stack, and every other cell still runs and
+// returns its value.
+func TestPanicBecomesCellError(t *testing.T) {
+	const n, bad = 7, 3
+	cells := intCells(n)
+	cells[bad] = Cell[int]{Run: func(context.Context) (int, error) {
+		panic("cell exploded")
+	}}
+	out, err := Run(context.Background(), &Engine{Workers: 4}, "panics", cells)
+	if err == nil {
+		t.Fatal("want error from panicking cell")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("error %T does not unwrap to *CellError", err)
+	}
+	if ce.Index != bad || ce.Label != "panics" {
+		t.Fatalf("CellError = {%q %d}, want {panics %d}", ce.Label, ce.Index, bad)
+	}
+	if !strings.Contains(err.Error(), "cell exploded") {
+		t.Fatalf("error %q does not carry the panic value", err)
+	}
+	for i, v := range out {
+		if i == bad {
+			continue
+		}
+		if v != i {
+			t.Fatalf("out[%d] = %d, want %d (other cells must survive)", i, v, i)
+		}
+	}
+}
+
+// TestAllCellsAttemptedDespiteErrors proves an early failing cell does not
+// stop later cells.
+func TestAllCellsAttemptedDespiteErrors(t *testing.T) {
+	var ran atomic.Int64
+	cells := make([]Cell[int], 6)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{Run: func(context.Context) (int, error) {
+			ran.Add(1)
+			if i == 0 {
+				return 0, errors.New("first cell fails")
+			}
+			return i, nil
+		}}
+	}
+	_, err := Run(context.Background(), &Engine{Workers: 2}, "errs", cells)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := ran.Load(); got != 6 {
+		t.Fatalf("ran %d cells, want all 6", got)
+	}
+}
+
+// TestCancellationStopsPromptly proves canceling the context mid-sweep
+// keeps undispatched cells from running and returns the context error for
+// them, while completed cells keep their results.
+func TestCancellationStopsPromptly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	release := make(chan struct{})
+	var ran atomic.Int64
+	const n = 40
+	cells := make([]Cell[int], n)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{Run: func(context.Context) (int, error) {
+			ran.Add(1)
+			started <- struct{}{}
+			<-release
+			return i, nil
+		}}
+	}
+	const workers = 4
+	done := make(chan struct{})
+	var out []int
+	var err error
+	go func() {
+		defer close(done)
+		out, err = Run(ctx, &Engine{Workers: workers}, "cancel", cells)
+	}()
+	// Wait for the pool to fill, then cancel: nothing new may start.
+	for i := 0; i < workers; i++ {
+		<-started
+	}
+	cancel()
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the chain", err)
+	}
+	// The workers that were in flight finish; at most one extra dispatch per
+	// worker can race the cancellation.
+	if got := ran.Load(); got > 2*workers {
+		t.Fatalf("%d cells ran after cancel, want ≤ %d", got, 2*workers)
+	}
+	for i := 0; i < int(ran.Load()) && i < workers; i++ {
+		if out[i] != i {
+			t.Fatalf("completed cell %d lost its result", i)
+		}
+	}
+}
+
+// TestMemoizationHitReturnsIdenticalResult proves a keyed cell's second
+// run returns the stored result — pointer-identical, not recomputed.
+func TestMemoizationHitReturnsIdenticalResult(t *testing.T) {
+	cache := NewCache()
+	e := &Engine{Workers: 2, Cache: cache}
+	var computed atomic.Int64
+	cell := Cell[*[]float64]{
+		Key: Key("test.memo", map[string]int{"cfg": 1}),
+		Run: func(context.Context) (*[]float64, error) {
+			computed.Add(1)
+			v := []float64{1, 2, 3}
+			return &v, nil
+		},
+	}
+	first, err := Run(context.Background(), e, "memo", []Cell[*[]float64]{cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(context.Background(), e, "memo", []Cell[*[]float64]{cell})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if computed.Load() != 1 {
+		t.Fatalf("cell computed %d times, want 1", computed.Load())
+	}
+	if first[0] != second[0] {
+		t.Fatal("cache hit returned a different instance than the stored result")
+	}
+	if entries, hits, misses := cache.Stats(); entries != 1 || hits != 1 || misses != 1 {
+		t.Fatalf("cache stats = %d entries / %d hits / %d misses, want 1/1/1", entries, hits, misses)
+	}
+}
+
+// TestMemoizationStoresErrors proves a deterministic failure is memoized
+// too: the hit fails again without re-running.
+func TestMemoizationStoresErrors(t *testing.T) {
+	e := &Engine{Workers: 1, Cache: NewCache()}
+	var computed atomic.Int64
+	boom := errors.New("deterministic failure")
+	cell := Cell[int]{
+		Key: "errkey",
+		Run: func(context.Context) (int, error) { computed.Add(1); return 0, boom },
+	}
+	for i := 0; i < 2; i++ {
+		_, err := Run(context.Background(), e, "memoerr", []Cell[int]{cell})
+		if !errors.Is(err, boom) {
+			t.Fatalf("run %d: err = %v, want wrapped %v", i, err, boom)
+		}
+	}
+	if computed.Load() != 1 {
+		t.Fatalf("cell computed %d times, want 1", computed.Load())
+	}
+}
+
+// TestUnkeyedCellsNeverCached proves empty keys bypass the cache.
+func TestUnkeyedCellsNeverCached(t *testing.T) {
+	e := &Engine{Workers: 1, Cache: NewCache()}
+	var computed atomic.Int64
+	cell := Cell[int]{Run: func(context.Context) (int, error) {
+		computed.Add(1)
+		return 7, nil
+	}}
+	for i := 0; i < 3; i++ {
+		if _, err := Run(context.Background(), e, "nokey", []Cell[int]{cell}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if computed.Load() != 3 {
+		t.Fatalf("cell computed %d times, want 3 (no memoization without a key)", computed.Load())
+	}
+}
+
+// TestSerialPathRunsInline proves Workers=1 executes cells in submission
+// order on the calling goroutine — the exact legacy serial loop.
+func TestSerialPathRunsInline(t *testing.T) {
+	var gid func() []byte = func() []byte {
+		buf := make([]byte, 64)
+		return buf[:runtime.Stack(buf, false)]
+	}
+	caller := string(gid())
+	caller = caller[:strings.IndexByte(caller, '\n')] // "goroutine N [running]:"
+	var order []int
+	var mu sync.Mutex
+	cells := make([]Cell[int], 5)
+	for i := range cells {
+		i := i
+		cells[i] = Cell[int]{Run: func(context.Context) (int, error) {
+			g := string(gid())
+			g = g[:strings.IndexByte(g, '\n')]
+			if g != caller {
+				t.Errorf("cell %d ran on %q, want calling goroutine %q", i, g, caller)
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return i, nil
+		}}
+	}
+	if _, err := Run(context.Background(), &Engine{Workers: 1}, "serial", cells); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("serial execution order %v, want ascending", order)
+		}
+	}
+}
+
+// TestDeterministicAcrossParallelism proves the merged output of a sweep is
+// a pure function of its cells: any worker count yields identical results.
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	build := func() []Cell[float64] {
+		cells := make([]Cell[float64], 24)
+		for i := range cells {
+			i := i
+			cells[i] = Cell[float64]{Run: func(context.Context) (float64, error) {
+				// A deterministic computation with an index-dependent value.
+				v := 1.0
+				for k := 0; k < 1000+i; k++ {
+					v = v*1.0000001 + float64(i)*1e-9
+				}
+				return v, nil
+			}}
+		}
+		return cells
+	}
+	serial, err := Run(context.Background(), &Engine{Workers: 1}, "det", build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8, 64} {
+		par, err := Run(context.Background(), &Engine{Workers: workers}, "det", build())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range serial {
+			if serial[i] != par[i] {
+				t.Fatalf("workers=%d: out[%d] = %v, serial = %v", workers, i, par[i], serial[i])
+			}
+		}
+	}
+}
+
+// TestProgressReporting proves the callback sees every completion, ends at
+// done == total, and reports monotonically increasing Done.
+func TestProgressReporting(t *testing.T) {
+	var mu sync.Mutex
+	var seen []Progress
+	e := &Engine{
+		Workers: 3,
+		Progress: func(p Progress) {
+			mu.Lock()
+			seen = append(seen, p)
+			mu.Unlock()
+		},
+	}
+	const n = 10
+	if _, err := Run(context.Background(), e, "prog", intCells(n)); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != n {
+		t.Fatalf("progress callback fired %d times, want %d", len(seen), n)
+	}
+	for i, p := range seen {
+		if p.Done != i+1 || p.Total != n || p.Label != "prog" {
+			t.Fatalf("progress[%d] = %+v, want Done=%d Total=%d", i, p, i+1, n)
+		}
+	}
+}
+
+// TestTelemetry proves the engine accrues cell counts, latencies, cache
+// hits, and errors into the sink's registry.
+func TestTelemetry(t *testing.T) {
+	sink := telemetry.NewSink()
+	e := &Engine{Workers: 2, Cache: NewCache(), Telemetry: sink}
+	cells := intCells(4)
+	cells = append(cells, Cell[int]{Key: "k", Run: func(context.Context) (int, error) { return 9, nil }})
+	cells = append(cells, Cell[int]{Key: "k", Run: func(context.Context) (int, error) { return 9, nil }})
+	cells = append(cells, Cell[int]{Run: func(context.Context) (int, error) { return 0, errors.New("x") }})
+	if _, err := Run(context.Background(), &Engine{Workers: 1, Cache: e.Cache, Telemetry: sink}, "tele", cells); err == nil {
+		t.Fatal("want the failing cell's error")
+	}
+	text := sink.Registry.Text()
+	for _, want := range []string{
+		`deflation_sweep_cells_total{sweep="tele"} 6`,
+		`deflation_sweep_cache_hits_total{sweep="tele"} 1`,
+		`deflation_sweep_cell_errors_total{sweep="tele"} 1`,
+		`deflation_sweep_inflight_cells{sweep="tele"} 0`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("registry text missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(text, `deflation_sweep_cell_seconds_count{sweep="tele"} 6`) {
+		t.Fatalf("latency histogram did not observe 6 cells:\n%s", text)
+	}
+}
+
+// TestKey covers the memoization key helper: deterministic, namespace- and
+// config-sensitive, and empty for unmarshalable configs.
+func TestKey(t *testing.T) {
+	type cfg struct{ A, B int }
+	k1 := Key("ns", cfg{1, 2})
+	if k1 != Key("ns", cfg{1, 2}) {
+		t.Fatal("equal configs produced different keys")
+	}
+	if k1 == Key("ns", cfg{1, 3}) {
+		t.Fatal("different configs collided")
+	}
+	if k1 == Key("other", cfg{1, 2}) {
+		t.Fatal("different namespaces collided")
+	}
+	if !strings.HasPrefix(k1, "ns:") {
+		t.Fatalf("key %q does not carry its namespace", k1)
+	}
+	if Key("ns", func() {}) != "" {
+		t.Fatal("unmarshalable config must yield the never-memoize key")
+	}
+}
+
+// TestEmptySweep and nil-engine behavior.
+func TestEmptySweep(t *testing.T) {
+	out, err := Run(context.Background(), nil, "empty", []Cell[int](nil))
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty sweep: out=%v err=%v", out, err)
+	}
+	out2, err := Run(context.Background(), nil, "nilengine", intCells(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out2 {
+		if v != i {
+			t.Fatalf("nil engine: out[%d] = %d", i, v)
+		}
+	}
+}
+
+// TestErrorJoinListsEveryFailure proves the sweep error names each failing
+// cell in cell order.
+func TestErrorJoinListsEveryFailure(t *testing.T) {
+	cells := intCells(5)
+	for _, i := range []int{1, 3} {
+		i := i
+		cells[i] = Cell[int]{Run: func(context.Context) (int, error) {
+			return 0, fmt.Errorf("cell-%d-failed", i)
+		}}
+	}
+	_, err := Run(context.Background(), &Engine{Workers: 2}, "join", cells)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	msg := err.Error()
+	first := strings.Index(msg, "cell-1-failed")
+	second := strings.Index(msg, "cell-3-failed")
+	if first < 0 || second < 0 || first > second {
+		t.Fatalf("joined error %q must list failures in cell order", msg)
+	}
+}
+
+// TestCancelBeforeStart proves an already-canceled context fails every cell
+// without running any.
+func TestCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	cells := make([]Cell[int], 4)
+	for i := range cells {
+		cells[i] = Cell[int]{Run: func(context.Context) (int, error) {
+			ran.Add(1)
+			return 0, nil
+		}}
+	}
+	for _, workers := range []int{1, 3} {
+		_, err := Run(ctx, &Engine{Workers: workers}, "precancel", cells)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: err = %v, want context.Canceled", workers, err)
+		}
+	}
+	// The parallel path may dispatch a cell that races the canceled-context
+	// select; the serial path never runs any.
+	if got := ran.Load(); got > 4 {
+		t.Fatalf("%d cells ran under a canceled context", got)
+	}
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# coverage_check.sh — run the test suite with a coverage profile, print the
+# total, and fail if the sweep engine (internal/sweep) is under its floor.
+#
+# Usage: scripts/coverage_check.sh [profile-path]
+#
+# The sweep engine is the concurrency-critical core every figure sweep runs
+# through; its unit tests must keep covering panic capture, cancellation,
+# memoization, and the merge ordering, so its floor is enforced at 85%.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+profile="${1:-coverage.out}"
+floor_pct=85.0
+
+go test -short -count=1 -coverprofile="$profile" ./...
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {print $NF}')
+echo "total coverage: ${total}"
+
+# Statement-weighted coverage for the sweep package alone: filter the
+# profile down to its files and total that.
+sweep_profile="${profile}.sweep"
+{ head -1 "$profile"; grep "internal/sweep/" "$profile" || true; } > "$sweep_profile"
+sweep_pct=$(go tool cover -func="$sweep_profile" | awk '/^total:/ { sub(/%$/, "", $NF); print $NF }')
+echo "internal/sweep coverage: ${sweep_pct}% (floor ${floor_pct}%)"
+
+awk -v got="$sweep_pct" -v floor="$floor_pct" 'BEGIN { exit !(got+0 >= floor+0) }' || {
+  echo "FAIL: internal/sweep coverage ${sweep_pct}% is below the ${floor_pct}% floor" >&2
+  exit 1
+}
