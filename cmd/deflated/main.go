@@ -16,6 +16,20 @@
 // journaled; on start the manager recovers from the journal and reconciles
 // against each node's actual VM inventory, so a SIGKILL'd manager restarts
 // without evicting healthy workloads.
+//
+// With -standby-of, the process runs as a hot standby instead: it tails the
+// leader's write-ahead log over HTTP into a warm in-memory replica and
+// serves a read-only /v1/state reporting replication lag. When the leader
+// misses -dead-after consecutive polls the lease is considered expired and
+// the standby promotes itself — it adopts the fleet under a bumped fencing
+// epoch (stale commands from the deposed leader are rejected by every
+// controller), reconciles against live inventories without evicting
+// healthy workloads, and swaps in the full manager API on the same
+// listener:
+//
+//	deflated -listen :7001 -state-dir /var/lib/deflated-standby \
+//	    -standby-of http://127.0.0.1:7000 \
+//	    -controller http://10.0.0.1:7070                    # hot standby
 package main
 
 import (
@@ -25,8 +39,10 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"os"
 	"os/signal"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -41,6 +57,14 @@ type urlList []string
 
 func (u *urlList) String() string     { return strings.Join(*u, ",") }
 func (u *urlList) Set(s string) error { *u = append(*u, s); return nil }
+
+// swapHandler atomically swaps the /v1/ handler when a standby promotes.
+type swapHandler struct{ h atomic.Value }
+
+func (s *swapHandler) Set(h http.Handler) { s.h.Store(h) }
+func (s *swapHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.h.Load().(http.Handler).ServeHTTP(w, r)
+}
 
 func main() {
 	var controllers urlList
@@ -57,6 +81,9 @@ func main() {
 		stateDir  = flag.String("state-dir", "", "directory for the durable state journal (empty = in-memory only)")
 		snapEvery = flag.Int("snapshot-every", 256, "journal records between compacted snapshots")
 		syncEvery = flag.Int("sync-every", 8, "journal records between batched fsyncs")
+		standbyOf = flag.String("standby-of", "", "run as hot standby of this leader URL; promote on lease expiry")
+		pollEvery = flag.Duration("poll-interval", 500*time.Millisecond, "standby: WAL tailing interval")
+		deadAfter = flag.Int("dead-after", 6, "standby: consecutive failed polls before the leader's lease expires")
 	)
 	flag.Var(&controllers, "controller", "remote deflagent URL (repeatable)")
 	flag.Parse()
@@ -101,13 +128,126 @@ func main() {
 		log.Fatalf("deflated: unknown policy %q", *policy)
 	}
 
-	var mgr *cluster.Manager
-	var recovery *cluster.RecoveryReport
-	if *stateDir != "" {
-		var err error
-		mgr, recovery, err = cluster.Recover(cluster.DurabilityConfig{
-			Dir: *stateDir, SnapshotEvery: *snapEvery, SyncEvery: *syncEvery,
-		}, nodes, pol, *seed)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Telemetry: cascade decisions, placement and failure-detector counters,
+	// RPC latencies (remote fleets), replication lag (standbys), plus
+	// scrape-time cluster gauges. Served on the same listener as the API, so
+	// graceful shutdown covers it.
+	sink := telemetry.NewSink()
+
+	// Fail-stop on journal write errors: a manager whose WAL has lied once
+	// must stop commanding the cluster so the standby's lease expires and it
+	// takes over from the last durable state.
+	walErrC := make(chan error, 1)
+	dur := cluster.DurabilityConfig{
+		Dir: *stateDir, SnapshotEvery: *snapEvery, SyncEvery: *syncEvery,
+		OnWALError: func(err error) {
+			select {
+			case walErrC <- err:
+			default:
+			}
+		},
+	}
+
+	// lead wires a manager into the serving stack — manager API, telemetry,
+	// heartbeat failure detector — and publishes it on the /v1/ handler. It
+	// runs at startup for leaders and at promotion time for standbys.
+	handler := &swapHandler{}
+	var leader atomic.Pointer[cluster.Manager]
+	lead := func(mgr *cluster.Manager, recovery *cluster.RecoveryReport) {
+		mgr.SetHealthPolicy(cluster.HealthPolicy{MaxMisses: *maxMisses})
+		api, err := cluster.NewManagerAPI(mgr)
+		if err != nil {
+			log.Fatalf("deflated: %v", err)
+		}
+		api.SetRecovery(recovery)
+		mgr.SetTelemetry(sink)
+		api.AttachTelemetry(sink)
+		if j := mgr.Journal(); j != nil {
+			j.SetTelemetry(sink)
+			recovery.Publish(sink)
+		}
+		// Failure detector: heartbeat every server, evict and re-place VMs
+		// from nodes that miss too many probes in a row.
+		if *heartbeat > 0 {
+			go func() {
+				tick := time.NewTicker(*heartbeat)
+				defer tick.Stop()
+				for {
+					select {
+					case <-ctx.Done():
+						return
+					case <-tick.C:
+						for _, ev := range api.ProbeHealth() {
+							switch ev.Kind {
+							case cluster.NodeDown:
+								log.Printf("deflated: node %s dead (%v); evacuating", ev.Node, ev.Err)
+							case cluster.NodeUp:
+								log.Printf("deflated: node %s rejoined", ev.Node)
+							case cluster.VMEvicted:
+								log.Printf("deflated: VM %s evicted from dead node %s", ev.VM, ev.Node)
+							case cluster.VMReplaced:
+								log.Printf("deflated: VM %s re-placed (preempted %v)", ev.VM, ev.Preempted)
+							case cluster.VMLost:
+								log.Printf("deflated: VM %s lost: %v", ev.VM, ev.Err)
+							case cluster.VMAdopted:
+								log.Printf("deflated: VM %s adopted from rejoined node %s", ev.VM, ev.Node)
+							case cluster.VMStaleReleased:
+								log.Printf("deflated: stale VM %s released from rejoined node %s", ev.VM, ev.Node)
+							}
+						}
+					}
+				}
+			}()
+		}
+		leader.Store(mgr)
+		handler.Set(api.Handler())
+	}
+
+	switch {
+	case *standbyOf != "":
+		if len(controllers) == 0 {
+			log.Fatalf("deflated: -standby-of requires -controller URLs (the standby adopts the leader's fleet on promotion)")
+		}
+		if *stateDir == "" {
+			log.Fatalf("deflated: -standby-of requires -state-dir (the journal for the standby's own term)")
+		}
+		f, err := cluster.NewFollower(cluster.FollowerConfig{
+			Leader: *standbyOf, PollInterval: *pollEvery, DeadAfter: *deadAfter,
+		})
+		if err != nil {
+			log.Fatalf("deflated: %v", err)
+		}
+		f.SetTelemetry(sink)
+		sapi, err := cluster.NewStandbyAPI(f)
+		if err != nil {
+			log.Fatalf("deflated: %v", err)
+		}
+		handler.Set(sapi.Handler())
+		go func() {
+			if !f.Run(ctx) {
+				return // shutting down while still a standby
+			}
+			st := f.Status()
+			log.Printf("deflated: leader %s lease expired (%d missed polls, replica at seq %d); promoting",
+				*standbyOf, st.ConsecutiveMisses, st.AppliedSeq)
+			mgr, rep, err := cluster.PromoteStandby(dur, f.ReplicaState(), nodes, pol, *seed)
+			if err != nil {
+				log.Fatalf("deflated: promoting: %v", err)
+			}
+			log.Printf("deflated: promoted to leader at epoch %d in %v "+
+				"(%d placements; repairs: %d adopted, %d replaced, %d lost, %d reasserted, %d stale)",
+				mgr.Epoch(), rep.Duration.Round(time.Millisecond), rep.Placements,
+				rep.Adopted, rep.Replaced, rep.Lost, rep.Reasserted, rep.StaleReleased)
+			lead(mgr, rep)
+		}()
+		log.Printf("deflated: standby for %s on %s (polling every %v, lease %d misses)",
+			*standbyOf, *listen, *pollEvery, *deadAfter)
+
+	case *stateDir != "":
+		mgr, recovery, err := cluster.Recover(dur, nodes, pol, *seed)
 		if err != nil {
 			log.Fatalf("deflated: recovering from %s: %v", *stateDir, err)
 		}
@@ -116,71 +256,21 @@ func main() {
 			recovery.Placements, *stateDir, recovery.Duration.Round(time.Millisecond),
 			recovery.RecordsReplayed, recovery.Adopted, recovery.Replaced,
 			recovery.Lost, recovery.Reasserted, recovery.StaleReleased)
-	} else {
-		var err error
-		mgr, err = cluster.NewManager(nodes, pol, *seed)
+		// A durable leader starts a new term: the epoch bump fences off any
+		// deposed predecessor still holding connections to the fleet.
+		log.Printf("deflated: assumed leadership at epoch %d", mgr.BecomeLeader())
+		lead(mgr, recovery)
+
+	default:
+		mgr, err := cluster.NewManager(nodes, pol, *seed)
 		if err != nil {
 			log.Fatalf("deflated: %v", err)
 		}
-	}
-	mgr.SetHealthPolicy(cluster.HealthPolicy{MaxMisses: *maxMisses})
-	api, err := cluster.NewManagerAPI(mgr)
-	if err != nil {
-		log.Fatalf("deflated: %v", err)
-	}
-	api.SetRecovery(recovery)
-
-	// Telemetry: cascade decisions, placement and failure-detector counters,
-	// RPC latencies (remote fleets), plus scrape-time cluster gauges. Served
-	// on the same listener as the API, so graceful shutdown covers it.
-	sink := telemetry.NewSink()
-	mgr.SetTelemetry(sink)
-	api.AttachTelemetry(sink)
-	if j := mgr.Journal(); j != nil {
-		j.SetTelemetry(sink)
-		recovery.Publish(sink)
-		defer j.Close()
-	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
-
-	// Failure detector: heartbeat every server, evict and re-place VMs from
-	// nodes that miss too many probes in a row.
-	if *heartbeat > 0 {
-		go func() {
-			tick := time.NewTicker(*heartbeat)
-			defer tick.Stop()
-			for {
-				select {
-				case <-ctx.Done():
-					return
-				case <-tick.C:
-					for _, ev := range api.ProbeHealth() {
-						switch ev.Kind {
-						case cluster.NodeDown:
-							log.Printf("deflated: node %s dead (%v); evacuating", ev.Node, ev.Err)
-						case cluster.NodeUp:
-							log.Printf("deflated: node %s rejoined", ev.Node)
-						case cluster.VMEvicted:
-							log.Printf("deflated: VM %s evicted from dead node %s", ev.VM, ev.Node)
-						case cluster.VMReplaced:
-							log.Printf("deflated: VM %s re-placed (preempted %v)", ev.VM, ev.Preempted)
-						case cluster.VMLost:
-							log.Printf("deflated: VM %s lost: %v", ev.VM, ev.Err)
-						case cluster.VMAdopted:
-							log.Printf("deflated: VM %s adopted from rejoined node %s", ev.VM, ev.Node)
-						case cluster.VMStaleReleased:
-							log.Printf("deflated: stale VM %s released from rejoined node %s", ev.VM, ev.Node)
-						}
-					}
-				}
-			}
-		}()
+		lead(mgr, nil)
 	}
 
 	mux := http.NewServeMux()
-	mux.Handle("/v1/", api.Handler())
+	mux.Handle("/v1/", handler)
 	sink.Attach(mux)
 
 	srv := &http.Server{Addr: *listen, Handler: mux}
@@ -191,6 +281,12 @@ func main() {
 	select {
 	case err := <-errc:
 		log.Fatalf("deflated: %v", err)
+	case err := <-walErrC:
+		// No drain: a poisoned journal means no command can be made durable,
+		// so serving on would hand out acknowledgements the WAL cannot back.
+		log.Printf("deflated: journal write failed: %v", err)
+		log.Printf("deflated: failing stop so the standby can take over")
+		os.Exit(1)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills hard
 		log.Printf("deflated: shutting down (draining for up to %v)", *drain)
@@ -201,6 +297,11 @@ func main() {
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Printf("deflated: %v", err)
+		}
+		if mgr := leader.Load(); mgr != nil {
+			if j := mgr.Journal(); j != nil {
+				j.Close()
+			}
 		}
 		log.Printf("deflated: stopped")
 	}

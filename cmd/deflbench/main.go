@@ -10,8 +10,9 @@
 //	deflbench -fig 8c -parallel 1   # exact legacy serial path
 //
 // Figures: 1, 5a, 5b, 5c, 5d, 6, 7a, 7b, 8a, 8b, 8c, 8d, plus the chaos
-// fault-injection sweep (-fig chaos) and the migration-vs-deflation policy
-// sweep (-fig migration). Group aliases run whole panels: 5 (5a–5d),
+// fault-injection sweep (-fig chaos), the migration-vs-deflation policy
+// sweep (-fig migration), and the manager-HA failover sweep (-fig
+// failover). Group aliases run whole panels: 5 (5a–5d),
 // 7 (7a, 7b), 8 (8a–8d); a "fig" prefix is accepted everywhere (fig8c ≡ 8c).
 //
 // Every figure sweep fans its independent simulation cells out across
@@ -35,7 +36,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, chaos, migration, group aliases 5/7/8, all)")
+	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, chaos, migration, failover, group aliases 5/7/8, all)")
 	quick := flag.Bool("quick", false, "smaller sweeps for the cluster simulations")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep workers; 1 = exact legacy serial path, N>1 fans cells out over N goroutines")
 	memoize := flag.Bool("memoize", true, "reuse results of identical simulation cells across sweeps (never changes output)")
@@ -66,9 +67,10 @@ func main() {
 		"revenue":   func(quick bool) (fmt.Stringer, error) { return wrap(experiments.Revenue(quick)) },
 		"chaos":     runChaos,
 		"migration": runMigration,
+		"failover":  runFailover,
 	}
 
-	order := []string{"table1", "table2", "1", "5a", "5b", "5c", "5d", "6", "7a", "7b", "8a", "8b", "8c", "8d", "revenue", "chaos", "migration"}
+	order := []string{"table1", "table2", "1", "5a", "5b", "5c", "5d", "6", "7a", "7b", "8a", "8b", "8c", "8d", "revenue", "chaos", "migration", "failover"}
 	groups := map[string][]string{
 		"5": {"5a", "5b", "5c", "5d"},
 		"7": {"7a", "7b"},
@@ -171,4 +173,12 @@ func runMigration(quick bool) (fmt.Stringer, error) {
 		cfg = experiments.QuickFigMigrationConfig()
 	}
 	return wrap(experiments.FigMigration(cfg))
+}
+
+func runFailover(quick bool) (fmt.Stringer, error) {
+	cfg := experiments.FailoverConfig{}
+	if quick {
+		cfg = experiments.QuickFailoverConfig()
+	}
+	return wrap(experiments.Failover(cfg))
 }

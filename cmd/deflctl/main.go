@@ -75,7 +75,7 @@ commands:
   release -name NAME
   migrate -name NAME -dest NODE   live-migrate a VM to the named server
   status  [-servers]
-  state   [-json]                dump durable state: placements, journal seq, snapshot age
+  state   [-json]                dump durable state: role/epoch, placements, journal seq, replication lag
   metrics [-node URL] [-raw]     scrape and pretty-print a node's metrics registry
   trace   [-node URL] [-n K]     show the last K cascade decisions`)
 	os.Exit(2)
@@ -261,6 +261,17 @@ func state(manager string, args []string) error {
 	durability := "in-memory only (no -state-dir)"
 	if st.Durable {
 		durability = "durable"
+	}
+	if st.Role != "" {
+		fmt.Printf("role: %s  epoch: %d\n", st.Role, st.Epoch)
+	}
+	if r := st.Replication; r != nil {
+		fmt.Printf("replicating: %s  applied=%d leader=%d lag=%d misses=%d",
+			r.Leader, r.AppliedSeq, r.LeaderSeq, r.Lag, r.ConsecutiveMisses)
+		if r.LeaderDead {
+			fmt.Print("  LEASE EXPIRED")
+		}
+		fmt.Println()
 	}
 	fmt.Printf("vms: %d  state: %s\n", st.VMs, durability)
 	if j := st.Journal; j != nil {

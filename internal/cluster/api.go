@@ -10,6 +10,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -52,6 +53,12 @@ type ControllerAPI struct {
 	mu   sync.Mutex
 	ctrl *LocalController
 
+	// guard fences mutating commands by leadership epoch: once a request
+	// arrives stamped with epoch N, commands from epochs < N are refused
+	// with 412 — a deposed leader on the wrong side of a partition cannot
+	// deflate, launch, or release anything here.
+	guard EpochGuard
+
 	// idem caches completed deflate responses by Idempotency-Key so a
 	// retried deflate (response lost in transit) replays the recorded
 	// outcome instead of double-reclaiming. Bounded FIFO.
@@ -93,7 +100,41 @@ func (a *ControllerAPI) Handler() http.Handler {
 	return mux
 }
 
-func (a *ControllerAPI) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+// FencedEpoch returns the highest leadership epoch this controller has
+// obeyed, and how many stale-epoch commands it has refused.
+func (a *ControllerAPI) FencedEpoch() (epoch, staleRejected uint64) {
+	return a.guard.Current(), a.guard.StaleRejections()
+}
+
+// fence admits or refuses a mutating request by its leadership epoch.
+// Returns false (response already written) when the caller's epoch is
+// stale. Requests without the epoch header are legacy unfenced managers and
+// are admitted.
+func (a *ControllerAPI) fence(w http.ResponseWriter, r *http.Request) bool {
+	h := r.Header.Get(epochHeader)
+	if h == "" {
+		return true
+	}
+	epoch, err := strconv.ParseUint(h, 10, 64)
+	if err != nil {
+		http.Error(w, "cluster: bad "+epochHeader+" header: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	if err := a.guard.Check(epoch); err != nil {
+		writeError(w, err)
+		return false
+	}
+	return true
+}
+
+// handleHealthz is fenced despite being a read: a manager's liveness probe
+// doubles as the epoch-assertion beacon (a new leader's first probe raises
+// the guard; a deposed leader's probes are refused). Probes without the
+// epoch header — load balancers, humans — are always admitted.
+func (a *ControllerAPI) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if !a.fence(w, r) {
+		return
+	}
 	a.mu.Lock()
 	name := a.ctrl.Name()
 	a.mu.Unlock()
@@ -123,6 +164,9 @@ func (a *ControllerAPI) handleState(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (a *ControllerAPI) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	if !a.fence(w, r) {
+		return
+	}
 	var spec LaunchSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		http.Error(w, "cluster: bad launch spec: "+err.Error(), http.StatusBadRequest)
@@ -139,6 +183,9 @@ func (a *ControllerAPI) handleLaunch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (a *ControllerAPI) handleRelease(w http.ResponseWriter, r *http.Request) {
+	if !a.fence(w, r) {
+		return
+	}
 	a.mu.Lock()
 	err := a.ctrl.Release(r.PathValue("name"))
 	a.mu.Unlock()
@@ -162,6 +209,9 @@ type DeflateVMResponse struct {
 }
 
 func (a *ControllerAPI) handleDeflate(w http.ResponseWriter, r *http.Request) {
+	if !a.fence(w, r) {
+		return
+	}
 	var req DeflateVMRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "cluster: bad deflate request: "+err.Error(), http.StatusBadRequest)
@@ -225,6 +275,9 @@ func (a *ControllerAPI) handleCheckpoint(w http.ResponseWriter, r *http.Request)
 }
 
 func (a *ControllerAPI) handleRestore(w http.ResponseWriter, r *http.Request) {
+	if !a.fence(w, r) {
+		return
+	}
 	var cp VMCheckpoint
 	if err := json.NewDecoder(r.Body).Decode(&cp); err != nil {
 		http.Error(w, "cluster: bad checkpoint: "+err.Error(), http.StatusBadRequest)
@@ -251,6 +304,9 @@ type ReserveStreamResponse struct {
 }
 
 func (a *ControllerAPI) handleReserveStream(w http.ResponseWriter, r *http.Request) {
+	if !a.fence(w, r) {
+		return
+	}
 	var req ReserveStreamRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		http.Error(w, "cluster: bad stream request: "+err.Error(), http.StatusBadRequest)
@@ -267,6 +323,9 @@ func (a *ControllerAPI) handleReserveStream(w http.ResponseWriter, r *http.Reque
 }
 
 func (a *ControllerAPI) handleReleaseStream(w http.ResponseWriter, r *http.Request) {
+	if !a.fence(w, r) {
+		return
+	}
 	a.mu.Lock()
 	err := a.ctrl.ReleaseStream(r.PathValue("stream"))
 	a.mu.Unlock()
@@ -283,6 +342,9 @@ type DeflateFullyResponse struct {
 }
 
 func (a *ControllerAPI) handleDeflateFully(w http.ResponseWriter, r *http.Request) {
+	if !a.fence(w, r) {
+		return
+	}
 	a.mu.Lock()
 	d, err := a.ctrl.DeflateFully(r.PathValue("name"))
 	a.mu.Unlock()
@@ -315,6 +377,8 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusNotFound
 	case errors.Is(err, ErrMigrationFailed):
 		code = http.StatusConflict
+	case errors.Is(err, ErrStaleEpoch):
+		code = http.StatusPreconditionFailed
 	}
 	http.Error(w, err.Error(), code)
 }
@@ -338,6 +402,7 @@ type RemoteNode struct {
 	mu      sync.Mutex
 	rng     *rand.Rand // backoff jitter + idempotency key entropy
 	idemSeq uint64
+	epoch   uint64               // fencing epoch stamped on every request (0 = unfenced)
 	retries int                  // lifetime retry count, for tests and metrics
 	lastErr error                // most recent transport error, recorded distinctly
 	tel     *remoteNodeTelemetry // nil = no instrumentation
@@ -371,6 +436,15 @@ func NewRemoteNodeWithPolicy(baseURL string, policy RetryPolicy) (*RemoteNode, e
 	}
 	n.name = st.Name
 	return n, nil
+}
+
+// SetEpoch sets the fencing epoch stamped (as X-Deflation-Epoch) onto every
+// subsequent request. The manager calls this when it becomes leader; the
+// controller refuses mutations from lower epochs.
+func (n *RemoteNode) SetEpoch(epoch uint64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.epoch = epoch
 }
 
 // Retries returns the lifetime number of retry attempts this client has
@@ -413,6 +487,12 @@ func (n *RemoteNode) attempt(method, path string, body []byte, hdr http.Header, 
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	n.mu.Lock()
+	epoch := n.epoch
+	n.mu.Unlock()
+	if epoch > 0 {
+		req.Header.Set(epochHeader, strconv.FormatUint(epoch, 10))
 	}
 	for k, vs := range hdr {
 		req.Header[k] = vs
@@ -834,7 +914,32 @@ func (a *ManagerAPI) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/cluster", a.handleCluster)
 	mux.HandleFunc("GET /v1/state", a.handleState)
 	mux.HandleFunc("POST /v1/migrate", a.handleMigrate)
+	mux.HandleFunc("GET "+replicaWALPath, a.handleReplicaWAL)
 	return mux
+}
+
+// handleReplicaWAL streams WAL records after the follower's applied
+// sequence (?after=SEQ) — the leader half of hot-standby replication. 404
+// when this manager runs without a journal (nothing to replicate).
+func (a *ManagerAPI) handleReplicaWAL(w http.ResponseWriter, r *http.Request) {
+	after, err := strconv.ParseUint(r.URL.Query().Get("after"), 10, 64)
+	if err != nil && r.URL.Query().Get("after") != "" {
+		http.Error(w, "cluster: bad after param: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	a.mu.Lock()
+	j := a.mgr.Journal()
+	a.mu.Unlock()
+	if j == nil {
+		http.Error(w, "cluster: manager is not durable; no WAL to replicate", http.StatusNotFound)
+		return
+	}
+	batch, err := j.RecordsAfter(after)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	writeJSON(w, http.StatusOK, batch)
 }
 
 // MigrateRequest names a placed VM and its destination server.
@@ -906,15 +1011,29 @@ type JournalStatus struct {
 	SnapshotAgeSecs float64 `json:"snapshot_age_seconds"`
 }
 
+// Manager roles reported by /v1/state.
+const (
+	RoleLeader  = "leader"
+	RoleStandby = "standby"
+)
+
 // ManagerStateResponse is the manager's durable-state view for operator
 // debugging (deflctl state): current placements, journal position, last
 // snapshot age, and the last recovery's report when the manager recovered.
+// A standby answers with Role "standby" and its replication status instead
+// of a journal.
 type ManagerStateResponse struct {
 	Placements map[string]string `json:"placements"`
 	VMs        int               `json:"vms"`
 	Durable    bool              `json:"durable"`
-	Journal    *JournalStatus    `json:"journal,omitempty"`
-	Recovery   *RecoveryReport   `json:"recovery,omitempty"`
+	// Role distinguishes the acting leader from a tailing standby; empty on
+	// managers predating HA.
+	Role string `json:"role,omitempty"`
+	// Epoch is the manager's leadership fencing epoch (0 = unfenced).
+	Epoch       uint64             `json:"epoch,omitempty"`
+	Journal     *JournalStatus     `json:"journal,omitempty"`
+	Recovery    *RecoveryReport    `json:"recovery,omitempty"`
+	Replication *ReplicationStatus `json:"replication,omitempty"`
 }
 
 func (a *ManagerAPI) handleState(w http.ResponseWriter, _ *http.Request) {
@@ -923,6 +1042,8 @@ func (a *ManagerAPI) handleState(w http.ResponseWriter, _ *http.Request) {
 	resp := ManagerStateResponse{
 		Placements: a.mgr.Placements(),
 		Recovery:   a.recovery,
+		Role:       RoleLeader,
+		Epoch:      a.mgr.Epoch(),
 	}
 	resp.VMs = len(resp.Placements)
 	if j := a.mgr.Journal(); j != nil {

@@ -67,12 +67,13 @@ func TestStateRetriesOn5xxWithBackoff(t *testing.T) {
 	if len(*sleeps) != 2 {
 		t.Fatalf("backoff sleeps = %v, want 2 entries", *sleeps)
 	}
-	// Exponential: ~10ms then ~20ms, each jittered ±20%.
-	if d := (*sleeps)[0]; d < 8*time.Millisecond || d > 12*time.Millisecond {
-		t.Errorf("first backoff = %v, want ~10ms", d)
+	// Full jitter: each sleep is uniform over (0, ceiling] where the
+	// ceilings double — 10ms then 20ms.
+	if d := (*sleeps)[0]; d <= 0 || d > 10*time.Millisecond {
+		t.Errorf("first backoff = %v, want in (0, 10ms]", d)
 	}
-	if d := (*sleeps)[1]; d < 16*time.Millisecond || d > 24*time.Millisecond {
-		t.Errorf("second backoff = %v, want ~20ms", d)
+	if d := (*sleeps)[1]; d <= 0 || d > 20*time.Millisecond {
+		t.Errorf("second backoff = %v, want in (0, 20ms]", d)
 	}
 }
 

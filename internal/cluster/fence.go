@@ -1,0 +1,190 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"deflation/internal/telemetry"
+)
+
+// Leadership fencing. A manager's authority over the cluster is a lease
+// identified by a monotonically increasing epoch. Every WAL record and every
+// manager→controller RPC carries the writer's epoch; controllers remember
+// the highest epoch they have seen and reject mutating commands from lower
+// ones. This is what makes failover safe under partition: a standby that
+// takes over bumps the epoch, and the old leader — still running on the far
+// side of a partition, convinced it owns the cluster — finds every deflate,
+// launch, release, and migration it issues refused the moment the network
+// heals. Epoch 0 is the unfenced legacy mode (no HA configured) and is
+// always accepted.
+
+// ErrStaleEpoch rejects a command from a leader whose fencing epoch is
+// older than one the controller has already obeyed.
+var ErrStaleEpoch = errors.New("cluster: stale leadership epoch")
+
+// epochHeader carries the manager's fencing epoch on every RPC.
+const epochHeader = "X-Deflation-Epoch"
+
+// EpochGuard tracks the highest leadership epoch a controller has obeyed
+// and fences lower ones. Safe for concurrent use.
+type EpochGuard struct {
+	mu      sync.Mutex
+	epoch   uint64
+	staleN  uint64
+	highest uint64
+}
+
+// Check admits a command stamped with epoch: 0 (unfenced legacy manager) is
+// always admitted; otherwise the epoch must be at least the highest seen,
+// and seeing a higher one raises the bar. Returns ErrStaleEpoch for a
+// command from a deposed leader.
+func (g *EpochGuard) Check(epoch uint64) error {
+	if epoch == 0 {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if epoch < g.epoch {
+		g.staleN++
+		return fmt.Errorf("%w: epoch %d < fenced epoch %d", ErrStaleEpoch, epoch, g.epoch)
+	}
+	g.epoch = epoch
+	if epoch > g.highest {
+		g.highest = epoch
+	}
+	return nil
+}
+
+// Current returns the highest epoch admitted so far.
+func (g *EpochGuard) Current() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
+}
+
+// StaleRejections returns how many commands the guard has fenced off.
+func (g *EpochGuard) StaleRejections() uint64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.staleN
+}
+
+// fencedNode wraps an in-process Node with epoch fencing, standing in for
+// what RemoteNode + ControllerAPI enforce over HTTP so simulations can run
+// dual-leader windows without a network. The guard is shared by every
+// manager's wrapper of the same underlying node (it *is* the node's memory
+// of who leads); the epoch is per-wrapper, set by the owning manager via
+// SetEpoch — exactly how each manager's RemoteNode stamps its own header.
+type fencedNode struct {
+	Node
+	guard *EpochGuard
+
+	mu    sync.Mutex
+	epoch uint64
+}
+
+// newFencedNode wraps n for one manager; guard must be shared across all
+// wrappers of the same physical node.
+func newFencedNode(n Node, guard *EpochGuard) *fencedNode {
+	return &fencedNode{Node: n, guard: guard}
+}
+
+// SetEpoch is the manager's epoch-propagation hook (the same interface
+// RemoteNode implements).
+func (f *fencedNode) SetEpoch(epoch uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.epoch = epoch
+}
+
+func (f *fencedNode) check() error {
+	f.mu.Lock()
+	e := f.epoch
+	f.mu.Unlock()
+	return f.guard.Check(e)
+}
+
+// Mutating operations are fenced; reads pass through (a stale leader
+// observing state is harmless — acting on it is not). Ping is the
+// exception among reads: it doubles as the epoch-assertion beacon — a new
+// leader's first probe raises every guard, fencing the old leader before
+// this term issues its first real command, and a deposed leader's probes
+// fail so its failure detector sees the cluster gone rather than healthy.
+
+func (f *fencedNode) Ping() error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.Node.Ping()
+}
+
+func (f *fencedNode) Launch(spec LaunchSpec) (LaunchReport, error) {
+	if err := f.check(); err != nil {
+		return LaunchReport{}, err
+	}
+	return f.Node.Launch(spec)
+}
+
+func (f *fencedNode) Release(name string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.Node.Release(name)
+}
+
+func (f *fencedNode) RestoreVM(cp VMCheckpoint) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.Node.RestoreVM(cp)
+}
+
+func (f *fencedNode) ReserveStream(stream string, rateMBps float64) (float64, error) {
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	return f.Node.ReserveStream(stream, rateMBps)
+}
+
+func (f *fencedNode) ReleaseStream(stream string) error {
+	if err := f.check(); err != nil {
+		return err
+	}
+	return f.Node.ReleaseStream(stream)
+}
+
+func (f *fencedNode) DeflateFully(name string) (time.Duration, error) {
+	if err := f.check(); err != nil {
+		return 0, err
+	}
+	return f.Node.DeflateFully(name)
+}
+
+// Capability pass-throughs: the embedded field is the Node interface, so
+// optional capabilities (inventory for anti-entropy, telemetry propagation)
+// would not promote — forward the probes explicitly.
+
+func (f *fencedNode) Inventory() ([]VMState, error) {
+	return nodeInventory(f.Node)
+}
+
+func (f *fencedNode) SetTelemetry(sink *telemetry.Sink) {
+	if ts, ok := f.Node.(interface{ SetTelemetry(*telemetry.Sink) }); ok {
+		ts.SetTelemetry(sink)
+	}
+}
+
+var _ Node = (*fencedNode)(nil)
+
+// fenceAll asserts the manager's epoch on every node by pinging it — the
+// takeover's fencing sweep. Ping carries the epoch, so each reachable node's
+// guard is raised before this term issues its first command; errors are
+// ignored (an unreachable node is fenced when the failure detector first
+// probes it after rejoin, and until then it can't obey anyone).
+func (m *Manager) fenceAll() {
+	for _, s := range m.servers {
+		s.Ping()
+	}
+}

@@ -177,6 +177,13 @@ type Manager struct {
 	migrationTime       time.Duration
 	migrationDowntime   time.Duration
 
+	// epoch is this manager's leadership fencing epoch (0 = unfenced legacy
+	// single-manager mode). It is stamped into every WAL record and every
+	// node RPC; see fence.go. walErr records the journal failure that
+	// fail-stopped durable recording (nil while healthy).
+	epoch  uint64
+	walErr error
+
 	tel *managerTelemetry // nil = no instrumentation
 }
 
@@ -203,6 +210,35 @@ func NewManager(servers []Node, policy PlacementPolicy, seed int64) (*Manager, e
 
 // SetHealthPolicy configures the failure detector.
 func (m *Manager) SetHealthPolicy(p HealthPolicy) { m.healthPolicy = p.withDefaults() }
+
+// Epoch returns the manager's leadership fencing epoch (0 = unfenced).
+func (m *Manager) Epoch() uint64 { return m.epoch }
+
+// SetEpoch installs the fencing epoch and propagates it to the attached
+// journal (stamped into every record) and to every node client that
+// understands epochs (RemoteNode stamps it onto every RPC). Runs on the
+// manager's goroutine like every other mutation.
+func (m *Manager) SetEpoch(epoch uint64) {
+	m.epoch = epoch
+	if m.journal != nil && epoch > m.journal.Epoch() {
+		m.journal.SetEpoch(epoch)
+	}
+	for _, s := range m.servers {
+		if es, ok := s.(interface{ SetEpoch(uint64) }); ok {
+			es.SetEpoch(epoch)
+		}
+	}
+}
+
+// BecomeLeader assumes a new leadership term: the epoch bumps past every
+// term this manager has seen, the bump propagates to the journal and node
+// clients, and a leader record is journaled so replicas and future
+// recoveries learn the term. Returns the new epoch.
+func (m *Manager) BecomeLeader() uint64 {
+	m.SetEpoch(m.epoch + 1)
+	m.record(Event{Kind: evLeader})
+	return m.epoch
+}
 
 // alive reports whether server i is in the placement pool.
 func (m *Manager) alive(i int) bool { return !m.health[i].dead }

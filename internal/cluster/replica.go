@@ -1,0 +1,333 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"deflation/internal/journal"
+	"deflation/internal/telemetry"
+)
+
+// Manager high availability: a standby deflated tails the leader's WAL over
+// HTTP and keeps a warm WALState replica. The leader side is one route on
+// ManagerAPI (GET /v1/replica/wal?after=SEQ) serving journal.Batch — log
+// records after the follower's applied sequence, or the compacted snapshot
+// plus tail when the follower is behind the last compaction. The follower
+// polls, applies, and measures its lag; when the leader misses enough
+// consecutive polls the lease is considered expired and the standby
+// promotes itself via PromoteStandby — a Recover-style adoption (replay is
+// already done; reconciliation and in-flight-migration resolution run
+// against the live nodes) under a bumped fencing epoch, evicting no healthy
+// workload.
+
+// replicaWALPath is the leader's WAL streaming route.
+const replicaWALPath = "/v1/replica/wal"
+
+// FollowerConfig parameterizes a standby's WAL tailer.
+type FollowerConfig struct {
+	// Leader is the leader manager's base URL (e.g. http://127.0.0.1:7070).
+	Leader string
+	// PollInterval is the tailing cadence (default 500ms). The replication
+	// lag a failover can lose is bounded by one poll interval plus the
+	// leader's unsynced tail.
+	PollInterval time.Duration
+	// DeadAfter is how many consecutive failed polls expire the leader's
+	// lease (default 6 — with the default poll interval, a 3s lease).
+	DeadAfter int
+	// Client is the HTTP client (default: 2s-timeout client).
+	Client *http.Client
+}
+
+func (c FollowerConfig) withDefaults() FollowerConfig {
+	if c.PollInterval <= 0 {
+		c.PollInterval = 500 * time.Millisecond
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 6
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: 2 * time.Second}
+	}
+	return c
+}
+
+// ReplicationStatus is the wire form of a standby's view of replication.
+type ReplicationStatus struct {
+	Leader     string `json:"leader"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	LeaderSeq  uint64 `json:"leader_seq"`
+	// Lag is LeaderSeq − AppliedSeq as of the last successful poll.
+	Lag   uint64 `json:"lag"`
+	Epoch uint64 `json:"epoch"`
+	// Polls and Applied count successful polls and records applied.
+	Polls   uint64 `json:"polls"`
+	Applied uint64 `json:"records_applied"`
+	// ConsecutiveMisses counts failed polls since the last success; the
+	// lease expires at DeadAfter.
+	ConsecutiveMisses int    `json:"consecutive_misses,omitempty"`
+	LeaderDead        bool   `json:"leader_dead,omitempty"`
+	LastError         string `json:"last_error,omitempty"`
+}
+
+// Follower tails a leader's WAL into a warm WALState replica. Safe for
+// concurrent use (the poll loop and the standby's HTTP handlers share it).
+type Follower struct {
+	cfg FollowerConfig
+
+	mu        sync.Mutex
+	st        *WALState
+	leaderSeq uint64
+	epoch     uint64
+	misses    int
+	polls     uint64
+	applied   uint64
+	lastErr   error
+}
+
+// NewFollower builds a follower tailing the configured leader.
+func NewFollower(cfg FollowerConfig) (*Follower, error) {
+	if cfg.Leader == "" {
+		return nil, fmt.Errorf("cluster: follower needs a leader URL")
+	}
+	return &Follower{cfg: cfg.withDefaults(), st: NewWALState()}, nil
+}
+
+// PollOnce fetches and applies one WAL batch. A transport or decode failure
+// counts one miss toward lease expiry; success resets the count.
+func (f *Follower) PollOnce() error {
+	f.mu.Lock()
+	after := f.st.AppliedSeq
+	f.mu.Unlock()
+
+	batch, err := f.fetch(after)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err != nil {
+		f.misses++
+		f.lastErr = err
+		return err
+	}
+	if batch.Snapshot != nil {
+		// The follower's position was compacted away (first poll, or it
+		// fell behind a snapshot): reset from the leader's snapshot exactly
+		// as Recover does, then apply the tail on top.
+		ns := NewWALState()
+		if err := json.Unmarshal(batch.Snapshot, ns); err != nil {
+			f.misses++
+			f.lastErr = fmt.Errorf("cluster: decoding replica snapshot: %w", err)
+			return f.lastErr
+		}
+		if ns.AppliedSeq < batch.SnapshotSeq {
+			ns.AppliedSeq = batch.SnapshotSeq
+		}
+		f.st = ns
+	}
+	for _, rec := range batch.Records {
+		if err := f.st.Apply(rec); err != nil {
+			f.misses++
+			f.lastErr = err
+			return err
+		}
+		f.applied++
+	}
+	f.leaderSeq = batch.Seq
+	f.epoch = batch.Epoch
+	f.misses = 0
+	f.polls++
+	f.lastErr = nil
+	return nil
+}
+
+func (f *Follower) fetch(after uint64) (journal.Batch, error) {
+	var b journal.Batch
+	url := fmt.Sprintf("%s%s?after=%d", f.cfg.Leader, replicaWALPath, after)
+	resp, err := f.cfg.Client.Get(url)
+	if err != nil {
+		return b, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return b, fmt.Errorf("cluster: replica poll: %s", resp.Status)
+	}
+	return b, json.NewDecoder(resp.Body).Decode(&b)
+}
+
+// LeaderDead reports whether consecutive poll failures have expired the
+// leader's lease.
+func (f *Follower) LeaderDead() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.misses >= f.cfg.DeadAfter
+}
+
+// Status returns the standby's replication view.
+func (f *Follower) Status() ReplicationStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := ReplicationStatus{
+		Leader:            f.cfg.Leader,
+		AppliedSeq:        f.st.AppliedSeq,
+		LeaderSeq:         f.leaderSeq,
+		Epoch:             f.epoch,
+		Polls:             f.polls,
+		Applied:           f.applied,
+		ConsecutiveMisses: f.misses,
+		LeaderDead:        f.misses >= f.cfg.DeadAfter,
+	}
+	if f.leaderSeq > f.st.AppliedSeq {
+		st.Lag = f.leaderSeq - f.st.AppliedSeq
+	}
+	if f.lastErr != nil {
+		st.LastError = f.lastErr.Error()
+	}
+	return st
+}
+
+// ReplicaState returns the warm replica (the follower's own copy — callers
+// promote with it, after which the follower must not be polled again).
+func (f *Follower) ReplicaState() *WALState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st
+}
+
+// Placements returns a copy of the replica's placement map, safe to read
+// while the poll loop keeps applying.
+func (f *Follower) Placements() map[string]string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[string]string, len(f.st.Placements))
+	for name, node := range f.st.Placements {
+		out[name] = node
+	}
+	return out
+}
+
+// Run polls until ctx is done or the leader's lease expires; it returns
+// true when the lease expired (the caller should promote) and false on
+// context cancellation.
+func (f *Follower) Run(ctx context.Context) bool {
+	t := time.NewTicker(f.cfg.PollInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return false
+		case <-t.C:
+			f.PollOnce()
+			if f.LeaderDead() {
+				return true
+			}
+		}
+	}
+}
+
+// SetTelemetry registers the standby's replication gauges: applied/leader
+// sequence, lag, poll counters, and lease state.
+func (f *Follower) SetTelemetry(sink *telemetry.Sink) {
+	if sink == nil {
+		return
+	}
+	r := sink.Registry
+	stat := func(name, help string, read func(ReplicationStatus) float64) {
+		r.GaugeFunc(name, help, nil, func() float64 { return read(f.Status()) })
+	}
+	stat("deflation_replica_applied_seq", "last WAL sequence applied to the warm replica",
+		func(s ReplicationStatus) float64 { return float64(s.AppliedSeq) })
+	stat("deflation_replica_leader_seq", "leader WAL sequence at the last successful poll",
+		func(s ReplicationStatus) float64 { return float64(s.LeaderSeq) })
+	stat("deflation_replica_lag_records", "replication lag in WAL records",
+		func(s ReplicationStatus) float64 { return float64(s.Lag) })
+	stat("deflation_replica_polls", "successful replica polls",
+		func(s ReplicationStatus) float64 { return float64(s.Polls) })
+	stat("deflation_replica_consecutive_misses", "failed polls since the last success",
+		func(s ReplicationStatus) float64 { return float64(s.ConsecutiveMisses) })
+}
+
+// StandbyAPI is the HTTP surface a standby serves while tailing: a
+// liveness probe and a /v1/state reporting role, replication status, and
+// the warm replica's placements. After promotion the daemon swaps this
+// handler for the full ManagerAPI.
+type StandbyAPI struct {
+	f *Follower
+}
+
+// NewStandbyAPI wraps a follower.
+func NewStandbyAPI(f *Follower) (*StandbyAPI, error) {
+	if f == nil {
+		return nil, fmt.Errorf("cluster: nil follower")
+	}
+	return &StandbyAPI{f: f}, nil
+}
+
+// Handler returns the standby's routes (GET /v1/healthz, GET /v1/state).
+func (a *StandbyAPI) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok", "role": RoleStandby})
+	})
+	mux.HandleFunc("GET /v1/state", func(w http.ResponseWriter, _ *http.Request) {
+		status := a.f.Status()
+		resp := ManagerStateResponse{
+			Role:        RoleStandby,
+			Epoch:       status.Epoch,
+			Placements:  a.f.Placements(),
+			Replication: &status,
+		}
+		resp.VMs = len(resp.Placements)
+		writeJSON(w, http.StatusOK, resp)
+	})
+	return mux
+}
+
+// PromoteStandby turns a warm replica into the acting manager: the standby
+// opens its own journal (a fresh term's WAL), installs the replicated
+// state, bumps the fencing epoch past every term it has seen — fencing the
+// old leader off every controller the moment the new epoch lands — then
+// runs the same adoption pass Recover does: anti-entropy reconciliation
+// against live node inventories and resolution of in-flight migrations.
+// Healthy workloads are never evicted: reconciliation only re-places VMs
+// that are journaled but verifiably gone, adopts ones the WAL missed, and
+// releases provably stale copies.
+func PromoteStandby(cfg DurabilityConfig, st *WALState, servers []Node, policy PlacementPolicy, seed int64) (*Manager, *RecoveryReport, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	j, err := journal.Open(cfg.Dir, journal.Options{SyncEvery: cfg.SyncEvery, FailOp: cfg.FailOp})
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := NewManager(servers, policy, seed)
+	if err != nil {
+		j.Close()
+		return nil, nil, err
+	}
+	if st == nil {
+		st = NewWALState()
+	}
+	rep := &RecoveryReport{
+		LastSeq:         st.AppliedSeq,
+		RecordsReplayed: 0, // replay happened continuously, while tailing
+	}
+	m.installWALState(st)
+	m.journal = j
+	// New term: every node RPC from here on — including reconciliation's
+	// releases and re-placements — carries the bumped epoch, and the fencing
+	// sweep raises every reachable node's guard before anything else, so the
+	// deposed leader is refused even by nodes this term never commands.
+	m.SetEpoch(max(st.Epoch, j.Epoch()) + 1)
+	m.fenceAll()
+	m.reconcileAll(rep)
+
+	rec := &durableRecorder{m: m, j: j, every: cfg.SnapshotEvery, onErr: cfg.OnWALError}
+	m.rec = rec
+	m.record(Event{Kind: evLeader})
+	rec.snapshot()
+
+	rep.Placements = len(m.placement)
+	rep.Duration = time.Since(start)
+	return m, rep, nil
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"time"
 )
 
@@ -17,13 +18,15 @@ type RetryPolicy struct {
 	// MaxAttempts is the total number of tries including the first
 	// (default 4; 1 disables retries).
 	MaxAttempts int
-	// BaseDelay is the backoff before the first retry (default 50ms); each
-	// further retry doubles it, capped at MaxDelay (default 2s).
+	// BaseDelay scales the backoff ceiling for the first retry (default
+	// 50ms); each further retry doubles the ceiling, capped at MaxDelay
+	// (default 2s). The actual sleep uses full jitter: uniform over
+	// (0, ceiling]. After a manager failover every node's client retries at
+	// once, and ±fraction jitter around the same exponential ladder still
+	// synchronizes the herd into narrow bands — full jitter spreads the
+	// retry load across the whole window instead.
 	BaseDelay time.Duration
 	MaxDelay  time.Duration
-	// JitterFraction spreads each backoff uniformly over ±fraction of
-	// itself (default 0.2), decorrelating retry storms.
-	JitterFraction float64
 	// OpTimeout bounds each attempt via a request context deadline
 	// (default 5s).
 	OpTimeout time.Duration
@@ -39,25 +42,25 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	if p.MaxDelay == 0 {
 		p.MaxDelay = 2 * time.Second
 	}
-	if p.JitterFraction == 0 {
-		p.JitterFraction = 0.2
-	}
 	if p.OpTimeout == 0 {
 		p.OpTimeout = 5 * time.Second
 	}
 	return p
 }
 
-// backoff returns the sleep before retry number retry (0-based), with
-// jitter drawn from rng.
+// backoff returns the sleep before retry number retry (0-based): full
+// jitter, drawn uniformly from (0, ceiling] where the ceiling is the capped
+// exponential BaseDelay<<retry. Without an rng the raw ceiling is returned
+// (deterministic callers).
 func (p RetryPolicy) backoff(retry int, rng *rand.Rand) time.Duration {
 	d := p.BaseDelay << uint(retry)
 	if d > p.MaxDelay || d <= 0 { // d <= 0 guards shift overflow
 		d = p.MaxDelay
 	}
-	if p.JitterFraction > 0 && rng != nil {
-		j := 1 + p.JitterFraction*(2*rng.Float64()-1)
-		d = time.Duration(float64(d) * j)
+	if rng != nil {
+		// (0, d], never zero: a zero sleep would turn retry storms into
+		// busy loops against a server that just failed.
+		d = 1 + time.Duration(rng.Int63n(int64(d)))
 	}
 	return d
 }
@@ -106,8 +109,12 @@ func isTransportFailure(err error) bool {
 }
 
 // statusError converts an unexpected HTTP status into an error, marking
-// server-side (5xx) statuses retryable.
+// server-side (5xx) statuses retryable. 412 means the controller fenced
+// this manager's epoch off — never retried: the only cure is standing down.
 func statusError(op, status string, code int) error {
+	if code == http.StatusPreconditionFailed {
+		return fmt.Errorf("%w: %s refused: %s", ErrStaleEpoch, op, status)
+	}
 	err := fmt.Errorf("cluster: %s: %s", op, status)
 	if code >= 500 {
 		return retryable(err)

@@ -1,9 +1,12 @@
 package cluster
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"deflation/internal/apps/curveapp"
@@ -56,6 +59,17 @@ type SimConfig struct {
 	HeartbeatInterval time.Duration
 	// HeartbeatMisses overrides the misses-before-dead threshold (default 3).
 	HeartbeatMisses int
+	// HAStandby enables manager high availability under fault injection: the
+	// leader runs under a fencing epoch (every node wraps an epoch guard), a
+	// warm standby shadows its WAL, and leader death — crash, partition, or a
+	// poisoned journal — triggers a lease-expiry takeover via PromoteStandby
+	// instead of an in-place restart. Requires Faults to be enabled; ignored
+	// otherwise, so the zero-fault path stays bit-for-bit identical.
+	HAStandby bool
+	// LeaseTimeout is the leadership lease: how long the cluster stays
+	// headless between leader death and the standby's takeover (default
+	// 2×HeartbeatInterval; only used with HAStandby).
+	LeaseTimeout time.Duration
 	// Reclaim selects the manager's reclamation fallback (see ReclaimPolicy).
 	// The zero value (ReclaimPreempt) takes exactly the pre-migration code
 	// path, so migration-disabled runs reproduce baseline figures bit for
@@ -100,6 +114,9 @@ func (c SimConfig) withDefaults() SimConfig {
 	}
 	if c.Faults.Seed == 0 {
 		c.Faults.Seed = c.Seed + 2
+	}
+	if c.LeaseTimeout == 0 {
+		c.LeaseTimeout = 2 * c.HeartbeatInterval
 	}
 	return c
 }
@@ -149,6 +166,18 @@ type SimResult struct {
 	// rebuilds the manager from its journal via Recover (zero unless
 	// Faults.ManagerCrashMTBF is set).
 	ManagerCrashes int
+	// Manager-HA activity (all zero unless SimConfig.HAStandby): standby
+	// takeovers, injected leader partitions, total leaderless time across
+	// crash/partition/poison windows, journals fail-stopped by injected disk
+	// errors, deposed-leader commands provably refused by the nodes' epoch
+	// guards after a partition healed, and healthy VMs a takeover evicted —
+	// the HA design target for FailoverEvictions is zero.
+	Failovers             int
+	Partitions            int
+	HeadlessTime          time.Duration
+	JournalPoisonings     int
+	StaleCommandsRejected int
+	FailoverEvictions     int
 	// Migration activity (all zero unless SimConfig.Reclaim enables
 	// migration-based reclamation): completed migrations, failed/aborted
 	// ones, pre-copy convergence failures, bytes moved, and the summed copy
@@ -218,6 +247,28 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 			})
 		}
 	}
+	// Manager HA: each leadership term wraps the nodes in its own fencedNode
+	// set. The guards — one per physical node, shared across terms — are the
+	// nodes' memory of the highest epoch they have obeyed, so a deposed
+	// leader's commands are provably refused after a partition heals.
+	haActive := injectFaults && cfg.HAStandby
+	makeNodes := func() []Node { return nodes }
+	if haActive {
+		base := make([]Node, len(nodes))
+		copy(base, nodes)
+		guards := make([]*EpochGuard, len(base))
+		for i := range guards {
+			guards[i] = &EpochGuard{}
+		}
+		makeNodes = func() []Node {
+			term := make([]Node, len(base))
+			for i := range base {
+				term[i] = newFencedNode(base[i], guards[i])
+			}
+			return term
+		}
+		nodes = makeNodes()
+	}
 	mgr, err := NewManager(nodes, cfg.Policy, cfg.Seed)
 	if err != nil {
 		return res, err
@@ -228,25 +279,33 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 	if cfg.Telemetry != nil {
 		mgr.SetTelemetry(cfg.Telemetry)
 	}
-	// Manager crash-restart faults need a journal to recover from; it lives
+	// Manager crash-restart faults and HA takeovers need a journal; it lives
 	// in a temp dir for the simulation's lifetime. Batched fsyncs and a
 	// coarse snapshot cadence keep the sim fast — in-process "crashes" lose
 	// nothing the kernel accepted, which is exactly the durability model.
 	const simSyncEvery, simSnapshotEvery = 64, 512
 	var jdir string
-	if injectFaults && cfg.Faults.ManagerCrashMTBF > 0 {
+	var diskFailOp func(string) error
+	if haActive && cfg.Faults.DiskFailProb > 0 {
+		diskFailOp = inj.DiskFault
+	}
+	if injectFaults && (cfg.Faults.ManagerCrashMTBF > 0 || haActive) {
 		var err error
 		jdir, err = os.MkdirTemp("", "deflsim-wal-")
 		if err != nil {
 			return res, err
 		}
 		defer os.RemoveAll(jdir)
-		j, err := journal.Open(jdir, journal.Options{SyncEvery: simSyncEvery})
+		j, err := journal.Open(jdir, journal.Options{SyncEvery: simSyncEvery, FailOp: diskFailOp})
 		if err != nil {
 			return res, err
 		}
 		defer func() { mgr.Journal().Close() }()
 		mgr.AttachJournal(j, simSnapshotEvery)
+		if haActive {
+			// Term 1: every node RPC from now on carries the fencing epoch.
+			mgr.BecomeLeader()
+		}
 	}
 
 	events, err := trace.Generate(cfg.Trace)
@@ -269,6 +328,17 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 	warmup := len(events) / 4 // skip ramp-up when sampling
 	admitted := 0
 	failureEvictions := 0 // low-priority VMs killed by node crashes
+	// HA state: headless marks the window between leader death (or partition
+	// onset) and takeover/heal; departures landing in it are deferred to the
+	// next term, arrivals bounce like refused connections. Always false
+	// without HAStandby. highestEpoch keeps terms strictly monotone even
+	// when takeovers overlap.
+	headless := false
+	var deferredDeparts []string
+	var highestEpoch uint64
+	if haActive {
+		highestEpoch = mgr.Epoch()
+	}
 	var simErr error
 
 	// reconcile drops preempted VMs from the nominal-load accounting.
@@ -325,6 +395,12 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 	}
 
 	depart := func(name string) {
+		if headless {
+			// No reachable leader; the departure lands once the new term
+			// takes over (or the partition heals).
+			deferredDeparts = append(deferredDeparts, name)
+			return
+		}
 		meterSample()
 		e, ok := running[name]
 		if !ok || !mgr.Placed(name) {
@@ -354,6 +430,12 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 
 	arrive := func(e trace.Event) {
 		meterSample()
+		if headless {
+			// No reachable leader: the launch bounces exactly as a refused
+			// connection would.
+			res.Rejections++
+			return
+		}
 		// Predictive deflation: make room for the forecast demand before
 		// it arrives, so high-priority placements find free capacity.
 		if forecaster != nil {
@@ -459,9 +541,185 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 				horizon = e.Arrival
 			}
 		}
+		// HA takeover machinery (inert unless haActive).
+		//
+		// replicaOf reads the standby's warm replica out of the leader's
+		// journal — the same snapshot-plus-tail batch a Follower applies over
+		// HTTP, at zero lag. A poisoned journal still serves reads: the
+		// append that hit the injected disk error never durably wrote, so it
+		// is absent here too, which is exactly the replication-lag semantics
+		// (the fail-stopped leader's last in-memory mutations are recovered
+		// from node ground truth, not from the WAL).
+		replicaOf := func(j *journal.Journal) (*WALState, error) {
+			st := NewWALState()
+			if j == nil {
+				return st, nil
+			}
+			b, err := j.RecordsAfter(0)
+			if err != nil {
+				return nil, err
+			}
+			if b.Snapshot != nil {
+				if err := json.Unmarshal(b.Snapshot, st); err != nil {
+					return nil, err
+				}
+				if st.AppliedSeq < b.SnapshotSeq {
+					st.AppliedSeq = b.SnapshotSeq
+				}
+			}
+			for _, rec := range b.Records {
+				if err := st.Apply(rec); err != nil {
+					return nil, err
+				}
+			}
+			return st, nil
+		}
+		// resume ends a headless window and lands the departures it queued.
+		resume := func() {
+			headless = false
+			pending := deferredDeparts
+			deferredDeparts = nil
+			for _, name := range pending {
+				depart(name)
+			}
+		}
+		// promote is the takeover: build the next term's manager from the
+		// standby's frozen replica via PromoteStandby (replay is already
+		// done; reconciliation and in-flight-migration resolution run against
+		// live node inventories under the bumped epoch) and swap it in for
+		// every closure.
+		var termSeq int
+		promote := func(st *WALState) {
+			termSeq++
+			sdir := filepath.Join(jdir, fmt.Sprintf("standby-term-%03d", termSeq))
+			m2, _, err := PromoteStandby(DurabilityConfig{
+				Dir: sdir, SnapshotEvery: simSnapshotEvery, SyncEvery: simSyncEvery, FailOp: diskFailOp,
+			}, st, makeNodes(), cfg.Policy, cfg.Seed)
+			if err != nil {
+				if simErr == nil {
+					simErr = fmt.Errorf("cluster: sim standby promotion: %w", err)
+				}
+				return
+			}
+			if m2.Epoch() <= highestEpoch {
+				// A takeover during a takeover (a crash inside a partition
+				// window) can promote from the replica of an already-
+				// superseded term; leadership epochs stay strictly monotone.
+				m2.SetEpoch(highestEpoch + 1)
+			}
+			highestEpoch = m2.Epoch()
+			m2.SetHealthPolicy(HealthPolicy{MaxMisses: cfg.HeartbeatMisses})
+			if cfg.Telemetry != nil {
+				m2.SetTelemetry(cfg.Telemetry)
+			}
+			wireMigration(m2)
+			// Healthy-workload accounting across the takeover. A running VM
+			// the new term no longer places usually died with its node while
+			// the cluster was headless — charged like any heartbeat eviction.
+			// Two live-VM cases are distinct: a VM alive on a node the
+			// replica still marks dead is merely unreplicated (the old
+			// leader saw the node rejoin after its journal stopped); the
+			// heartbeat adopts it when the node rejoins this term too, so it
+			// stays in the books. A VM alive on a node this term trusts is a
+			// genuine takeover eviction — the failure mode fencing and
+			// adoption exist to prevent, counted separately (target: zero).
+			names := make([]string, 0, len(running))
+			for name := range running {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				if m2.Placed(name) {
+					continue
+				}
+				aliveOn := -1
+				for i, s := range servers {
+					if ok, err := s.Has(name); err == nil && ok {
+						aliveOn = i
+						break
+					}
+				}
+				if aliveOn >= 0 {
+					if m2.health[aliveOn].dead {
+						continue // re-adopted on rejoin, via ProbeHealth
+					}
+					res.FailoverEvictions++
+				}
+				e := running[name]
+				delete(running, name)
+				if e.HighPriority {
+					nominalHigh = nominalHigh.Sub(e.Size)
+				} else {
+					nominalLow = nominalLow.Sub(e.Size)
+					failureEvictions++
+				}
+			}
+			mgr = m2
+			res.Failovers++
+			resume()
+		}
+		// leaderDown fail-stops the current leader: freeze the standby's
+		// replica now (nothing the dead leader did after this instant reached
+		// it), close the journal, and schedule the lease-expiry takeover.
+		leaderDown := func() {
+			if headless {
+				return // a takeover is already in progress
+			}
+			st, err := replicaOf(mgr.Journal())
+			if err != nil {
+				if simErr == nil {
+					simErr = fmt.Errorf("cluster: sim replica read: %w", err)
+				}
+				return
+			}
+			mgr.Journal().Close()
+			old := mgr
+			headless = true
+			res.HeadlessTime += cfg.LeaseTimeout
+			clock.After(cfg.LeaseTimeout, func(time.Duration) {
+				if mgr != old {
+					return
+				}
+				promote(st)
+			})
+		}
+		// staleProbe has a deposed leader act on its stale view — release its
+		// first placement — which a correctly fenced node must refuse. A
+		// mutation that goes through is a split-brain bug, failed loudly.
+		staleProbe := func(old *Manager) {
+			defer func() {
+				if j := old.Journal(); j != nil {
+					j.Close()
+				}
+			}()
+			var names []string
+			for name := range old.Placements() {
+				names = append(names, name)
+			}
+			if len(names) == 0 {
+				return
+			}
+			sort.Strings(names)
+			if err := old.Release(names[0]); errors.Is(err, ErrStaleEpoch) {
+				res.StaleCommandsRejected++
+			} else if simErr == nil {
+				simErr = fmt.Errorf("cluster: sim deposed leader's command was not fenced (vm %s, err %v)", names[0], err)
+			}
+		}
 		// Heartbeat rounds drive the failure detector; its events feed the
-		// sim's nominal-load and preemption accounting.
+		// sim's nominal-load and preemption accounting. The round also
+		// doubles as the leader's own liveness check: a journal poisoned by
+		// an injected disk error fail-stops the leader here, bounding
+		// poison-detection latency at one heartbeat interval.
 		clock.Every(cfg.HeartbeatInterval, func(now time.Duration) bool {
+			if headless {
+				return now < horizon // no leader to probe
+			}
+			if haActive && mgr.WALError() != nil {
+				res.JournalPoisonings++
+				leaderDown()
+				return now < horizon
+			}
 			for _, ev := range mgr.ProbeHealth() {
 				switch ev.Kind {
 				case VMEvicted:
@@ -511,11 +769,12 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 		for i := range crashables {
 			scheduleCrash(i)
 		}
-		// Manager crash-restart failures: the manager process dies, losing
-		// all in-memory state, and immediately restarts via Recover — replay
-		// the journal, then reconcile against node inventories. The nodes
-		// (and their VMs) keep running throughout, exactly like deflagent
-		// processes outliving a SIGKILL'd deflated.
+		// Manager crash failures. Without HA the manager process dies and
+		// immediately restarts via Recover — replay the journal, then
+		// reconcile against node inventories. With HAStandby the dead leader
+		// stays dead and the standby takes over at lease expiry instead. In
+		// both modes the nodes (and their VMs) keep running throughout,
+		// exactly like deflagent processes outliving a SIGKILL'd deflated.
 		if cfg.Faults.ManagerCrashMTBF > 0 {
 			var scheduleMgrCrash func()
 			scheduleMgrCrash = func() {
@@ -528,6 +787,16 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 					return
 				}
 				clock.At(at, func(time.Duration) {
+					if haActive {
+						// A crash while already headless hits a process
+						// that is not leading anything; nothing to do.
+						if !headless {
+							res.ManagerCrashes++
+							leaderDown()
+						}
+						scheduleMgrCrash()
+						return
+					}
 					mgr.Journal().Close()
 					m2, _, err := Recover(DurabilityConfig{
 						Dir: jdir, SnapshotEvery: simSnapshotEvery, SyncEvery: simSyncEvery,
@@ -549,6 +818,69 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 				})
 			}
 			scheduleMgrCrash()
+		}
+		// Network partitions: the leader keeps running but can reach neither
+		// agents nor its standby — the classic dual-leader window. The
+		// standby's lease expires mid-partition and it takes over under a
+		// bumped epoch; when the network heals, the deposed leader retries
+		// its queued work and the nodes' epoch guards must refuse it (the
+		// rejection is counted; a mutation that lands fails the sim). A
+		// partition shorter than the lease just stalls the control plane.
+		if haActive && cfg.Faults.PartitionMTBF > 0 {
+			var schedulePartition func()
+			schedulePartition = func() {
+				gap, ok := inj.NextPartition()
+				if !ok {
+					return
+				}
+				at := clock.Now() + gap
+				if at > horizon {
+					return
+				}
+				clock.At(at, func(time.Duration) {
+					if headless {
+						schedulePartition() // already failing over; skip
+						return
+					}
+					dur := inj.PartitionDuration()
+					old := mgr
+					// Freeze the standby's replica at partition onset:
+					// nothing the isolated leader journals after this
+					// instant replicates.
+					st, err := replicaOf(old.Journal())
+					if err != nil {
+						if simErr == nil {
+							simErr = fmt.Errorf("cluster: sim replica read: %w", err)
+						}
+						return
+					}
+					res.Partitions++
+					headless = true
+					if dur > cfg.LeaseTimeout {
+						res.HeadlessTime += cfg.LeaseTimeout
+						clock.After(cfg.LeaseTimeout, func(time.Duration) {
+							if mgr == old {
+								promote(st)
+							}
+						})
+					} else {
+						// Too short to expire the lease: the leader comes
+						// back with its term intact.
+						res.HeadlessTime += dur
+					}
+					clock.After(dur, func(time.Duration) {
+						if mgr == old {
+							resume()
+						} else {
+							// Healed into a newer term: the deposed leader
+							// must find itself fenced.
+							staleProbe(old)
+						}
+						schedulePartition()
+					})
+				})
+			}
+			schedulePartition()
 		}
 	}
 

@@ -137,6 +137,117 @@ func TestZeroMigrationReproducesFig8cBaseline(t *testing.T) {
 	}
 }
 
+// haChaosSim layers every control-plane fault the HA design defends against
+// on top of the node/agent chaos mix: leader crashes, leader partitions long
+// enough to expire the lease, and journal disk errors.
+func haChaosSim() SimConfig {
+	cfg := chaosSim()
+	cfg.HAStandby = true
+	cfg.LeaseTimeout = 30 * time.Second
+	cfg.Faults.ManagerCrashMTBF = 5 * time.Minute
+	cfg.Faults.PartitionMTBF = 10 * time.Minute
+	cfg.Faults.PartitionDuration = 2 * time.Minute
+	cfg.Faults.DiskFailProb = 0.001
+	return cfg
+}
+
+func TestHAChaosSimDeterministic(t *testing.T) {
+	// Failover chaos — leader crashes, partition-induced dual-leader windows,
+	// poisoned journals — must stay byte-identical across same-seed runs.
+	a, err := RunSim(haChaosSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(haChaosSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("HA chaos sim not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestHAChaosSimFailsOverWithoutEvictions(t *testing.T) {
+	res, err := RunSim(haChaosSim())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ManagerCrashes == 0 {
+		t.Fatal("no leader crashes injected at 5m MTBF")
+	}
+	if res.Failovers == 0 {
+		t.Fatal("leader deaths triggered no standby takeovers")
+	}
+	if res.Partitions == 0 {
+		t.Fatal("no leader partitions injected at 20m MTBF")
+	}
+	if res.StaleCommandsRejected == 0 {
+		t.Error("no deposed leader was ever provably fenced after a heal")
+	}
+	if res.HeadlessTime == 0 {
+		t.Error("failovers accrued no headless time")
+	}
+	// The HA acceptance property: takeovers never evict a healthy workload.
+	// VMs lost to node crashes are charged to the crash paths; a VM alive on
+	// its node that a new term dropped would land here.
+	if res.FailoverEvictions != 0 {
+		t.Errorf("takeovers evicted %d healthy VMs", res.FailoverEvictions)
+	}
+}
+
+func TestHAJournalPoisoningFailsOver(t *testing.T) {
+	// Disk faults alone (no crashes, no partitions): the first injected
+	// write/fsync error poisons the journal, the leader fail-stops, and the
+	// standby must take over — still with zero healthy-VM evictions.
+	poison := func() SimConfig {
+		cfg := chaosSim()
+		cfg.HAStandby = true
+		cfg.LeaseTimeout = 30 * time.Second
+		cfg.Faults.DiskFailProb = 0.01
+		return cfg
+	}
+	a, err := RunSim(poison())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.JournalPoisonings == 0 {
+		t.Fatal("no journal poisonings at 1% disk-fault probability")
+	}
+	if a.Failovers < a.JournalPoisonings {
+		t.Errorf("%d poisonings but only %d failovers", a.JournalPoisonings, a.Failovers)
+	}
+	if a.FailoverEvictions != 0 {
+		t.Errorf("poison takeovers evicted %d healthy VMs", a.FailoverEvictions)
+	}
+	b, err := RunSim(poison())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("poison chaos sim not deterministic:\n%+v\n%+v", a, b)
+	}
+}
+
+func TestHAStandbyZeroFaultsReproduceBaseline(t *testing.T) {
+	// HAStandby without fault injection must change nothing: the flag only
+	// has meaning under chaos, and the zero-fault cell stays the Fig. 8c
+	// baseline bit for bit.
+	baseline, err := RunSim(smallSim(ModeDeflation, 1.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha := smallSim(ModeDeflation, 1.6)
+	ha.HAStandby = true
+	ha.LeaseTimeout = time.Minute
+	got, err := RunSim(ha)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != baseline {
+		t.Errorf("idle HAStandby diverges from baseline:\n%+v\n%+v", got, baseline)
+	}
+}
+
 func TestChaosSimInjectsAndRecovers(t *testing.T) {
 	res, err := RunSim(chaosSim())
 	if err != nil {

@@ -203,6 +203,11 @@ func (a *ControllerAPI) AttachTelemetry(sink *telemetry.Sink) {
 		func(c *LocalController) float64 { return c.Overcommitment() })
 	scalar("deflation_node_preemptions", "capacity-driven preemptions this server has performed",
 		func(c *LocalController) float64 { return float64(c.preemptions) })
+	// Fencing gauges read the epoch guard, which has its own mutex.
+	r.GaugeFunc("deflation_node_fenced_epoch", "highest leadership epoch this controller has obeyed",
+		telemetry.Labels{"node": node}, func() float64 { return float64(a.guard.Current()) })
+	r.GaugeFunc("deflation_node_stale_epoch_rejections", "mutating commands refused for carrying a deposed leader's epoch",
+		telemetry.Labels{"node": node}, func() float64 { return float64(a.guard.StaleRejections()) })
 }
 
 // AttachTelemetry registers scrape-time gauges over the manager's aggregate
@@ -243,4 +248,6 @@ func (a *ManagerAPI) AttachTelemetry(sink *telemetry.Sink) {
 		func(m *Manager) float64 { return m.Snapshot().MeanOvercommitment })
 	scalar("deflation_cluster_max_overcommitment", "max server overcommitment",
 		func(m *Manager) float64 { return m.Snapshot().MaxOvercommitment })
+	scalar("deflation_manager_epoch", "this manager's leadership fencing epoch",
+		func(m *Manager) float64 { return float64(m.epoch) })
 }

@@ -43,6 +43,12 @@ const (
 	evMigrateStart = "migrate-start" // migration intent (From → Node)
 	evMigrateDone  = "migrate-done"  // switchover complete; placement moves
 	evMigrateFail  = "migrate-fail"  // rolled back to the source
+
+	// evLeader journals a leadership assumption. The record carries no
+	// event payload beyond its kind; the new term's fencing epoch rides in
+	// the record's Epoch field (stamped on every record), so replicas and
+	// replay learn the term change the moment the record lands.
+	evLeader = "leader"
 )
 
 // Event is one journaled manager state transition, JSON-serializable.
@@ -82,7 +88,10 @@ type WALState struct {
 	// AppliedSeq is the last journal sequence folded into this state.
 	// Apply is idempotent through it: records at or below it are no-ops,
 	// so double-replay equals single-replay.
-	AppliedSeq uint64                `json:"applied_seq"`
+	AppliedSeq uint64 `json:"applied_seq"`
+	// Epoch is the highest leadership fencing epoch seen across applied
+	// records — the term of the leader whose WAL this state mirrors.
+	Epoch      uint64                `json:"epoch,omitempty"`
 	Placements map[string]string     `json:"placements,omitempty"` // VM → node name
 	Specs      map[string]LaunchSpec `json:"specs,omitempty"`
 	Dead       map[string]bool       `json:"dead,omitempty"` // nodes marked dead
@@ -132,7 +141,13 @@ func (s *WALState) Apply(rec journal.Record) error {
 	if err := json.Unmarshal(rec.Data, &e); err != nil {
 		return fmt.Errorf("cluster: replaying record %d: %w", rec.Seq, err)
 	}
+	if rec.Epoch > s.Epoch {
+		s.Epoch = rec.Epoch
+	}
 	switch e.Kind {
+	case evLeader:
+		// Leadership assumption: no placement change; the epoch bump above
+		// is the whole transition.
 	case evLaunch, evReplace, evAdopt:
 		s.Placements[e.VM] = e.Node
 		if e.Spec != nil {
@@ -200,6 +215,7 @@ func (m *Manager) walState() *WALState {
 	for name, intent := range m.inflight {
 		st.Migrating[name] = intent
 	}
+	st.Epoch = m.epoch
 	st.Rejected = m.rejected
 	st.FailurePreemptions = m.failurePreemptions
 	st.Replaced = m.replacedVMs
@@ -215,17 +231,28 @@ func (m *Manager) walState() *WALState {
 // snapshot every SnapshotEvery records. It runs on the manager's goroutine
 // (all manager access serializes through the API mutex), so reading manager
 // state for the snapshot is safe.
+//
+// A failed append is fail-stop, not best-effort: the journal poisons itself
+// (refusing further writes), the error is surfaced through Manager.WALError
+// and the onErr callback, and the manager is expected to stand down — a
+// leader that keeps mutating the cluster while its WAL silently drops
+// records would diverge from what its standby (or its own recovery)
+// reconstructs.
 type durableRecorder struct {
 	m         *Manager
 	j         *journal.Journal
 	every     int
 	sinceSnap int
+	onErr     func(error) // invoked once, on the first append/snapshot failure
+	failed    bool
 }
 
 func (r *durableRecorder) Record(e Event) {
+	if r.failed {
+		return
+	}
 	if _, err := r.j.Append(e.Kind, e); err != nil {
-		// Best-effort: the journal tracks AppendErrors; losing a record
-		// degrades recovery to reconciliation, which repairs the divergence.
+		r.fail(err)
 		return
 	}
 	r.sinceSnap++
@@ -234,11 +261,26 @@ func (r *durableRecorder) Record(e Event) {
 	}
 }
 
+func (r *durableRecorder) fail(err error) {
+	if r.failed {
+		return
+	}
+	r.failed = true
+	r.m.walErr = err
+	if r.onErr != nil {
+		r.onErr(err)
+	}
+}
+
 func (r *durableRecorder) snapshot() {
 	st := r.m.walState()
 	st.AppliedSeq = r.j.Seq()
-	if err := r.j.Snapshot(st); err == nil {
+	err := r.j.Snapshot(st)
+	switch {
+	case err == nil:
 		r.sinceSnap = 0
+	case errors.Is(err, journal.ErrPoisoned):
+		r.fail(err)
 	}
 }
 
@@ -251,6 +293,13 @@ type DurabilityConfig struct {
 	SnapshotEvery int
 	// SyncEvery batches journal fsyncs (default journal.Options's 8).
 	SyncEvery int
+	// FailOp, when non-nil, injects disk faults into the journal (see
+	// journal.Options.FailOp). Used by chaos sims and smoke tests.
+	FailOp func(op string) error
+	// OnWALError is invoked once when a journal write fails and the
+	// recorder fail-stops. The manager should stand down as leader; the
+	// daemon exits so a standby (or supervisor) takes over.
+	OnWALError func(error)
 }
 
 func (c DurabilityConfig) withDefaults() DurabilityConfig {
@@ -363,7 +412,7 @@ func specFromVMState(vs VMState) LaunchSpec {
 func Recover(cfg DurabilityConfig, servers []Node, policy PlacementPolicy, seed int64) (*Manager, *RecoveryReport, error) {
 	cfg = cfg.withDefaults()
 	start := time.Now()
-	j, err := journal.Open(cfg.Dir, journal.Options{SyncEvery: cfg.SyncEvery})
+	j, err := journal.Open(cfg.Dir, journal.Options{SyncEvery: cfg.SyncEvery, FailOp: cfg.FailOp})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -402,9 +451,14 @@ func Recover(cfg DurabilityConfig, servers []Node, policy PlacementPolicy, seed 
 
 	// Attach the journal for continued recording, then compact everything
 	// recovery just established into a fresh snapshot.
-	rec := &durableRecorder{m: m, j: j, every: cfg.SnapshotEvery}
+	rec := &durableRecorder{m: m, j: j, every: cfg.SnapshotEvery, onErr: cfg.OnWALError}
 	m.rec = rec
 	m.journal = j
+	// Resume the recovered leadership epoch (journal metadata may be ahead
+	// of the replayed state if only the snapshot envelope survived).
+	if e := max(st.Epoch, j.Epoch()); e > 0 {
+		m.SetEpoch(e)
+	}
 	rec.snapshot()
 
 	rep.Placements = len(m.placement)
@@ -442,6 +496,7 @@ func (m *Manager) installWALState(st *WALState) {
 			m.recoveryMigrations[name] = intent
 		}
 	}
+	m.epoch = st.Epoch
 	m.rejected = st.Rejected
 	m.failurePreemptions = st.FailurePreemptions
 	m.replacedVMs = st.Replaced
@@ -620,7 +675,14 @@ func (m *Manager) AttachJournal(j *journal.Journal, snapshotEvery int) {
 	}
 	m.journal = j
 	m.rec = &durableRecorder{m: m, j: j, every: snapshotEvery}
+	if m.epoch > j.Epoch() {
+		j.SetEpoch(m.epoch)
+	}
 }
+
+// WALError returns the journal failure that fail-stopped recording, or nil
+// while durability is healthy.
+func (m *Manager) WALError() error { return m.walErr }
 
 // Placements returns the current VM → node-name placement map (a copy).
 func (m *Manager) Placements() map[string]string {

@@ -15,6 +15,7 @@
 package faults
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math/rand"
 	"sync"
@@ -72,6 +73,22 @@ type Config struct {
 	// mid-copy (link error, destination qemu crash) after the pre-copy
 	// stream has run; the VM rolls back to the source.
 	MigrationFailProb float64
+
+	// PartitionMTBF is the mean time between network partitions that cut
+	// the active manager off from every local controller (exponentially
+	// distributed). During a partition the old leader keeps running but none
+	// of its node RPCs land — the dual-leader window fencing epochs exist
+	// for. Zero disables partitions.
+	PartitionMTBF time.Duration
+	// PartitionDuration is how long each partition lasts before the network
+	// heals (default 60s).
+	PartitionDuration time.Duration
+
+	// DiskFailProb is the per-operation probability that a journal disk
+	// write or fsync fails. One failure poisons the journal (fail-stop), so
+	// in practice this schedules the leader's first unrecoverable storage
+	// error. Zero disables disk faults.
+	DiskFailProb float64
 }
 
 // Enabled reports whether any fault category is configured.
@@ -80,7 +97,8 @@ func (c Config) Enabled() bool {
 		c.AgentFailProb > 0 || c.AgentHangProb > 0 ||
 		c.OSFailProb > 0 ||
 		c.HTTPErrorProb > 0 || c.HTTPDropProb > 0 || c.HTTPDelayProb > 0 ||
-		c.MigrationFailProb > 0
+		c.MigrationFailProb > 0 ||
+		c.PartitionMTBF > 0 || c.DiskFailProb > 0
 }
 
 func (c Config) withDefaults() Config {
@@ -95,6 +113,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HTTPDelayMax == 0 {
 		c.HTTPDelayMax = 2 * time.Second
+	}
+	if c.PartitionDuration == 0 {
+		c.PartitionDuration = 60 * time.Second
 	}
 	return c
 }
@@ -216,6 +237,42 @@ func (in *Injector) MigrationFault() bool {
 	defer in.mu.Unlock()
 	r := in.stream("migration")
 	return r.Float64() < in.cfg.MigrationFailProb
+}
+
+// NextPartition returns the time until the next manager↔controller network
+// partition. ok is false when partitions are disabled. The "partition"
+// stream is independent of every other category.
+func (in *Injector) NextPartition() (d time.Duration, ok bool) {
+	if in.cfg.PartitionMTBF <= 0 {
+		return 0, false
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.stream("partition")
+	return time.Duration(r.ExpFloat64() * float64(in.cfg.PartitionMTBF)), true
+}
+
+// PartitionDuration returns how long a partition lasts before the network
+// heals.
+func (in *Injector) PartitionDuration() time.Duration {
+	return in.cfg.PartitionDuration
+}
+
+// DiskFault draws whether one journal disk operation (write or fsync)
+// fails, from the independent "disk" stream. Suitable for wiring directly
+// into journal.Options.FailOp; the error is stable text so fault schedules
+// are reproducible byte-for-byte.
+func (in *Injector) DiskFault(op string) error {
+	if in.cfg.DiskFailProb <= 0 {
+		return nil
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.stream("disk")
+	if r.Float64() < in.cfg.DiskFailProb {
+		return fmt.Errorf("faults: injected disk error during %s", op)
+	}
+	return nil
 }
 
 // HTTPFaultKind enumerates REST-plane fault types.

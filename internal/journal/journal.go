@@ -26,6 +26,7 @@ package journal
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"os"
@@ -36,6 +37,14 @@ import (
 
 	"deflation/internal/telemetry"
 )
+
+// ErrPoisoned marks a journal that has seen a write or fsync failure. A
+// failed append means durability can no longer be promised: continuing would
+// let the in-memory state silently diverge from what a recovery (or a
+// replicating standby) would reconstruct. The journal therefore fail-stops —
+// every subsequent Append, Sync, and Snapshot returns an error wrapping
+// ErrPoisoned until the process restarts on healthy storage.
+var ErrPoisoned = errors.New("journal: poisoned by prior write failure")
 
 const (
 	logName  = "journal.log"
@@ -48,6 +57,13 @@ type Options struct {
 	// append (default 8; 1 syncs every append). Snapshots and Close always
 	// sync.
 	SyncEvery int
+
+	// FailOp, when non-nil, is consulted before every disk operation with
+	// the operation name ("append", "sync", "snapshot"); a non-nil return is
+	// treated exactly like the corresponding disk write failing. It exists
+	// for deterministic fault injection (internal/faults wires its seeded
+	// disk stream here) — production journals leave it nil.
+	FailOp func(op string) error
 }
 
 func (o Options) withDefaults() Options {
@@ -62,6 +78,11 @@ type Record struct {
 	Seq  uint64          `json:"seq"`
 	Type string          `json:"type"`
 	Data json.RawMessage `json:"data,omitempty"`
+	// Epoch is the fencing epoch of the leader that wrote the record
+	// (0 on journals predating leadership epochs). It lets a replica
+	// reject a stale leader's records and lets recovery learn the last
+	// leadership term without a separate file.
+	Epoch uint64 `json:"epoch,omitempty"`
 }
 
 // snapEnvelope is the on-disk snapshot framing.
@@ -69,6 +90,7 @@ type snapEnvelope struct {
 	Seq   uint64          `json:"seq"`
 	Taken int64           `json:"taken_unix_nano"`
 	CRC   uint32          `json:"crc"`
+	Epoch uint64          `json:"epoch,omitempty"`
 	State json.RawMessage `json:"state"`
 }
 
@@ -90,6 +112,11 @@ type Stats struct {
 	SnapshotTime time.Time
 	// TornTail reports whether Open truncated a torn final record.
 	TornTail bool
+	// Epoch is the fencing epoch stamped into new records.
+	Epoch uint64
+	// Poisoned reports whether a write/fsync failure has fail-stopped the
+	// journal (see ErrPoisoned).
+	Poisoned bool
 }
 
 // Journal is an open write-ahead log. Safe for concurrent use, though the
@@ -101,11 +128,13 @@ type Journal struct {
 	log  *os.File
 
 	seq       uint64
+	epoch     uint64
 	sinceSync int
 	stats     Stats
-	snapData  json.RawMessage // state loaded from snapshot.json, nil if none
+	snapData  json.RawMessage // state of the latest snapshot, nil if none
 	tail      []Record        // records after the snapshot, loaded at Open
 	closed    bool
+	poisoned  error // first write/fsync failure; non-nil fail-stops the journal
 }
 
 // Open creates or loads the journal in dir, verifying checksums, truncating
@@ -146,6 +175,7 @@ func (j *Journal) loadSnapshot() error {
 	}
 	j.snapData = env.State
 	j.seq = env.Seq
+	j.epoch = env.Epoch
 	j.stats.SnapshotSeq = env.Seq
 	j.stats.SnapshotBytes = len(env.State)
 	j.stats.SnapshotTime = time.Unix(0, env.Taken)
@@ -202,6 +232,9 @@ func (j *Journal) loadLog() error {
 		if rec.Seq > j.seq {
 			j.seq = rec.Seq
 		}
+		if rec.Epoch > j.epoch {
+			j.epoch = rec.Epoch
+		}
 		offset += nl + 1
 		valid = offset
 	}
@@ -239,9 +272,71 @@ func (j *Journal) loadLog() error {
 // Dir returns the journal's directory.
 func (j *Journal) Dir() string { return j.dir }
 
-// SnapshotData returns the state payload of the snapshot loaded at Open
-// (nil if the directory had none). The bytes are owned by the journal.
+// SnapshotData returns the state payload of the latest snapshot — loaded at
+// Open or written since (nil if none exists). The bytes are owned by the
+// journal.
 func (j *Journal) SnapshotData() json.RawMessage { return j.snapData }
+
+// Batch is one streamed slice of the journal, the wire unit of WAL
+// replication. When Snapshot is non-nil the requested position was already
+// compacted away and the follower must reset from the snapshot before
+// applying Records (which then cover (SnapshotSeq, Seq]).
+type Batch struct {
+	// Seq is the journal's last sequence number at read time.
+	Seq uint64 `json:"seq"`
+	// Epoch is the journal's current fencing epoch.
+	Epoch uint64 `json:"epoch"`
+	// SnapshotSeq is the sequence the included (or latest) snapshot covers.
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// Snapshot is the compacted state, present only when the caller's
+	// position predates the snapshot.
+	Snapshot json.RawMessage `json:"snapshot,omitempty"`
+	// Records are the log records after the caller's position (or after the
+	// snapshot, when one is included), in sequence order.
+	Records []Record `json:"records,omitempty"`
+}
+
+// RecordsAfter returns every record with sequence greater than after,
+// re-reading the live log file so records appended since Open are included.
+// If the position has been compacted into a snapshot, the batch carries the
+// snapshot plus the full log tail instead. This is the leader half of WAL
+// replication: a follower polls with its applied sequence and applies what
+// comes back.
+func (j *Journal) RecordsAfter(after uint64) (Batch, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return Batch{}, fmt.Errorf("journal: closed")
+	}
+	b := Batch{Seq: j.seq, Epoch: j.epoch, SnapshotSeq: j.stats.SnapshotSeq}
+	floor := after
+	if after < j.stats.SnapshotSeq {
+		b.Snapshot = j.snapData
+		floor = j.stats.SnapshotSeq
+	}
+	if floor >= j.seq {
+		return b, nil
+	}
+	data, err := os.ReadFile(filepath.Join(j.dir, logName))
+	if err != nil {
+		return Batch{}, fmt.Errorf("journal: reading log: %w", err)
+	}
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			break // torn in-flight write; the next poll will see it whole
+		}
+		rec, err := parseLine(data[:nl])
+		if err != nil {
+			break
+		}
+		if rec.Seq > floor {
+			b.Records = append(b.Records, rec)
+		}
+		data = data[nl+1:]
+	}
+	return b, nil
+}
 
 // Tail returns the records loaded at Open that the snapshot does not cover,
 // in sequence order.
@@ -260,12 +355,62 @@ func (j *Journal) Stats() Stats {
 	defer j.mu.Unlock()
 	st := j.stats
 	st.Seq = j.seq
+	st.Epoch = j.epoch
+	st.Poisoned = j.poisoned != nil
 	return st
+}
+
+// Epoch returns the fencing epoch stamped into new records (the highest
+// epoch loaded from disk until SetEpoch raises it).
+func (j *Journal) Epoch() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.epoch
+}
+
+// SetEpoch sets the fencing epoch stamped into every subsequent record.
+// Epochs are monotone: lowering is a bug and panics loudly rather than
+// letting a stale leader silently re-stamp history.
+func (j *Journal) SetEpoch(epoch uint64) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if epoch < j.epoch {
+		panic(fmt.Sprintf("journal: epoch regression %d -> %d", j.epoch, epoch))
+	}
+	j.epoch = epoch
+}
+
+// Err returns the write/fsync failure that poisoned the journal, or nil if
+// it is healthy.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.poisoned
+}
+
+// poisonLocked records the first disk failure and returns an error carrying
+// both ErrPoisoned (for errors.Is) and the root cause.
+func (j *Journal) poisonLocked(op string, cause error) error {
+	if j.poisoned == nil {
+		j.poisoned = fmt.Errorf("journal: %s: %w", op, cause)
+	}
+	return fmt.Errorf("%w: %v", ErrPoisoned, j.poisoned)
+}
+
+// failOpLocked runs the injected fault hook for op, if any.
+func (j *Journal) failOpLocked(op string) error {
+	if j.opts.FailOp == nil {
+		return nil
+	}
+	return j.opts.FailOp(op)
 }
 
 // Append writes one record, assigns it the next sequence number, and
 // returns it. The write reaches the kernel before Append returns; it is
-// fsynced per the batching policy.
+// fsynced per the batching policy. A write or fsync failure poisons the
+// journal: the error is surfaced, and every later Append fails with
+// ErrPoisoned instead of letting acknowledged state silently diverge from
+// what recovery would replay.
 func (j *Journal) Append(typ string, data any) (uint64, error) {
 	payload, err := json.Marshal(data)
 	if err != nil {
@@ -276,19 +421,28 @@ func (j *Journal) Append(typ string, data any) (uint64, error) {
 	if j.closed {
 		return 0, fmt.Errorf("journal: closed")
 	}
+	if j.poisoned != nil {
+		j.stats.AppendErrors++
+		return 0, fmt.Errorf("%w: %v", ErrPoisoned, j.poisoned)
+	}
 	j.seq++
-	rec := Record{Seq: j.seq, Type: typ, Data: payload}
+	rec := Record{Seq: j.seq, Type: typ, Data: payload, Epoch: j.epoch}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		j.seq--
 		j.stats.AppendErrors++
 		return 0, fmt.Errorf("journal: %w", err)
 	}
+	if err := j.failOpLocked("append"); err != nil {
+		j.seq--
+		j.stats.AppendErrors++
+		return 0, j.poisonLocked("appending", err)
+	}
 	framed := fmt.Sprintf("%08x %s\n", crc32.ChecksumIEEE(line), line)
 	if _, err := j.log.WriteString(framed); err != nil {
 		j.seq--
 		j.stats.AppendErrors++
-		return 0, fmt.Errorf("journal: appending: %w", err)
+		return 0, j.poisonLocked("appending", err)
 	}
 	j.stats.Appended++
 	j.sinceSync++
@@ -304,6 +458,11 @@ func (j *Journal) Append(typ string, data any) (uint64, error) {
 func (j *Journal) Sync() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	// Poison outranks the nothing-pending shortcut: a journal that has lied
+	// once must never again report a clean sync.
+	if j.poisoned != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, j.poisoned)
+	}
 	if j.closed || j.sinceSync == 0 {
 		return nil
 	}
@@ -311,8 +470,11 @@ func (j *Journal) Sync() error {
 }
 
 func (j *Journal) syncLocked() error {
+	if err := j.failOpLocked("sync"); err != nil {
+		return j.poisonLocked("fsync", err)
+	}
 	if err := j.log.Sync(); err != nil {
-		return fmt.Errorf("journal: fsync: %w", err)
+		return j.poisonLocked("fsync", err)
 	}
 	j.stats.Fsyncs++
 	j.sinceSync = 0
@@ -332,12 +494,18 @@ func (j *Journal) Snapshot(state any) error {
 	if j.closed {
 		return fmt.Errorf("journal: closed")
 	}
+	if j.poisoned != nil {
+		return fmt.Errorf("%w: %v", ErrPoisoned, j.poisoned)
+	}
 	if j.sinceSync > 0 {
 		if err := j.syncLocked(); err != nil {
 			return err
 		}
 	}
-	env := snapEnvelope{Seq: j.seq, Taken: time.Now().UnixNano(), CRC: crc32.ChecksumIEEE(raw), State: raw}
+	if err := j.failOpLocked("snapshot"); err != nil {
+		return fmt.Errorf("journal: writing snapshot: %w", err)
+	}
+	env := snapEnvelope{Seq: j.seq, Taken: time.Now().UnixNano(), CRC: crc32.ChecksumIEEE(raw), Epoch: j.epoch, State: raw}
 	buf, err := json.Marshal(env)
 	if err != nil {
 		return fmt.Errorf("journal: %w", err)
@@ -363,14 +531,15 @@ func (j *Journal) Snapshot(state any) error {
 	}
 	// Compact: every logged record is now redundant with the snapshot.
 	if err := j.log.Close(); err != nil {
-		return fmt.Errorf("journal: %w", err)
+		return j.poisonLocked("compacting", err)
 	}
 	nf, err := os.OpenFile(filepath.Join(j.dir, logName), os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
-		return fmt.Errorf("journal: reopening log: %w", err)
+		return j.poisonLocked("reopening log", err)
 	}
 	j.log = nf
 	j.sinceSync = 0
+	j.snapData = raw
 	j.stats.SnapshotSeq = j.seq
 	j.stats.SnapshotBytes = len(raw)
 	j.stats.SnapshotTime = time.Unix(0, env.Taken)
@@ -412,6 +581,15 @@ func (j *Journal) SetTelemetry(sink *telemetry.Sink) {
 		func(s Stats) float64 { return float64(s.Fsyncs) })
 	stat("deflation_journal_append_errors", "journal appends that failed to reach the log",
 		func(s Stats) float64 { return float64(s.AppendErrors) })
+	stat("deflation_journal_poisoned", "1 when a write/fsync failure has fail-stopped the journal",
+		func(s Stats) float64 {
+			if s.Poisoned {
+				return 1
+			}
+			return 0
+		})
+	stat("deflation_journal_epoch", "fencing epoch stamped into new records",
+		func(s Stats) float64 { return float64(s.Epoch) })
 	stat("deflation_journal_snapshot_seq", "sequence number the last snapshot covers",
 		func(s Stats) float64 { return float64(s.SnapshotSeq) })
 	stat("deflation_journal_snapshot_bytes", "size of the last compacted snapshot",

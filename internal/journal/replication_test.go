@@ -1,0 +1,216 @@
+package journal
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestRecordsAfterStreamsTail(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 5; i++ {
+		mustAppend(t, j, "event", payload{VM: fmt.Sprintf("vm-%d", i)})
+	}
+
+	b, err := j.RecordsAfter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Seq != 5 || b.Snapshot != nil || len(b.Records) != 5 {
+		t.Fatalf("full batch: seq=%d snapshot=%v records=%d", b.Seq, b.Snapshot != nil, len(b.Records))
+	}
+	for i, rec := range b.Records {
+		if rec.Seq != uint64(i+1) {
+			t.Fatalf("record %d out of order: seq %d", i, rec.Seq)
+		}
+	}
+
+	// A caught-up follower gets only what it misses.
+	b, err = j.RecordsAfter(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Records) != 2 || b.Records[0].Seq != 4 {
+		t.Fatalf("tail batch after 3: %+v", b.Records)
+	}
+	b, err = j.RecordsAfter(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Records) != 0 {
+		t.Fatalf("caught-up follower got %d records", len(b.Records))
+	}
+}
+
+func TestRecordsAfterCompactedPositionCarriesSnapshot(t *testing.T) {
+	j, err := Open(t.TempDir(), Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	for i := 0; i < 4; i++ {
+		mustAppend(t, j, "event", payload{VM: fmt.Sprintf("vm-%d", i)})
+	}
+	if err := j.Snapshot(map[string]int{"vms": 4}); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, "event", payload{VM: "vm-post"})
+
+	// A follower behind the compaction point must reset from the snapshot.
+	b, err := j.RecordsAfter(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Snapshot == nil || b.SnapshotSeq != 4 {
+		t.Fatalf("compacted poll carried no snapshot: %+v", b)
+	}
+	if len(b.Records) != 1 || b.Records[0].Seq != 5 {
+		t.Fatalf("post-snapshot tail: %+v", b.Records)
+	}
+
+	// A follower at or past the compaction point streams records only.
+	b, err = j.RecordsAfter(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Snapshot != nil || len(b.Records) != 1 {
+		t.Fatalf("caught-up poll re-sent snapshot: snap=%v records=%d", b.Snapshot != nil, len(b.Records))
+	}
+}
+
+func TestInjectedAppendErrorPoisonsJournal(t *testing.T) {
+	fail := false
+	j, err := Open(t.TempDir(), Options{
+		SyncEvery: 1,
+		FailOp: func(op string) error {
+			if fail && op == "append" {
+				return errors.New("injected disk error")
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	mustAppend(t, j, "event", payload{VM: "ok"})
+
+	fail = true
+	if _, err := j.Append("event", payload{VM: "doomed"}); err == nil {
+		t.Fatal("append succeeded through injected disk error")
+	}
+	// Fail-stop: the journal refuses everything from now on, even after the
+	// fault clears — a storage layer that has lied once cannot be trusted
+	// not to have diverged.
+	fail = false
+	if _, err := j.Append("event", payload{VM: "after"}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("append after poison: %v, want ErrPoisoned", err)
+	}
+	if err := j.Sync(); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("sync after poison: %v, want ErrPoisoned", err)
+	}
+	if err := j.Snapshot(map[string]int{}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("snapshot after poison: %v, want ErrPoisoned", err)
+	}
+	if !j.Stats().Poisoned {
+		t.Error("stats do not report the poisoning")
+	}
+	if j.Err() == nil {
+		t.Error("Err() nil on a poisoned journal")
+	}
+	// Reads still serve what was durably written before the poison — the
+	// replication stream a standby promotes from.
+	b, err := j.RecordsAfter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Records) != 1 || b.Records[0].Seq != 1 {
+		t.Fatalf("poisoned journal lost its durable records: %+v", b.Records)
+	}
+}
+
+func TestInjectedSyncErrorPoisons(t *testing.T) {
+	boom := errors.New("fsync gone wrong")
+	armed := false
+	j, err := Open(t.TempDir(), Options{
+		SyncEvery: 1,
+		FailOp: func(op string) error {
+			if armed && op == "sync" {
+				return boom
+			}
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	armed = true
+	err = func() error { _, e := j.Append("event", payload{VM: "a"}); return e }()
+	if !errors.Is(err, ErrPoisoned) || !strings.Contains(err.Error(), boom.Error()) {
+		t.Fatalf("append did not surface the fsync error as poisoning: %v", err)
+	}
+	if _, err := j.Append("event", payload{VM: "b"}); !errors.Is(err, ErrPoisoned) {
+		t.Fatalf("journal not poisoned after fsync error: %v", err)
+	}
+}
+
+func TestEpochPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Epoch() != 0 {
+		t.Fatalf("fresh journal epoch = %d", j.Epoch())
+	}
+	j.SetEpoch(3)
+	mustAppend(t, j, "event", payload{VM: "a"})
+	b, err := j.RecordsAfter(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Epoch != 3 || b.Records[0].Epoch != 3 {
+		t.Fatalf("epoch not stamped: batch=%d record=%d", b.Epoch, b.Records[0].Epoch)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The epoch survives a reopen through the records...
+	j2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Epoch() != 3 {
+		t.Fatalf("epoch after reopen = %d, want 3", j2.Epoch())
+	}
+	// ...and through the snapshot envelope once the log is compacted away.
+	if err := j2.Snapshot(map[string]int{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if j3.Epoch() != 3 {
+		t.Fatalf("epoch after compaction+reopen = %d, want 3", j3.Epoch())
+	}
+
+	// Regressions are a bug, loudly.
+	defer func() {
+		if recover() == nil {
+			t.Error("epoch regression did not panic")
+		}
+	}()
+	j3.SetEpoch(2)
+}

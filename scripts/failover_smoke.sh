@@ -1,0 +1,147 @@
+#!/usr/bin/env bash
+# Leader-failover smoke test for manager high availability.
+#
+# Starts two deflagent controllers, a durable deflated leader, and a hot
+# standby tailing the leader's WAL over HTTP. Launches VMs, waits for the
+# replica to catch up, SIGKILLs the leader, and asserts within a bounded
+# window via `deflctl state -json` against the standby that it promoted
+# itself: role flipped to leader, the fencing epoch moved past the dead
+# leader's term, every placement survived with zero reconciliation repairs
+# (the agents — and their VMs — outlive the leader), and the new leader
+# actually commands the fleet (a fresh launch lands).
+#
+# Requires: go, jq, curl. Exits nonzero on any divergence.
+set -euo pipefail
+
+WORK=$(mktemp -d)
+BIN="$WORK/bin"
+mkdir -p "$BIN" "$WORK/leader-state" "$WORK/standby-state"
+
+AGENT1=127.0.0.1:17081
+AGENT2=127.0.0.1:17082
+LEADER=127.0.0.1:17080
+STANDBY=127.0.0.1:17085
+
+PIDS=()
+cleanup() {
+    for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+wait_http() { # url attempts
+    local url=$1 tries=${2:-50}
+    for _ in $(seq "$tries"); do
+        if curl -fsS -o /dev/null "$url" 2>/dev/null; then return 0; fi
+        sleep 0.2
+    done
+    echo "smoke: $url never came up" >&2
+    return 1
+}
+
+echo "smoke: building binaries"
+go build -o "$BIN" ./cmd/deflagent ./cmd/deflated ./cmd/deflctl
+
+echo "smoke: starting agents"
+"$BIN/deflagent" -listen "$AGENT1" -name agent-0 >"$WORK/agent-0.log" 2>&1 &
+PIDS+=($!)
+"$BIN/deflagent" -listen "$AGENT2" -name agent-1 >"$WORK/agent-1.log" 2>&1 &
+PIDS+=($!)
+wait_http "http://$AGENT1/v1/state"
+wait_http "http://$AGENT2/v1/state"
+
+echo "smoke: starting durable leader"
+# -sync-every 1: every record durable (and replicable) before the API call
+# returns, so the replica a SIGKILL promotes from is complete.
+"$BIN/deflated" -listen "$LEADER" -state-dir "$WORK/leader-state" -sync-every 1 \
+    -controller "http://$AGENT1" -controller "http://$AGENT2" \
+    >"$WORK/leader.log" 2>&1 &
+LEADER_PID=$!
+PIDS+=($LEADER_PID)
+wait_http "http://$LEADER/v1/state"
+
+echo "smoke: starting hot standby tailing the leader"
+"$BIN/deflated" -listen "$STANDBY" -state-dir "$WORK/standby-state" -sync-every 1 \
+    -standby-of "http://$LEADER" -poll-interval 100ms -dead-after 5 \
+    -controller "http://$AGENT1" -controller "http://$AGENT2" \
+    >"$WORK/standby.log" 2>&1 &
+PIDS+=($!)
+wait_http "http://$STANDBY/v1/state"
+
+echo "smoke: launching VMs through the leader"
+"$BIN/deflctl" -manager "http://$LEADER" launch -name web-0 -cpus 4 -mem-gb 8 -priority high
+"$BIN/deflctl" -manager "http://$LEADER" launch -name batch-0 -cpus 8 -mem-gb 16 -min-frac 0.25
+"$BIN/deflctl" -manager "http://$LEADER" launch -name batch-1 -cpus 8 -mem-gb 16 -min-frac 0.25
+"$BIN/deflctl" -manager "http://$LEADER" release -name batch-1
+"$BIN/deflctl" -manager "http://$LEADER" launch -name batch-2 -cpus 2 -mem-gb 4 -min-frac 0.5
+
+LEADER_JSON=$("$BIN/deflctl" -manager "http://$LEADER" state -json)
+BEFORE=$(echo "$LEADER_JSON" | jq -S .placements)
+OLD_EPOCH=$(echo "$LEADER_JSON" | jq .epoch)
+echo "smoke: leader at epoch $OLD_EPOCH, placements: $BEFORE"
+[ "$(echo "$BEFORE" | jq length)" -eq 3 ] || {
+    echo "smoke: expected 3 placements on the leader" >&2
+    exit 1
+}
+[ "$OLD_EPOCH" -ge 1 ] || {
+    echo "smoke: durable leader did not assume a fenced epoch" >&2
+    exit 1
+}
+
+echo "smoke: waiting for the replica to catch up"
+for i in $(seq 50); do
+    SBY=$(curl -fsS "http://$STANDBY/v1/state")
+    if [ "$(echo "$SBY" | jq -S .placements)" = "$BEFORE" ] &&
+       [ "$(echo "$SBY" | jq .replication.lag)" = "0" ]; then break; fi
+    [ "$i" -eq 50 ] && { echo "smoke: replica never caught up: $SBY" >&2; exit 1; }
+    sleep 0.2
+done
+[ "$(echo "$SBY" | jq -r .role)" = "standby" ] || {
+    echo "smoke: standby serving wrong role: $SBY" >&2
+    exit 1
+}
+echo "smoke: replica caught up at seq $(echo "$SBY" | jq .replication.applied_seq)"
+
+echo "smoke: SIGKILL leader (pid $LEADER_PID)"
+kill -9 "$LEADER_PID"
+wait "$LEADER_PID" 2>/dev/null || true
+
+# Lease = 5 missed polls at 100ms; give the takeover a 15s ceiling to
+# expire the lease, reconcile against both agents, and swap handlers.
+echo "smoke: waiting for the standby to promote itself"
+for i in $(seq 75); do
+    STATE_JSON=$(curl -fsS "http://$STANDBY/v1/state" || echo '{}')
+    if [ "$(echo "$STATE_JSON" | jq -r .role)" = "leader" ]; then break; fi
+    [ "$i" -eq 75 ] && { echo "smoke: standby never promoted: $STATE_JSON" >&2; exit 1; }
+    sleep 0.2
+done
+
+AFTER=$(echo "$STATE_JSON" | jq -S .placements)
+NEW_EPOCH=$(echo "$STATE_JSON" | jq .epoch)
+echo "smoke: promoted at epoch $NEW_EPOCH, placements: $AFTER"
+
+if [ "$BEFORE" != "$AFTER" ]; then
+    echo "smoke: FAIL: placements diverged across failover" >&2
+    exit 1
+fi
+if [ "$NEW_EPOCH" -le "$OLD_EPOCH" ]; then
+    echo "smoke: FAIL: promotion did not fence the old term ($NEW_EPOCH <= $OLD_EPOCH)" >&2
+    exit 1
+fi
+REPAIRS=$(echo "$STATE_JSON" | jq '.recovery.adopted + .recovery.replaced
+    + .recovery.lost + .recovery.reasserted + .recovery.stale_released')
+if [ "$REPAIRS" != "0" ]; then
+    echo "smoke: FAIL: takeover needed $REPAIRS repairs; replica was not faithful" >&2
+    echo "$STATE_JSON" | jq .recovery >&2
+    exit 1
+fi
+
+echo "smoke: new leader commands the fleet"
+"$BIN/deflctl" -manager "http://$STANDBY" launch -name post-failover-0 -cpus 2 -mem-gb 4 -min-frac 0.5
+FINAL=$("$BIN/deflctl" -manager "http://$STANDBY" state -json | jq -S .placements)
+[ "$(echo "$FINAL" | jq length)" -eq 4 ] || {
+    echo "smoke: FAIL: post-failover launch did not land: $FINAL" >&2
+    exit 1
+}
+
+echo "smoke: PASS: standby took over at epoch $NEW_EPOCH with zero repairs, ${AFTER} intact"
