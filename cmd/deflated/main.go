@@ -41,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -84,6 +85,7 @@ func main() {
 		standbyOf = flag.String("standby-of", "", "run as hot standby of this leader URL; promote on lease expiry")
 		pollEvery = flag.Duration("poll-interval", 500*time.Millisecond, "standby: WAL tailing interval")
 		deadAfter = flag.Int("dead-after", 6, "standby: consecutive failed polls before the leader's lease expires")
+		corrobWin = flag.Duration("corroborate-window", 30*time.Second, "standby: hold promotion if any controller saw the leader's epoch asserted this recently")
 	)
 	flag.Var(&controllers, "controller", "remote deflagent URL (repeatable)")
 	flag.Parse()
@@ -141,8 +143,21 @@ func main() {
 	// must stop commanding the cluster so the standby's lease expires and it
 	// takes over from the last durable state.
 	walErrC := make(chan error, 1)
+	// The fencing token is epoch + identity: the identity breaks same-epoch
+	// ties between two managers that each self-allocated the same term (a
+	// crashed leader's restart racing its standby's promotion). Host plus
+	// state directory uniquely names a manager instance on a fleet.
+	leaderID := ""
+	if *stateDir != "" {
+		host, _ := os.Hostname()
+		dir := *stateDir
+		if abs, err := filepath.Abs(dir); err == nil {
+			dir = abs
+		}
+		leaderID = host + ":" + dir
+	}
 	dur := cluster.DurabilityConfig{
-		Dir: *stateDir, SnapshotEvery: *snapEvery, SyncEvery: *syncEvery,
+		Dir: *stateDir, LeaderID: leaderID, SnapshotEvery: *snapEvery, SyncEvery: *syncEvery,
 		OnWALError: func(err error) {
 			select {
 			case walErrC <- err:
@@ -156,8 +171,19 @@ func main() {
 	// runs at startup for leaders and at promotion time for standbys.
 	handler := &swapHandler{}
 	var leader atomic.Pointer[cluster.Manager]
+	deposedC := make(chan struct{}, 1)
 	lead := func(mgr *cluster.Manager, recovery *cluster.RecoveryReport) {
 		mgr.SetHealthPolicy(cluster.HealthPolicy{MaxMisses: *maxMisses})
+		// Stand down the moment any node fences one of our commands: a
+		// stale-epoch rejection proves a newer leader owns the fleet, and a
+		// deposed manager that keeps serving is a zombie acking commands the
+		// cluster will never obey.
+		mgr.SetOnDeposed(func() {
+			select {
+			case deposedC <- struct{}{}:
+			default:
+			}
+		})
 		api, err := cluster.NewManagerAPI(mgr)
 		if err != nil {
 			log.Fatalf("deflated: %v", err)
@@ -216,6 +242,7 @@ func main() {
 		}
 		f, err := cluster.NewFollower(cluster.FollowerConfig{
 			Leader: *standbyOf, PollInterval: *pollEvery, DeadAfter: *deadAfter,
+			Controllers: controllers, CorroborationWindow: *corrobWin,
 		})
 		if err != nil {
 			log.Fatalf("deflated: %v", err)
@@ -287,6 +314,13 @@ func main() {
 		log.Printf("deflated: journal write failed: %v", err)
 		log.Printf("deflated: failing stop so the standby can take over")
 		os.Exit(1)
+	case <-deposedC:
+		// No drain here either: every mutating handler already refuses with
+		// 503 once the manager latches deposed, and the sooner this process
+		// exits the sooner a supervisor can restart it as a standby of the
+		// new leader.
+		log.Printf("deflated: fenced off by a newer leadership epoch; standing down")
+		os.Exit(2)
 	case <-ctx.Done():
 		stop() // restore default signal handling: a second ^C kills hard
 		log.Printf("deflated: shutting down (draining for up to %v)", *drain)

@@ -106,8 +106,9 @@ func (a *ControllerAPI) FencedEpoch() (epoch, staleRejected uint64) {
 	return a.guard.Current(), a.guard.StaleRejections()
 }
 
-// fence admits or refuses a mutating request by its leadership epoch.
-// Returns false (response already written) when the caller's epoch is
+// fence admits or refuses a mutating request by its fencing token: the
+// leadership epoch plus the leader identity that breaks same-epoch ties.
+// Returns false (response already written) when the caller's token is
 // stale. Requests without the epoch header are legacy unfenced managers and
 // are admitted.
 func (a *ControllerAPI) fence(w http.ResponseWriter, r *http.Request) bool {
@@ -120,17 +121,31 @@ func (a *ControllerAPI) fence(w http.ResponseWriter, r *http.Request) bool {
 		http.Error(w, "cluster: bad "+epochHeader+" header: "+err.Error(), http.StatusBadRequest)
 		return false
 	}
-	if err := a.guard.Check(epoch); err != nil {
+	if err := a.guard.Check(epoch, r.Header.Get(leaderHeader)); err != nil {
 		writeError(w, err)
 		return false
 	}
 	return true
 }
 
+// HealthzResponse is the controller liveness probe's body. FencedEpoch and
+// EpochAgeSeconds expose the guard's view of leadership: the highest epoch
+// obeyed and how long since a command last asserted it. A standby uses them
+// to corroborate a leader's death before promoting (a recently-asserted
+// epoch means the leader is alive on some path), and a manager assuming
+// leadership reads FencedEpoch to start its term past the cluster maximum.
+type HealthzResponse struct {
+	Name            string  `json:"name"`
+	Status          string  `json:"status"`
+	FencedEpoch     uint64  `json:"fenced_epoch,omitempty"`
+	EpochAgeSeconds float64 `json:"epoch_age_seconds,omitempty"`
+}
+
 // handleHealthz is fenced despite being a read: a manager's liveness probe
 // doubles as the epoch-assertion beacon (a new leader's first probe raises
 // the guard; a deposed leader's probes are refused). Probes without the
-// epoch header — load balancers, humans — are always admitted.
+// epoch header — load balancers, humans, standbys corroborating, leaders
+// querying the fenced maximum — are always admitted.
 func (a *ControllerAPI) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if !a.fence(w, r) {
 		return
@@ -138,7 +153,12 @@ func (a *ControllerAPI) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	a.mu.Lock()
 	name := a.ctrl.Name()
 	a.mu.Unlock()
-	writeJSON(w, http.StatusOK, map[string]string{"name": name, "status": "ok"})
+	epoch, age := a.guard.Assertion()
+	hz := HealthzResponse{Name: name, Status: "ok", FencedEpoch: epoch}
+	if epoch > 0 {
+		hz.EpochAgeSeconds = age.Seconds()
+	}
+	writeJSON(w, http.StatusOK, hz)
 }
 
 func (a *ControllerAPI) state() NodeState {
@@ -403,6 +423,7 @@ type RemoteNode struct {
 	rng     *rand.Rand // backoff jitter + idempotency key entropy
 	idemSeq uint64
 	epoch   uint64               // fencing epoch stamped on every request (0 = unfenced)
+	leader  string               // leader identity stamped alongside the epoch
 	retries int                  // lifetime retry count, for tests and metrics
 	lastErr error                // most recent transport error, recorded distinctly
 	tel     *remoteNodeTelemetry // nil = no instrumentation
@@ -447,6 +468,46 @@ func (n *RemoteNode) SetEpoch(epoch uint64) {
 	n.epoch = epoch
 }
 
+// SetLeaderID sets the leader identity stamped (as X-Deflation-Leader)
+// alongside the epoch, breaking same-epoch ties at the controller's guard.
+func (n *RemoteNode) SetLeaderID(id string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.leader = id
+}
+
+// FencedEpoch reports the highest leadership epoch the remote controller
+// has obeyed. The probe is deliberately unfenced (no epoch header): a
+// manager assuming leadership must be able to read the cluster-wide fenced
+// maximum even while its own last term is already stale.
+func (n *RemoteNode) FencedEpoch() (uint64, error) {
+	hz, err := probeHealthz(n.client, n.baseURL, n.retry.OpTimeout)
+	return hz.FencedEpoch, err
+}
+
+// probeHealthz fetches a controller's healthz without asserting any epoch.
+// Shared by FencedEpoch and the standby's leader-death corroboration — in
+// both cases the caller must see the guard's state without contending for
+// leadership or being refused for holding a stale term.
+func probeHealthz(client *http.Client, baseURL string, timeout time.Duration) (HealthzResponse, error) {
+	var hz HealthzResponse
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/v1/healthz", nil)
+	if err != nil {
+		return hz, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return hz, err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return hz, fmt.Errorf("cluster: healthz probe: %s", resp.Status)
+	}
+	return hz, json.NewDecoder(resp.Body).Decode(&hz)
+}
+
 // Retries returns the lifetime number of retry attempts this client has
 // made (not counting first attempts).
 func (n *RemoteNode) Retries() int {
@@ -489,10 +550,13 @@ func (n *RemoteNode) attempt(method, path string, body []byte, hdr http.Header, 
 		req.Header.Set("Content-Type", "application/json")
 	}
 	n.mu.Lock()
-	epoch := n.epoch
+	epoch, leader := n.epoch, n.leader
 	n.mu.Unlock()
 	if epoch > 0 {
 		req.Header.Set(epochHeader, strconv.FormatUint(epoch, 10))
+		if leader != "" {
+			req.Header.Set(leaderHeader, leader)
+		}
 	}
 	for k, vs := range hdr {
 		req.Header[k] = vs
@@ -942,6 +1006,25 @@ func (a *ManagerAPI) handleReplicaWAL(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, batch)
 }
 
+// refuseUnservable refuses a mutating command (503, response written) when
+// the manager can no longer stand behind it: the journal has fail-stopped
+// (an acknowledgement would promise durability the WAL cannot back) or the
+// manager has been deposed by a newer leader (every node RPC it issues is
+// refused anyway). Called with a.mu held.
+func (a *ManagerAPI) refuseUnservable(w http.ResponseWriter) bool {
+	if err := a.mgr.WALError(); err != nil {
+		http.Error(w, "cluster: journal fail-stopped; manager cannot durably back commands: "+err.Error(),
+			http.StatusServiceUnavailable)
+		return true
+	}
+	if a.mgr.Deposed() {
+		http.Error(w, "cluster: manager deposed by a newer leadership epoch; standing down",
+			http.StatusServiceUnavailable)
+		return true
+	}
+	return false
+}
+
 // MigrateRequest names a placed VM and its destination server.
 type MigrateRequest struct {
 	VM   string `json:"vm"`
@@ -959,10 +1042,22 @@ func (a *ManagerAPI) handleMigrate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a.mu.Lock()
+	if a.refuseUnservable(w) {
+		a.mu.Unlock()
+		return
+	}
 	rep, err := a.mgr.Migrate(req.VM, req.Dest)
+	walErr := a.mgr.WALError()
 	a.mu.Unlock()
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if walErr != nil {
+		// This very command poisoned the journal: it applied in memory but
+		// has no durable backing — refuse to acknowledge it.
+		http.Error(w, "cluster: journal write failed; command not durably recorded: "+walErr.Error(),
+			http.StatusServiceUnavailable)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
@@ -975,14 +1070,24 @@ func (a *ManagerAPI) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	a.mu.Lock()
+	if a.refuseUnservable(w) {
+		a.mu.Unlock()
+		return
+	}
 	idx, rep, err := a.mgr.Launch(spec)
 	var server string
 	if idx >= 0 {
 		server = a.mgr.Servers()[idx].Name()
 	}
+	walErr := a.mgr.WALError()
 	a.mu.Unlock()
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if walErr != nil {
+		http.Error(w, "cluster: journal write failed; launch not durably recorded: "+walErr.Error(),
+			http.StatusServiceUnavailable)
 		return
 	}
 	writeJSON(w, http.StatusCreated, LaunchResponse{Server: server, Report: rep})
@@ -990,10 +1095,20 @@ func (a *ManagerAPI) handleLaunch(w http.ResponseWriter, r *http.Request) {
 
 func (a *ManagerAPI) handleRelease(w http.ResponseWriter, r *http.Request) {
 	a.mu.Lock()
+	if a.refuseUnservable(w) {
+		a.mu.Unlock()
+		return
+	}
 	err := a.mgr.Release(r.PathValue("name"))
+	walErr := a.mgr.WALError()
 	a.mu.Unlock()
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if walErr != nil {
+		http.Error(w, "cluster: journal write failed; release not durably recorded: "+walErr.Error(),
+			http.StatusServiceUnavailable)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)

@@ -21,26 +21,40 @@ import (
 // always accepted.
 
 // ErrStaleEpoch rejects a command from a leader whose fencing epoch is
-// older than one the controller has already obeyed.
+// older than one the controller has already obeyed — or tied with it under
+// a different leader identity (a split-brain tie).
 var ErrStaleEpoch = errors.New("cluster: stale leadership epoch")
 
-// epochHeader carries the manager's fencing epoch on every RPC.
-const epochHeader = "X-Deflation-Epoch"
+// epochHeader carries the manager's fencing epoch on every RPC;
+// leaderHeader carries its identity. Together they are the fencing token:
+// epochs order terms, and the identity breaks same-epoch ties so two
+// managers that each self-allocated the same epoch (a crashed leader's
+// restart racing its standby's promotion) can never both command a node.
+const (
+	epochHeader  = "X-Deflation-Epoch"
+	leaderHeader = "X-Deflation-Leader"
+)
 
-// EpochGuard tracks the highest leadership epoch a controller has obeyed
-// and fences lower ones. Safe for concurrent use.
+// EpochGuard tracks the highest leadership epoch a controller has obeyed —
+// and which leader holds it — and fences lower or tied-but-foreign ones.
+// Safe for concurrent use.
 type EpochGuard struct {
 	mu      sync.Mutex
 	epoch   uint64
+	leader  string
+	assert  time.Time // when the current epoch was last asserted
 	staleN  uint64
 	highest uint64
 }
 
-// Check admits a command stamped with epoch: 0 (unfenced legacy manager) is
-// always admitted; otherwise the epoch must be at least the highest seen,
-// and seeing a higher one raises the bar. Returns ErrStaleEpoch for a
-// command from a deposed leader.
-func (g *EpochGuard) Check(epoch uint64) error {
+// Check admits a command stamped with a fencing token: epoch 0 (unfenced
+// legacy manager) is always admitted; a higher epoch takes leadership and
+// raises the bar; an equal epoch is admitted only from the leader that
+// already holds it — an equal epoch under a different identity is a
+// split-brain tie (two managers each self-allocated the same term) and is
+// rejected, so at most one of them can ever command this node. Returns
+// ErrStaleEpoch for a command from a deposed or tied-out leader.
+func (g *EpochGuard) Check(epoch uint64, leader string) error {
 	if epoch == 0 {
 		return nil
 	}
@@ -50,7 +64,13 @@ func (g *EpochGuard) Check(epoch uint64) error {
 		g.staleN++
 		return fmt.Errorf("%w: epoch %d < fenced epoch %d", ErrStaleEpoch, epoch, g.epoch)
 	}
+	if epoch == g.epoch && leader != g.leader {
+		g.staleN++
+		return fmt.Errorf("%w: epoch %d already held by a different leader", ErrStaleEpoch, epoch)
+	}
 	g.epoch = epoch
+	g.leader = leader
+	g.assert = time.Now()
 	if epoch > g.highest {
 		g.highest = epoch
 	}
@@ -62,6 +82,20 @@ func (g *EpochGuard) Current() uint64 {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.epoch
+}
+
+// Assertion returns the highest admitted epoch and how long ago a command
+// last asserted it. A standby corroborating a leader's death reads this
+// through the controller's healthz: a recently-asserted epoch means the
+// leader is alive on some network path even if the standby cannot reach it
+// directly, and promotion must hold.
+func (g *EpochGuard) Assertion() (epoch uint64, age time.Duration) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.epoch == 0 || g.assert.IsZero() {
+		return g.epoch, 0
+	}
+	return g.epoch, time.Since(g.assert)
 }
 
 // StaleRejections returns how many commands the guard has fenced off.
@@ -81,8 +115,9 @@ type fencedNode struct {
 	Node
 	guard *EpochGuard
 
-	mu    sync.Mutex
-	epoch uint64
+	mu     sync.Mutex
+	epoch  uint64
+	leader string
 }
 
 // newFencedNode wraps n for one manager; guard must be shared across all
@@ -99,11 +134,28 @@ func (f *fencedNode) SetEpoch(epoch uint64) {
 	f.epoch = epoch
 }
 
+// SetLeaderID is the manager's identity-propagation hook (the same
+// interface RemoteNode implements); the identity breaks same-epoch ties.
+func (f *fencedNode) SetLeaderID(id string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.leader = id
+}
+
+// FencedEpoch reports the highest epoch this node's guard has obeyed — the
+// in-process analogue of probing a remote controller's healthz. A manager
+// assuming leadership reads the cluster-wide maximum through this so its
+// new term lands strictly past every epoch any node has ever seen, not
+// just past its own journal's.
+func (f *fencedNode) FencedEpoch() (uint64, error) {
+	return f.guard.Current(), nil
+}
+
 func (f *fencedNode) check() error {
 	f.mu.Lock()
-	e := f.epoch
+	e, id := f.epoch, f.leader
 	f.mu.Unlock()
-	return f.guard.Check(e)
+	return f.guard.Check(e, id)
 }
 
 // Mutating operations are fenced; reads pass through (a stale leader

@@ -11,31 +11,87 @@ import (
 func TestEpochGuard(t *testing.T) {
 	var g EpochGuard
 	// Epoch 0 is the unfenced legacy mode — always admitted, never raises.
-	if err := g.Check(0); err != nil || g.Current() != 0 {
+	if err := g.Check(0, ""); err != nil || g.Current() != 0 {
 		t.Fatalf("legacy command rejected: %v (epoch %d)", err, g.Current())
 	}
-	if err := g.Check(3); err != nil {
+	if err := g.Check(3, "m1"); err != nil {
 		t.Fatal(err)
 	}
 	if g.Current() != 3 {
 		t.Fatalf("epoch = %d, want 3", g.Current())
 	}
-	// Equal epochs are the same leader retrying; higher raises the bar.
-	if err := g.Check(3); err != nil {
+	// Equal epochs from the same leader are retries; higher raises the bar.
+	if err := g.Check(3, "m1"); err != nil {
 		t.Fatal(err)
 	}
-	if err := g.Check(5); err != nil || g.Current() != 5 {
+	if err := g.Check(5, "m1"); err != nil || g.Current() != 5 {
 		t.Fatalf("raise to 5 failed: %v", err)
 	}
 	// Lower is a deposed leader.
-	if err := g.Check(4); !errors.Is(err, ErrStaleEpoch) {
+	if err := g.Check(4, "m1"); !errors.Is(err, ErrStaleEpoch) {
 		t.Fatalf("stale epoch admitted: %v", err)
 	}
-	if err := g.Check(0); err != nil {
+	if err := g.Check(0, ""); err != nil {
 		t.Fatalf("legacy command rejected after fencing: %v", err)
 	}
 	if g.StaleRejections() != 1 {
 		t.Errorf("stale rejections = %d, want 1", g.StaleRejections())
+	}
+}
+
+func TestEpochGuardSameEpochDifferentLeader(t *testing.T) {
+	var g EpochGuard
+	if err := g.Check(3, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	// The same term self-allocated by a different manager — a crashed
+	// leader's restart racing its standby's promotion — is a split-brain
+	// tie: exactly one of them may command this node.
+	if err := g.Check(3, "m2"); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("same-epoch different-leader admitted: %v", err)
+	}
+	// The loser wins the next term instead.
+	if err := g.Check(4, "m2"); err != nil {
+		t.Fatal(err)
+	}
+	// And now the original holder is fenced at its old term.
+	if err := g.Check(4, "m1"); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("tied-out leader re-admitted: %v", err)
+	}
+	if g.StaleRejections() != 2 {
+		t.Errorf("stale rejections = %d, want 2", g.StaleRejections())
+	}
+}
+
+func TestFencedNodeSameEpochDualLeader(t *testing.T) {
+	ctrl := newServer(t, ModeDeflation)
+	guard := &EpochGuard{}
+	restarted := newFencedNode(ctrl, guard)
+	promoted := newFencedNode(ctrl, guard)
+	restarted.SetEpoch(2)
+	restarted.SetLeaderID("leader-a")
+	promoted.SetEpoch(2)
+	promoted.SetLeaderID("leader-b")
+
+	// Whichever manager reaches the node first holds epoch 2; the other is
+	// fenced despite presenting the same number.
+	if err := restarted.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := promoted.Launch(wireSpec("a", vm.LowPriority)); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("second leader at a tied epoch admitted: %v", err)
+	}
+	// FencedEpoch lets the loser discover the cluster maximum and take the
+	// next term cleanly.
+	if e, err := promoted.FencedEpoch(); err != nil || e != 2 {
+		t.Fatalf("FencedEpoch = %d, %v; want 2", e, err)
+	}
+	promoted.SetEpoch(3)
+	if _, err := promoted.Launch(wireSpec("a", vm.LowPriority)); err != nil {
+		t.Fatalf("next term refused: %v", err)
+	}
+	if err := restarted.Ping(); !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("tied-out leader still admitted: %v", err)
 	}
 }
 

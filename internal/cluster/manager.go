@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -179,10 +180,17 @@ type Manager struct {
 
 	// epoch is this manager's leadership fencing epoch (0 = unfenced legacy
 	// single-manager mode). It is stamped into every WAL record and every
-	// node RPC; see fence.go. walErr records the journal failure that
-	// fail-stopped durable recording (nil while healthy).
-	epoch  uint64
-	walErr error
+	// node RPC; see fence.go. id is the leader identity that breaks
+	// same-epoch ties at the controllers' guards. walErr records the journal
+	// failure that fail-stopped durable recording (nil while healthy);
+	// deposed latches once a controller refuses this manager's epoch — a
+	// newer leader has fenced it off, and it must stand down rather than run
+	// on as a zombie issuing doomed commands.
+	epoch     uint64
+	id        string
+	walErr    error
+	deposed   bool
+	onDeposed func() // invoked once, on the first stale-epoch observation
 
 	tel *managerTelemetry // nil = no instrumentation
 }
@@ -230,14 +238,82 @@ func (m *Manager) SetEpoch(epoch uint64) {
 	}
 }
 
-// BecomeLeader assumes a new leadership term: the epoch bumps past every
-// term this manager has seen, the bump propagates to the journal and node
-// clients, and a leader record is journaled so replicas and future
-// recoveries learn the term. Returns the new epoch.
+// Identity returns the manager's leader identity ("" = none configured).
+func (m *Manager) Identity() string { return m.id }
+
+// SetIdentity installs the leader identity carried alongside the epoch on
+// every node RPC. Two managers that self-allocate the same epoch (a crashed
+// leader's restart racing its standby's promotion) are distinguished by
+// identity at each controller's guard: whichever asserts first wins the
+// tie, the other is refused and stands down. Must be set before the epoch
+// is first asserted; distinct managers must use distinct identities (the
+// daemon derives it from hostname + state directory).
+func (m *Manager) SetIdentity(id string) {
+	m.id = id
+	for _, s := range m.servers {
+		if is, ok := s.(interface{ SetLeaderID(string) }); ok {
+			is.SetLeaderID(id)
+		}
+	}
+}
+
+// clusterFencedEpoch asks every node that can answer for the highest epoch
+// its guard has obeyed and returns the maximum. Unreachable nodes are
+// skipped: they cannot obey anyone until they rejoin, at which point the
+// failure detector's fenced probes re-assert the current term.
+func (m *Manager) clusterFencedEpoch() uint64 {
+	var top uint64
+	for _, s := range m.servers {
+		fe, ok := s.(interface{ FencedEpoch() (uint64, error) })
+		if !ok {
+			continue
+		}
+		if e, err := fe.FencedEpoch(); err == nil && e > top {
+			top = e
+		}
+	}
+	return top
+}
+
+// BecomeLeader assumes a new leadership term: the epoch bumps strictly past
+// every term this manager has seen AND past the cluster-wide fenced maximum
+// (queried from the reachable controllers), the bump propagates to the
+// journal and node clients, and a leader record is journaled so replicas
+// and future recoveries learn the term. Probing the cluster matters for a
+// crashed leader's restart: its own journal only knows its last term, but
+// the controllers may already be fenced at the promoted standby's higher
+// epoch — starting from the cluster maximum keeps the new term unambiguous
+// instead of colliding with the standby's. Returns the new epoch.
 func (m *Manager) BecomeLeader() uint64 {
-	m.SetEpoch(m.epoch + 1)
+	e := m.epoch
+	if ce := m.clusterFencedEpoch(); ce > e {
+		e = ce
+	}
+	m.SetEpoch(e + 1)
 	m.record(Event{Kind: evLeader})
 	return m.epoch
+}
+
+// Deposed reports whether a controller has refused this manager's epoch —
+// proof a newer leader owns the cluster. A deposed manager must stand down:
+// the API layer refuses further commands and the daemon exits.
+func (m *Manager) Deposed() bool { return m.deposed }
+
+// SetOnDeposed registers a callback invoked once, when the manager first
+// observes ErrStaleEpoch from a node. The daemon uses it to fail-stop
+// instead of running on as a zombie with every RPC refused.
+func (m *Manager) SetOnDeposed(fn func()) { m.onDeposed = fn }
+
+// noteDeposed latches the deposed state when err shows this manager's
+// epoch was fenced off. Called on every node-RPC error path.
+func (m *Manager) noteDeposed(err error) {
+	if err == nil || m.deposed || !errors.Is(err, ErrStaleEpoch) {
+		return
+	}
+	m.deposed = true
+	if m.onDeposed != nil {
+		m.onDeposed()
+	}
 }
 
 // alive reports whether server i is in the placement pool.
@@ -267,6 +343,7 @@ func (m *Manager) ProbeHealth() []HealthEvent {
 	var events []HealthEvent
 	for i, s := range m.servers {
 		err := s.Ping()
+		m.noteDeposed(err)
 		h := &m.health[i]
 		if err == nil {
 			if h.dead {
@@ -472,6 +549,7 @@ func (m *Manager) launch(spec LaunchSpec, countRejection bool) (int, LaunchRepor
 	}
 	rep, err := m.servers[idx].Launch(spec)
 	if err != nil {
+		m.noteDeposed(err)
 		return -1, rep, err
 	}
 	if m.tel != nil {
@@ -563,7 +641,9 @@ func (m *Manager) Release(name string) error {
 	delete(m.placement, name)
 	delete(m.specs, name)
 	m.record(Event{Kind: evRelease, VM: name})
-	return m.servers[idx].Release(name)
+	err := m.servers[idx].Release(name)
+	m.noteDeposed(err)
+	return err
 }
 
 // Placed reports whether the named VM is currently running (not preempted,

@@ -327,7 +327,9 @@ func (m *Manager) Migrate(name, dest string) (MigrationReport, error) {
 	if di < 0 {
 		return MigrationReport{}, fmt.Errorf("%w: %q", ErrNodeNotFound, dest)
 	}
-	return m.migrate(name, di)
+	rep, err := m.migrate(name, di)
+	m.noteDeposed(err)
+	return rep, err
 }
 
 func (m *Manager) serverIndex(name string) int {

@@ -38,6 +38,22 @@ type FollowerConfig struct {
 	// DeadAfter is how many consecutive failed polls expire the leader's
 	// lease (default 6 — with the default poll interval, a 3s lease).
 	DeadAfter int
+	// Controllers are the fleet's controller URLs — the corroboration path.
+	// A standby that cannot reach the leader does not promote on that
+	// evidence alone: an asymmetric partition (standby↔leader broken, both
+	// sides still reaching controllers) would otherwise fence off a
+	// perfectly healthy leader. Before promoting, the standby probes each
+	// controller's healthz; if any reports the leader's epoch asserted
+	// within CorroborationWindow — or no controller is reachable at all
+	// (the standby itself is the isolated one) — promotion holds and
+	// tailing continues. Empty disables corroboration (lease expiry alone
+	// promotes, the pre-corroboration behavior).
+	Controllers []string
+	// CorroborationWindow is how recent a controller-observed epoch
+	// assertion must be to prove the leader alive (default 30s — three
+	// default manager heartbeat intervals; the leader asserts its epoch on
+	// every fenced probe and command).
+	CorroborationWindow time.Duration
 	// Client is the HTTP client (default: 2s-timeout client).
 	Client *http.Client
 }
@@ -48,6 +64,9 @@ func (c FollowerConfig) withDefaults() FollowerConfig {
 	}
 	if c.DeadAfter <= 0 {
 		c.DeadAfter = 6
+	}
+	if c.CorroborationWindow <= 0 {
+		c.CorroborationWindow = 30 * time.Second
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: 2 * time.Second}
@@ -68,9 +87,13 @@ type ReplicationStatus struct {
 	Applied uint64 `json:"records_applied"`
 	// ConsecutiveMisses counts failed polls since the last success; the
 	// lease expires at DeadAfter.
-	ConsecutiveMisses int    `json:"consecutive_misses,omitempty"`
-	LeaderDead        bool   `json:"leader_dead,omitempty"`
-	LastError         string `json:"last_error,omitempty"`
+	ConsecutiveMisses int  `json:"consecutive_misses,omitempty"`
+	LeaderDead        bool `json:"leader_dead,omitempty"`
+	// PromotionsHeld counts lease expiries where the controllers
+	// corroborated the leader as still alive, so the standby kept tailing
+	// instead of triggering a false failover.
+	PromotionsHeld uint64 `json:"promotions_held,omitempty"`
+	LastError      string `json:"last_error,omitempty"`
 }
 
 // Follower tails a leader's WAL into a warm WALState replica. Safe for
@@ -85,6 +108,7 @@ type Follower struct {
 	misses    int
 	polls     uint64
 	applied   uint64
+	held      uint64
 	lastErr   error
 }
 
@@ -110,6 +134,19 @@ func (f *Follower) PollOnce() error {
 		f.misses++
 		f.lastErr = err
 		return err
+	}
+	// A leader's journal only ever moves forward: an epoch or sequence
+	// below what this follower has already observed means whoever answered
+	// is not the leader we were replicating — typically a leader recreated
+	// on a fresh state directory, whose restarted sequence numbers would
+	// otherwise be silently swallowed by Apply's replay guard while the
+	// replica diverged at "lag 0". Refuse the stream and surface it.
+	if batch.Epoch < f.epoch || batch.Seq < f.leaderSeq {
+		f.misses++
+		f.lastErr = fmt.Errorf(
+			"cluster: leader regressed (epoch %d→%d, seq %d→%d): refusing WAL stream from a recreated or stale leader",
+			f.epoch, batch.Epoch, f.leaderSeq, batch.Seq)
+		return f.lastErr
 	}
 	if batch.Snapshot != nil {
 		// The follower's position was compacted away (first poll, or it
@@ -164,6 +201,38 @@ func (f *Follower) LeaderDead() bool {
 	return f.misses >= f.cfg.DeadAfter
 }
 
+// leaderCorroborated consults the second path — the fleet's controllers —
+// before the standby acts on an expired lease. It returns true (hold the
+// promotion) when any reachable controller reports the replicated epoch,
+// or a newer one, asserted within the corroboration window: the leader is
+// alive and commanding on some network path even though this standby
+// cannot reach it, and promoting would fence off a healthy leader. It also
+// returns true when no controller answers at all — a standby partitioned
+// from the whole fleet has no one to adopt and must not claim leadership
+// on zero evidence. With no controllers configured it returns false, so
+// lease expiry alone decides (the standalone-follower behavior).
+func (f *Follower) leaderCorroborated() bool {
+	if len(f.cfg.Controllers) == 0 {
+		return false
+	}
+	f.mu.Lock()
+	epoch := f.epoch
+	f.mu.Unlock()
+	reachable := false
+	for _, u := range f.cfg.Controllers {
+		hz, err := probeHealthz(f.cfg.Client, u, f.cfg.PollInterval+2*time.Second)
+		if err != nil {
+			continue
+		}
+		reachable = true
+		if epoch > 0 && hz.FencedEpoch >= epoch &&
+			hz.EpochAgeSeconds <= f.cfg.CorroborationWindow.Seconds() {
+			return true
+		}
+	}
+	return !reachable
+}
+
 // Status returns the standby's replication view.
 func (f *Follower) Status() ReplicationStatus {
 	f.mu.Lock()
@@ -177,6 +246,7 @@ func (f *Follower) Status() ReplicationStatus {
 		Applied:           f.applied,
 		ConsecutiveMisses: f.misses,
 		LeaderDead:        f.misses >= f.cfg.DeadAfter,
+		PromotionsHeld:    f.held,
 	}
 	if f.leaderSeq > f.st.AppliedSeq {
 		st.Lag = f.leaderSeq - f.st.AppliedSeq
@@ -207,9 +277,13 @@ func (f *Follower) Placements() map[string]string {
 	return out
 }
 
-// Run polls until ctx is done or the leader's lease expires; it returns
-// true when the lease expired (the caller should promote) and false on
-// context cancellation.
+// Run polls until ctx is done or the leader's lease expires uncorroborated;
+// it returns true when the lease expired and no controller vouched for the
+// leader (the caller should promote) and false on context cancellation.
+// While controllers corroborate the leader as alive — an asymmetric
+// partition between standby and leader — the standby keeps tailing via
+// whatever polls get through and counts the held promotion instead of
+// triggering a false failover.
 func (f *Follower) Run(ctx context.Context) bool {
 	t := time.NewTicker(f.cfg.PollInterval)
 	defer t.Stop()
@@ -220,6 +294,12 @@ func (f *Follower) Run(ctx context.Context) bool {
 		case <-t.C:
 			f.PollOnce()
 			if f.LeaderDead() {
+				if f.leaderCorroborated() {
+					f.mu.Lock()
+					f.held++
+					f.mu.Unlock()
+					continue
+				}
 				return true
 			}
 		}
@@ -314,11 +394,22 @@ func PromoteStandby(cfg DurabilityConfig, st *WALState, servers []Node, policy P
 	}
 	m.installWALState(st)
 	m.journal = j
+	if cfg.LeaderID != "" {
+		m.SetIdentity(cfg.LeaderID)
+	}
 	// New term: every node RPC from here on — including reconciliation's
 	// releases and re-placements — carries the bumped epoch, and the fencing
 	// sweep raises every reachable node's guard before anything else, so the
-	// deposed leader is refused even by nodes this term never commands.
-	m.SetEpoch(max(st.Epoch, j.Epoch()) + 1)
+	// deposed leader is refused even by nodes this term never commands. The
+	// bump clears not just every term this replica has seen but the highest
+	// epoch any reachable controller has obeyed — a crashed leader that
+	// already restarted into a new term loses the race here instead of
+	// tying it.
+	e := max(st.Epoch, j.Epoch())
+	if ce := m.clusterFencedEpoch(); ce > e {
+		e = ce
+	}
+	m.SetEpoch(e + 1)
 	m.fenceAll()
 	m.reconcileAll(rep)
 

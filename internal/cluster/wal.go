@@ -288,6 +288,11 @@ func (r *durableRecorder) snapshot() {
 type DurabilityConfig struct {
 	// Dir is the state directory holding journal.log and snapshot.json.
 	Dir string
+	// LeaderID is this manager's identity, stamped with the epoch on every
+	// fenced RPC so controllers can break same-epoch ties (two managers
+	// that each self-allocated the same term). Empty keeps the legacy
+	// epoch-only token.
+	LeaderID string
 	// SnapshotEvery compacts a snapshot after this many journal records
 	// (default 256).
 	SnapshotEvery int
@@ -454,6 +459,9 @@ func Recover(cfg DurabilityConfig, servers []Node, policy PlacementPolicy, seed 
 	rec := &durableRecorder{m: m, j: j, every: cfg.SnapshotEvery, onErr: cfg.OnWALError}
 	m.rec = rec
 	m.journal = j
+	if cfg.LeaderID != "" {
+		m.SetIdentity(cfg.LeaderID)
+	}
 	// Resume the recovered leadership epoch (journal metadata may be ahead
 	// of the replayed state if only the snapshot envelope survived).
 	if e := max(st.Epoch, j.Epoch()); e > 0 {

@@ -31,6 +31,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -119,6 +120,15 @@ type Stats struct {
 	Poisoned bool
 }
 
+// recOffset maps one record's sequence number to its byte offset in the
+// log file. The journal keeps one entry per on-disk record so replication
+// polls seek straight to the follower's position instead of rescanning the
+// file; compaction clears the index along with the log.
+type recOffset struct {
+	seq uint64
+	off int64
+}
+
 // Journal is an open write-ahead log. Safe for concurrent use, though the
 // cluster manager serializes all writes through its API mutex anyway.
 type Journal struct {
@@ -133,6 +143,8 @@ type Journal struct {
 	stats     Stats
 	snapData  json.RawMessage // state of the latest snapshot, nil if none
 	tail      []Record        // records after the snapshot, loaded at Open
+	index     []recOffset     // seq → offset for every record in the log file
+	logSize   int64           // bytes of valid log, end offset for appends
 	closed    bool
 	poisoned  error // first write/fsync failure; non-nil fail-stops the journal
 }
@@ -226,6 +238,7 @@ func (j *Journal) loadLog() error {
 		if err != nil {
 			break
 		}
+		j.index = append(j.index, recOffset{seq: rec.Seq, off: int64(offset)})
 		if rec.Seq > j.stats.SnapshotSeq {
 			j.tail = append(j.tail, rec)
 		}
@@ -266,6 +279,7 @@ func (j *Journal) loadLog() error {
 		return fmt.Errorf("journal: %w", err)
 	}
 	j.log = f
+	j.logSize = int64(valid)
 	return nil
 }
 
@@ -297,11 +311,13 @@ type Batch struct {
 }
 
 // RecordsAfter returns every record with sequence greater than after,
-// re-reading the live log file so records appended since Open are included.
+// reading the live log file so records appended since Open are included.
 // If the position has been compacted into a snapshot, the batch carries the
 // snapshot plus the full log tail instead. This is the leader half of WAL
 // replication: a follower polls with its applied sequence and applies what
-// comes back.
+// comes back. The journal's seq→offset index makes each poll proportional
+// to the records actually returned, not to the log size: a caught-up
+// follower's poll seeks straight past everything it has already applied.
 func (j *Journal) RecordsAfter(after uint64) (Batch, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -317,8 +333,16 @@ func (j *Journal) RecordsAfter(after uint64) (Batch, error) {
 	if floor >= j.seq {
 		return b, nil
 	}
-	data, err := os.ReadFile(filepath.Join(j.dir, logName))
-	if err != nil {
+	// Sequence numbers increase strictly through the file, so the index is
+	// sorted: binary-search for the first record past the floor and read
+	// only from its offset on.
+	i := sort.Search(len(j.index), func(k int) bool { return j.index[k].seq > floor })
+	if i == len(j.index) {
+		return b, nil
+	}
+	start := j.index[i].off
+	data := make([]byte, j.logSize-start)
+	if _, err := j.log.ReadAt(data, start); err != nil {
 		return Batch{}, fmt.Errorf("journal: reading log: %w", err)
 	}
 	for len(data) > 0 {
@@ -444,6 +468,8 @@ func (j *Journal) Append(typ string, data any) (uint64, error) {
 		j.stats.AppendErrors++
 		return 0, j.poisonLocked("appending", err)
 	}
+	j.index = append(j.index, recOffset{seq: rec.Seq, off: j.logSize})
+	j.logSize += int64(len(framed))
 	j.stats.Appended++
 	j.sinceSync++
 	if j.sinceSync >= j.opts.SyncEvery {
@@ -539,6 +565,8 @@ func (j *Journal) Snapshot(state any) error {
 	}
 	j.log = nf
 	j.sinceSync = 0
+	j.index = nil
+	j.logSize = 0
 	j.snapData = raw
 	j.stats.SnapshotSeq = j.seq
 	j.stats.SnapshotBytes = len(raw)

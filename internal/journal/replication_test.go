@@ -83,6 +83,56 @@ func TestRecordsAfterCompactedPositionCarriesSnapshot(t *testing.T) {
 	}
 }
 
+func TestRecordsAfterIndexSurvivesReopenAndCompaction(t *testing.T) {
+	// RecordsAfter serves deltas through a seq→offset index instead of
+	// re-reading the log from byte 0; the index must stay correct across the
+	// two events that change the log's shape: a reopen (index rebuilt from
+	// the tail scan) and a compaction (log truncated, index reset).
+	dir := t.TempDir()
+	j, err := Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		mustAppend(t, j, "event", payload{VM: fmt.Sprintf("vm-%d", i)})
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j, err = Open(dir, Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	b, err := j.RecordsAfter(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Records) != 2 || b.Records[0].Seq != 2 || b.Records[1].Seq != 3 {
+		t.Fatalf("reopened index served wrong tail: %+v", b.Records)
+	}
+
+	// Appends after a reopen extend the rebuilt index seamlessly.
+	mustAppend(t, j, "event", payload{VM: "vm-3"})
+	if b, err = j.RecordsAfter(3); err != nil || len(b.Records) != 1 || b.Records[0].Seq != 4 {
+		t.Fatalf("post-reopen append not indexed: %+v (%v)", b.Records, err)
+	}
+
+	// Compaction truncates the log; the index restarts from the new tail.
+	if err := j.Snapshot(map[string]int{"vms": 4}); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, j, "event", payload{VM: "vm-4"})
+	mustAppend(t, j, "event", payload{VM: "vm-5"})
+	if b, err = j.RecordsAfter(4); err != nil || len(b.Records) != 2 || b.Records[0].Seq != 5 {
+		t.Fatalf("post-compaction tail: %+v (%v)", b.Records, err)
+	}
+	if b, err = j.RecordsAfter(5); err != nil || len(b.Records) != 1 || b.Records[0].Seq != 6 {
+		t.Fatalf("post-compaction delta: %+v (%v)", b.Records, err)
+	}
+}
+
 func TestInjectedAppendErrorPoisonsJournal(t *testing.T) {
 	fail := false
 	j, err := Open(t.TempDir(), Options{

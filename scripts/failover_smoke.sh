@@ -53,7 +53,10 @@ wait_http "http://$AGENT2/v1/state"
 echo "smoke: starting durable leader"
 # -sync-every 1: every record durable (and replicable) before the API call
 # returns, so the replica a SIGKILL promotes from is complete.
+# -heartbeat 1s: the leader asserts its epoch on the agents every second,
+# which is what the standby's corroboration probe measures the age of.
 "$BIN/deflated" -listen "$LEADER" -state-dir "$WORK/leader-state" -sync-every 1 \
+    -heartbeat 1s \
     -controller "http://$AGENT1" -controller "http://$AGENT2" \
     >"$WORK/leader.log" 2>&1 &
 LEADER_PID=$!
@@ -61,8 +64,13 @@ PIDS+=($LEADER_PID)
 wait_http "http://$LEADER/v1/state"
 
 echo "smoke: starting hot standby tailing the leader"
+# -corroborate-window 3s (three leader heartbeats): before promoting, the
+# standby asks the agents how recently the leader's epoch was asserted; a
+# genuinely dead leader stops asserting, so promotion clears ~3s after the
+# SIGKILL, while an asymmetrically-partitioned live one keeps it held.
 "$BIN/deflated" -listen "$STANDBY" -state-dir "$WORK/standby-state" -sync-every 1 \
     -standby-of "http://$LEADER" -poll-interval 100ms -dead-after 5 \
+    -corroborate-window 3s \
     -controller "http://$AGENT1" -controller "http://$AGENT2" \
     >"$WORK/standby.log" 2>&1 &
 PIDS+=($!)
