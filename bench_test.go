@@ -7,6 +7,7 @@ package deflation_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -206,6 +207,40 @@ func BenchmarkFigMigration(b *testing.B) {
 			b.ReportMetric(r.MovedGB[1].Values[0], "mig-only-gb@50%oc")
 			b.ReportMetric(r.MovedGB[3].Values[0], "dtm-gb@50%oc")
 		}
+	}
+}
+
+// BenchmarkFigSLO runs the quick interactive SLO-deflation sweep and
+// reports cost per modeled request — the analytic PS model spreads each
+// tick's arrivals into a fixed histogram, so millions of requests cost a
+// handful of allocations.
+func BenchmarkFigSLO(b *testing.B) {
+	cfg := experiments.QuickFigSLOConfig()
+	var requests float64
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.FigSLO(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		requests = r.TotalRequests()
+		if i == 0 {
+			p := r.Panels[0]
+			b.ReportMetric(p.SLO.Values[2], "slo-p99@50%defl")
+			b.ReportMetric(p.Utility.Values[2], "util-p99@50%defl")
+			b.ReportMetric(p.SLOFrontierPct, "slo-frontier%")
+			b.ReportMetric(p.UtilityFrontierPct, "util-frontier%")
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&after)
+	total := requests * float64(b.N)
+	if total > 0 {
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/request")
+		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/total, "allocs/request")
 	}
 }
 

@@ -11,8 +11,11 @@
 //
 // Figures: 1, 5a, 5b, 5c, 5d, 6, 7a, 7b, 8a, 8b, 8c, 8d, plus the chaos
 // fault-injection sweep (-fig chaos), the migration-vs-deflation policy
-// sweep (-fig migration), and the manager-HA failover sweep (-fig
-// failover). Group aliases run whole panels: 5 (5a–5d),
+// sweep (-fig migration), the manager-HA failover sweep (-fig failover),
+// and the interactive SLO-deflation sweep (-fig slo): open-loop arrivals
+// against a replicated web service, comparing the p99-targeting deflation
+// policy with the utility-curve cascade across arrival rate × replica
+// count × deflation fraction. Group aliases run whole panels: 5 (5a–5d),
 // 7 (7a, 7b), 8 (8a–8d); a "fig" prefix is accepted everywhere (fig8c ≡ 8c).
 //
 // Every figure sweep fans its independent simulation cells out across
@@ -36,7 +39,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, chaos, migration, failover, group aliases 5/7/8, all)")
+	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, chaos, migration, failover, slo, group aliases 5/7/8, all)")
 	quick := flag.Bool("quick", false, "smaller sweeps for the cluster simulations")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep workers; 1 = exact legacy serial path, N>1 fans cells out over N goroutines")
 	memoize := flag.Bool("memoize", true, "reuse results of identical simulation cells across sweeps (never changes output)")
@@ -68,9 +71,10 @@ func main() {
 		"chaos":     runChaos,
 		"migration": runMigration,
 		"failover":  runFailover,
+		"slo":       runFigSLO,
 	}
 
-	order := []string{"table1", "table2", "1", "5a", "5b", "5c", "5d", "6", "7a", "7b", "8a", "8b", "8c", "8d", "revenue", "chaos", "migration", "failover"}
+	order := []string{"table1", "table2", "1", "5a", "5b", "5c", "5d", "6", "7a", "7b", "8a", "8b", "8c", "8d", "revenue", "chaos", "migration", "failover", "slo"}
 	groups := map[string][]string{
 		"5": {"5a", "5b", "5c", "5d"},
 		"7": {"7a", "7b"},
@@ -181,4 +185,12 @@ func runFailover(quick bool) (fmt.Stringer, error) {
 		cfg = experiments.QuickFailoverConfig()
 	}
 	return wrap(experiments.Failover(cfg))
+}
+
+func runFigSLO(quick bool) (fmt.Stringer, error) {
+	cfg := experiments.FigSLOConfig{}
+	if quick {
+		cfg = experiments.QuickFigSLOConfig()
+	}
+	return wrap(experiments.FigSLO(cfg))
 }

@@ -45,6 +45,11 @@ type Config struct {
 	MinThreads int
 }
 
+// WithDefaults returns c with zero fields replaced by their documented
+// defaults — the sizing the SLO-targeting deflation policy inverts when it
+// converts a required capacity back into cores.
+func (c Config) WithDefaults() Config { return c.withDefaults() }
+
 func (c Config) withDefaults() Config {
 	if c.Threads == 0 {
 		c.Threads = 64
@@ -129,14 +134,7 @@ func (a *App) SelfDeflate(target restypes.Vector) (restypes.Vector, time.Duratio
 	if !a.cfg.DeflationAware || target.CPU <= 0 {
 		return restypes.Vector{}, 0
 	}
-	remainingCores := a.cfg.Cores - target.CPU
-	if remainingCores < 0 {
-		remainingCores = 0
-	}
-	want := int(math.Floor(a.cfg.ThreadsPerCore * remainingCores))
-	if want < a.cfg.MinThreads {
-		want = a.cfg.MinThreads
-	}
+	want := a.poolFor(a.cfg.Cores - target.CPU)
 	if want >= a.threads {
 		return restypes.Vector{}, 0
 	}
@@ -165,6 +163,33 @@ func (a *App) Reinflate(env hypervisor.Env) {
 	if want > a.threads {
 		a.threads = want
 	}
+}
+
+// PlannedCapacityRPS predicts the server's capacity after the cascade
+// reclaims reclaimCPU cores and the resulting envelope provides effCores:
+// the aware policy shrinks the pool exactly as SelfDeflate would, the
+// unmodified server keeps its current pool. This is the planning view the
+// SLO-targeting deflation policy inverts; it never mutates the server.
+func (a *App) PlannedCapacityRPS(reclaimCPU, effCores float64) float64 {
+	threads := a.threads
+	if a.cfg.DeflationAware && reclaimCPU > 0 {
+		if want := a.poolFor(a.cfg.Cores - reclaimCPU); want < threads {
+			threads = want
+		}
+	}
+	return a.capacityWith(threads, effCores)
+}
+
+// poolFor returns the pool size the aware policy keeps for the given cores.
+func (a *App) poolFor(cores float64) int {
+	if cores < 0 {
+		cores = 0
+	}
+	want := int(math.Floor(a.cfg.ThreadsPerCore * cores))
+	if want < a.cfg.MinThreads {
+		want = a.cfg.MinThreads
+	}
+	return want
 }
 
 // CapacityRPS returns the server's sustainable request rate in env.
@@ -213,7 +238,9 @@ func NewLoadBalancer(apps []*App) (*LoadBalancer, error) {
 }
 
 // Weights returns the current traffic share per server given each server's
-// environment, proportional to capacity.
+// environment, proportional to capacity. When every server has zero live
+// capacity (fully deflated pool, OOM-killed fleet) the returned weights
+// are all zero — callers must treat that as overload, as Serve does.
 func (lb *LoadBalancer) Weights(envs []hypervisor.Env) ([]float64, error) {
 	if len(envs) != len(lb.apps) {
 		return nil, fmt.Errorf("webapp: %d envs for %d servers", len(envs), len(lb.apps))
@@ -239,10 +266,17 @@ type ServeResult struct {
 	DroppedRPS    float64
 	MeanLatencyMS float64
 	PerServerRPS  []float64
+	// Overloaded reports that the pool had zero live capacity: nothing
+	// was served and the entire offered load was dropped, explicitly,
+	// instead of being silently stranded.
+	Overloaded bool
 }
 
 // Serve distributes offeredRPS across the pool by capacity weights and
-// reports the aggregate service quality.
+// reports the aggregate service quality. A pool with zero live capacity
+// (every replica fully deflated or OOM-killed) returns an explicit
+// overload result — the whole offered load counted as dropped — rather
+// than dividing by zero or under-reporting the loss.
 func (lb *LoadBalancer) Serve(envs []hypervisor.Env, offeredRPS float64) (ServeResult, error) {
 	weights, err := lb.Weights(envs)
 	if err != nil {
@@ -250,6 +284,15 @@ func (lb *LoadBalancer) Serve(envs []hypervisor.Env, offeredRPS float64) (ServeR
 	}
 	var res ServeResult
 	res.PerServerRPS = make([]float64, len(lb.apps))
+	var live float64
+	for _, w := range weights {
+		live += w
+	}
+	if live == 0 {
+		res.Overloaded = true
+		res.DroppedRPS = offeredRPS
+		return res, nil
+	}
 	var latWeighted float64
 	for i, a := range lb.apps {
 		share := offeredRPS * weights[i]

@@ -202,3 +202,53 @@ func TestServeUnderDeflation(t *testing.T) {
 		t.Errorf("latency %g, want finite and above %g", after.MeanLatencyMS, before.MeanLatencyMS)
 	}
 }
+
+// TestServeZeroLiveCapacityOverloads: a pool whose every replica has zero
+// live capacity (fully deflated or OOM-killed) must report explicit
+// overload with the full offered load dropped — regression test for the
+// divide-by-zero / silently-stranded-load path.
+func TestServeZeroLiveCapacityOverloads(t *testing.T) {
+	apps := []*App{newApp(t, true), newApp(t, true)}
+	lb, _ := NewLoadBalancer(apps)
+	dead := fullEnv()
+	dead.OOMKilled = true
+	envs := []hypervisor.Env{dead, dead}
+
+	w, err := lb.Weights(envs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range w {
+		if x != 0 || math.IsNaN(x) {
+			t.Errorf("weight[%d] = %g, want exactly 0", i, x)
+		}
+	}
+
+	res, err := lb.Serve(envs, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Overloaded {
+		t.Error("zero-capacity pool not flagged Overloaded")
+	}
+	if res.ServedRPS != 0 || res.DroppedRPS != 2500 {
+		t.Errorf("served %g dropped %g, want 0/2500", res.ServedRPS, res.DroppedRPS)
+	}
+	if math.IsNaN(res.MeanLatencyMS) || math.IsInf(res.MeanLatencyMS, 0) {
+		t.Errorf("latency %g, want finite zero", res.MeanLatencyMS)
+	}
+	for i, rps := range res.PerServerRPS {
+		if rps != 0 {
+			t.Errorf("dead server %d assigned %g rps", i, rps)
+		}
+	}
+
+	// A live pool never reports overload.
+	live, err := lb.Serve([]hypervisor.Env{fullEnv(), fullEnv()}, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Overloaded {
+		t.Error("healthy pool flagged Overloaded")
+	}
+}

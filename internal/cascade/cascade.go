@@ -96,6 +96,12 @@ type Report struct {
 	// the remaining target, rather than aborting.
 	AppFailed bool
 	OSFailed  bool
+	// SLOWithheld is the portion of the requested target an installed
+	// SLOPolicy refused to reclaim from a latency-sensitive VM (zero for
+	// batch VMs and when no policy is set). The caller's reclamation
+	// budget must route this remainder elsewhere — deeper deflation of
+	// batch VMs, or migration.
+	SLOWithheld restypes.Vector
 	// TotalLatency is the end-to-end reclamation latency; the levels run
 	// sequentially per Fig. 3.
 	TotalLatency time.Duration
@@ -120,6 +126,17 @@ type LevelFault struct {
 // default) injects nothing. The hypervisor level is the backstop and never
 // fails short of whole-node crash-stop, which the cluster layer models.
 type FaultHook func(level string) LevelFault
+
+// SLOPolicy clamps deflation targets for latency-sensitive VMs before the
+// cascade runs: ClampTarget returns the portion of target that can be
+// reclaimed from v without violating the VM's service-level latency
+// objective. Batch VMs (anything the policy does not recognize) must be
+// returned unchanged, so they keep the existing utility-curve cascade.
+// internal/interactive provides the p99-headroom implementation
+// (Fuerst & Shenoy-style deflation for interactive applications).
+type SLOPolicy interface {
+	ClampTarget(v *vm.VM, target restypes.Vector) restypes.Vector
+}
 
 // MemMechanism selects the guest-level memory reclamation mechanism.
 type MemMechanism int
@@ -150,6 +167,7 @@ type Controller struct {
 	memVia   MemMechanism
 	deadline time.Duration        // 0 = unbounded
 	faults   FaultHook            // nil = no injection
+	slo      SLOPolicy            // nil = every VM keeps the utility-curve cascade
 	tel      *controllerTelemetry // nil = no instrumentation
 }
 
@@ -170,6 +188,13 @@ func (c *Controller) SetMemMechanism(m MemMechanism) { c.memVia = m }
 // what page migration can move in the remaining budget — and the hypervisor
 // level completes regardless, as the backstop. Zero means unbounded.
 func (c *Controller) SetDeadline(d time.Duration) { c.deadline = d }
+
+// SetSLOPolicy installs a latency-SLO clamp consulted once per deflation,
+// before any level runs. Latency-sensitive VMs registered with the policy
+// are deflated only down to their measured headroom (the withheld portion
+// is reported in Report.SLOWithheld); unregistered VMs are unaffected.
+// Nil (the default) disables clamping entirely.
+func (c *Controller) SetSLOPolicy(p SLOPolicy) { c.slo = p }
 
 // SetFaultHook installs a fault injector consulted once per level per
 // deflation. Failures degrade gracefully: a failed or hung level is skipped
@@ -212,6 +237,20 @@ func (c *Controller) deflate(v *vm.VM, target restypes.Vector) (Report, error) {
 	if target.IsZero() {
 		r.NewAllocation = v.Allocation()
 		return r, nil
+	}
+
+	// SLO clamp: a latency-sensitive VM is deflated only down to its
+	// measured p99 headroom; the withheld remainder is the caller's to
+	// re-route. Runs before any level so the whole cascade sees one
+	// consistent, feasible target.
+	if c.slo != nil {
+		allowed := c.slo.ClampTarget(v, target).ClampNonNegative().Min(target)
+		r.SLOWithheld = target.Sub(allowed).ClampNonNegative()
+		target = allowed
+		if target.IsZero() {
+			r.NewAllocation = v.Allocation()
+			return r, nil
+		}
 	}
 
 	// Level 1: application self-deflation (best-effort, may return zero).

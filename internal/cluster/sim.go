@@ -19,6 +19,7 @@ import (
 	"deflation/internal/pricing"
 	"deflation/internal/restypes"
 	"deflation/internal/simclock"
+	"deflation/internal/stats"
 	"deflation/internal/telemetry"
 	"deflation/internal/trace"
 	"deflation/internal/vm"
@@ -940,29 +941,9 @@ func overcommitOf(nominal, capacity restypes.Vector) float64 {
 	return mem
 }
 
-func mean(xs []float64) float64 {
-	if len(xs) == 0 {
-		return 0
-	}
-	var s float64
-	for _, x := range xs {
-		s += x
-	}
-	return s / float64(len(xs))
-}
+// mean and quantile delegate to the shared stats package (the quantile
+// clamping fixed by the PR-5 fuzzing lives there now); the wrappers keep
+// this package's fuzz target stable.
+func mean(xs []float64) float64 { return stats.Mean(xs) }
 
-func quantile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)-1))
-	// Out-of-range q (or a rounding excursion at q≈1) must not index out
-	// of bounds: clamp to the data.
-	if i < 0 {
-		i = 0
-	}
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return sorted[i]
-}
+func quantile(sorted []float64, q float64) float64 { return stats.Quantile(sorted, q) }

@@ -1,0 +1,163 @@
+package interactive
+
+import (
+	"fmt"
+	"math"
+
+	"deflation/internal/stats"
+)
+
+// The processor-sharing latency model. Each replica serves its admitted
+// request rate λ from a service capacity μ (requests/second, derived from
+// the replica's live deflated envelope via the webapp thread-pool model).
+// Under M/G/1-PS the mean sojourn time depends on the service distribution
+// only through its mean (the PS insensitivity property):
+//
+//	E[T] = E[S] / (1 − ρ),  ρ = λ/μ,  E[S] = base service time
+//
+// which equals the closed-form M/M/1-PS sojourn 1/(μ − λ). The sojourn
+// distribution is approximated as exponential with that mean — exact for
+// M/M/1-FCFS and the standard heavy-traffic shape for PS tails — and each
+// tick's worth of requests is spread across the latency histogram by CDF
+// mass: analytic, deterministic, and allocation-free regardless of how
+// many requests the tick carries.
+
+// latencyBuckets spans 0.25 ms to ≈ 28 s in 5% steps — fine enough that
+// interpolated p99s are within a few percent of the analytic value.
+func latencyBuckets() []float64 { return stats.ExpBuckets(0.25, 1.155, 81) }
+
+// PSModel accumulates the response-time distribution of one service (all
+// replicas pooled) and its SLO accounting.
+type PSModel struct {
+	sloMS float64
+	hist  *stats.Stream
+
+	requests   float64 // offered
+	served     float64
+	dropped    float64 // admission-control rejections + overload
+	violations float64 // served past the SLO, plus every drop
+	sumMS      float64 // exact Σ served·E[T] (the histogram is for quantiles)
+}
+
+// NewPSModel builds a model tracking violations of the given p99 SLO
+// (milliseconds).
+func NewPSModel(sloMS float64) (*PSModel, error) {
+	if sloMS <= 0 {
+		return nil, fmt.Errorf("interactive: SLO must be positive, got %g ms", sloMS)
+	}
+	h, err := stats.NewStream(latencyBuckets())
+	if err != nil {
+		return nil, err
+	}
+	return &PSModel{sloMS: sloMS, hist: h}, nil
+}
+
+// Observe records one replica-tick: requests offered to a replica with
+// base service latency baseMS and live capacity capacityRPS over a tick of
+// tickSec seconds. Requests beyond 95% of capacity are dropped (admission
+// control — an open-loop queue past saturation has no steady state), and
+// every dropped request counts as an SLO violation. Returns served and
+// dropped counts.
+func (m *PSModel) Observe(requests, baseMS, capacityRPS, tickSec float64) (served, dropped float64) {
+	if requests <= 0 {
+		return 0, 0
+	}
+	m.requests += requests
+	if capacityRPS <= 0 || baseMS <= 0 || tickSec <= 0 {
+		m.dropped += requests
+		m.violations += requests
+		return 0, requests
+	}
+	offeredRPS := requests / tickSec
+	admittedRPS := offeredRPS
+	if max := 0.95 * capacityRPS; admittedRPS > max {
+		admittedRPS = max
+	}
+	served = admittedRPS * tickSec
+	dropped = requests - served
+	rho := admittedRPS / capacityRPS
+	meanMS := baseMS / (1 - rho)
+
+	// Spread the served requests across the histogram buckets by the
+	// exponential CDF, and count the analytic tail past the SLO as
+	// violations.
+	lo := 0.0
+	for _, b := range m.hist.Bounds() {
+		mass := served * (math.Exp(-lo/meanMS) - math.Exp(-b/meanMS))
+		m.hist.AddWeighted((lo+b)/2, mass)
+		lo = b
+	}
+	// Whatever the finite buckets did not cover lands mid-tail.
+	if tail := served * math.Exp(-lo/meanMS); tail > 0 {
+		m.hist.AddWeighted(lo+meanMS, tail)
+	}
+	m.served += served
+	m.dropped += dropped
+	m.sumMS += served * meanMS
+	m.violations += dropped + served*math.Exp(-m.sloMS/meanMS)
+	return served, dropped
+}
+
+// SLOMS returns the model's p99 target in milliseconds.
+func (m *PSModel) SLOMS() float64 { return m.sloMS }
+
+// Requests, Served, Dropped, Violations return the running totals.
+func (m *PSModel) Requests() float64   { return m.requests }
+func (m *PSModel) Served() float64     { return m.served }
+func (m *PSModel) Dropped() float64    { return m.dropped }
+func (m *PSModel) Violations() float64 { return m.violations }
+
+// MeanMS returns the exact mean sojourn over all served requests.
+func (m *PSModel) MeanMS() float64 {
+	if m.served == 0 {
+		return 0
+	}
+	return m.sumMS / m.served
+}
+
+// Quantile returns the interpolated latency quantile in milliseconds over
+// every served request so far.
+func (m *PSModel) Quantile(q float64) float64 { return m.hist.Quantile(q) }
+
+// ViolationFraction returns violations over offered requests (0 when no
+// requests were offered).
+func (m *PSModel) ViolationFraction() float64 {
+	if m.requests == 0 {
+		return 0
+	}
+	return m.violations / m.requests
+}
+
+// PredictP99MS returns the model's analytic p99 for a replica serving
+// offeredRPS at capacityRPS with base latency baseMS: the exponential
+// sojourn approximation gives p99 = E[T]·ln(100). Saturated or dead
+// replicas predict +Inf. This is the forward model the SLO-targeting
+// deflation policy inverts.
+func PredictP99MS(baseMS, capacityRPS, offeredRPS float64) float64 {
+	if capacityRPS <= 0 || offeredRPS >= 0.95*capacityRPS {
+		return math.Inf(1)
+	}
+	rho := offeredRPS / capacityRPS
+	return baseMS / (1 - rho) * math.Log(100)
+}
+
+// RequiredCapacityRPS inverts PredictP99MS: the minimum replica capacity
+// that keeps predicted p99 at or under sloMS while serving offeredRPS.
+// Returns +Inf when the SLO is unachievable even unloaded (sloMS below the
+// base p99).
+func RequiredCapacityRPS(baseMS, offeredRPS, sloMS float64) float64 {
+	if offeredRPS <= 0 {
+		offeredRPS = 0
+	}
+	headroom := 1 - baseMS*math.Log(100)/sloMS
+	if headroom <= 0 {
+		return math.Inf(1)
+	}
+	need := offeredRPS / headroom
+	// Admission control rejects past 95% utilization; keep capacity high
+	// enough that the offered load is actually admitted.
+	if floor := offeredRPS / 0.95; need < floor {
+		need = floor
+	}
+	return need
+}

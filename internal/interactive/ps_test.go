@@ -1,0 +1,140 @@
+package interactive
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPSModelValidation(t *testing.T) {
+	if _, err := NewPSModel(0); err == nil {
+		t.Error("zero SLO accepted")
+	}
+}
+
+// TestPSAgainstClosedFormMM1PS drives the model at fixed λ against fixed
+// capacity and checks the measured mean sojourn against the closed-form
+// M/M/1-PS expectation in utilization terms, E[T] = E[S]/(1−ρ) — for a
+// normalized single server (capacity μ = 1/E[S]) this is exactly
+// 1/(μ−λ) — and the p99 against the exponential-sojourn tail E[T]·ln(100).
+func TestPSAgainstClosedFormMM1PS(t *testing.T) {
+	const (
+		baseMS = 4.0    // E[S]
+		capRPS = 1600.0 // pooled service capacity
+	)
+	for _, rho := range []float64{0.3, 0.6, 0.9} {
+		m, err := NewPSModel(1000) // wide SLO: exercise the distribution, not the clamp
+		if err != nil {
+			t.Fatal(err)
+		}
+		lambda := rho * capRPS
+		for tick := 0; tick < 200; tick++ {
+			m.Observe(lambda, baseMS, capRPS, 1)
+		}
+		wantMeanMS := baseMS / (1 - rho)
+		if got := m.MeanMS(); math.Abs(got-wantMeanMS)/wantMeanMS > 1e-9 {
+			t.Errorf("ρ=%g: mean %g ms, closed form %g ms", rho, got, wantMeanMS)
+		}
+		wantP99 := wantMeanMS * math.Log(100)
+		if got := m.Quantile(0.99); math.Abs(got-wantP99)/wantP99 > 0.05 {
+			t.Errorf("ρ=%g: p99 %g ms, closed form %g ms", rho, got, wantP99)
+		}
+		if m.Dropped() != 0 {
+			t.Errorf("ρ=%g: dropped %g below admission threshold", rho, m.Dropped())
+		}
+	}
+}
+
+// TestPSNormalizedSingleServer pins the exact M/M/1-PS form: with
+// E[S] = 1/μ (base latency the reciprocal of capacity), the measured mean
+// equals 1/(μ−λ).
+func TestPSNormalizedSingleServer(t *testing.T) {
+	const mu = 250.0 // rps
+	baseMS := 1000 / mu
+	for _, lambda := range []float64{50, 125, 200} {
+		m, _ := NewPSModel(1000)
+		m.Observe(lambda, baseMS, mu, 1)
+		want := 1000 / (mu - lambda) // ms
+		if got := m.MeanMS(); math.Abs(got-want)/want > 1e-9 {
+			t.Errorf("λ=%g: mean %g ms, want 1/(μ−λ) = %g ms", lambda, got, want)
+		}
+	}
+}
+
+// TestPSUtilizationScaling: the sojourn depends on capacity only through
+// utilization (E[T] = E[S]/(1−ρ), the PS insensitivity property) — equal ρ
+// at any pool size gives the same mean, and at equal λ more capacity
+// strictly lowers it.
+func TestPSUtilizationScaling(t *testing.T) {
+	mk := func(capRPS, lambda float64) float64 {
+		m, _ := NewPSModel(1000)
+		m.Observe(lambda, 4, capRPS, 1)
+		return m.MeanMS()
+	}
+	if a, b := mk(1600, 800), mk(3200, 1600); math.Abs(a-b) > 1e-9 {
+		t.Errorf("equal-ρ means differ: %g vs %g", a, b)
+	}
+	if loaded, relaxed := mk(1600, 800), mk(3200, 800); relaxed >= loaded {
+		t.Errorf("doubling capacity at fixed λ did not lower mean: %g vs %g", relaxed, loaded)
+	}
+}
+
+func TestPSAdmissionControlAndViolations(t *testing.T) {
+	m, err := NewPSModel(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Offered 2× capacity: 0.95×cap served, rest dropped and violating.
+	served, dropped := m.Observe(3200, 4, 1600, 1)
+	if math.Abs(served-1520) > 1e-9 {
+		t.Errorf("served %g, want 1520", served)
+	}
+	if math.Abs(dropped-1680) > 1e-9 {
+		t.Errorf("dropped %g, want 1680", dropped)
+	}
+	if m.Violations() < dropped {
+		t.Errorf("violations %g below dropped %g", m.Violations(), dropped)
+	}
+	if m.ViolationFraction() <= 0.5 {
+		t.Errorf("violation fraction %g, want > 0.5", m.ViolationFraction())
+	}
+}
+
+func TestPSZeroCapacityDropsAll(t *testing.T) {
+	m, _ := NewPSModel(50)
+	served, dropped := m.Observe(100, 4, 0, 1)
+	if served != 0 || dropped != 100 {
+		t.Errorf("served %g dropped %g, want 0/100", served, dropped)
+	}
+	if m.Violations() != 100 {
+		t.Errorf("violations %g, want 100", m.Violations())
+	}
+	if s2, d2 := m.Observe(0, 4, 1600, 1); s2 != 0 || d2 != 0 {
+		t.Errorf("zero requests observed something: %g/%g", s2, d2)
+	}
+}
+
+func TestPredictAndRequiredCapacityInverse(t *testing.T) {
+	const baseMS, sloMS = 4.0, 50.0
+	for _, lambda := range []float64{100, 1000, 2000} {
+		need := RequiredCapacityRPS(baseMS, lambda, sloMS)
+		if math.IsInf(need, 1) {
+			t.Fatalf("λ=%g: unachievable SLO", lambda)
+		}
+		// At exactly the required capacity, predicted p99 ≤ SLO…
+		if p99 := PredictP99MS(baseMS, need, lambda); p99 > sloMS+1e-9 {
+			t.Errorf("λ=%g: p99 %g at required capacity, above SLO %g", lambda, p99, sloMS)
+		}
+		// …and 2%% less capacity violates it (tight inverse).
+		if p99 := PredictP99MS(baseMS, need*0.98, lambda); !(p99 > sloMS) {
+			t.Errorf("λ=%g: p99 %g below SLO with deficient capacity", lambda, p99)
+		}
+	}
+	// SLO below the unloaded p99 is unachievable.
+	if !math.IsInf(RequiredCapacityRPS(4, 100, 4*math.Log(100)*0.9), 1) {
+		t.Error("unachievable SLO reported achievable")
+	}
+	// Saturation predicts +Inf.
+	if !math.IsInf(PredictP99MS(4, 100, 95), 1) {
+		t.Error("saturated replica predicted finite p99")
+	}
+}

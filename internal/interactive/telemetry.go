@@ -1,0 +1,82 @@
+package interactive
+
+import (
+	"deflation/internal/telemetry"
+)
+
+// serviceTelemetry instruments a Service with deflation_interactive_*
+// metrics. A nil receiver (no sink attached) keeps the un-instrumented
+// simulation path exact, matching the repo-wide nil-sink convention.
+type serviceTelemetry struct {
+	requests, served, dropped *telemetry.Counter
+	violations                *telemetry.Counter
+	overloadTicks             *telemetry.Counter
+	tickMeanMS                *telemetry.Histogram
+	offeredRPS                *telemetry.Gauge
+	p50, p95, p99             *telemetry.Gauge
+
+	lastViolations float64
+	lastServedSum  float64
+	lastSumMS      float64
+}
+
+// AttachTelemetry registers the service's metrics in sink's registry
+// (labels distinguish services; nil sink is a no-op). Call before the
+// first Step.
+func (s *Service) AttachTelemetry(sink *telemetry.Sink, labels telemetry.Labels) {
+	if sink == nil || sink.Registry == nil {
+		return
+	}
+	r := sink.Registry
+	s.tel = &serviceTelemetry{
+		requests: r.Counter("deflation_interactive_requests_total",
+			"Requests offered to the interactive service.", labels),
+		served: r.Counter("deflation_interactive_served_total",
+			"Requests admitted and served.", labels),
+		dropped: r.Counter("deflation_interactive_dropped_total",
+			"Requests dropped by admission control or overload.", labels),
+		violations: r.Counter("deflation_interactive_slo_violations_total",
+			"Requests past the p99 SLO (analytic tail mass) plus drops.", labels),
+		overloadTicks: r.Counter("deflation_interactive_overload_ticks_total",
+			"Ticks with zero live service capacity.", labels),
+		tickMeanMS: r.Histogram("deflation_interactive_tick_latency_ms",
+			"Per-tick mean response time (ms).",
+			telemetry.ExpBuckets(0.5, 2, 14), labels),
+		offeredRPS: r.Gauge("deflation_interactive_offered_rps",
+			"Admitted request rate over the last tick.", labels),
+		p50: r.Gauge("deflation_interactive_p50_ms",
+			"Running interpolated p50 response time (ms).", labels),
+		p95: r.Gauge("deflation_interactive_p95_ms",
+			"Running interpolated p95 response time (ms).", labels),
+		p99: r.Gauge("deflation_interactive_p99_ms",
+			"Running interpolated p99 response time (ms).", labels),
+	}
+}
+
+// observeTick records one tick's worth of counters and refreshes the
+// quantile gauges. Nil-safe.
+func (t *serviceTelemetry) observeTick(s *Service, offered, served, dropped float64) {
+	if t == nil {
+		return
+	}
+	t.requests.Add(offered)
+	t.served.Add(served)
+	t.dropped.Add(dropped)
+	if d := s.ps.Violations() - t.lastViolations; d > 0 {
+		t.violations.Add(d)
+	}
+	t.lastViolations = s.ps.Violations()
+	if s.overloadTicks > 0 && served == 0 && offered > 0 {
+		t.overloadTicks.Inc()
+	}
+	// Mean latency of just this tick, from the exact running sums.
+	if dServed := s.ps.Served() - t.lastServedSum; dServed > 0 {
+		t.tickMeanMS.Observe((s.ps.sumMS - t.lastSumMS) / dServed)
+	}
+	t.lastServedSum = s.ps.Served()
+	t.lastSumMS = s.ps.sumMS
+	t.offeredRPS.Set(s.TotalOfferedRPS())
+	t.p50.Set(s.ps.Quantile(0.50))
+	t.p95.Set(s.ps.Quantile(0.95))
+	t.p99.Set(s.ps.Quantile(0.99))
+}

@@ -26,6 +26,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"deflation/internal/stats"
 )
 
 // Labels distinguishes children of one metric family, e.g.
@@ -232,13 +234,10 @@ func DefBuckets() []float64 {
 // ExpBuckets returns n exponential buckets starting at start and growing by
 // factor — the shape for simulated reclamation latencies, which span
 // milliseconds (CPU unplug) to minutes (swap-bound memory reclamation).
+// The constructor is shared with the offline accumulators in
+// internal/stats.
 func ExpBuckets(start, factor float64, n int) []float64 {
-	out := make([]float64, n)
-	for i := range out {
-		out[i] = start
-		start *= factor
-	}
-	return out
+	return stats.ExpBuckets(start, factor, n)
 }
 
 // metricKind is the exposition type of a family.
