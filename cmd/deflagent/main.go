@@ -15,6 +15,7 @@ import (
 	"log"
 	"net/http"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -36,6 +37,11 @@ func main() {
 		mode     = flag.String("mode", "deflation", "reclamation mode: deflation or preemption-only")
 		levels   = flag.String("levels", "all", "cascade levels: all, vm (os+hypervisor), hypervisor, os")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
+
+		register  = flag.String("register", "", "manager base URL to self-register with (federated planes ring-route the registration)")
+		advertise = flag.String("advertise", "", "this agent's URL as the manager reaches it (default http://<listen>)")
+		heartbeat = flag.Duration("heartbeat", 5*time.Second, "push-heartbeat base interval with -register (full-jitter so fleets de-phase; 0 disables)")
+		hbSeed    = flag.Int64("heartbeat-seed", 0, "heartbeat jitter seed (0 = derive from -name)")
 	)
 	flag.Parse()
 
@@ -87,11 +93,23 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	srv := &http.Server{Addr: *listen, Handler: mux}
+	srv := cluster.NewHTTPServer(*listen, mux)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("deflagent: serving %s (%g cores, %g GB, %s, levels %s) on %s",
 		*name, *cpus, *memGB, m, lv, *listen)
+
+	if *register != "" {
+		self := *advertise
+		if self == "" {
+			h := *listen
+			if strings.HasPrefix(h, ":") {
+				h = "127.0.0.1" + h
+			}
+			self = "http://" + h
+		}
+		go runRegistration(ctx, *register, *name, self, *heartbeat, *hbSeed)
+	}
 
 	select {
 	case err := <-errc:

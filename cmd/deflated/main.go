@@ -86,9 +86,32 @@ func main() {
 		pollEvery = flag.Duration("poll-interval", 500*time.Millisecond, "standby: WAL tailing interval")
 		deadAfter = flag.Int("dead-after", 6, "standby: consecutive failed polls before the leader's lease expires")
 		corrobWin = flag.Duration("corroborate-window", 30*time.Second, "standby: hold promotion if any controller saw the leader's epoch asserted this recently")
+
+		shardID     = flag.String("shard-id", "", "run as one shard of a federated control plane under this member ID")
+		advertise   = flag.String("advertise", "", "federated: this shard's URL as peers reach it (default http://<listen>)")
+		stateRoot   = flag.String("state-root", "", "federated: shared journal root; each shard journals under <root>/<shard-id>")
+		vnodes      = flag.Int("vnodes", 0, "federated: consistent-hash virtual nodes per shard (0 = default)")
+		gossipEvery = flag.Duration("gossip", 2*time.Second, "federated: shard-map gossip interval (0 disables)")
 	)
+	var peers urlList
 	flag.Var(&controllers, "controller", "remote deflagent URL (repeatable)")
+	flag.Var(&peers, "peer", "federated: peer shard as id=url (repeatable)")
 	flag.Parse()
+
+	if *shardID != "" {
+		pol, err := parsePolicy(*policy)
+		if err != nil {
+			log.Fatalf("deflated: %v", err)
+		}
+		runFederated(federatedOptions{
+			shardID: *shardID, listen: *listen, advertise: *advertise,
+			stateRoot: *stateRoot, peers: peers, vnodes: *vnodes,
+			gossipEvery: *gossipEvery, policy: pol, seed: *seed,
+			snapEvery: *snapEvery, syncEvery: *syncEvery,
+			heartbeat: *heartbeat, maxMisses: *maxMisses, drain: *drain,
+		})
+		return
+	}
 
 	var nodes []cluster.Node
 	switch {
@@ -118,16 +141,9 @@ func main() {
 		log.Printf("deflated: simulating %d servers (%g cores / %g GB each)", *servers, *cpus, *memGB)
 	}
 
-	var pol cluster.PlacementPolicy
-	switch *policy {
-	case "best-fit":
-		pol = cluster.BestFit
-	case "first-fit":
-		pol = cluster.FirstFit
-	case "2-choices":
-		pol = cluster.TwoChoices
-	default:
-		log.Fatalf("deflated: unknown policy %q", *policy)
+	pol, err := parsePolicy(*policy)
+	if err != nil {
+		log.Fatalf("deflated: %v", err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -300,7 +316,7 @@ func main() {
 	mux.Handle("/v1/", handler)
 	sink.Attach(mux)
 
-	srv := &http.Server{Addr: *listen, Handler: mux}
+	srv := cluster.NewHTTPServer(*listen, mux)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	log.Printf("deflated: managing %d servers with %s placement on %s", len(nodes), pol, *listen)

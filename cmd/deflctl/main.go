@@ -58,6 +58,10 @@ func main() {
 		err = metrics(*manager, args[1:])
 	case "trace":
 		err = traceCmd(*manager, args[1:])
+	case "shardmap":
+		err = shardmap(*manager, args[1:])
+	case "adopt":
+		err = adopt(*manager, args[1:])
 	default:
 		usage()
 	}
@@ -77,7 +81,9 @@ commands:
   status  [-servers]
   state   [-json]                dump durable state: role/epoch, placements, journal seq, replication lag
   metrics [-node URL] [-raw]     scrape and pretty-print a node's metrics registry
-  trace   [-node URL] [-n K]     show the last K cascade decisions`)
+  trace   [-node URL] [-n K]     show the last K cascade decisions
+  shardmap [-json] [-key NAME]   show a federated manager's shard map (and resolve a key)
+  adopt   -shard ID              have this manager adopt a dead peer shard's journal`)
 	os.Exit(2)
 }
 

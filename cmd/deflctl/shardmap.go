@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+
+	"deflation/internal/cluster"
+	"deflation/internal/shard"
+)
+
+// shardmap prints a federated manager's shard map: version, membership,
+// and any adoption overlays, plus (with -key) which shard owns a given VM
+// or node name.
+func shardmap(manager string, args []string) error {
+	fs := flag.NewFlagSet("shardmap", flag.ExitOnError)
+	asJSON := fs.Bool("json", false, "print the raw JSON response")
+	key := fs.String("key", "", "also resolve this VM/node name to its owning shard")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	resp, err := client.Get(manager + "/v1/shardmap")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("shardmap", resp)
+	}
+	var m shard.Map
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(m)
+	}
+	v := shard.NewView(m)
+	fmt.Printf("shard map v%d  (%d members)\n", m.Version, len(m.Members))
+	for _, mem := range m.Members {
+		note := ""
+		if adopter, ok := m.Adopted[mem.ID]; ok {
+			note = fmt.Sprintf("  [dead; served by %s]", adopter)
+		}
+		fmt.Printf("  %-12s %s%s\n", mem.ID, mem.URL, note)
+	}
+	if len(m.Adopted) > 0 {
+		dead := make([]string, 0, len(m.Adopted))
+		for d := range m.Adopted {
+			dead = append(dead, d)
+		}
+		sort.Strings(dead)
+		fmt.Printf("adoptions: %d (%v)\n", len(m.Adopted), dead)
+	}
+	if *key != "" {
+		fmt.Printf("key %q: ring owner %s, served by %s\n", *key, v.RingOwner(*key), v.Owner(*key))
+	}
+	return nil
+}
+
+// adopt asks a federated manager to take over a dead peer's shard by
+// replaying its journal from the shared state root. The peer must already
+// be stopped: adoption fences it, but a live peer would keep serving until
+// its next fenced command.
+func adopt(manager string, args []string) error {
+	fs := flag.NewFlagSet("adopt", flag.ExitOnError)
+	dead := fs.String("shard", "", "dead shard ID to adopt (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dead == "" {
+		return fmt.Errorf("adopt: -shard is required")
+	}
+	resp, err := client.Post(manager+"/v1/adopt?shard="+*dead, "application/json", nil)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError("adopt", resp)
+	}
+	var rep cluster.RecoveryReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return err
+	}
+	fmt.Printf("adopted %s: %d placements recovered (replayed %d records; %d adopted, %d replaced, %d lost, %d reasserted, %d stale released)\n",
+		*dead, rep.Placements, rep.RecordsReplayed, rep.Adopted, rep.Replaced,
+		rep.Lost, rep.Reasserted, rep.StaleReleased)
+	return nil
+}

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"deflation/internal/restypes"
+	"deflation/internal/telemetry"
 )
 
 // The REST control plane of §5: "the centralized cluster manager and the
@@ -458,6 +459,28 @@ func NewRemoteNodeWithPolicy(baseURL string, policy RetryPolicy) (*RemoteNode, e
 	n.name = st.Name
 	return n, nil
 }
+
+// NewRemoteNodeNamed builds a client for a controller whose name is
+// already known — a registration request or a journaled node-add record —
+// WITHOUT probing the endpoint. The node may be temporarily unreachable
+// (recovery during a partition must not orphan its placements); every
+// operation fails soft until it answers, exactly like any other transient
+// network failure.
+func NewRemoteNodeNamed(name, baseURL string, policy RetryPolicy) *RemoteNode {
+	h := fnv.New64a()
+	h.Write([]byte(baseURL))
+	return &RemoteNode{
+		baseURL: baseURL,
+		client:  &http.Client{},
+		name:    name,
+		retry:   policy.withDefaults(),
+		rng:     rand.New(rand.NewSource(int64(h.Sum64()))),
+		sleep:   time.Sleep,
+	}
+}
+
+// BaseURL returns the controller endpoint this client talks to.
+func (n *RemoteNode) BaseURL() string { return n.baseURL }
 
 // SetEpoch sets the fencing epoch stamped (as X-Deflation-Epoch) onto every
 // subsequent request. The manager calls this when it becomes leader; the
@@ -919,6 +942,11 @@ type ManagerAPI struct {
 	mu       sync.Mutex
 	mgr      *Manager
 	recovery *RecoveryReport // last recovery outcome, if the manager recovered
+
+	// nodes is dynamic fleet membership (see nodes.go); hbTel counts push
+	// heartbeats received.
+	nodes nodeAPIState
+	hbTel *telemetry.Counter
 }
 
 // SetRecovery records the manager's last recovery outcome so /v1/state can
@@ -971,6 +999,9 @@ func (a *ManagerAPI) ProbeHealth() []HealthEvent {
 //	DELETE /v1/vms/{name} — release
 //	GET    /v1/cluster    — ClusterState
 //	GET    /v1/state      — ManagerStateResponse (durable-state debugging)
+//	POST   /v1/nodes      — RegisterNodeRequest → RegisterNodeResponse
+//	GET    /v1/nodes      — NodeListResponse
+//	POST   /v1/nodes/{name}/heartbeat — agent push heartbeat (204/404)
 func (a *ManagerAPI) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/vms", a.handleLaunch)
@@ -978,6 +1009,10 @@ func (a *ManagerAPI) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/cluster", a.handleCluster)
 	mux.HandleFunc("GET /v1/state", a.handleState)
 	mux.HandleFunc("POST /v1/migrate", a.handleMigrate)
+	mux.HandleFunc("POST /v1/nodes", a.handleRegisterNode)
+	mux.HandleFunc("GET /v1/nodes", a.handleListNodes)
+	mux.HandleFunc("DELETE /v1/nodes/{name}", a.handleForgetNode)
+	mux.HandleFunc("POST /v1/nodes/{name}/heartbeat", a.handleNodeHeartbeat)
 	mux.HandleFunc("GET "+replicaWALPath, a.handleReplicaWAL)
 	return mux
 }

@@ -1,0 +1,38 @@
+package cluster
+
+import (
+	"net/http"
+	"time"
+)
+
+// HTTPServerTimeouts are the daemon-wide defaults for every control-plane
+// http.Server (deflated, deflagent, deflload). Without them a slow-loris
+// client — one that opens a connection and trickles (or never sends)
+// header bytes — pins a goroutine and a file descriptor indefinitely,
+// letting a handful of sockets wedge the control plane.
+//
+//   - ReadHeaderTimeout bounds the wait for request headers;
+//   - ReadTimeout bounds the whole request read (headers + body), sized
+//     for the largest control-plane payloads (launch specs, WAL batches);
+//   - IdleTimeout reaps keep-alive connections between requests.
+//
+// Handler deadlines are not covered here: long-running work (migration
+// convergence) is bounded by the manager's own OpTimeouts.
+const (
+	DefaultReadHeaderTimeout = 5 * time.Second
+	DefaultReadTimeout       = 30 * time.Second
+	DefaultIdleTimeout       = 120 * time.Second
+)
+
+// NewHTTPServer builds an http.Server with the daemon-wide protective
+// timeouts applied. Every control-plane listener goes through here so no
+// daemon regresses to an unbounded server.
+func NewHTTPServer(addr string, handler http.Handler) *http.Server {
+	return &http.Server{
+		Addr:              addr,
+		Handler:           handler,
+		ReadHeaderTimeout: DefaultReadHeaderTimeout,
+		ReadTimeout:       DefaultReadTimeout,
+		IdleTimeout:       DefaultIdleTimeout,
+	}
+}

@@ -151,6 +151,10 @@ type Manager struct {
 	rec             Recorder
 	journal         *journal.Journal
 	recoveryOrphans []string
+	// nodeURLs holds the control endpoints of dynamically registered
+	// agents (AddNode), journaled so recovery and cross-shard adoption can
+	// re-dial the same fleet. Statically configured servers never appear.
+	nodeURLs map[string]string
 	// recoveryMigrations holds migrations that were in flight when the
 	// manager died, pending resolution against the destination's inventory.
 	recoveryMigrations map[string]MigrationIntent
@@ -200,17 +204,17 @@ type Manager struct {
 func (m *Manager) SetFreeOnlyFitness(on bool) { m.freeOnlyFitness = on }
 
 // NewManager builds a manager over servers. Seed drives the 2-choices
-// sampling (and nothing else), keeping runs reproducible.
+// sampling (and nothing else), keeping runs reproducible. An empty fleet
+// is valid — a federated shard starts with zero nodes and grows through
+// AddNode registrations; every launch rejects until a node arrives.
 func NewManager(servers []Node, policy PlacementPolicy, seed int64) (*Manager, error) {
-	if len(servers) == 0 {
-		return nil, fmt.Errorf("cluster: manager needs at least one server")
-	}
 	return &Manager{
 		servers:      servers,
 		policy:       policy,
 		rng:          rand.New(rand.NewSource(seed)),
 		placement:    make(map[string]int),
 		specs:        make(map[string]LaunchSpec),
+		nodeURLs:     make(map[string]string),
 		healthPolicy: HealthPolicy{}.withDefaults(),
 		health:       make([]nodeHealth, len(servers)),
 	}, nil
@@ -552,7 +556,7 @@ func (m *Manager) launch(spec LaunchSpec, countRejection bool) (int, LaunchRepor
 		m.noteDeposed(err)
 		return -1, rep, err
 	}
-	if m.tel != nil {
+	if m.tel != nil && idx < len(m.tel.placements) {
 		m.tel.placements[idx].Inc()
 	}
 	m.placement[spec.Name] = idx
@@ -572,6 +576,9 @@ func (m *Manager) launch(spec LaunchSpec, countRejection bool) (int, LaunchRepor
 }
 
 func (m *Manager) pickServer(spec LaunchSpec) int {
+	if len(m.servers) == 0 {
+		return -1
+	}
 	switch m.policy {
 	case FirstFit:
 		for i, s := range m.servers {
@@ -706,7 +713,9 @@ func (m *Manager) Snapshot() Stats {
 			st.MaxOvercommitment = oc
 		}
 	}
-	st.MeanOvercommitment /= float64(len(m.servers))
+	if len(m.servers) > 0 {
+		st.MeanOvercommitment /= float64(len(m.servers))
+	}
 	sort.Float64s(st.ServerOvercommitment)
 	return st
 }

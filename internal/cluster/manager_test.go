@@ -32,8 +32,17 @@ func newCluster(t *testing.T, n int, policy PlacementPolicy) *Manager {
 }
 
 func TestNewManagerValidation(t *testing.T) {
-	if _, err := NewManager(nil, BestFit, 1); err == nil {
-		t.Error("empty manager accepted")
+	// An empty fleet is legal: a federated shard starts with zero nodes and
+	// grows through AddNode. It must refuse work, not panic.
+	m, err := NewManager(nil, BestFit, 1)
+	if err != nil {
+		t.Fatalf("empty manager rejected: %v", err)
+	}
+	if _, _, err := m.Launch(spec("a", vm.LowPriority, 0.25)); err == nil {
+		t.Error("empty manager accepted a launch")
+	}
+	if snap := m.Snapshot(); len(snap.ServerOvercommitment) != 0 {
+		t.Errorf("empty manager snapshot servers = %d", len(snap.ServerOvercommitment))
 	}
 }
 

@@ -1,0 +1,338 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// This file is dynamic fleet membership: agents register themselves with a
+// running manager (POST /v1/nodes) instead of being listed on the command
+// line, the registration is journaled (node-add) so recovery and
+// cross-shard adoption re-dial the same fleet, and agents heartbeat their
+// owning manager (POST /v1/nodes/{name}/heartbeat) — a 404 tells an agent
+// its shard assignment moved and it must re-resolve the shard map.
+
+// AddNode registers a node with the running manager and journals the
+// registration. Registration is idempotent: re-announcing the same
+// name+URL is a no-op, and a changed URL (agent restarted elsewhere)
+// replaces the client and re-journals. A node that arrives with VMs
+// already running — re-registration with an adopting manager — has its
+// inventory reconciled into the placement rather than being assumed
+// empty. Returns the reconciliation events, if any.
+func (m *Manager) AddNode(n Node, url string) ([]HealthEvent, error) {
+	name := n.Name()
+	if name == "" {
+		return nil, fmt.Errorf("cluster: cannot register a node without a name")
+	}
+	if idx := m.serverIndex(name); idx >= 0 {
+		var events []HealthEvent
+		if m.nodeURLs[name] != url {
+			m.servers[idx] = n
+			m.nodeURLs[name] = url
+			m.propagateTerm(n)
+			m.record(Event{Kind: evNodeAdd, Node: name, URL: url})
+		}
+		if m.health[idx].dead {
+			// The failure detector had written it off; a registration is
+			// proof of life, and its inventory is ground truth.
+			m.health[idx] = nodeHealth{}
+			events = append(events, HealthEvent{Kind: NodeUp, Node: name})
+			m.record(Event{Kind: evNodeUp, Node: name})
+			if m.tel != nil {
+				m.tel.nodeUp.Inc()
+			}
+			events = append(events, m.reconcileNode(idx)...)
+		}
+		return events, nil
+	}
+	m.servers = append(m.servers, n)
+	m.health = append(m.health, nodeHealth{})
+	m.nodeURLs[name] = url
+	m.propagateTerm(n)
+	if m.tel != nil {
+		m.tel.addNode(name)
+	}
+	m.record(Event{Kind: evNodeAdd, Node: name, URL: url})
+	// The node may arrive with VMs already running (an agent that outlived
+	// its manager, now registering with the adopter): fold its inventory in.
+	return m.reconcileNode(len(m.servers) - 1), nil
+}
+
+// RemoveNode hands a node off: the manager forgets the node and every
+// placement on it WITHOUT releasing anything — the node and its VMs live
+// on under whichever manager now owns them (cross-shard rebalance). The
+// hand-off journals as a single node-remove event.
+func (m *Manager) RemoveNode(name string) error {
+	idx := m.serverIndex(name)
+	if idx < 0 {
+		return fmt.Errorf("%w: %q", ErrNodeNotFound, name)
+	}
+	for vmName, i := range m.placement {
+		switch {
+		case i == idx:
+			delete(m.placement, vmName)
+			delete(m.specs, vmName)
+		case i > idx:
+			m.placement[vmName] = i - 1
+		}
+	}
+	m.servers = append(m.servers[:idx], m.servers[idx+1:]...)
+	m.health = append(m.health[:idx], m.health[idx+1:]...)
+	delete(m.nodeURLs, name)
+	if m.tel != nil {
+		m.tel.removeNode(idx)
+	}
+	m.record(Event{Kind: evNodeRemove, Node: name})
+	return nil
+}
+
+// HasNode reports whether the manager currently manages the named node.
+func (m *Manager) HasNode(name string) bool { return m.serverIndex(name) >= 0 }
+
+// NodeURLs returns the dynamically registered agents (name → control
+// endpoint), a copy. Statically configured servers are not included.
+func (m *Manager) NodeURLs() map[string]string {
+	out := make(map[string]string, len(m.nodeURLs))
+	for name, url := range m.nodeURLs {
+		out[name] = url
+	}
+	return out
+}
+
+// propagateTerm stamps the manager's current fencing term onto a node
+// client that understands it, mirroring what SetEpoch/SetIdentity do for
+// the whole fleet.
+func (m *Manager) propagateTerm(n Node) {
+	if m.id != "" {
+		if is, ok := n.(interface{ SetLeaderID(string) }); ok {
+			is.SetLeaderID(m.id)
+		}
+	}
+	if m.epoch > 0 {
+		if es, ok := n.(interface{ SetEpoch(uint64) }); ok {
+			es.SetEpoch(m.epoch)
+		}
+	}
+}
+
+// AdoptJournal is the cross-shard takeover entry point: a peer manager
+// rebuilds a dead shard from its journal and assumes leadership over its
+// fleet. Recover replays the dead manager's WAL (re-dialing its
+// registered agents via cfg.DialNode) and anti-entropy reconciles against
+// their live inventories — all unfenced (epoch 0 RPCs are always
+// admitted), so reconciliation is not refused while the agents' guards
+// still hold the dead leader's term. BecomeLeader then bumps strictly
+// past both the journaled epoch and the cluster-wide fenced maximum, and
+// the fencing sweep raises every reachable agent's guard — from that
+// moment a merely-partitioned (not actually dead) leader finds every
+// command it issues refused. cfg.LeaderID must be the ADOPTER's identity,
+// never the dead manager's: identity is what breaks same-epoch ties if
+// the dead leader resurrects and self-allocates the same term.
+func AdoptJournal(cfg DurabilityConfig, servers []Node, policy PlacementPolicy, seed int64) (*Manager, *RecoveryReport, error) {
+	m, rep, err := Recover(cfg, servers, policy, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	m.BecomeLeader()
+	m.fenceAll()
+	return m, rep, nil
+}
+
+// NodeDialer builds a Node client for a registering agent. ManagerAPI's
+// default dials a RemoteNode without probing it; tests substitute
+// in-process fakes.
+type NodeDialer func(name, url string) (Node, error)
+
+// RegisterNodeRequest announces an agent to its owning manager.
+type RegisterNodeRequest struct {
+	// Name is the agent's server name. Optional: when empty the manager
+	// probes the URL's /v1/state for it (one extra round trip).
+	Name string `json:"name,omitempty"`
+	// URL is the agent's control endpoint, e.g. http://10.0.0.7:7070.
+	URL string `json:"url"`
+}
+
+// RegisterNodeResponse acknowledges a durably journaled registration.
+type RegisterNodeResponse struct {
+	Name string `json:"name"`
+	// Epoch is the manager's current leadership term, so freshly registered
+	// agents learn the fence without waiting for the first command.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// NodeListResponse is the manager's registered-fleet view.
+type NodeListResponse struct {
+	Nodes map[string]string `json:"nodes"` // name → URL ("" = static)
+	// LastHeartbeat is seconds since each node's last push heartbeat
+	// (absent for nodes that have never heartbeated).
+	LastHeartbeat map[string]float64 `json:"last_heartbeat_seconds,omitempty"`
+}
+
+// nodeAPIState is ManagerAPI's dynamic-membership state, guarded by the
+// API mutex like everything else.
+type nodeAPIState struct {
+	dial       NodeDialer
+	heartbeats map[string]time.Time
+	hbMu       sync.Mutex // heartbeats are hot-path; keep them off the API lock
+}
+
+// SetNodeDialer overrides how registering agents are dialed (tests,
+// in-process federations). The default dials RemoteNodes.
+func (a *ManagerAPI) SetNodeDialer(d NodeDialer) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.nodes.dial = d
+}
+
+func (a *ManagerAPI) dialNode(name, url string) (Node, error) {
+	if a.nodes.dial != nil {
+		return a.nodes.dial(name, url)
+	}
+	if name != "" {
+		return NewRemoteNodeNamed(name, url, RetryPolicy{}), nil
+	}
+	return NewRemoteNode(url)
+}
+
+// handleRegisterNode admits an agent into the fleet. The 201/200 response
+// is sent only after the node-add record is durably journaled — an
+// acknowledged registration survives any crash of this manager (or is
+// re-learned by the peer that adopts its journal).
+func (a *ManagerAPI) handleRegisterNode(w http.ResponseWriter, r *http.Request) {
+	var req RegisterNodeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, "cluster: bad node registration: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.URL == "" {
+		http.Error(w, "cluster: node registration needs a url", http.StatusBadRequest)
+		return
+	}
+	a.mu.Lock()
+	if a.refuseUnservable(w) {
+		a.mu.Unlock()
+		return
+	}
+	known := req.Name != "" && a.mgr.HasNode(req.Name) && a.mgr.NodeURLs()[req.Name] == req.URL
+	a.mu.Unlock()
+
+	// Dial outside the lock: the probe path (no name given) does a round
+	// trip to the agent.
+	var (
+		n   Node
+		err error
+	)
+	if !known {
+		if n, err = a.dialNode(req.Name, req.URL); err != nil {
+			http.Error(w, "cluster: dialing node: "+err.Error(), http.StatusBadGateway)
+			return
+		}
+	}
+
+	a.mu.Lock()
+	if a.refuseUnservable(w) {
+		a.mu.Unlock()
+		return
+	}
+	status := http.StatusOK
+	name := req.Name
+	if !known {
+		name = n.Name()
+		if !a.mgr.HasNode(name) {
+			status = http.StatusCreated
+		}
+		if _, err = a.mgr.AddNode(n, req.URL); err != nil {
+			a.mu.Unlock()
+			writeError(w, err)
+			return
+		}
+	}
+	walErr := a.mgr.WALError()
+	epoch := a.mgr.Epoch()
+	a.mu.Unlock()
+	if walErr != nil {
+		http.Error(w, "cluster: journal write failed; registration not durably recorded: "+walErr.Error(),
+			http.StatusServiceUnavailable)
+		return
+	}
+	writeJSON(w, status, RegisterNodeResponse{Name: name, Epoch: epoch})
+}
+
+// handleListNodes reports the registered fleet and heartbeat freshness.
+func (a *ManagerAPI) handleListNodes(w http.ResponseWriter, _ *http.Request) {
+	a.mu.Lock()
+	resp := NodeListResponse{Nodes: a.mgr.NodeURLs()}
+	for _, s := range a.mgr.Servers() {
+		if _, ok := resp.Nodes[s.Name()]; !ok {
+			resp.Nodes[s.Name()] = "" // static fleet member
+		}
+	}
+	a.mu.Unlock()
+	a.nodes.hbMu.Lock()
+	now := time.Now()
+	for name, t := range a.nodes.heartbeats {
+		if _, ok := resp.Nodes[name]; ok {
+			if resp.LastHeartbeat == nil {
+				resp.LastHeartbeat = make(map[string]float64)
+			}
+			resp.LastHeartbeat[name] = now.Sub(t).Seconds()
+		}
+	}
+	a.nodes.hbMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleForgetNode hands a node off (DELETE /v1/nodes/{name}): the
+// manager forgets the node and its placements without releasing anything.
+// Cross-shard reconciliation calls this on the NON-owner after
+// re-registering the node with its ring owner.
+func (a *ManagerAPI) handleForgetNode(w http.ResponseWriter, r *http.Request) {
+	a.mu.Lock()
+	if a.refuseUnservable(w) {
+		a.mu.Unlock()
+		return
+	}
+	err := a.mgr.RemoveNode(r.PathValue("name"))
+	walErr := a.mgr.WALError()
+	a.mu.Unlock()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if walErr != nil {
+		http.Error(w, "cluster: journal write failed; hand-off not durably recorded: "+walErr.Error(),
+			http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleNodeHeartbeat receives an agent's push heartbeat. 204 when this
+// manager owns the node; 404 when it does not — the agent's cue to
+// re-resolve the shard map and re-register with the current owner. The
+// push channel complements (does not replace) the manager's pull-based
+// failure detector: liveness decisions stay with ProbeHealth.
+func (a *ManagerAPI) handleNodeHeartbeat(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	a.mu.Lock()
+	owned := a.mgr.HasNode(name)
+	hbTel := a.hbTel
+	a.mu.Unlock()
+	if !owned {
+		http.Error(w, fmt.Sprintf("cluster: node %q is not managed here", name), http.StatusNotFound)
+		return
+	}
+	a.nodes.hbMu.Lock()
+	if a.nodes.heartbeats == nil {
+		a.nodes.heartbeats = make(map[string]time.Time)
+	}
+	a.nodes.heartbeats[name] = time.Now()
+	a.nodes.hbMu.Unlock()
+	if hbTel != nil {
+		hbTel.Inc()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

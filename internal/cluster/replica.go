@@ -380,13 +380,13 @@ func PromoteStandby(cfg DurabilityConfig, st *WALState, servers []Node, policy P
 	if err != nil {
 		return nil, nil, err
 	}
-	m, err := NewManager(servers, policy, seed)
+	if st == nil {
+		st = NewWALState()
+	}
+	m, err := NewManager(dialJournaledNodes(cfg, st, servers), policy, seed)
 	if err != nil {
 		j.Close()
 		return nil, nil, err
-	}
-	if st == nil {
-		st = NewWALState()
 	}
 	rep := &RecoveryReport{
 		LastSeq:         st.AppliedSeq,

@@ -121,3 +121,20 @@ func statusError(op, status string, code int) error {
 	}
 	return err
 }
+
+// HeartbeatInterval draws the next agent-heartbeat sleep: full jitter over
+// [base/2, 3·base/2), mean base. Agents started together (a rack reboot, a
+// failover re-registration wave) would otherwise tick in lockstep forever
+// and hit the manager in synchronized fan-in spikes; drawing every interval
+// independently de-phases the fleet within a few beats and keeps it spread.
+// Deterministic for a given rng stream; a nil rng returns base unchanged
+// (callers that want fixed cadence).
+func HeartbeatInterval(rng *rand.Rand, base time.Duration) time.Duration {
+	if base <= 0 {
+		base = time.Second
+	}
+	if rng == nil {
+		return base
+	}
+	return base/2 + time.Duration(rng.Int63n(int64(base)))
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"errors"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestQuickBackoffWithinFullJitterBounds is the satellite property test for
+// the retry ladder: for arbitrary policies and retry indices, every drawn
+// delay lies in (0, min(MaxDelay, BaseDelay<<retry)], and the rng-less path
+// returns the raw capped ceiling.
+func TestQuickBackoffWithinFullJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	prop := func(baseMS uint16, maxMS uint16, retry uint8) bool {
+		p := RetryPolicy{
+			BaseDelay: time.Duration(baseMS%1000+1) * time.Millisecond,
+			MaxDelay:  time.Duration(maxMS%5000+1) * time.Millisecond,
+		}.withDefaults()
+		r := int(retry % 40) // large enough to exercise shift overflow
+		ceiling := p.BaseDelay << uint(r)
+		if ceiling > p.MaxDelay || ceiling <= 0 {
+			ceiling = p.MaxDelay
+		}
+		d := p.backoff(r, rng)
+		if d <= 0 || d > ceiling {
+			t.Logf("policy %+v retry %d: delay %v outside (0, %v]", p, r, d, ceiling)
+			return false
+		}
+		// Deterministic callers get the ceiling itself.
+		if got := p.backoff(r, nil); got != ceiling {
+			t.Logf("nil-rng backoff = %v, want ceiling %v", got, ceiling)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBackoffJitterActuallySpreads guards against a regression to ±band
+// jitter: across many draws for one retry index the delays must cover the
+// full (0, ceiling] window, not cluster near the ceiling.
+func TestBackoffJitterActuallySpreads(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}.withDefaults()
+	rng := rand.New(rand.NewSource(7))
+	var below, above int
+	for i := 0; i < 1000; i++ {
+		d := p.backoff(0, rng) // ceiling = 100ms
+		if d <= 50*time.Millisecond {
+			below++
+		} else {
+			above++
+		}
+	}
+	if below < 300 || above < 300 {
+		t.Errorf("full jitter should cover the whole window: %d below midpoint, %d above", below, above)
+	}
+}
+
+// TestStaleEpochNeverRetried pins the fencing interaction with the retry
+// loop: a 412 (fenced-off epoch) is a verdict, not a flake — the client
+// must surface ErrStaleEpoch after exactly one attempt. Retrying it would
+// hammer a cluster that has already moved on to a newer leader.
+func TestStaleEpochNeverRetried(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "cluster: fenced: stale epoch", http.StatusPreconditionFailed)
+	}))
+	defer srv.Close()
+
+	n := NewRemoteNodeNamed("fenced-node", srv.URL, RetryPolicy{
+		MaxAttempts: 5,
+		BaseDelay:   time.Millisecond,
+		OpTimeout:   2 * time.Second,
+	})
+	_, err := n.State()
+	if !errors.Is(err, ErrStaleEpoch) {
+		t.Fatalf("State() err = %v, want ErrStaleEpoch", err)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Fatalf("412 retried: %d attempts, want exactly 1", got)
+	}
+
+	// Contrast: a 503 IS retried up to MaxAttempts.
+	hits.Store(0)
+	srv2 := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "overloaded", http.StatusServiceUnavailable)
+	}))
+	defer srv2.Close()
+	n2 := NewRemoteNodeNamed("flaky-node", srv2.URL, RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    2 * time.Millisecond,
+		OpTimeout:   2 * time.Second,
+	})
+	if _, err := n2.State(); err == nil {
+		t.Fatal("State() against a 503 server unexpectedly succeeded")
+	}
+	if got := hits.Load(); got != 3 {
+		t.Fatalf("503 attempts = %d, want 3", got)
+	}
+}

@@ -35,6 +35,7 @@ type managerTelemetry struct {
 	vmStaleReleased *telemetry.Counter
 	rejections      *telemetry.Counter
 	placements      []*telemetry.Counter // by server index
+	registry        *telemetry.Registry  // for counters of nodes added later
 
 	// Live-migration instruments (see migrate.go).
 	migrations          *telemetry.Counter
@@ -92,6 +93,7 @@ func (m *Manager) SetTelemetry(sink *telemetry.Sink) {
 			"bytes transferred per migration (MB)",
 			telemetry.ExpBuckets(64, 2, 12), nil),
 	}
+	t.registry = r
 	t.placements = make([]*telemetry.Counter, len(m.servers))
 	for i, s := range m.servers {
 		t.placements[i] = r.Counter("deflation_manager_placements_total",
@@ -103,6 +105,23 @@ func (m *Manager) SetTelemetry(sink *telemetry.Sink) {
 		if ts, ok := s.(interface{ SetTelemetry(*telemetry.Sink) }); ok {
 			ts.SetTelemetry(sink)
 		}
+	}
+}
+
+// addNode grows the per-server placement counters when a node registers
+// after instrumentation (dynamic membership).
+func (t *managerTelemetry) addNode(name string) {
+	t.placements = append(t.placements, t.registry.Counter(
+		"deflation_manager_placements_total",
+		"placement decisions by chosen server",
+		telemetry.Labels{"node": name}))
+}
+
+// removeNode splices the counter slice in step with the server slice; the
+// registry keeps the labeled series (counters are cumulative).
+func (t *managerTelemetry) removeNode(idx int) {
+	if idx < len(t.placements) {
+		t.placements = append(t.placements[:idx], t.placements[idx+1:]...)
 	}
 }
 
@@ -250,4 +269,10 @@ func (a *ManagerAPI) AttachTelemetry(sink *telemetry.Sink) {
 		func(m *Manager) float64 { return m.Snapshot().MaxOvercommitment })
 	scalar("deflation_manager_epoch", "this manager's leadership fencing epoch",
 		func(m *Manager) float64 { return float64(m.epoch) })
+	scalar("deflation_cluster_nodes", "nodes currently managed (static + registered)",
+		func(m *Manager) float64 { return float64(len(m.servers)) })
+	a.mu.Lock()
+	a.hbTel = r.Counter("deflation_manager_node_heartbeats_total",
+		"push heartbeats received from registered agents", nil)
+	a.mu.Unlock()
 }

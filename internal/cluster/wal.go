@@ -49,6 +49,15 @@ const (
 	// the record's Epoch field (stamped on every record), so replicas and
 	// replay learn the term change the moment the record lands.
 	evLeader = "leader"
+
+	// Dynamic fleet membership. evNodeAdd journals a node registration
+	// (Node + URL) so a recovery — or a peer adopting this shard's journal —
+	// can re-dial the same agents the dead manager was serving; evNodeRemove
+	// journals a hand-off (cross-shard rebalance), dropping the node and
+	// every placement on it WITHOUT releasing anything: the node and its
+	// VMs live on under whichever manager now owns them.
+	evNodeAdd    = "node-add"
+	evNodeRemove = "node-remove"
 )
 
 // Event is one journaled manager state transition, JSON-serializable.
@@ -64,6 +73,8 @@ type Event struct {
 	// From is the source node of a migration event (Node is the
 	// destination).
 	From string `json:"from,omitempty"`
+	// URL is the node's control endpoint (node-add events only).
+	URL string `json:"url,omitempty"`
 }
 
 // Recorder receives every manager state transition. Implementations must
@@ -96,6 +107,12 @@ type WALState struct {
 	Specs      map[string]LaunchSpec `json:"specs,omitempty"`
 	Dead       map[string]bool       `json:"dead,omitempty"` // nodes marked dead
 
+	// Nodes holds dynamically registered agents (name → control URL), so a
+	// recovery — or a peer adopting this journal — can re-dial the same
+	// fleet the recorded manager was serving. Statically configured servers
+	// never appear here.
+	Nodes map[string]string `json:"nodes,omitempty"`
+
 	// Migrating holds in-flight migrations: intents journaled (or
 	// snapshotted) without a matching done/fail event. Recovery resolves
 	// each by asking the destination whether the copy completed.
@@ -124,6 +141,7 @@ func NewWALState() *WALState {
 		Placements: make(map[string]string),
 		Specs:      make(map[string]LaunchSpec),
 		Dead:       make(map[string]bool),
+		Nodes:      make(map[string]string),
 		Migrating:  make(map[string]MigrationIntent),
 	}
 }
@@ -178,6 +196,22 @@ func (s *WALState) Apply(rec journal.Record) error {
 		s.Dead[e.Node] = true
 	case evNodeUp:
 		delete(s.Dead, e.Node)
+	case evNodeAdd:
+		if s.Nodes == nil {
+			s.Nodes = make(map[string]string)
+		}
+		s.Nodes[e.Node] = e.URL
+	case evNodeRemove:
+		delete(s.Nodes, e.Node)
+		delete(s.Dead, e.Node)
+		// A hand-off takes the node's placements with it (the new owner
+		// adopts them from the node's inventory); nothing is released.
+		for vmName, node := range s.Placements {
+			if node == e.Node {
+				delete(s.Placements, vmName)
+				delete(s.Specs, vmName)
+			}
+		}
 	case evStale:
 		s.StaleReleased++
 	case evMigrateStart:
@@ -214,6 +248,9 @@ func (m *Manager) walState() *WALState {
 	}
 	for name, intent := range m.inflight {
 		st.Migrating[name] = intent
+	}
+	for name, url := range m.nodeURLs {
+		st.Nodes[name] = url
 	}
 	st.Epoch = m.epoch
 	st.Rejected = m.rejected
@@ -301,6 +338,14 @@ type DurabilityConfig struct {
 	// FailOp, when non-nil, injects disk faults into the journal (see
 	// journal.Options.FailOp). Used by chaos sims and smoke tests.
 	FailOp func(op string) error
+	// DialNode, when non-nil, reconnects dynamically registered agents
+	// (journaled node-add events) that are absent from the static fleet:
+	// Recover calls it for each journaled name/URL before replay installs
+	// placements, so an adopting peer reaches the dead shard's agents. The
+	// dialer must NOT require the agent to be reachable — an agent that is
+	// briefly partitioned keeps its placements until the failure detector
+	// decides, exactly as Placed() does. NewRemoteNodeNamed qualifies.
+	DialNode func(name, url string) (Node, error)
 	// OnWALError is invoked once when a journal write fails and the
 	// recorder fail-stops. The manager should stand down as leader; the
 	// daemon exits so a standby (or supervisor) takes over.
@@ -446,6 +491,13 @@ func Recover(cfg DurabilityConfig, servers []Node, policy PlacementPolicy, seed 
 		}
 	}
 
+	// Re-dial dynamically registered agents the journal knows but the static
+	// fleet does not, BEFORE placements install — otherwise their VMs would
+	// look orphaned and be re-placed (a healthy-VM eviction). This is the
+	// heart of cross-shard adoption: a peer replaying a dead shard's journal
+	// reconstructs its fleet from the node-add records.
+	servers = dialJournaledNodes(cfg, st, servers)
+
 	m, err := NewManager(servers, policy, seed)
 	if err != nil {
 		j.Close()
@@ -474,6 +526,34 @@ func Recover(cfg DurabilityConfig, servers []Node, policy PlacementPolicy, seed 
 	return m, rep, nil
 }
 
+// dialJournaledNodes reconnects dynamically registered agents the journal
+// knows but the static fleet does not (see DurabilityConfig.DialNode).
+// Dial failures leave the node out; its placements orphan and re-place.
+func dialJournaledNodes(cfg DurabilityConfig, st *WALState, servers []Node) []Node {
+	if cfg.DialNode == nil || len(st.Nodes) == 0 {
+		return servers
+	}
+	have := make(map[string]bool, len(servers))
+	for _, s := range servers {
+		have[s.Name()] = true
+	}
+	names := make([]string, 0, len(st.Nodes))
+	for name := range st.Nodes {
+		if !have[name] {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n, err := cfg.DialNode(name, st.Nodes[name])
+		if err != nil {
+			continue
+		}
+		servers = append(servers, n)
+	}
+	return servers
+}
+
 // installWALState loads a replayed state into a fresh manager. Placements
 // naming servers absent from the fleet become orphans, re-placed by the
 // reconciliation pass.
@@ -485,6 +565,13 @@ func (m *Manager) installWALState(st *WALState) {
 	for node := range st.Dead {
 		if i, ok := byName[node]; ok {
 			m.health[i].dead = true
+		}
+	}
+	// Dynamically registered agents keep their journaled endpoint so future
+	// recordings (and a later adoption by a peer) can re-dial them.
+	for name, url := range st.Nodes {
+		if _, ok := byName[name]; ok {
+			m.nodeURLs[name] = url
 		}
 	}
 	var orphans []string

@@ -89,6 +89,16 @@ type Config struct {
 	// in practice this schedules the leader's first unrecoverable storage
 	// error. Zero disables disk faults.
 	DiskFailProb float64
+
+	// DiskSlowProb is the per-operation probability that a journal disk
+	// write or fsync stalls (a degraded device, a saturated virtio queue)
+	// for up to DiskSlowMax before completing NORMALLY. Unlike DiskFailProb
+	// this never poisons the journal — it stretches commit latency, which
+	// is what surfaces ack-before-fsync bugs and slow-leader tail latency.
+	DiskSlowProb float64
+	// DiskSlowMax bounds each injected stall (default 50ms); the stall is
+	// drawn uniformly from (0, DiskSlowMax].
+	DiskSlowMax time.Duration
 }
 
 // Enabled reports whether any fault category is configured.
@@ -98,7 +108,7 @@ func (c Config) Enabled() bool {
 		c.OSFailProb > 0 ||
 		c.HTTPErrorProb > 0 || c.HTTPDropProb > 0 || c.HTTPDelayProb > 0 ||
 		c.MigrationFailProb > 0 ||
-		c.PartitionMTBF > 0 || c.DiskFailProb > 0
+		c.PartitionMTBF > 0 || c.DiskFailProb > 0 || c.DiskSlowProb > 0
 }
 
 func (c Config) withDefaults() Config {
@@ -116,6 +126,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PartitionDuration == 0 {
 		c.PartitionDuration = 60 * time.Second
+	}
+	if c.DiskSlowMax == 0 {
+		c.DiskSlowMax = 50 * time.Millisecond
 	}
 	return c
 }
@@ -263,6 +276,20 @@ func (in *Injector) PartitionDuration() time.Duration {
 // into journal.Options.FailOp; the error is stable text so fault schedules
 // are reproducible byte-for-byte.
 func (in *Injector) DiskFault(op string) error {
+	if in.cfg.DiskSlowProb > 0 {
+		in.mu.Lock()
+		r := in.stream("disk-slow")
+		stall := time.Duration(0)
+		if r.Float64() < in.cfg.DiskSlowProb {
+			stall = 1 + time.Duration(r.Int63n(int64(in.cfg.DiskSlowMax)))
+		}
+		in.mu.Unlock()
+		// Sleep outside the lock: a stalled journal write must not also
+		// stall every other fault stream.
+		if stall > 0 {
+			time.Sleep(stall)
+		}
+	}
 	if in.cfg.DiskFailProb <= 0 {
 		return nil
 	}

@@ -1,0 +1,74 @@
+package shard
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzShardRing drives ring construction and ownership with arbitrary
+// member sets (including empties, duplicates, and junk bytes) and asserts
+// the structural contract: construction never panics, ownership is total
+// over non-empty rings, order-independent, and adding a member moves keys
+// ONLY onto the new member (the consistent-hashing ≤~K/N movement bound in
+// its exact form).
+func FuzzShardRing(f *testing.F) {
+	f.Add("shard-0\nshard-1\nshard-2", "node-1", 8)
+	f.Add("", "anything", 4)
+	f.Add("a", "a", 1)
+	f.Add("a\na\na", "k", 0)
+	f.Add("x\ny\nz\nw\nv", "node-\x00\xff", 64)
+	f.Fuzz(func(t *testing.T, memberBlob, key string, vnodes int) {
+		if vnodes < 0 || vnodes > 256 {
+			vnodes = vnodes%256 + 1
+			if vnodes < 0 {
+				vnodes = -vnodes
+			}
+		}
+		ids := strings.Split(memberBlob, "\n")
+		r := NewRing(ids, vnodes)
+
+		// Totality: a non-empty ring owns every key; an empty ring owns none.
+		owner := r.Owner(key)
+		if r.Len() == 0 && owner != "" {
+			t.Fatalf("empty ring owns %q", key)
+		}
+		if r.Len() > 0 && owner == "" {
+			t.Fatalf("key %q unowned on %d-member ring", key, r.Len())
+		}
+
+		// Order independence.
+		rev := make([]string, len(ids))
+		for i, id := range ids {
+			rev[len(ids)-1-i] = id
+		}
+		if got := NewRing(rev, vnodes).Owner(key); got != owner {
+			t.Fatalf("ownership depends on member order: %q vs %q", got, owner)
+		}
+
+		// Single-member ring: everything lands there.
+		if r.Len() == 1 && owner != r.Members()[0] {
+			t.Fatalf("single-member ring owner = %q", owner)
+		}
+
+		// Movement: grow the ring by one synthetic member; every key that
+		// changes owner must change TO the new member.
+		const extra = "fuzz-added-member"
+		hasExtra := false
+		for _, id := range r.Members() {
+			if id == extra {
+				hasExtra = true
+			}
+		}
+		if r.Len() > 0 && !hasExtra {
+			grown := NewRing(append(r.Members(), extra), vnodes)
+			for i := 0; i < 64; i++ {
+				k := fmt.Sprintf("%s#%d", key, i)
+				before, after := r.Owner(k), grown.Owner(k)
+				if before != after && after != extra {
+					t.Fatalf("key %q moved between pre-existing members %q → %q", k, before, after)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,197 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"deflation/internal/cluster"
+)
+
+// Cross-shard reconciliation. Rebalances and adoptions can transiently
+// leave a node agent double-owned (registered with two shards — e.g. its
+// re-registration raced a hand-off) or owned by the wrong shard (the ring
+// moved but the node's registration did not). ReconcileOnce walks every
+// shard's registered fleet, compares each node against the ring, and
+// repairs: the node is first registered with its ring owner (which adopts
+// the node's live VM inventory), then removed from every other shard via
+// the hand-off path — which drops bookkeeping WITHOUT releasing anything,
+// so repair can never evict a healthy VM. Orphaned agents (registered
+// nowhere) repair themselves: their heartbeats 404 everywhere, and the
+// agent re-registers through the ring, landing on its owner.
+
+// ReconcileMove records one repaired node: removed From a shard, now
+// registered with To.
+type ReconcileMove struct {
+	Node string `json:"node"`
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// ReconcileReport summarizes one cross-shard reconciliation pass.
+type ReconcileReport struct {
+	// ShardsSwept counts shards whose fleets were listed successfully.
+	ShardsSwept int `json:"shards_swept"`
+	// Moves are the repaired (mis- or double-owned) registrations.
+	Moves []ReconcileMove `json:"moves,omitempty"`
+	// DoubleOwned lists nodes found registered with more than one shard.
+	DoubleOwned []string `json:"double_owned,omitempty"`
+}
+
+// ReconcileOnce runs one cross-shard reconciliation pass against a live
+// federation, addressed through its shard map view. Dead, not-yet-adopted
+// shards are skipped (their journals reconcile during adoption).
+func ReconcileOnce(ctx context.Context, client *http.Client, v *View) (ReconcileReport, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	var rep ReconcileReport
+
+	type owned struct {
+		shard string // shard the registration lives in
+		url   string // agent endpoint ("" = static, cannot be moved)
+	}
+	fleet := make(map[string][]owned) // node name → registrations
+
+	shardIDs := make([]string, 0, len(v.Map.Members))
+	for _, mem := range v.Map.Members {
+		shardIDs = append(shardIDs, mem.ID)
+	}
+	sort.Strings(shardIDs)
+	for _, sid := range shardIDs {
+		serving := v.Map.resolveAdoption(sid)
+		base := v.Map.MemberURL(serving)
+		if base == "" {
+			continue
+		}
+		nodes, err := listNodes(ctx, client, base, sid)
+		if err != nil {
+			continue // dead or unreachable; adoption reconciles its journal
+		}
+		rep.ShardsSwept++
+		for name, url := range nodes.Nodes {
+			fleet[name] = append(fleet[name], owned{shard: sid, url: url})
+		}
+	}
+
+	names := make([]string, 0, len(fleet))
+	for name := range fleet {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		regs := fleet[name]
+		properShard := v.RingOwner(name)
+		if len(regs) > 1 {
+			rep.DoubleOwned = append(rep.DoubleOwned, name)
+		}
+		misowned := false
+		var url string
+		for _, reg := range regs {
+			if reg.shard == properShard {
+				continue
+			}
+			misowned = true
+			if reg.url != "" {
+				url = reg.url
+			}
+		}
+		if !misowned {
+			continue
+		}
+		// Register with the ring owner first — the node must never be
+		// unmanaged — then hand it off from every other shard.
+		ownerBase := v.Map.MemberURL(v.Map.resolveAdoption(properShard))
+		if ownerBase == "" || url == "" {
+			continue // owner dead (pending adoption) or static fleet member
+		}
+		if err := registerNode(ctx, client, ownerBase, name, url); err != nil {
+			continue
+		}
+		for _, reg := range regs {
+			if reg.shard == properShard {
+				continue
+			}
+			servingBase := v.Map.MemberURL(v.Map.resolveAdoption(reg.shard))
+			if servingBase == "" {
+				continue
+			}
+			if err := forgetNode(ctx, client, servingBase, reg.shard, name); err != nil {
+				continue
+			}
+			rep.Moves = append(rep.Moves, ReconcileMove{Node: name, From: reg.shard, To: properShard})
+		}
+	}
+	return rep, nil
+}
+
+// ReconcileAll runs one reconciliation pass using the federation's own
+// view (in-process federations; external planes call ReconcileOnce with a
+// fetched map).
+func (fed *Federation) ReconcileAll(ctx context.Context) (ReconcileReport, error) {
+	return ReconcileOnce(ctx, &http.Client{}, fed.View())
+}
+
+func listNodes(ctx context.Context, client *http.Client, base, shardID string) (cluster.NodeListResponse, error) {
+	var out cluster.NodeListResponse
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/nodes?shard="+shardID, nil)
+	if err != nil {
+		return out, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return out, err
+	}
+	defer drain(resp)
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("shard: listing nodes of %s: %s", shardID, resp.Status)
+	}
+	return out, json.NewDecoder(resp.Body).Decode(&out)
+}
+
+func registerNode(ctx context.Context, client *http.Client, base, name, url string) error {
+	body, err := json.Marshal(cluster.RegisterNodeRequest{Name: name, URL: url})
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/nodes", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("shard: registering %s: %s", name, resp.Status)
+	}
+	return nil
+}
+
+func forgetNode(ctx context.Context, client *http.Client, base, shardID, name string) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodDelete,
+		base+"/v1/nodes/"+name+"?shard="+shardID, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer drain(resp)
+	if resp.StatusCode >= 300 && resp.StatusCode != http.StatusNotFound {
+		return fmt.Errorf("shard: removing %s from %s: %s", name, shardID, resp.Status)
+	}
+	return nil
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+}

@@ -1,0 +1,162 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func shardIDs(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("shard-%d", i)
+	}
+	return out
+}
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("node-%04d", i)
+	}
+	return out
+}
+
+func TestRingDeterministicAndTotal(t *testing.T) {
+	a := NewRing(shardIDs(3), DefaultVNodes)
+	b := NewRing([]string{"shard-2", "shard-0", "shard-1"}, DefaultVNodes) // order must not matter
+	if a.Len() != 3 {
+		t.Fatalf("ring len = %d", a.Len())
+	}
+	for _, k := range keys(500) {
+		oa, ob := a.Owner(k), b.Owner(k)
+		if oa == "" {
+			t.Fatalf("key %s unowned", k)
+		}
+		if oa != ob {
+			t.Fatalf("ownership depends on member order: %s vs %s for %s", oa, ob, k)
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r := NewRing(shardIDs(4), DefaultVNodes)
+	counts := map[string]int{}
+	const n = 4000
+	for _, k := range keys(n) {
+		counts[r.Owner(k)]++
+	}
+	for id, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.25) > 0.12 {
+			t.Errorf("shard %s owns %.1f%% of keys (want ~25%%)", id, frac*100)
+		}
+	}
+}
+
+// TestRingMinimalMovement is the consistent-hashing contract: adding one
+// member to N moves about K/(N+1) keys, and every moved key moves TO the
+// new member, never between old members.
+func TestRingMinimalMovement(t *testing.T) {
+	before := NewRing(shardIDs(3), DefaultVNodes)
+	after := NewRing(shardIDs(4), DefaultVNodes)
+	const n = 4000
+	moved := 0
+	for _, k := range keys(n) {
+		ob, oa := before.Owner(k), after.Owner(k)
+		if ob == oa {
+			continue
+		}
+		moved++
+		if oa != "shard-3" {
+			t.Fatalf("key %s moved between old members: %s → %s", k, ob, oa)
+		}
+	}
+	frac := float64(moved) / n
+	if frac > 0.40 { // ideal 1/4; generous bound for hash noise
+		t.Errorf("adding 1 of 4 members moved %.1f%% of keys", frac*100)
+	}
+	if moved == 0 {
+		t.Error("new member owns nothing")
+	}
+}
+
+func TestRingEdgeCases(t *testing.T) {
+	if o := NewRing(nil, 8).Owner("x"); o != "" {
+		t.Errorf("empty ring owner = %q", o)
+	}
+	one := NewRing([]string{"only"}, 8)
+	if o := one.Owner("anything"); o != "only" {
+		t.Errorf("single-member owner = %q", o)
+	}
+	dup := NewRing([]string{"a", "a", "b"}, 8)
+	if dup.Len() != 2 {
+		t.Errorf("duplicate members not deduped: len = %d", dup.Len())
+	}
+}
+
+func TestAdoptionOverlayMovesNoHealthyKeys(t *testing.T) {
+	m := Map{Version: 1, Members: []Member{
+		{ID: "shard-0", URL: "http://a"},
+		{ID: "shard-1", URL: "http://b"},
+		{ID: "shard-2", URL: "http://c"},
+	}}
+	v := NewView(m)
+
+	adopted := m.Clone()
+	adopted.Adopted = map[string]string{"shard-1": "shard-2"}
+	adopted.Version = 2
+	va := NewView(adopted)
+
+	for _, k := range keys(2000) {
+		before, after := v.Owner(k), va.Owner(k)
+		switch before {
+		case "shard-1":
+			if after != "shard-2" {
+				t.Fatalf("dead shard's key %s went to %s, not the adopter", k, after)
+			}
+		default:
+			if after != before {
+				t.Fatalf("healthy key %s moved %s → %s during adoption", k, before, after)
+			}
+		}
+		// The ring itself must be untouched by the overlay.
+		if va.RingOwner(k) != before {
+			t.Fatalf("ring ownership changed under overlay for %s", k)
+		}
+	}
+}
+
+func TestAdoptionChainsResolve(t *testing.T) {
+	m := Map{Version: 3, Members: []Member{{ID: "a"}, {ID: "b"}, {ID: "c"}},
+		Adopted: map[string]string{"a": "b", "b": "c"}}
+	if got := m.resolveAdoption("a"); got != "c" {
+		t.Errorf("chain a→b→c resolved to %q", got)
+	}
+}
+
+func TestAdopterElectSkipsDeadAndAdopted(t *testing.T) {
+	m := Map{Version: 1, Members: []Member{{ID: "a"}, {ID: "b"}, {ID: "c"}},
+		Adopted: map[string]string{"b": "c"}}
+	v := NewView(m)
+	// a's clockwise successor is b, but b is itself adopted (dead); the
+	// elect must land on c.
+	if got := v.AdopterElect("a"); got != "c" {
+		t.Errorf("adopter-elect for a = %q, want c", got)
+	}
+	if got := v.AdopterElect("c"); got != "a" {
+		t.Errorf("adopter-elect for c = %q, want a (wraparound)", got)
+	}
+}
+
+func TestMapStoreMergeKeepsNewest(t *testing.T) {
+	s := NewMapStore(Map{Version: 2, Members: []Member{{ID: "a"}}})
+	s.Merge(Map{Version: 1, Members: []Member{{ID: "stale"}}})
+	if got := s.View().Map.Members[0].ID; got != "a" {
+		t.Errorf("older map overwrote newer: member = %s", got)
+	}
+	s.Merge(Map{Version: 5, Members: []Member{{ID: "b"}}})
+	if got := s.View().Map.Version; got != 5 {
+		t.Errorf("newer map not kept: version = %d", got)
+	}
+}

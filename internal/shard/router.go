@@ -1,0 +1,323 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"deflation/internal/cluster"
+)
+
+// ShardEpochHeader carries the shard-map version a response was routed
+// under. Clients cache the map and re-fetch when the header outruns their
+// copy — after an adoption or rebalance, the first redirected request
+// teaches them the new ownership.
+const ShardEpochHeader = "X-Deflation-Shard-Epoch"
+
+// shardMapPath serves (GET) and gossips (POST) the shard map.
+const shardMapPath = "/v1/shardmap"
+
+// Router is a federated manager's HTTP front door. Every request is keyed
+// (VM name for VM commands, node name for registrations and heartbeats)
+// and either dispatched to a locally mounted shard — this manager's own,
+// plus any it has adopted — or redirected (307 + ShardEpochHeader) to the
+// owning peer. Key-less reads (/v1/cluster, /v1/state, /v1/nodes) serve
+// the local shard's view; ?shard=ID selects an adopted shard instead.
+type Router struct {
+	self  string
+	store *MapStore
+
+	mu    sync.RWMutex
+	local map[string]http.Handler
+}
+
+// NewRouter builds a router for the manager identified by self.
+func NewRouter(self string, store *MapStore) *Router {
+	return &Router{self: self, store: store, local: make(map[string]http.Handler)}
+}
+
+// Self returns this manager's member ID.
+func (rt *Router) Self() string { return rt.self }
+
+// Store returns the router's shard-map store.
+func (rt *Router) Store() *MapStore { return rt.store }
+
+// Mount installs the handler serving shard id locally (this manager's own
+// shard at boot, a dead peer's shard after adoption).
+func (rt *Router) Mount(id string, h http.Handler) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	rt.local[id] = h
+}
+
+// Unmount removes a locally served shard (hand-back after rebalance).
+func (rt *Router) Unmount(id string) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	delete(rt.local, id)
+}
+
+// Mounted lists the shard IDs this router serves locally.
+func (rt *Router) Mounted() []string {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	ids := make([]string, 0, len(rt.local))
+	for id := range rt.local {
+		ids = append(ids, id)
+	}
+	return ids
+}
+
+func (rt *Router) localHandler(id string) http.Handler {
+	rt.mu.RLock()
+	defer rt.mu.RUnlock()
+	return rt.local[id]
+}
+
+// Handler returns the router's routes. VM commands key by VM name, node
+// registration and heartbeats by node name; both domains hash onto the
+// same ring so ownership is total and deterministic.
+func (rt *Router) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+shardMapPath, rt.handleMapGet)
+	mux.HandleFunc("POST "+shardMapPath, rt.handleMapPost)
+
+	mux.HandleFunc("POST /v1/vms", rt.keyedBody(func(body []byte) (string, error) {
+		var spec cluster.LaunchSpec
+		if err := json.Unmarshal(body, &spec); err != nil {
+			return "", err
+		}
+		return spec.Name, nil
+	}))
+	mux.HandleFunc("DELETE /v1/vms/{name}", rt.keyedPath("name"))
+	mux.HandleFunc("POST /v1/migrate", rt.keyedBody(func(body []byte) (string, error) {
+		var req cluster.MigrateRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", err
+		}
+		return req.VM, nil
+	}))
+	mux.HandleFunc("POST /v1/nodes", rt.keyedBody(func(body []byte) (string, error) {
+		var req cluster.RegisterNodeRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return "", err
+		}
+		// A nameless registration cannot be ring-routed; it lands on the
+		// shard it reached, which probes the agent for its name.
+		return req.Name, nil
+	}))
+	mux.HandleFunc("POST /v1/nodes/{name}/heartbeat", rt.keyedPath("name"))
+
+	// Key-less per-shard routes: reads serve the local (or ?shard=ID) view;
+	// DELETE /v1/nodes is an admin hand-off aimed at a specific shard, not
+	// at the ring owner, so it is deliberately NOT ring-routed.
+	for _, route := range []string{"GET /v1/cluster", "GET /v1/state", "GET /v1/nodes",
+		"GET /v1/replica/wal", "DELETE /v1/nodes/{name}"} {
+		mux.HandleFunc(route, rt.serveLocal)
+	}
+	return mux
+}
+
+// handleMapGet serves the current shard map.
+func (rt *Router) handleMapGet(w http.ResponseWriter, _ *http.Request) {
+	v := rt.store.View()
+	w.Header().Set(ShardEpochHeader, strconv.FormatUint(v.Map.Version, 10))
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v.Map)
+}
+
+// handleMapPost merges a gossiped map (kept iff strictly newer).
+func (rt *Router) handleMapPost(w http.ResponseWriter, r *http.Request) {
+	var m Map
+	if err := json.NewDecoder(r.Body).Decode(&m); err != nil {
+		http.Error(w, "shard: bad map: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := m.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	rt.store.Merge(m)
+	v := rt.store.View()
+	w.Header().Set(ShardEpochHeader, strconv.FormatUint(v.Map.Version, 10))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// keyedPath routes by a path segment.
+func (rt *Router) keyedPath(seg string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		rt.route(w, r, r.PathValue(seg))
+	}
+}
+
+// keyedBody routes by a key extracted from the JSON body, which is
+// re-injected for the local handler (or discarded on redirect — a 307
+// makes the client resend it).
+func (rt *Router) keyedBody(extract func([]byte) (string, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, "shard: reading body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		key, err := extract(body)
+		if err != nil {
+			http.Error(w, "shard: bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		r.Body = io.NopCloser(bytes.NewReader(body))
+		r.ContentLength = int64(len(body))
+		rt.route(w, r, key)
+	}
+}
+
+// route dispatches to the owning shard's local handler or redirects to
+// the member serving that shard. Ownership is the RING owner — adoption
+// never reassigns keys to a different shard, it only changes which member
+// serves the dead shard's journal — so the local check is by shard ID
+// (which is how adopted handlers are mounted) and only the redirect target
+// resolves through the adoption overlay. An empty key serves locally (the
+// request cannot be ring-routed; the local shard resolves it).
+func (rt *Router) route(w http.ResponseWriter, r *http.Request, key string) {
+	v := rt.store.View()
+	version := strconv.FormatUint(v.Map.Version, 10)
+	owner := rt.self
+	if key != "" {
+		if owner = v.RingOwner(key); owner == "" {
+			http.Error(w, "shard: empty shard map", http.StatusServiceUnavailable)
+			return
+		}
+	}
+	if h := rt.localHandler(owner); h != nil {
+		w.Header().Set(ShardEpochHeader, version)
+		h.ServeHTTP(w, r)
+		return
+	}
+	target := v.Map.MemberURL(v.Map.resolveAdoption(owner))
+	if target == "" {
+		http.Error(w, fmt.Sprintf("shard: no endpoint for owner %s of %q", owner, key),
+			http.StatusServiceUnavailable)
+		return
+	}
+	url := target + r.URL.Path
+	if r.URL.RawQuery != "" {
+		url += "?" + r.URL.RawQuery
+	}
+	w.Header().Set(ShardEpochHeader, version)
+	http.Redirect(w, r, url, http.StatusTemporaryRedirect)
+}
+
+// serveLocal serves a key-less read from the local shard (?shard=ID
+// selects a specific mounted shard, e.g. one this manager adopted; an ID
+// mounted elsewhere redirects there).
+func (rt *Router) serveLocal(w http.ResponseWriter, r *http.Request) {
+	v := rt.store.View()
+	id := r.URL.Query().Get("shard")
+	if id == "" {
+		id = rt.self
+	}
+	if h := rt.localHandler(id); h != nil {
+		w.Header().Set(ShardEpochHeader, strconv.FormatUint(v.Map.Version, 10))
+		h.ServeHTTP(w, r)
+		return
+	}
+	owner := v.Map.resolveAdoption(id)
+	if target := v.Map.MemberURL(owner); owner != rt.self && target != "" {
+		url := target + r.URL.Path
+		if r.URL.RawQuery != "" {
+			url += "?" + r.URL.RawQuery
+		}
+		http.Redirect(w, r, url, http.StatusTemporaryRedirect)
+		return
+	}
+	http.Error(w, fmt.Sprintf("shard: %s not served here", id), http.StatusNotFound)
+}
+
+// GossipOnce pulls every peer's shard map and merges newer versions, then
+// pushes the local map to any peer that answered with an older one.
+// Unreachable peers are skipped — gossip is best-effort; correctness
+// comes from redirects carrying ShardEpochHeader.
+func (rt *Router) GossipOnce(ctx context.Context, client *http.Client) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	self := rt.store.View()
+	for _, mem := range self.Map.Members {
+		if mem.ID == rt.self || mem.URL == "" {
+			continue
+		}
+		peer, err := FetchMap(ctx, client, mem.URL)
+		if err != nil {
+			continue
+		}
+		if peer.Version > rt.store.View().Map.Version {
+			rt.store.Merge(peer)
+		} else if peer.Version < rt.store.View().Map.Version {
+			PushMap(ctx, client, mem.URL, rt.store.View().Map)
+		}
+	}
+}
+
+// Gossip runs GossipOnce every interval until ctx is done.
+func (rt *Router) Gossip(ctx context.Context, client *http.Client, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.GossipOnce(ctx, client)
+		}
+	}
+}
+
+// FetchMap retrieves a manager's shard map.
+func FetchMap(ctx context.Context, client *http.Client, baseURL string) (Map, error) {
+	var m Map
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+shardMapPath, nil)
+	if err != nil {
+		return m, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return m, err
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return m, fmt.Errorf("shard: fetching map from %s: %s", baseURL, resp.Status)
+	}
+	return m, json.NewDecoder(resp.Body).Decode(&m)
+}
+
+// PushMap offers a map to a peer (kept iff newer than the peer's own).
+func PushMap(ctx context.Context, client *http.Client, baseURL string, m Map) error {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+shardMapPath, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<20))
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		return fmt.Errorf("shard: pushing map to %s: %s", baseURL, resp.Status)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// echoShard is a stand-in shard handler that reports which shard served
+// the request.
+func echoShard(id string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "served-by:%s", id)
+	})
+}
+
+// twoRouterFixture builds two routers over real listeners, each serving
+// its own shard, sharing one map.
+func twoRouterFixture(t *testing.T) (a, b *Router, aURL, bURL string) {
+	t.Helper()
+	srvA := httptest.NewServer(nil)
+	srvB := httptest.NewServer(nil)
+	t.Cleanup(srvA.Close)
+	t.Cleanup(srvB.Close)
+	m := Map{Version: 1, Members: []Member{
+		{ID: "shard-a", URL: srvA.URL},
+		{ID: "shard-b", URL: srvB.URL},
+	}}
+	a = NewRouter("shard-a", NewMapStore(m))
+	b = NewRouter("shard-b", NewMapStore(m))
+	a.Mount("shard-a", echoShard("shard-a"))
+	b.Mount("shard-b", echoShard("shard-b"))
+	srvA.Config.Handler = a.Handler()
+	srvB.Config.Handler = b.Handler()
+	return a, b, srvA.URL, srvB.URL
+}
+
+// keyOwnedBy finds a VM name the given shard owns under the fixture's map.
+func keyOwnedBy(t *testing.T, v *View, shard string) string {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		k := fmt.Sprintf("vm-%d", i)
+		if v.Owner(k) == shard {
+			return k
+		}
+	}
+	t.Fatal("no key found for shard", shard)
+	return ""
+}
+
+func TestRouterLocalDispatchAndRedirect(t *testing.T) {
+	a, _, aURL, bURL := twoRouterFixture(t)
+	v := a.Store().View()
+
+	client := &http.Client{} // follows 307s, re-sending the body
+	for _, shard := range []string{"shard-a", "shard-b"} {
+		key := keyOwnedBy(t, v, shard)
+		body := fmt.Sprintf(`{"name":%q}`, key)
+		resp, err := client.Post(aURL+"/v1/vms", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := readAll(resp)
+		if want := "served-by:" + shard; got != want {
+			t.Errorf("key %s (owner %s) served by %q", key, shard, got)
+		}
+		if resp.Header.Get(ShardEpochHeader) != "1" {
+			t.Errorf("missing/wrong %s: %q", ShardEpochHeader, resp.Header.Get(ShardEpochHeader))
+		}
+	}
+
+	// Without following redirects the foreign-owned key must 307 to the peer.
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	key := keyOwnedBy(t, v, "shard-b")
+	resp, err := noFollow.Post(aURL+"/v1/vms", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"name":%q}`, key)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	readAll(resp)
+	if resp.StatusCode != http.StatusTemporaryRedirect {
+		t.Fatalf("foreign key status = %d, want 307", resp.StatusCode)
+	}
+	if loc := resp.Header.Get("Location"); !strings.HasPrefix(loc, bURL) {
+		t.Errorf("redirect location = %q, want prefix %q", loc, bURL)
+	}
+}
+
+func TestRouterHeartbeatRoutesByPathKey(t *testing.T) {
+	a, _, aURL, _ := twoRouterFixture(t)
+	v := a.Store().View()
+	client := &http.Client{}
+	for _, shard := range []string{"shard-a", "shard-b"} {
+		key := keyOwnedBy(t, v, shard)
+		resp, err := client.Post(aURL+"/v1/nodes/"+key+"/heartbeat", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, _ := readAll(resp); got != "served-by:"+shard {
+			t.Errorf("heartbeat for %s served by %q, want %s", key, got, shard)
+		}
+	}
+}
+
+func TestRouterServeLocalShardSelector(t *testing.T) {
+	a, b, aURL, _ := twoRouterFixture(t)
+	// shard-a adopts shard-b's handler (as adoption would mount it).
+	a.Mount("shard-b", echoShard("shard-b-adopted"))
+	client := &http.Client{}
+
+	resp, err := client.Get(aURL + "/v1/cluster?shard=shard-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := readAll(resp); got != "served-by:shard-b-adopted" {
+		t.Errorf("?shard=shard-b on adopter served %q", got)
+	}
+
+	// An unmounted foreign shard redirects to wherever the map says it lives.
+	a.Unmount("shard-b")
+	resp, err = client.Get(aURL + "/v1/cluster?shard=shard-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := readAll(resp); got != "served-by:shard-b" {
+		t.Errorf("?shard=shard-b after unmount served %q", got)
+	}
+	_ = b
+}
+
+func TestRouterGossipSpreadsNewerMap(t *testing.T) {
+	a, b, _, _ := twoRouterFixture(t)
+	// b learns of an adoption (version bump); a still has v1.
+	b.Store().Adopt("shard-a", "shard-b")
+	bumped := b.Store().View().Map.Version
+	if bumped <= 1 {
+		t.Fatal("Adopt did not bump version")
+	}
+	b.GossipOnce(context.Background(), nil) // push: b is newer
+	if got := a.Store().View().Map.Version; got != bumped {
+		t.Fatalf("gossip did not spread: a at v%d, want v%d", got, bumped)
+	}
+	if got := a.Store().View().Owner(keyOwnedBy(t, NewView(Map{Version: 1, Members: a.Store().View().Map.Members}), "shard-a")); got != "shard-b" {
+		t.Errorf("adopted ownership not visible on peer: owner = %s", got)
+	}
+}
+
+func TestRouterEmptyKeyServesLocally(t *testing.T) {
+	_, _, aURL, _ := twoRouterFixture(t)
+	client := &http.Client{}
+	// A nameless registration cannot be ring-routed; the reached shard keeps it.
+	resp, err := client.Post(aURL+"/v1/nodes", "application/json", strings.NewReader(`{"url":"http://x"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := readAll(resp); got != "served-by:shard-a" {
+		t.Errorf("nameless registration served by %q, want local shard", got)
+	}
+}
+
+func readAll(resp *http.Response) (string, error) {
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}

@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# Shard-adoption smoke test: boot a real 3-shard federated control plane
+# (three deflated processes sharing a state root), drive open-loop traffic
+# with deflload, SIGKILL one shard leader mid-run, have a peer adopt the
+# dead shard's journal via deflctl, and assert:
+#
+#   * the adoption is recorded in the gossiped shard map,
+#   * zero acked registrations or launches were lost,
+#   * zero failure-induced preemptions (no healthy-VM evictions),
+#   * deflload's whole-run invariant sweep passes (exit 0).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d /tmp/shard-smoke-XXXXXX)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill -9 "$pid" 2>/dev/null || true; done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+echo "== building daemons"
+go build -o "$WORK" ./cmd/deflated ./cmd/deflctl ./cmd/deflload
+
+P0=7180 P1=7181 P2=7182
+U0="http://127.0.0.1:$P0" U1="http://127.0.0.1:$P1" U2="http://127.0.0.1:$P2"
+
+echo "== booting 3 federated shards under $WORK/state"
+start_shard() { # id listen peers...
+    local id=$1 port=$2; shift 2
+    "$WORK/deflated" -shard-id "$id" -listen "127.0.0.1:$port" \
+        -state-root "$WORK/state" -gossip 500ms "$@" \
+        >"$WORK/$id.log" 2>&1 &
+    PIDS+=($!)
+}
+start_shard shard-0 $P0 -peer "shard-1=$U1" -peer "shard-2=$U2"
+start_shard shard-1 $P1 -peer "shard-0=$U0" -peer "shard-2=$U2"
+start_shard shard-2 $P2 -peer "shard-0=$U0" -peer "shard-1=$U1"
+
+for u in $U0 $U1 $U2; do
+    for i in $(seq 1 50); do
+        curl -fsS "$u/v1/shardmap" >/dev/null 2>&1 && break
+        [ "$i" = 50 ] && { echo "FAIL: $u never served a shard map"; exit 1; }
+        sleep 0.2
+    done
+done
+"$WORK/deflctl" -manager "$U0" shardmap
+
+echo "== starting deflload traffic (24 agents, open loop)"
+"$WORK/deflload" -manager "$U0" -manager "$U1" -manager "$U2" \
+    -agents 24 -rps 60 -ticks 60 -tick 100ms -heartbeat 300ms \
+    -json "$WORK/report.json" >"$WORK/deflload.log" 2>&1 &
+LOAD_PID=$!
+PIDS+=($LOAD_PID)
+
+sleep 2
+# PIDS[1] is shard-1: shards were started in order before deflload.
+echo "== SIGKILL shard-1 (pid ${PIDS[1]}) under traffic"
+kill -9 "${PIDS[1]}"
+sleep 1
+
+echo "== adopting shard-1 into shard-0"
+"$WORK/deflctl" -manager "$U0" adopt -shard shard-1
+
+MAP=$("$WORK/deflctl" -manager "$U0" shardmap)
+echo "$MAP"
+echo "$MAP" | grep -q "dead; served by shard-0" \
+    || { echo "FAIL: adoption not recorded in the shard map"; exit 1; }
+
+echo "== waiting for deflload to finish"
+if ! wait "$LOAD_PID"; then
+    echo "FAIL: deflload reported an invariant violation or error"
+    tail -20 "$WORK/deflload.log"
+    exit 1
+fi
+tail -4 "$WORK/deflload.log"
+
+grep -q '"invariants_ok": true' "$WORK/report.json" \
+    || { echo "FAIL: report has invariants_ok=false"; cat "$WORK/report.json"; exit 1; }
+grep -q '"lost_registrations"' "$WORK/report.json" \
+    && { echo "FAIL: lost acked registrations"; cat "$WORK/report.json"; exit 1; }
+grep -q '"lost_vm_names"' "$WORK/report.json" \
+    && { echo "FAIL: lost acked launches"; cat "$WORK/report.json"; exit 1; }
+grep -q '"failure_preemptions": 0' "$WORK/report.json" \
+    || { echo "FAIL: healthy VMs were preempted"; cat "$WORK/report.json"; exit 1; }
+
+echo "PASS: adoption recorded, zero lost registrations/launches, zero preemptions"
