@@ -19,8 +19,10 @@ import (
 	"deflation/internal/guestos"
 	"deflation/internal/hypervisor"
 	"deflation/internal/restypes"
+	"deflation/internal/simcg"
 	"deflation/internal/spark"
 	"deflation/internal/spark/workloads"
+	"deflation/internal/substrate"
 	"deflation/internal/trace"
 	"deflation/internal/vm"
 )
@@ -241,6 +243,33 @@ func BenchmarkFigSLO(b *testing.B) {
 	if total > 0 {
 		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/total, "ns/request")
 		b.ReportMetric(float64(after.Mallocs-before.Mallocs)/total, "allocs/request")
+	}
+}
+
+// BenchmarkFigMixed runs the quick multi-substrate sweep and reports the
+// headline asymmetries: the container fleet's deeper violation-free
+// frontier and the aggressive panel's container-only OOM kills.
+func BenchmarkFigMixed(b *testing.B) {
+	cfg := experiments.QuickFigMixedConfig()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.FigMixed(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			p := r.Panels[0]
+			b.ReportMetric(p.VMFrontierPct, "vm-frontier%")
+			b.ReportMetric(p.ContainerFrontierPct, "ctr-frontier%")
+			for _, a := range r.Aggressive {
+				if a.Fleet == "container" {
+					b.ReportMetric(float64(a.Cell.OOMKills), "ctr-oom-kills")
+					b.ReportMetric(a.Cell.MeanResizeMS, "ctr-resize-ms")
+				}
+				if a.Fleet == "vm" {
+					b.ReportMetric(a.Cell.MeanResizeMS, "vm-resize-ms")
+				}
+			}
+		}
 	}
 }
 
@@ -566,6 +595,60 @@ func BenchmarkCascadeDeflate(b *testing.B) {
 		if _, err := c.Reinflate(v, target); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkSubstrateResize compares the modeled end-to-end resize latency
+// of the two substrates for the same 2-core / 8 GB reclamation: the
+// hypervisor path balloons pages and unplugs vCPUs, the container path is
+// a single cgroup limit write.
+func BenchmarkSubstrateResize(b *testing.B) {
+	size := restypes.V(4, 16384, 100, 100)
+	shrunk := size.Sub(restypes.V(2, 8192, 0, 0))
+	newInstance := func(b *testing.B, container bool) substrate.Instance {
+		b.Helper()
+		if container {
+			h, err := simcg.NewHost(simcg.Config{Name: "cg", Capacity: restypes.V(64, 262144, 4000, 4000)})
+			if err != nil {
+				b.Fatal(err)
+			}
+			inst, err := h.Spawn("c", size, guestos.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			return inst
+		}
+		h, err := hypervisor.NewHost(hypervisor.Config{Name: "kvm", Capacity: restypes.V(64, 262144, 4000, 4000)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dom, err := h.CreateDomain("v", size, guestos.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dom.MarkWarm()
+		return dom
+	}
+	for _, sub := range []struct {
+		name      string
+		container bool
+	}{{"balloon", false}, {"cgroup-write", true}} {
+		b.Run(sub.name, func(b *testing.B) {
+			inst := newInstance(b, sub.container)
+			var modeled time.Duration
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lat, err := inst.SetAllocation(shrunk)
+				if err != nil {
+					b.Fatal(err)
+				}
+				modeled = lat
+				if _, err := inst.SetAllocation(size); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(modeled.Seconds()*1000, "modeled-resize-ms")
+		})
 	}
 }
 

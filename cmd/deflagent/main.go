@@ -1,11 +1,13 @@
 // Command deflagent runs a per-server local deflation controller and
-// serves it over the REST control plane (§5). A simulated host (simkvm) is
+// serves it over the REST control plane (§5). A simulated host — KVM
+// domains (simkvm) or cgroup containers (simcg), per -substrate — is
 // created with the given capacity; the centralized manager (cmd/deflated)
 // connects to the /v1 API to place VMs and reclaim resources.
 //
 // Usage:
 //
 //	deflagent -listen :7070 -name server-0 -cpus 32 -mem-gb 128
+//	deflagent -listen :7073 -name cg-0 -substrate container
 package main
 
 import (
@@ -23,6 +25,8 @@ import (
 	"deflation/internal/cluster"
 	"deflation/internal/hypervisor"
 	"deflation/internal/restypes"
+	"deflation/internal/simcg"
+	"deflation/internal/substrate"
 	"deflation/internal/telemetry"
 )
 
@@ -35,6 +39,7 @@ func main() {
 		diskMBps = flag.Float64("disk-mbps", 4000, "disk bandwidth (MB/s)")
 		netMBps  = flag.Float64("net-mbps", 4000, "network bandwidth (MB/s)")
 		mode     = flag.String("mode", "deflation", "reclamation mode: deflation or preemption-only")
+		subKind  = flag.String("substrate", "hypervisor", "virtualization substrate: hypervisor (simkvm) or container (simcg)")
 		levels   = flag.String("levels", "all", "cascade levels: all, vm (os+hypervisor), hypervisor, os")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 
@@ -45,10 +50,17 @@ func main() {
 	)
 	flag.Parse()
 
-	host, err := hypervisor.NewHost(hypervisor.Config{
-		Name:     *name,
-		Capacity: restypes.V(*cpus, *memGB*1024, *diskMBps, *netMBps),
-	})
+	capacity := restypes.V(*cpus, *memGB*1024, *diskMBps, *netMBps)
+	var host substrate.Substrate
+	var err error
+	switch substrate.Kind(*subKind).Normalize() {
+	case substrate.KindHypervisor:
+		host, err = hypervisor.NewHost(hypervisor.Config{Name: *name, Capacity: capacity})
+	case substrate.KindContainer:
+		host, err = simcg.NewHost(simcg.Config{Name: *name, Capacity: capacity})
+	default:
+		log.Fatalf("deflagent: unknown substrate %q", *subKind)
+	}
 	if err != nil {
 		log.Fatalf("deflagent: %v", err)
 	}

@@ -12,10 +12,13 @@
 // Figures: 1, 5a, 5b, 5c, 5d, 6, 7a, 7b, 8a, 8b, 8c, 8d, plus the chaos
 // fault-injection sweep (-fig chaos), the migration-vs-deflation policy
 // sweep (-fig migration), the manager-HA failover sweep (-fig failover),
-// and the interactive SLO-deflation sweep (-fig slo): open-loop arrivals
+// the interactive SLO-deflation sweep (-fig slo): open-loop arrivals
 // against a replicated web service, comparing the p99-targeting deflation
 // policy with the utility-curve cascade across arrival rate × replica
-// count × deflation fraction. Group aliases run whole panels: 5 (5a–5d),
+// count × deflation fraction, and the multi-substrate sweep (-fig mixed):
+// VM-only vs container-only vs alternating fleets across deflation
+// fraction × workload mix, reporting reclamation depth, resize latency,
+// p99, and OOM-kill counts. Group aliases run whole panels: 5 (5a–5d),
 // 7 (7a, 7b), 8 (8a–8d); a "fig" prefix is accepted everywhere (fig8c ≡ 8c).
 //
 // Every figure sweep fans its independent simulation cells out across
@@ -39,7 +42,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, chaos, migration, failover, slo, group aliases 5/7/8, all)")
+	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, chaos, migration, failover, slo, mixed, group aliases 5/7/8, all)")
 	quick := flag.Bool("quick", false, "smaller sweeps for the cluster simulations")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep workers; 1 = exact legacy serial path, N>1 fans cells out over N goroutines")
 	memoize := flag.Bool("memoize", true, "reuse results of identical simulation cells across sweeps (never changes output)")
@@ -72,9 +75,10 @@ func main() {
 		"migration": runMigration,
 		"failover":  runFailover,
 		"slo":       runFigSLO,
+		"mixed":     runFigMixed,
 	}
 
-	order := []string{"table1", "table2", "1", "5a", "5b", "5c", "5d", "6", "7a", "7b", "8a", "8b", "8c", "8d", "revenue", "chaos", "migration", "failover", "slo"}
+	order := []string{"table1", "table2", "1", "5a", "5b", "5c", "5d", "6", "7a", "7b", "8a", "8b", "8c", "8d", "revenue", "chaos", "migration", "failover", "slo", "mixed"}
 	groups := map[string][]string{
 		"5": {"5a", "5b", "5c", "5d"},
 		"7": {"7a", "7b"},
@@ -193,4 +197,12 @@ func runFigSLO(quick bool) (fmt.Stringer, error) {
 		cfg = experiments.QuickFigSLOConfig()
 	}
 	return wrap(experiments.FigSLO(cfg))
+}
+
+func runFigMixed(quick bool) (fmt.Stringer, error) {
+	cfg := experiments.FigMixedConfig{}
+	if quick {
+		cfg = experiments.QuickFigMixedConfig()
+	}
+	return wrap(experiments.FigMixed(cfg))
 }

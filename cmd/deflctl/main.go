@@ -98,6 +98,7 @@ func launch(manager string, args []string) error {
 	priority := fs.String("priority", "low", "low (deflatable) or high")
 	minFrac := fs.Float64("min-frac", 0, "minimum size as a fraction of nominal")
 	warm := fs.Bool("warm", true, "mark the guest long-running (memory host-resident)")
+	sub := fs.String("substrate", "", "pin to a substrate kind: hypervisor or container (default: any)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -106,11 +107,12 @@ func launch(manager string, args []string) error {
 	}
 	size := restypes.V(*cpus, *memGB*1024, *diskMBps, *netMBps)
 	spec := cluster.LaunchSpec{
-		Name:    *name,
-		Size:    size,
-		MinSize: size.Scale(*minFrac),
-		AppKind: *app,
-		Warm:    *warm,
+		Name:      *name,
+		Size:      size,
+		MinSize:   size.Scale(*minFrac),
+		AppKind:   *app,
+		Warm:      *warm,
+		Substrate: *sub,
 	}
 	if *priority == "high" {
 		spec.Priority = vm.HighPriority
@@ -229,10 +231,19 @@ func status(manager string, args []string) error {
 	fmt.Printf("vms: %d  rejected: %d  preemptions: %d  overcommit mean/max: %.2f/%.2f\n",
 		cs.VMs, cs.Rejected, cs.Preemptions, cs.MeanOC, cs.MaxOC)
 	for _, s := range cs.Servers {
-		fmt.Printf("  %-12s mode=%-15s oc=%.2f free=%v\n", s.Name, s.Mode, s.Overcommitment, s.Free)
+		sub := s.Substrate
+		if sub == "" {
+			sub = "hypervisor" // nodes predating the substrate report
+		}
+		fmt.Printf("  %-12s substrate=%-10s mode=%-15s oc=%.2f free=%v\n",
+			s.Name, sub, s.Mode, s.Overcommitment, s.Free)
 		for _, v := range s.VMs {
-			fmt.Printf("    %-14s %-5s app=%-16s alloc=%v tput=%.2f\n",
-				v.Name, v.Priority, v.App, v.Allocation, v.Throughput)
+			backend := v.Substrate
+			if backend == "" {
+				backend = "hypervisor"
+			}
+			fmt.Printf("    %-14s %-5s backend=%-10s app=%-16s alloc=%v tput=%.2f\n",
+				v.Name, v.Priority, backend, v.App, v.Allocation, v.Throughput)
 		}
 	}
 	return nil
@@ -297,6 +308,23 @@ func state(manager string, args []string) error {
 			fmt.Print("; torn tail truncated")
 		}
 		fmt.Println(")")
+	}
+	if len(st.Substrates) > 0 {
+		// Deterministic order for scripting and smoke tests.
+		nodes := make([]string, 0, len(st.Substrates))
+		for name := range st.Substrates {
+			nodes = append(nodes, name)
+		}
+		sort.Strings(nodes)
+		fmt.Print("substrates:")
+		for _, name := range nodes {
+			kind := st.Substrates[name]
+			if kind == "" {
+				kind = "unknown"
+			}
+			fmt.Printf(" %s=%s", name, kind)
+		}
+		fmt.Println()
 	}
 	// Deterministic order for scripting and smoke tests.
 	names := make([]string, 0, len(st.Placements))

@@ -17,6 +17,7 @@ import (
 	"math"
 	"time"
 
+	"deflation/internal/guestos"
 	"deflation/internal/restypes"
 	"deflation/internal/vm"
 )
@@ -85,8 +86,10 @@ type Report struct {
 	App, OS, Hyp  LevelReport
 	NewAllocation restypes.Vector
 	// Shortfall is the portion of the target no enabled level could
-	// reclaim (only possible when the hypervisor level is disabled, or for
-	// CPU floors).
+	// reclaim: the hypervisor level was disabled, a CPU floor applied, or
+	// the substrate's resize floor withheld memory (a container's
+	// memory.max is never written below its live RSS + runtime overhead —
+	// the substrate would answer with an OOM kill, not a squeeze).
 	Shortfall restypes.Vector
 	// DeadlineExceeded reports that the controller's deadline truncated the
 	// higher levels and the hypervisor picked up the remainder.
@@ -280,8 +283,11 @@ func (c *Controller) deflate(v *vm.VM, target restypes.Vector) (Report, error) {
 	// part of the guest's safely-unpluggable pool, so unplugging them
 	// returns them to the hypervisor without swap cost. With a deadline
 	// set, the unplug is further bounded by what the remaining time budget
-	// allows — the hypervisor backstop takes the rest.
-	if c.levels.OS {
+	// allows — the hypervisor backstop takes the rest. Only guest-backed
+	// instances have this level at all: a container has no guest kernel,
+	// no vCPUs to unplug and no balloon, so the whole target falls through
+	// to the substrate resize.
+	if g := v.Guest(); c.levels.OS && g != nil {
 		osTarget := target
 		// Injected partial hot-unplug failure: only a fraction of the
 		// requested unplug completes; the rest falls through to the
@@ -299,7 +305,7 @@ func (c *Controller) deflate(v *vm.VM, target restypes.Vector) (Report, error) {
 				osTarget = restypes.Vector{}
 				r.DeadlineExceeded = true
 			} else if c.memVia == MemHotUnplug {
-				budgetMB := remaining.Seconds() * v.Domain().Guest().Config().PageMigrateMBps
+				budgetMB := remaining.Seconds() * g.Config().PageMigrateMBps
 				if osTarget.MemoryMB > budgetMB {
 					osTarget.MemoryMB = budgetMB
 					r.DeadlineExceeded = true
@@ -307,23 +313,36 @@ func (c *Controller) deflate(v *vm.VM, target restypes.Vector) (Report, error) {
 			}
 		}
 		if !osTarget.IsZero() {
-			rep := c.osReclaim(v, osTarget, !c.levels.Hypervisor)
+			rep := c.osReclaim(g, v, osTarget, !c.levels.Hypervisor)
 			rep.Latency += r.OS.Latency // injected hang, if any
 			r.OS = rep
 		}
 	}
 
-	// Level 3: hypervisor overcommitment reclaims the full remaining
+	// Level 3: substrate overcommitment reclaims the full remaining
 	// physical target. Resources already unplugged are released for free;
-	// the rest is taken black-box (swap, CPU multiplexing, throttling).
+	// the rest is taken black-box (swap, CPU multiplexing, throttling on a
+	// hypervisor; a single cgroup write on a container). The substrate's
+	// reported resize floor is honored here as a last line of defense: a
+	// memory limit the substrate would answer with an OOM kill is never
+	// written, and the withheld portion becomes shortfall for the caller
+	// to re-route. (Planners already cap targets via vm.Deflatable, so
+	// this triggers only when the footprint grew mid-cascade.)
 	if c.levels.Hypervisor {
 		newAlloc := v.Allocation().Sub(target)
-		lat, err := v.Domain().SetAllocation(newAlloc)
+		var floorWithheld restypes.Vector
+		if floor := v.Instance().ResizeFloorMB(); floor > 0 && newAlloc.MemoryMB < floor {
+			clamped := math.Min(floor, v.Allocation().MemoryMB)
+			floorWithheld.MemoryMB = clamped - newAlloc.MemoryMB
+			newAlloc.MemoryMB = clamped
+		}
+		lat, err := v.Instance().SetAllocation(newAlloc)
 		if err != nil {
 			return r, fmt.Errorf("cascade: hypervisor reclaim: %w", err)
 		}
+		r.Shortfall = r.Shortfall.Add(floorWithheld)
 		r.Hyp = LevelReport{
-			Reclaimed: target.Sub(r.OS.Reclaimed).ClampNonNegative(),
+			Reclaimed: target.Sub(r.OS.Reclaimed).Sub(floorWithheld).ClampNonNegative(),
 			Latency:   lat,
 		}
 	} else {
@@ -331,7 +350,7 @@ func (c *Controller) deflate(v *vm.VM, target restypes.Vector) (Report, error) {
 		// unplugged can be released.
 		if !r.OS.Reclaimed.IsZero() {
 			newAlloc := v.Allocation().Sub(r.OS.Reclaimed)
-			if _, err := v.Domain().SetAllocation(newAlloc); err != nil {
+			if _, err := v.Instance().SetAllocation(newAlloc); err != nil {
 				return r, fmt.Errorf("cascade: releasing unplugged resources: %w", err)
 			}
 		}
@@ -348,8 +367,10 @@ func (c *Controller) deflate(v *vm.VM, target restypes.Vector) (Report, error) {
 // set (OS-only mode, no hypervisor fall-through), memory unplug ignores the
 // safety margin to meet the target — which can OOM-kill the application,
 // exactly the failure mode the paper measures for this configuration.
-func (c *Controller) osReclaim(v *vm.VM, target restypes.Vector, force bool) LevelReport {
-	g := v.Domain().Guest()
+// Whole-vCPU quantization lives here — and only here: it is a property of
+// the guest hotplug mechanism, not of deflation, and must never apply to
+// substrates with fractional CPU shares.
+func (c *Controller) osReclaim(g *guestos.GuestOS, v *vm.VM, target restypes.Vector, force bool) LevelReport {
 	var rep LevelReport
 
 	// CPU: whole-vCPU granularity — "the final amount of resources
@@ -403,15 +424,16 @@ func (c *Controller) reinflate(v *vm.VM, amount restypes.Vector) (Report, error)
 
 	if c.levels.Hypervisor {
 		newAlloc := v.Allocation().Add(amount).Min(v.Size())
-		lat, err := v.Domain().SetAllocation(newAlloc)
+		lat, err := v.Instance().SetAllocation(newAlloc)
 		if err != nil {
 			return r, fmt.Errorf("cascade: hypervisor reinflate: %w", err)
 		}
 		r.Hyp = LevelReport{Reclaimed: newAlloc.Sub(v.Allocation()), Latency: lat}
 	}
 
-	if c.levels.OS {
-		g := v.Domain().Guest()
+	// Guest-backed instances re-plug CPUs and memory; containers have
+	// nothing to re-plug — the cgroup write above already restored them.
+	if g := v.Guest(); c.levels.OS && g != nil {
 		var rep LevelReport
 		// Re-plug up to the physical CPU allocation (whole cores).
 		if wantCPU := int(math.Floor(v.Allocation().CPU)) - g.CPUs(); wantCPU > 0 {

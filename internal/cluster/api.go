@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"deflation/internal/restypes"
+	"deflation/internal/substrate"
 	"deflation/internal/telemetry"
 )
 
@@ -33,7 +34,11 @@ type NodeState struct {
 	PreemptableCeiling restypes.Vector `json:"preemptable_ceiling"`
 	Overcommitment     float64         `json:"overcommitment"`
 	Preemptions        int             `json:"preemptions"`
-	VMs                []VMState       `json:"vms"`
+	// Substrate is the node's mechanism backend ("hypervisor" or
+	// "container"; empty from nodes predating the substrate abstraction,
+	// which means hypervisor).
+	Substrate string    `json:"substrate,omitempty"`
+	VMs       []VMState `json:"vms"`
 }
 
 // VMState is the wire form of one VM's state.
@@ -45,6 +50,13 @@ type VMState struct {
 	MinSize    restypes.Vector `json:"min_size"`
 	Throughput float64         `json:"throughput"`
 	App        string          `json:"app"`
+	// Substrate is the VM's backend kind (empty = hypervisor, for wire
+	// compatibility with pre-substrate nodes).
+	Substrate string `json:"substrate,omitempty"`
+	// BalloonMB is the guest balloon size. Structurally zero for container
+	// VMs — there is no balloon driver behind them; the deflload invariant
+	// sweep asserts exactly that.
+	BalloonMB float64 `json:"balloon_mb,omitempty"`
 }
 
 // ControllerAPI serves a LocalController over HTTP. Handlers serialize all
@@ -172,6 +184,7 @@ func (a *ControllerAPI) state() NodeState {
 		PreemptableCeiling: c.PreemptableCeiling(),
 		Overcommitment:     c.Overcommitment(),
 		Preemptions:        c.Preemptions(),
+		Substrate:          c.SubstrateKind(),
 	}
 	st.VMs, _ = c.Inventory()
 	return st
@@ -400,6 +413,8 @@ func writeError(w http.ResponseWriter, err error) {
 		code = http.StatusConflict
 	case errors.Is(err, ErrStaleEpoch):
 		code = http.StatusPreconditionFailed
+	case errors.Is(err, substrate.ErrKindMismatch):
+		code = http.StatusUnprocessableEntity
 	}
 	http.Error(w, err.Error(), code)
 }
@@ -419,6 +434,9 @@ type RemoteNode struct {
 	client  *http.Client
 	name    string
 	retry   RetryPolicy
+
+	substrateMu sync.Mutex
+	substrate   string // cached agent substrate kind ("" = not yet learned)
 
 	mu      sync.Mutex
 	rng     *rand.Rand // backoff jitter + idempotency key entropy
@@ -457,6 +475,7 @@ func NewRemoteNodeWithPolicy(baseURL string, policy RetryPolicy) (*RemoteNode, e
 		return nil, fmt.Errorf("cluster: connecting to %s: %w", baseURL, err)
 	}
 	n.name = st.Name
+	n.substrate = st.Substrate
 	return n, nil
 }
 
@@ -644,6 +663,29 @@ func (n *RemoteNode) State() (NodeState, error) {
 		})
 	})
 	return st, err
+}
+
+// SubstrateKind reports the agent's substrate kind as self-reported through
+// its /v1/state. A node's substrate never changes over its lifetime, so the
+// first successful answer is cached; until one arrives (probe-free
+// NewRemoteNodeNamed construction, agent unreachable) it returns "" and the
+// manager's placement treats the node as compatible with every spec — the
+// agent's own Spawn is the authoritative check.
+func (n *RemoteNode) SubstrateKind() string {
+	n.substrateMu.Lock()
+	cached := n.substrate
+	n.substrateMu.Unlock()
+	if cached != "" {
+		return cached
+	}
+	st, err := n.State()
+	if err != nil {
+		return ""
+	}
+	n.substrateMu.Lock()
+	n.substrate = st.Substrate
+	n.substrateMu.Unlock()
+	return st.Substrate
 }
 
 // Ping implements Node with a single non-retried liveness probe: the health
@@ -872,6 +914,8 @@ func (n *RemoteNode) RestoreVM(cp VMCheckpoint) error {
 				return fmt.Errorf("%w: %q", ErrVMExists, name)
 			case http.StatusInsufficientStorage:
 				return fmt.Errorf("%w: restoring %q on remote %s", ErrNoCapacity, name, n.name)
+			case http.StatusUnprocessableEntity:
+				return fmt.Errorf("%w: restoring %q on remote %s", substrate.ErrKindMismatch, name, n.name)
 			default:
 				return statusError("remote restore", resp.Status, resp.StatusCode)
 			}
@@ -1180,7 +1224,11 @@ type ManagerStateResponse struct {
 	// managers predating HA.
 	Role string `json:"role,omitempty"`
 	// Epoch is the manager's leadership fencing epoch (0 = unfenced).
-	Epoch       uint64             `json:"epoch,omitempty"`
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Substrates maps server name → substrate kind, so operators can see
+	// which nodes host hypervisor VMs vs cgroup containers. Absent on
+	// managers predating multi-substrate support.
+	Substrates  map[string]string  `json:"substrates,omitempty"`
 	Journal     *JournalStatus     `json:"journal,omitempty"`
 	Recovery    *RecoveryReport    `json:"recovery,omitempty"`
 	Replication *ReplicationStatus `json:"replication,omitempty"`
@@ -1194,6 +1242,7 @@ func (a *ManagerAPI) handleState(w http.ResponseWriter, _ *http.Request) {
 		Recovery:   a.recovery,
 		Role:       RoleLeader,
 		Epoch:      a.mgr.Epoch(),
+		Substrates: a.mgr.Substrates(),
 	}
 	resp.VMs = len(resp.Placements)
 	if j := a.mgr.Journal(); j != nil {

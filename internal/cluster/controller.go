@@ -13,8 +13,8 @@ import (
 
 	"deflation/internal/cascade"
 	"deflation/internal/guestos"
-	"deflation/internal/hypervisor"
 	"deflation/internal/restypes"
+	"deflation/internal/substrate"
 	"deflation/internal/vm"
 )
 
@@ -67,6 +67,11 @@ type LaunchSpec struct {
 	GuestConfig guestos.Config `json:"guest_config,omitempty"`
 	// Warm marks the guest as long-running (all memory host-resident).
 	Warm bool `json:"warm,omitempty"`
+	// Substrate pins the VM to nodes of that substrate kind ("hypervisor"
+	// or "container"); empty means any. The manager's placement filters by
+	// it, and recovery journals it so a container-backed VM is re-placed
+	// onto a container node.
+	Substrate string `json:"substrate,omitempty"`
 }
 
 // LaunchReport describes the reclamation a launch triggered.
@@ -110,7 +115,7 @@ func (p SplitPolicy) String() string {
 // tracks the server's VMs, executes proportional cascade deflation to make
 // room, and reinflates VMs when resources free up.
 type LocalController struct {
-	host  *hypervisor.Host
+	host  substrate.Substrate
 	casc  *cascade.Controller
 	mode  Mode
 	split SplitPolicy
@@ -127,9 +132,12 @@ type LocalController struct {
 // (default SplitProportional).
 func (c *LocalController) SetSplitPolicy(p SplitPolicy) { c.split = p }
 
-// NewLocalController wraps a host. The cascade levels configure which
-// reclamation levels the server uses (AllLevels for the full system).
-func NewLocalController(host *hypervisor.Host, levels cascade.Levels, mode Mode) *LocalController {
+// NewLocalController wraps a substrate host — the simulated hypervisor
+// (internal/hypervisor) or the container runtime (internal/simcg). The
+// cascade levels configure which reclamation levels the server uses
+// (AllLevels for the full system; the OS level is a per-VM no-op on
+// substrates without a guest kernel).
+func NewLocalController(host substrate.Substrate, levels cascade.Levels, mode Mode) *LocalController {
 	return &LocalController{
 		host: host,
 		casc: cascade.New(levels),
@@ -138,8 +146,12 @@ func NewLocalController(host *hypervisor.Host, levels cascade.Levels, mode Mode)
 	}
 }
 
-// Host returns the underlying host.
-func (c *LocalController) Host() *hypervisor.Host { return c.host }
+// Host returns the underlying substrate host.
+func (c *LocalController) Host() substrate.Substrate { return c.host }
+
+// SubstrateKind reports which substrate this server runs, for placement
+// filtering and operator state ("hypervisor" or "container").
+func (c *LocalController) SubstrateKind() string { return string(c.host.Kind()) }
 
 // Name implements Node.
 func (c *LocalController) Name() string { return c.host.Name() }
@@ -193,7 +205,7 @@ func (c *LocalController) Inventory() ([]VMState, error) {
 	vms := c.VMs()
 	out := make([]VMState, 0, len(vms))
 	for _, v := range vms {
-		out = append(out, VMState{
+		st := VMState{
 			Name:       v.Name(),
 			Priority:   v.Priority().String(),
 			Size:       v.Size(),
@@ -201,7 +213,15 @@ func (c *LocalController) Inventory() ([]VMState, error) {
 			MinSize:    v.MinSize(),
 			Throughput: v.Throughput(),
 			App:        v.App().Name(),
-		})
+			Substrate:  string(v.Substrate()),
+		}
+		// Balloon telemetry exists only behind the guest OS; a container
+		// VM must never report any (the deflload invariant sweep asserts
+		// this).
+		if g := v.Guest(); g != nil {
+			st.BalloonMB = g.BalloonMB()
+		}
+		out = append(out, st)
 	}
 	return out, nil
 }
@@ -312,16 +332,16 @@ func (c *LocalController) LaunchVM(spec LaunchSpec) (*vm.VM, LaunchReport, error
 			return nil, rep, err
 		}
 	}
-	dom, err := c.host.CreateDomain(spec.Name, spec.Size, spec.GuestConfig)
+	inst, err := c.host.Spawn(spec.Name, spec.Size, spec.GuestConfig)
 	if err != nil {
 		return nil, rep, fmt.Errorf("cluster: launch %q: %w", spec.Name, err)
 	}
 	if spec.Warm {
-		dom.MarkWarm()
+		inst.MarkWarm()
 	}
-	v, err := vm.New(dom, newApp(spec.Size), vm.Config{Priority: spec.Priority, MinSize: spec.MinSize})
+	v, err := vm.NewOn(inst, newApp(spec.Size), vm.Config{Priority: spec.Priority, MinSize: spec.MinSize})
 	if err != nil {
-		dom.Destroy()
+		inst.Destroy()
 		return nil, rep, err
 	}
 	c.vms[spec.Name] = v

@@ -475,6 +475,17 @@ func (m *Manager) reconcileNode(i int) []HealthEvent {
 // Servers returns the managed servers.
 func (m *Manager) Servers() []Node { return m.servers }
 
+// Substrates maps each server name to its substrate kind ("hypervisor",
+// "container", or "" when the node has not reported one). Operators read
+// this through /v1/state to see where container-backed VMs can land.
+func (m *Manager) Substrates() map[string]string {
+	out := make(map[string]string, len(m.servers))
+	for _, s := range m.servers {
+		out[s.Name()] = nodeSubstrate(s)
+	}
+	return out
+}
+
 // Rejected returns the number of launches that found no feasible server.
 func (m *Manager) Rejected() int { return m.rejected }
 
@@ -507,16 +518,17 @@ func (m *Manager) fitness(s Node, spec LaunchSpec) float64 {
 }
 
 // feasible reports whether the server can host the VM without preempting
-// anything.
+// anything. A spec pinned to a substrate kind only fits nodes of that kind.
 func feasible(s Node, spec LaunchSpec) bool {
-	return spec.Size.Fits(placementVector(s, spec))
+	return substrateCompatible(s, spec.Substrate) && spec.Size.Fits(placementVector(s, spec))
 }
 
 // preemptFeasible reports whether the server could host the VM if
 // low-priority VMs were preempted — the last resort for high-priority
 // placements.
 func preemptFeasible(s Node, spec LaunchSpec) bool {
-	return spec.Priority == vm.HighPriority && spec.Size.Fits(s.PreemptableCeiling())
+	return spec.Priority == vm.HighPriority && substrateCompatible(s, spec.Substrate) &&
+		spec.Size.Fits(s.PreemptableCeiling())
 }
 
 // Launch places and starts a VM according to the placement policy. It
@@ -550,6 +562,13 @@ func (m *Manager) launch(spec LaunchSpec, countRejection bool) (int, LaunchRepor
 			}
 		}
 		return -1, LaunchReport{}, fmt.Errorf("%w: no feasible server for %v", ErrNoCapacity, spec.Size)
+	}
+	// Stamp the landing node's substrate kind into the spec before it is
+	// journaled, so recovery and failure re-placement keep the VM on the
+	// substrate it actually booted on (a container-backed VM must never be
+	// revived as a hypervisor domain, and vice versa).
+	if spec.Substrate == "" {
+		spec.Substrate = nodeSubstrate(m.servers[idx])
 	}
 	rep, err := m.servers[idx].Launch(spec)
 	if err != nil {

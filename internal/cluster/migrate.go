@@ -95,7 +95,7 @@ func (c *LocalController) Checkpoint(name string) (VMCheckpoint, error) {
 	return VMCheckpoint{
 		VM:            v.Snapshot(),
 		TransferSetMB: env.EverTouchedMB,
-		DirtyRateMBps: v.Domain().Guest().DirtyRateMBps(),
+		DirtyRateMBps: v.Instance().DirtyRateMBps(),
 		app:           v.App(),
 	}, nil
 }
@@ -124,7 +124,7 @@ func (c *LocalController) RestoreVM(cp VMCheckpoint) error {
 		}
 		app = f(cp.VM.Domain.Size)
 	}
-	v, err := vm.Restore(c.host, cp.VM, app)
+	v, err := vm.RestoreOn(c.host, cp.VM, app)
 	if err != nil {
 		if errors.Is(err, hypervisor.ErrInsufficientCapacity) {
 			return fmt.Errorf("%w: restoring %q: %v", ErrNoCapacity, name, err)
@@ -191,7 +191,7 @@ func (c *LocalController) ReserveStream(stream string, rateMBps float64) (float6
 				}
 				target := v.Allocation()
 				target.NetMBps -= cut
-				if _, err := v.Domain().SetAllocation(target); err != nil {
+				if _, err := v.Instance().SetAllocation(target); err != nil {
 					continue
 				}
 				s.throttled[v.Name()] = restypes.Vector{NetMBps: cut}
@@ -240,7 +240,7 @@ func (c *LocalController) restoreThrottles(s *migrationStream) {
 		}
 		// SetAllocation clamps to the nominal size, so restoring is safe
 		// even if the VM reinflated meanwhile; best-effort on error.
-		_, _ = v.Domain().SetAllocation(v.Allocation().Add(s.throttled[name]))
+		_, _ = v.Instance().SetAllocation(v.Allocation().Add(s.throttled[name]))
 	}
 	s.throttled = make(map[string]restypes.Vector)
 }
@@ -487,7 +487,8 @@ func (m *Manager) Drain(node string) (moved []MigrationReport, failed []string, 
 		if m.reclaim == ReclaimDeflateThenMigrate {
 			_, _ = m.servers[idx].DeflateFully(name)
 		}
-		dst := m.bestMigrationTarget(m.vmFootprint(idx, name), idx)
+		footprint, kind := m.vmFootprint(idx, name)
+		dst := m.bestMigrationTarget(footprint, kind, idx)
 		if dst < 0 {
 			failed = append(failed, name)
 			continue
@@ -525,7 +526,8 @@ func (m *Manager) migrateFallback(spec LaunchSpec) int {
 			// rate, and a smaller footprint that fits more destinations.
 			_, _ = m.servers[cand].DeflateFully(victim)
 		}
-		dst := m.bestMigrationTarget(m.vmFootprint(cand, victim), cand)
+		footprint, kind := m.vmFootprint(cand, victim)
+		dst := m.bestMigrationTarget(footprint, kind, cand)
 		if dst < 0 {
 			return -1
 		}
@@ -560,31 +562,37 @@ func (m *Manager) pickMigrationVictim(idx int) string {
 	return best
 }
 
-// vmFootprint returns the capacity a migrated VM needs on its destination:
+// vmFootprint returns the capacity a migrated VM needs on its destination —
 // its current (possibly deflated) allocation per the node's ground truth,
-// falling back to the spec's nominal size.
-func (m *Manager) vmFootprint(idx int, name string) restypes.Vector {
+// falling back to the spec's nominal size — plus the VM's substrate kind
+// ("" when unknown), so the destination search can skip kind-incompatible
+// nodes (a container checkpoint cannot restore as a hypervisor domain).
+func (m *Manager) vmFootprint(idx int, name string) (restypes.Vector, string) {
 	if inv, err := nodeInventory(m.servers[idx]); err == nil {
 		for _, vs := range inv {
 			if vs.Name == name {
-				return vs.Allocation
+				return vs.Allocation, vs.Substrate
 			}
 		}
 	}
-	return m.specs[name].Size
+	return m.specs[name].Size, m.specs[name].Substrate
 }
 
 // bestMigrationTarget picks the best-fit destination for a footprint: the
-// alive server (excluding the source) whose free capacity fits it with the
-// highest cosine fitness. Migration admits by free capacity only — it never
-// triggers recursive reclamation on the destination.
-func (m *Manager) bestMigrationTarget(footprint restypes.Vector, exclude int) int {
+// alive, substrate-compatible server (excluding the source) whose free
+// capacity fits it with the highest cosine fitness. Migration admits by
+// free capacity only — it never triggers recursive reclamation on the
+// destination. Nodes whose substrate is unknown (remote agents predating
+// the self-report) are not excluded; the destination's RestoreInstance is
+// the authoritative kind check and the migration rolls back cleanly on
+// mismatch.
+func (m *Manager) bestMigrationTarget(footprint restypes.Vector, kind string, exclude int) int {
 	if footprint.IsZero() {
 		return -1
 	}
 	best, bestF := -1, -1.0
 	for i, s := range m.servers {
-		if i == exclude || !m.alive(i) {
+		if i == exclude || !m.alive(i) || !substrateCompatible(s, kind) {
 			continue
 		}
 		if !footprint.Fits(s.Free()) {

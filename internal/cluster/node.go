@@ -13,6 +13,7 @@ import (
 	"deflation/internal/apps/webapp"
 	"deflation/internal/perfmodel"
 	"deflation/internal/restypes"
+	"deflation/internal/substrate"
 	"deflation/internal/vm"
 )
 
@@ -57,6 +58,44 @@ type Node interface {
 	ReserveStream(stream string, rateMBps float64) (float64, error)
 	ReleaseStream(stream string) error
 	DeflateFully(name string) (time.Duration, error)
+}
+
+// substrateKinder is implemented by nodes that can report their substrate
+// kind ("hypervisor" or "container"): LocalController directly (and
+// crashableNode by embedding), RemoteNode via the agent's /v1/state
+// self-report, fencedNode by unwrapping.
+type substrateKinder interface {
+	SubstrateKind() string
+}
+
+// nodeSubstrate reports a node's substrate kind, or "" when unknown
+// (remote agents predating the registration self-report).
+func nodeSubstrate(n Node) string {
+	for {
+		if k, ok := n.(substrateKinder); ok {
+			return k.SubstrateKind()
+		}
+		f, ok := n.(*fencedNode)
+		if !ok {
+			return ""
+		}
+		n = f.Node
+	}
+}
+
+// substrateCompatible reports whether a VM of the given substrate kind can
+// run on node n. Unknown on either side means "assume compatible": the
+// node's own Spawn/RestoreInstance is the authoritative check, and launch
+// and migration paths handle its refusal cleanly.
+func substrateCompatible(n Node, kind string) bool {
+	if kind == "" {
+		return true
+	}
+	ns := nodeSubstrate(n)
+	if ns == "" {
+		return true
+	}
+	return substrate.Kind(ns).Normalize() == substrate.Kind(kind).Normalize()
 }
 
 // AppFactory builds an application for a VM of the given nominal size.

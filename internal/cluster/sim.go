@@ -18,8 +18,10 @@ import (
 	"deflation/internal/perfmodel"
 	"deflation/internal/pricing"
 	"deflation/internal/restypes"
+	"deflation/internal/simcg"
 	"deflation/internal/simclock"
 	"deflation/internal/stats"
+	"deflation/internal/substrate"
 	"deflation/internal/telemetry"
 	"deflation/internal/trace"
 	"deflation/internal/vm"
@@ -86,6 +88,14 @@ type SimConfig struct {
 	// registry. Nil (the default) leaves the simulation on the exact
 	// uninstrumented hot path.
 	Telemetry *telemetry.Sink
+	// ContainerFraction is the fraction of servers backed by the cgroup
+	// container substrate (internal/simcg) instead of the KVM hypervisor;
+	// the substrate is recorded in each launch's journaled placement so
+	// Recover restores container-backed VMs on a compatible node. Container
+	// nodes are interleaved evenly across the fleet. Zero (the default)
+	// keeps every server on the hypervisor substrate — the exact
+	// pre-multi-substrate code path, bit-for-bit.
+	ContainerFraction float64
 }
 
 func (c SimConfig) withDefaults() SimConfig {
@@ -208,14 +218,32 @@ func RunSim(cfg SimConfig) (SimResult, error) {
 
 	servers := make([]*LocalController, cfg.Servers)
 	for i := range servers {
-		h, err := hypervisor.NewHost(hypervisor.Config{
-			Name:     fmt.Sprintf("server-%03d", i),
-			Capacity: cfg.ServerCapacity,
-		})
-		if err != nil {
-			return res, err
+		var sub substrate.Substrate
+		name := fmt.Sprintf("server-%03d", i)
+		// Bresenham interleave: server i is container-backed iff the
+		// cumulative container count must advance here, spreading the two
+		// substrates evenly instead of splitting the fleet into halves.
+		f := cfg.ContainerFraction
+		if f > 0 && int(f*float64(i+1)) > int(f*float64(i)) {
+			h, err := simcg.NewHost(simcg.Config{
+				Name:     name,
+				Capacity: cfg.ServerCapacity,
+			})
+			if err != nil {
+				return res, err
+			}
+			sub = h
+		} else {
+			h, err := hypervisor.NewHost(hypervisor.Config{
+				Name:     name,
+				Capacity: cfg.ServerCapacity,
+			})
+			if err != nil {
+				return res, err
+			}
+			sub = h
 		}
-		servers[i] = NewLocalController(h, cascade.AllLevels(), cfg.Mode)
+		servers[i] = NewLocalController(sub, cascade.AllLevels(), cfg.Mode)
 	}
 	// Without fault injection the controllers are used directly — the exact
 	// fault-free code path — so zeroed Faults reproduce baseline figures.

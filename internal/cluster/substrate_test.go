@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"deflation/internal/cascade"
+	"deflation/internal/hypervisor"
+	"deflation/internal/journal"
+	"deflation/internal/restypes"
+	"deflation/internal/simcg"
+	"deflation/internal/substrate"
+	"deflation/internal/vm"
+)
+
+// newMixedCrashableCluster builds nHyp hypervisor nodes followed by nCtr
+// container nodes, all crashable.
+func newMixedCrashableCluster(t *testing.T, nHyp, nCtr int) (*Manager, []*crashableNode) {
+	t.Helper()
+	n := nHyp + nCtr
+	nodes := make([]*crashableNode, n)
+	servers := make([]Node, n)
+	for i := 0; i < n; i++ {
+		var (
+			sub substrate.Substrate
+			err error
+		)
+		if i < nHyp {
+			sub, err = hypervisor.NewHost(hypervisor.Config{
+				Name:     fmt.Sprintf("hyp%d", i),
+				Capacity: restypes.V(16, 65536, 400, 400),
+			})
+		} else {
+			sub, err = simcg.NewHost(simcg.Config{
+				Name:     fmt.Sprintf("cg%d", i-nHyp),
+				Capacity: restypes.V(16, 65536, 400, 400),
+			})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = newCrashableNode(NewLocalController(sub, cascade.AllLevels(), ModeDeflation))
+		servers[i] = nodes[i]
+	}
+	m, err := NewManager(servers, BestFit, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, nodes
+}
+
+func TestLaunchStampsSubstrateAndFiltersPlacement(t *testing.T) {
+	m, nodes := newMixedCrashableCluster(t, 1, 1)
+
+	// A spec pinned to "container" must land on the container node even
+	// though the hypervisor node has identical free capacity.
+	pinned := durSpec("ctr-0", vm.LowPriority, 0.25)
+	pinned.Substrate = string(substrate.KindContainer)
+	idx, _, err := m.Launch(pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind := nodeSubstrate(m.Servers()[idx]); kind != string(substrate.KindContainer) {
+		t.Fatalf("container-pinned VM landed on a %q node", kind)
+	}
+
+	// An unpinned spec is stamped with the landing node's kind so the
+	// journaled placement pin survives recovery.
+	free := durSpec("free-0", vm.LowPriority, 0.25)
+	idx, _, err = m.Launch(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.specs["free-0"].Substrate; got != nodeSubstrate(m.Servers()[idx]) {
+		t.Errorf("stamped substrate %q != landing node's %q", got, nodeSubstrate(m.Servers()[idx]))
+	}
+	if got := m.specs["ctr-0"].Substrate; got != string(substrate.KindContainer) {
+		t.Errorf("pinned substrate %q lost at launch", got)
+	}
+
+	// Inventory reports each VM's backend; container VMs must never show
+	// balloon telemetry (no guest kernel, no balloon driver).
+	for _, n := range nodes {
+		inv, err := n.Inventory()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, vs := range inv {
+			if want := nodeSubstrate(n); vs.Substrate != want {
+				t.Errorf("VM %s reports substrate %q on a %q node", vs.Name, vs.Substrate, want)
+			}
+			if vs.Substrate == string(substrate.KindContainer) && vs.BalloonMB != 0 {
+				t.Errorf("container VM %s shows %g MB of balloon", vs.Name, vs.BalloonMB)
+			}
+		}
+	}
+
+	// Substrate kinds surface in the manager's operator view.
+	subs := m.Substrates()
+	if subs["hyp0"] != "hypervisor" || subs["cg0"] != "container" {
+		t.Errorf("Substrates() = %v", subs)
+	}
+}
+
+func TestMixedClusterRejectsUnplaceableSubstrate(t *testing.T) {
+	m, _ := newMixedCrashableCluster(t, 1, 0)
+	pinned := durSpec("ctr-0", vm.LowPriority, 0.25)
+	pinned.Substrate = string(substrate.KindContainer)
+	if _, _, err := m.Launch(pinned); err == nil {
+		t.Fatal("container-pinned launch admitted on an all-hypervisor fleet")
+	}
+}
+
+// newDurableMixedCluster is newDurableCluster over a mixed fleet.
+func newDurableMixedCluster(t *testing.T, dir string, nHyp, nCtr int) (*Manager, []*crashableNode) {
+	t.Helper()
+	m, nodes := newMixedCrashableCluster(t, nHyp, nCtr)
+	j, err := journal.Open(dir, journal.Options{SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.AttachJournal(j, 1<<30)
+	return m, nodes
+}
+
+// TestRecoverRestoresContainerBackedVMs is the crash-point property for the
+// container substrate: a SIGKILLed manager recovering over a mixed fleet
+// must restore every VM's substrate kind from the journal, and a container
+// node's death must re-place its VMs only onto container nodes.
+func TestRecoverRestoresContainerBackedVMs(t *testing.T) {
+	dir := t.TempDir()
+	m, nodes := newDurableMixedCluster(t, dir, 2, 2)
+	for i := 0; i < 8; i++ {
+		s := durSpec(fmt.Sprintf("vm-%d", i), vm.LowPriority, 0.25)
+		// Half the fleet explicitly container-backed so both substrates
+		// carry VMs regardless of how the policy packs the rest.
+		if i%2 == 0 {
+			s.Substrate = string(substrate.KindContainer)
+		}
+		if _, _, err := m.Launch(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := m.Placements()
+	wantSub := make(map[string]string)
+	for name := range want {
+		wantSub[name] = m.specs[name].Substrate
+		if wantSub[name] == "" {
+			t.Fatalf("launch left %s without a substrate stamp", name)
+		}
+	}
+	m.Journal().Close()
+
+	servers := make([]Node, len(nodes))
+	for i, n := range nodes {
+		servers[i] = n
+	}
+	m2, rep, err := Recover(DurabilityConfig{Dir: dir}, servers, BestFit, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Journal().Close()
+	if rep.Replaced != 0 || rep.Lost != 0 {
+		t.Fatalf("clean mixed recovery repaired something: %+v", rep)
+	}
+	if got := m2.Placements(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered placements = %v, want %v", got, want)
+	}
+	for name, sub := range wantSub {
+		if got := m2.specs[name].Substrate; got != sub {
+			t.Errorf("VM %s recovered with substrate %q, want %q", name, got, sub)
+		}
+	}
+
+	// Crash a container node: its VMs carry a "container" pin, so every
+	// re-placement must land on the surviving container node.
+	var ctrIdx int
+	for i, n := range nodes {
+		if nodeSubstrate(n) == string(substrate.KindContainer) {
+			ctrIdx = i
+			break
+		}
+	}
+	var victims []string
+	for name, node := range m2.Placements() {
+		if node == nodes[ctrIdx].Name() {
+			victims = append(victims, name)
+		}
+	}
+	if len(victims) == 0 {
+		t.Fatal("no VM landed on the first container node")
+	}
+	nodes[ctrIdx].crash()
+	probeUntilDead(t, m2)
+	for _, name := range victims {
+		node, ok := m2.Placements()[name]
+		if !ok {
+			continue // lost for capacity reasons, not substrate ones
+		}
+		for i, n := range nodes {
+			if n.Name() == node && nodeSubstrate(nodes[i]) != string(substrate.KindContainer) {
+				t.Errorf("container VM %s re-placed onto %q node %s", name, nodeSubstrate(nodes[i]), node)
+			}
+		}
+	}
+}
+
+// TestRecoverMidMigrationContainer: the in-flight-resolution property holds
+// on the container substrate too — a manager SIGKILLed between a container
+// checkpoint landing on the destination and the journal recording the move
+// adopts the copy and releases the stale source.
+func TestRecoverMidMigrationContainer(t *testing.T) {
+	dir := t.TempDir()
+	m, nodes := newDurableMixedCluster(t, dir, 0, 2)
+	if _, _, err := m.Launch(durSpec("a", vm.LowPriority, 0.25)); err != nil {
+		t.Fatal(err)
+	}
+	srcIdx := 0
+	if m.Placements()["a"] == nodes[1].Name() {
+		srcIdx = 1
+	}
+	dstIdx := 1 - srcIdx
+
+	m.record(Event{Kind: evMigrateStart, VM: "a", Node: nodes[dstIdx].Name(), From: nodes[srcIdx].Name()})
+	cp, err := nodes[srcIdx].Checkpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.VM.Domain.Kind != substrate.KindContainer || cp.VM.Domain.Container == nil {
+		t.Fatalf("container checkpoint kind/state = %q/%v", cp.VM.Domain.Kind, cp.VM.Domain.Container)
+	}
+	if err := nodes[dstIdx].RestoreVM(cp); err != nil {
+		t.Fatal(err)
+	}
+	m.Journal().Close()
+
+	m2, rep, err := Recover(DurabilityConfig{Dir: dir}, []Node{nodes[0], nodes[1]}, BestFit, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Journal().Close()
+	if rep.MigrationsResolved != 1 {
+		t.Fatalf("report: %+v, want the in-flight container move resolved", rep)
+	}
+	if m2.Placements()["a"] != nodes[dstIdx].Name() {
+		t.Errorf("placement %q, want destination", m2.Placements()["a"])
+	}
+	if has, _ := nodes[srcIdx].Has("a"); has {
+		t.Error("stale source container not released")
+	}
+	// The restored instance is still container-backed.
+	inst, err := nodes[dstIdx].LocalController.Host().Lookup("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Kind() != substrate.KindContainer {
+		t.Errorf("restored instance kind = %q", inst.Kind())
+	}
+}
+
+// TestMigrationTargetsRespectSubstrate drains a container node and verifies
+// every move lands on the other container node, never on the (emptier)
+// hypervisor nodes.
+func TestMigrationTargetsRespectSubstrate(t *testing.T) {
+	m, nodes := newMixedCrashableCluster(t, 2, 2)
+	pinned := durSpec("c0", vm.LowPriority, 0.25)
+	pinned.Substrate = string(substrate.KindContainer)
+	idx, _, err := m.Launch(pinned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := m.Servers()[idx].Name()
+	moved, failed, err := m.Drain(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moved) != 1 || len(failed) != 0 {
+		t.Fatalf("drain moved %d / failed %v", len(moved), failed)
+	}
+	dst := m.Placements()["c0"]
+	for i, n := range nodes {
+		if n.Name() == dst && nodeSubstrate(nodes[i]) != string(substrate.KindContainer) {
+			t.Errorf("drain moved a container VM to %q node %s", nodeSubstrate(nodes[i]), dst)
+		}
+	}
+	if dst == src {
+		t.Errorf("drain left c0 on the source")
+	}
+}
+
+// Mixed-fleet chaos: half the fleet on containers, full HA fault mix. Two
+// same-seed runs must be byte-identical and takeovers must never evict a
+// healthy workload — the substrate split does not weaken either invariant.
+func TestMixedFleetChaosSimDeterministicNoHealthyEvictions(t *testing.T) {
+	mixed := func() SimConfig {
+		cfg := haChaosSim()
+		cfg.ContainerFraction = 0.5
+		return cfg
+	}
+	a, err := RunSim(mixed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSim(mixed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("mixed-fleet chaos sim not deterministic:\n%+v\n%+v", a, b)
+	}
+	if a.FailoverEvictions != 0 {
+		t.Errorf("mixed-fleet takeovers evicted %d healthy VMs", a.FailoverEvictions)
+	}
+	if a.FailurePreemptions != a.VMsReplaced+a.VMsLost {
+		t.Errorf("accounting: %d preemptions != %d replaced + %d lost",
+			a.FailurePreemptions, a.VMsReplaced, a.VMsLost)
+	}
+}
+
+// ContainerFraction zero must take exactly the historical all-hypervisor
+// path: identical results to a config that predates the field.
+func TestZeroContainerFractionReproducesBaseline(t *testing.T) {
+	baseline, err := RunSim(smallSim(ModeDeflation, 1.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	zeroed := smallSim(ModeDeflation, 1.6)
+	zeroed.ContainerFraction = 0
+	got, err := RunSim(zeroed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != baseline {
+		t.Errorf("ContainerFraction=0 diverged from baseline:\n%+v\n%+v", got, baseline)
+	}
+}

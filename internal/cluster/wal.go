@@ -434,7 +434,8 @@ func nodeInventory(n Node) ([]VMState, error) {
 // the VM's own app name when registered, else the generic elastic/inelastic
 // kind for its priority.
 func specFromVMState(vs VMState) LaunchSpec {
-	spec := LaunchSpec{Name: vs.Name, Size: vs.Size, MinSize: vs.MinSize, Warm: true}
+	spec := LaunchSpec{Name: vs.Name, Size: vs.Size, MinSize: vs.MinSize, Warm: true,
+		Substrate: vs.Substrate}
 	if vs.Priority == vm.HighPriority.String() {
 		spec.Priority = vm.HighPriority
 	}

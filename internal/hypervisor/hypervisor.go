@@ -19,7 +19,6 @@
 package hypervisor
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 	"time"
@@ -27,14 +26,24 @@ import (
 	"deflation/internal/guestos"
 	"deflation/internal/perfmodel"
 	"deflation/internal/restypes"
+	"deflation/internal/substrate"
 )
 
-// Sentinel errors returned by host and domain operations.
+// Sentinel errors returned by host and domain operations. These alias the
+// substrate-level sentinels so errors.Is matches regardless of which
+// substrate produced the error.
 var (
-	ErrInsufficientCapacity = errors.New("hypervisor: insufficient physical capacity")
-	ErrDomainExists         = errors.New("hypervisor: domain already exists")
-	ErrDomainNotFound       = errors.New("hypervisor: domain not found")
-	ErrDomainDestroyed      = errors.New("hypervisor: domain destroyed")
+	ErrInsufficientCapacity = substrate.ErrInsufficientCapacity
+	ErrDomainExists         = substrate.ErrInstanceExists
+	ErrDomainNotFound       = substrate.ErrInstanceNotFound
+	ErrDomainDestroyed      = substrate.ErrInstanceDestroyed
+)
+
+// Compile-time proof that simkvm implements the substrate mechanism API.
+var (
+	_ substrate.Substrate   = (*Host)(nil)
+	_ substrate.Instance    = (*Domain)(nil)
+	_ substrate.GuestBacked = (*Domain)(nil)
 )
 
 // Config describes a physical host.
@@ -90,6 +99,9 @@ func NewHost(cfg Config) (*Host, error) {
 
 // Name returns the host name.
 func (h *Host) Name() string { return h.cfg.Name }
+
+// Kind identifies the substrate implementation.
+func (h *Host) Kind() substrate.Kind { return substrate.KindHypervisor }
 
 // Capacity returns the host's physical capacity.
 func (h *Host) Capacity() restypes.Vector { return h.cfg.Capacity }
@@ -149,6 +161,46 @@ func (h *Host) Domain(name string) (*Domain, error) {
 	return d, nil
 }
 
+// Instances returns all live domains as substrate instances (sorted by
+// name, like Domains).
+func (h *Host) Instances() []substrate.Instance {
+	doms := h.Domains()
+	out := make([]substrate.Instance, len(doms))
+	for i, d := range doms {
+		out[i] = d
+	}
+	return out
+}
+
+// Lookup finds a live domain by name as a substrate instance.
+func (h *Host) Lookup(name string) (substrate.Instance, error) {
+	d, err := h.Domain(name)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// Spawn boots a domain — the substrate-interface spelling of CreateDomain.
+func (h *Host) Spawn(name string, size restypes.Vector, guestCfg guestos.Config) (substrate.Instance, error) {
+	d, err := h.CreateDomain(name, size, guestCfg)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// RestoreInstance materializes a migrated domain from a snapshot — the
+// substrate-interface spelling of RestoreDomain. Snapshots from another
+// substrate kind are rejected: a container checkpoint cannot boot as a VM.
+func (h *Host) RestoreInstance(s substrate.Snapshot) (substrate.Instance, error) {
+	d, err := h.RestoreDomain(s)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
 // CreateDomain boots a VM of the given nominal size with a matching guest
 // OS. The initial physical allocation equals the nominal size, so creation
 // fails with ErrInsufficientCapacity unless the size fits in free physical
@@ -201,6 +253,22 @@ type Domain struct {
 
 // Name returns the domain name.
 func (d *Domain) Name() string { return d.name }
+
+// Kind identifies the backing substrate.
+func (d *Domain) Kind() substrate.Kind { return substrate.KindHypervisor }
+
+// ResizeFloorMB is zero for domains: a memory limit below the live
+// footprint degrades into host swapping rather than killing the guest, so
+// there is no hard floor the policy layer must honor.
+func (d *Domain) ResizeFloorMB() float64 { return 0 }
+
+// SetAppFootprint forwards the application's footprint to the guest OS.
+func (d *Domain) SetAppFootprint(rssMB, pageCacheMB float64) {
+	d.guest.SetAppFootprint(rssMB, pageCacheMB)
+}
+
+// DirtyRateMBps is the guest's page-dirtying rate (pre-copy convergence).
+func (d *Domain) DirtyRateMBps() float64 { return d.guest.DirtyRateMBps() }
 
 // Size returns the nominal booted size.
 func (d *Domain) Size() restypes.Vector { return d.size }
@@ -292,25 +360,24 @@ func minf(a, b float64) float64 {
 	return b
 }
 
-// DomainSnapshot is the transferable state of a domain, as shipped by live
-// migration: the nominal size, the current (possibly deflated) allocation,
-// the host-resident high-water mark, and the guest kernel's state.
-type DomainSnapshot struct {
-	Name          string           `json:"name"`
-	Size          restypes.Vector  `json:"size"`
-	Alloc         restypes.Vector  `json:"alloc"`
-	EverTouchedMB float64          `json:"ever_touched_mb"`
-	Guest         guestos.Snapshot `json:"guest"`
-}
+// DomainSnapshot is the transferable state of an instance, as shipped by
+// live migration. For domains it carries the nominal size, the current
+// (possibly deflated) allocation, the host-resident high-water mark, and
+// the guest kernel's state. It is now an alias of the substrate-level
+// tagged union so checkpoints flow through migration and the WAL
+// regardless of substrate kind.
+type DomainSnapshot = substrate.Snapshot
 
 // Snapshot captures the domain's transferable state.
 func (d *Domain) Snapshot() DomainSnapshot {
+	g := d.guest.Snapshot()
 	return DomainSnapshot{
+		Kind:          substrate.KindHypervisor,
 		Name:          d.name,
 		Size:          d.size,
 		Alloc:         d.alloc,
 		EverTouchedMB: d.refreshEverTouched(),
-		Guest:         d.guest.Snapshot(),
+		Guest:         &g,
 	}
 }
 
@@ -321,6 +388,12 @@ func (d *Domain) Snapshot() DomainSnapshot {
 // later reinflate toward its nominal size through SetAllocation, subject to
 // the usual capacity checks.
 func (h *Host) RestoreDomain(s DomainSnapshot) (*Domain, error) {
+	if s.Kind.Normalize() != substrate.KindHypervisor {
+		return nil, fmt.Errorf("%w: %q snapshot is %q", substrate.ErrKindMismatch, s.Name, s.Kind)
+	}
+	if s.Guest == nil {
+		return nil, fmt.Errorf("hypervisor: snapshot %q has no guest state", s.Name)
+	}
 	if _, ok := h.domains[s.Name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrDomainExists, s.Name)
 	}
@@ -331,7 +404,7 @@ func (h *Host) RestoreDomain(s DomainSnapshot) (*Domain, error) {
 	if !alloc.Fits(h.FreePhysical()) {
 		return nil, fmt.Errorf("%w: restoring %v, free %v", ErrInsufficientCapacity, alloc, h.FreePhysical())
 	}
-	g, err := guestos.Restore(s.Guest)
+	g, err := guestos.Restore(*s.Guest)
 	if err != nil {
 		return nil, err
 	}
@@ -343,38 +416,10 @@ func (h *Host) RestoreDomain(s DomainSnapshot) (*Domain, error) {
 }
 
 // Env is the effective execution environment a domain's application sees.
-// Application performance models consume this snapshot.
-type Env struct {
-	// VCPUs is the number of vCPUs plugged into the guest.
-	VCPUs int
-	// PhysCores is the physical CPU capacity backing those vCPUs.
-	PhysCores float64
-	// EffectiveCores is PhysCores after the lock-holder-preemption penalty
-	// for multiplexing VCPUs onto fewer physical cores.
-	EffectiveCores float64
-	// GuestMemMB is the memory the guest OS (and application) believes it
-	// has — what application-level sizing policies observe.
-	GuestMemMB float64
-	// ResidentMB is the host-resident (ever-touched) guest memory actually
-	// backed by physical frames; the remainder (SwappedMB) lives on the
-	// host swap device.
-	ResidentMB float64
-	// SwappedMB is host-resident guest memory currently swapped out.
-	SwappedMB float64
-	// EverTouchedMB is the guest memory the host considers live (see
-	// Domain.MarkWarm); swap victims are drawn from it.
-	EverTouchedMB float64
-	// KernelMemMB is the guest kernel reserve, so application models can
-	// separate their own pages from the rest of the footprint.
-	KernelMemMB float64
-	// LocalityFactor degrades the workload's access locality when host
-	// swapping (rather than the application) chose the evicted pages.
-	LocalityFactor float64
-	// DiskMBps and NetMBps are the throttled I/O bandwidths.
-	DiskMBps, NetMBps float64
-	// OOMKilled reports that the guest OOM killer terminated the app.
-	OOMKilled bool
-}
+// Application performance models consume this snapshot. It is an alias of
+// the substrate-level Env so performance models stay substrate-portable;
+// the zero Kind means hypervisor, so existing Env literals are unchanged.
+type Env = substrate.Env
 
 // Env computes the domain's current effective environment.
 func (d *Domain) Env() Env {
@@ -395,6 +440,7 @@ func (d *Domain) Env() Env {
 		locality = d.host.cfg.BlackboxLocalityFactor
 	}
 	return Env{
+		Kind:           substrate.KindHypervisor,
 		VCPUs:          vcpus,
 		PhysCores:      phys,
 		EffectiveCores: eff,

@@ -7,6 +7,7 @@ import (
 	"deflation/internal/hypervisor"
 	"deflation/internal/perfmodel"
 	"deflation/internal/restypes"
+	"deflation/internal/substrate"
 	"deflation/internal/vm"
 )
 
@@ -89,8 +90,19 @@ func (g *SLOGuard) coresFor(capacityRPS float64) float64 {
 // cascade reclaims x CPU from a VM currently allocated allocCPU: whole
 // vCPUs hot-unplug (⌊x⌋), the hypervisor takes the fractional remainder
 // black-box, and vCPUs multiplexed onto fewer physical cores pay the
-// lock-holder-preemption penalty.
+// lock-holder-preemption penalty. Container replicas have neither
+// mechanism: a cgroup CPU quota is fractional and runs on the host
+// scheduler, so the post-cascade envelope is exactly the remaining quota —
+// the planner must not project VM quantization onto them or it would plan
+// too shallow (wasting reclamation) or model phantom LHP cliffs.
 func effectiveCoresAfter(env hypervisor.Env, allocCPU, x float64) float64 {
+	if env.Kind == substrate.KindContainer {
+		phys := allocCPU - x
+		if phys <= 0 {
+			return 0
+		}
+		return phys
+	}
 	unplug := int(math.Floor(x))
 	if max := env.VCPUs - 1; unplug > max {
 		unplug = max

@@ -1,6 +1,6 @@
-// Package vm composes a hypervisor domain, its guest OS, and an application
-// into a deflatable VM — the unit the paper's cascade deflation and cluster
-// manager operate on (§3, §5).
+// Package vm composes a substrate instance (a hypervisor domain or a
+// container cgroup) and an application into a deflatable VM — the unit the
+// paper's cascade deflation and cluster manager operate on (§3, §5).
 //
 // A deflatable VM carries a priority class (high-priority VMs are never
 // deflated or preempted), an optional minimum size m_i below which deflation
@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"time"
 
+	"deflation/internal/guestos"
 	"deflation/internal/hypervisor"
 	"deflation/internal/restypes"
+	"deflation/internal/substrate"
 )
 
 // Priority classifies a VM for reclamation purposes.
@@ -45,7 +47,7 @@ type Application interface {
 
 	// Footprint returns the application's current memory footprint: its
 	// resident set and the page cache it generates. The VM propagates this
-	// to the guest OS after every change.
+	// to the substrate after every change.
 	Footprint() (rssMB, pageCacheMB float64)
 
 	// SelfDeflate asks the application to voluntarily relinquish resources
@@ -77,13 +79,15 @@ type EnvObserver interface {
 // implements EnvObserver.
 func (v *VM) ObserveEnv() {
 	if obs, ok := v.app.(EnvObserver); ok {
-		obs.ObserveEnv(v.dom.Env())
+		obs.ObserveEnv(v.inst.Env())
 	}
 }
 
-// VM is a deflatable (or high-priority, non-deflatable) virtual machine.
+// VM is a deflatable (or high-priority, non-deflatable) virtual machine —
+// or, on the container substrate, a deflatable container. The historical
+// name sticks: the policy layers treat both uniformly.
 type VM struct {
-	dom      *hypervisor.Domain
+	inst     substrate.Instance
 	app      Application
 	priority Priority
 	minSize  restypes.Vector // m_i: deflation floor; zero means "fully deflatable"
@@ -98,27 +102,58 @@ type Config struct {
 	MinSize restypes.Vector
 }
 
-// New wraps a booted domain and its application as a deflatable VM.
+// New wraps a booted hypervisor domain and its application as a deflatable
+// VM. NewOn is the substrate-generic spelling.
 func New(dom *hypervisor.Domain, app Application, cfg Config) (*VM, error) {
 	if dom == nil {
 		return nil, fmt.Errorf("vm: nil domain")
 	}
+	return NewOn(dom, app, cfg)
+}
+
+// NewOn wraps a booted substrate instance and its application as a
+// deflatable VM.
+func NewOn(inst substrate.Instance, app Application, cfg Config) (*VM, error) {
+	if inst == nil {
+		return nil, fmt.Errorf("vm: nil instance")
+	}
 	if app == nil {
 		return nil, fmt.Errorf("vm: nil application")
 	}
-	if !cfg.MinSize.Fits(dom.Size()) {
-		return nil, fmt.Errorf("vm: min size %v exceeds VM size %v", cfg.MinSize, dom.Size())
+	if !cfg.MinSize.Fits(inst.Size()) {
+		return nil, fmt.Errorf("vm: min size %v exceeds VM size %v", cfg.MinSize, inst.Size())
 	}
-	v := &VM{dom: dom, app: app, priority: cfg.Priority, minSize: cfg.MinSize}
+	v := &VM{inst: inst, app: app, priority: cfg.Priority, minSize: cfg.MinSize}
 	v.SyncFootprint()
 	return v, nil
 }
 
-// Name returns the underlying domain name.
-func (v *VM) Name() string { return v.dom.Name() }
+// Name returns the underlying instance name.
+func (v *VM) Name() string { return v.inst.Name() }
 
-// Domain returns the underlying hypervisor domain.
-func (v *VM) Domain() *hypervisor.Domain { return v.dom }
+// Instance returns the underlying substrate instance.
+func (v *VM) Instance() substrate.Instance { return v.inst }
+
+// Substrate returns the instance's substrate kind.
+func (v *VM) Substrate() substrate.Kind { return v.inst.Kind() }
+
+// Domain returns the underlying hypervisor domain, or nil when the VM runs
+// on a non-hypervisor substrate. Policy code must treat nil as "no
+// VM-level mechanisms" — prefer Instance for substrate-portable paths.
+func (v *VM) Domain() *hypervisor.Domain {
+	d, _ := v.inst.(*hypervisor.Domain)
+	return d
+}
+
+// Guest returns the guest OS kernel for guest-backed (hypervisor)
+// instances, or nil on substrates without one. The cascade's OS level and
+// anything touching balloon/hotplug must gate on this.
+func (v *VM) Guest() *guestos.GuestOS {
+	if gb, ok := v.inst.(substrate.GuestBacked); ok {
+		return gb.Guest()
+	}
+	return nil
+}
 
 // App returns the application running in the VM.
 func (v *VM) App() Application { return v.app }
@@ -127,10 +162,10 @@ func (v *VM) App() Application { return v.app }
 func (v *VM) Priority() Priority { return v.priority }
 
 // Size returns the nominal booted size M_i.
-func (v *VM) Size() restypes.Vector { return v.dom.Size() }
+func (v *VM) Size() restypes.Vector { return v.inst.Size() }
 
 // Allocation returns the current physical allocation.
-func (v *VM) Allocation() restypes.Vector { return v.dom.Allocation() }
+func (v *VM) Allocation() restypes.Vector { return v.inst.Allocation() }
 
 // MinSize returns the deflation floor m_i.
 func (v *VM) MinSize() restypes.Vector { return v.minSize }
@@ -138,38 +173,54 @@ func (v *VM) MinSize() restypes.Vector { return v.minSize }
 // Deflatable returns how much can still be reclaimed from this VM before it
 // hits its minimum size: allocation − m_i for low-priority VMs, zero for
 // high-priority VMs. This is the Deflatable_j term of the placement
-// availability vector (§5, Eq. 4).
+// availability vector (§5, Eq. 4). On substrates that report a resize
+// floor (containers: live RSS + runtime overhead), the memory component is
+// additionally capped at allocation − floor, so planners never target a
+// reclamation the substrate would answer with an OOM kill. Hypervisor
+// domains report a zero floor, leaving the historical value untouched.
 func (v *VM) Deflatable() restypes.Vector {
 	if v.priority == HighPriority {
 		return restypes.Vector{}
 	}
-	return v.dom.Allocation().Sub(v.minSize).ClampNonNegative()
+	d := v.inst.Allocation().Sub(v.minSize).ClampNonNegative()
+	if floor := v.inst.ResizeFloorMB(); floor > 0 {
+		if maxMem := v.inst.Allocation().MemoryMB - floor; maxMem < d.MemoryMB {
+			if maxMem < 0 {
+				maxMem = 0
+			}
+			d.MemoryMB = maxMem
+		}
+	}
+	return d
 }
 
 // Env returns the application's current effective environment.
-func (v *VM) Env() hypervisor.Env { return v.dom.Env() }
+func (v *VM) Env() hypervisor.Env { return v.inst.Env() }
 
 // Throughput returns the application's current normalized performance.
-func (v *VM) Throughput() float64 { return v.app.Throughput(v.dom.Env()) }
+func (v *VM) Throughput() float64 { return v.app.Throughput(v.inst.Env()) }
 
-// SyncFootprint propagates the application's memory footprint to the guest
-// OS (which uses it to bound safe unplugging and to detect OOM). Call after
-// any operation that may change the footprint.
+// SyncFootprint propagates the application's memory footprint to the
+// substrate (which uses it to bound safe unplugging, track the resize
+// floor, and detect OOM). Call after any operation that may change the
+// footprint.
 func (v *VM) SyncFootprint() {
 	rss, cache := v.app.Footprint()
-	v.dom.Guest().SetAppFootprint(rss, cache)
+	v.inst.SetAppFootprint(rss, cache)
 }
 
 // Preempt destroys the VM — the fail-stop reclamation used by today's
 // transient-VM offerings, and the fallback when deflation below m_i would
 // be required.
-func (v *VM) Preempt() { v.dom.Destroy() }
+func (v *VM) Preempt() { v.inst.Destroy() }
 
-// Preempted reports whether the VM has been preempted (domain destroyed).
-func (v *VM) Preempted() bool { return v.dom.Destroyed() }
+// Preempted reports whether the VM has been preempted (instance destroyed).
+func (v *VM) Preempted() bool { return v.inst.Destroyed() }
 
-// Snapshot is the transferable state of a VM: the domain-plus-guest snapshot
-// and the VM-level policy attributes that must follow it to the destination.
+// Snapshot is the transferable state of a VM: the substrate snapshot and
+// the VM-level policy attributes that must follow it to the destination.
+// The field keeps its historical name "domain" (JSON included) — it now
+// carries the tagged substrate union.
 type Snapshot struct {
 	Domain   hypervisor.DomainSnapshot `json:"domain"`
 	Priority Priority                  `json:"priority"`
@@ -178,24 +229,35 @@ type Snapshot struct {
 
 // Snapshot captures the VM's transferable state for live migration.
 func (v *VM) Snapshot() Snapshot {
-	return Snapshot{Domain: v.dom.Snapshot(), Priority: v.priority, MinSize: v.minSize}
+	return Snapshot{Domain: v.inst.Snapshot(), Priority: v.priority, MinSize: v.minSize}
 }
 
-// Restore materializes a migrated VM on host from a snapshot, attaching app
-// as its application. The snapshot's guest footprint is authoritative — it
-// is NOT overwritten from the application's Footprint, so a live application
-// object handed off in-process stays exactly in sync, and a registry-built
-// replacement converges through later deflate/reinflate cycles.
+// Restore materializes a migrated VM on a hypervisor host from a snapshot.
+// RestoreOn is the substrate-generic spelling.
 func Restore(host *hypervisor.Host, s Snapshot, app Application) (*VM, error) {
+	if host == nil {
+		return nil, fmt.Errorf("vm: nil host")
+	}
+	return RestoreOn(host, s, app)
+}
+
+// RestoreOn materializes a migrated VM on a substrate from a snapshot,
+// attaching app as its application. The snapshot's footprint is
+// authoritative — it is NOT overwritten from the application's Footprint,
+// so a live application object handed off in-process stays exactly in
+// sync, and a registry-built replacement converges through later
+// deflate/reinflate cycles. The substrate rejects snapshots of a different
+// kind with substrate.ErrKindMismatch.
+func RestoreOn(sub substrate.Substrate, s Snapshot, app Application) (*VM, error) {
 	if app == nil {
 		return nil, fmt.Errorf("vm: nil application")
 	}
 	if !s.MinSize.Fits(s.Domain.Size) {
 		return nil, fmt.Errorf("vm: min size %v exceeds VM size %v", s.MinSize, s.Domain.Size)
 	}
-	dom, err := host.RestoreDomain(s.Domain)
+	inst, err := sub.RestoreInstance(s.Domain)
 	if err != nil {
 		return nil, err
 	}
-	return &VM{dom: dom, app: app, priority: s.Priority, minSize: s.MinSize}, nil
+	return &VM{inst: inst, app: app, priority: s.Priority, minSize: s.MinSize}, nil
 }

@@ -1,12 +1,16 @@
 #!/usr/bin/env bash
 # coverage_check.sh — run the test suite with a coverage profile, print the
-# total, and fail if the sweep engine (internal/sweep) is under its floor.
+# total, and fail if the sweep engine (internal/sweep) or the container
+# substrate (internal/simcg) is under its floor.
 #
 # Usage: scripts/coverage_check.sh [profile-path]
 #
 # The sweep engine is the concurrency-critical core every figure sweep runs
 # through; its unit tests must keep covering panic capture, cancellation,
 # memoization, and the merge ordering, so its floor is enforced at 85%.
+# The simcg substrate models the failure semantics the mixed-fleet figure
+# rests on (resize floors, OOM kills, the shared page-cache pool), so it
+# carries the same floor.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -27,5 +31,15 @@ echo "internal/sweep coverage: ${sweep_pct}% (floor ${floor_pct}%)"
 
 awk -v got="$sweep_pct" -v floor="$floor_pct" 'BEGIN { exit !(got+0 >= floor+0) }' || {
   echo "FAIL: internal/sweep coverage ${sweep_pct}% is below the ${floor_pct}% floor" >&2
+  exit 1
+}
+
+simcg_profile="${profile}.simcg"
+{ head -1 "$profile"; grep "internal/simcg/" "$profile" || true; } > "$simcg_profile"
+simcg_pct=$(go tool cover -func="$simcg_profile" | awk '/^total:/ { sub(/%$/, "", $NF); print $NF }')
+echo "internal/simcg coverage: ${simcg_pct}% (floor ${floor_pct}%)"
+
+awk -v got="$simcg_pct" -v floor="$floor_pct" 'BEGIN { exit !(got+0 >= floor+0) }' || {
+  echo "FAIL: internal/simcg coverage ${simcg_pct}% is below the ${floor_pct}% floor" >&2
   exit 1
 }
