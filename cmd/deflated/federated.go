@@ -28,6 +28,8 @@ func parsePolicy(name string) (cluster.PlacementPolicy, error) {
 		return cluster.FirstFit, nil
 	case "2-choices":
 		return cluster.TwoChoices, nil
+	case "worst-fit":
+		return cluster.WorstFit, nil
 	}
 	return cluster.BestFit, fmt.Errorf("unknown policy %q", name)
 }

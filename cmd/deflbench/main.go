@@ -18,8 +18,12 @@
 // count × deflation fraction, and the multi-substrate sweep (-fig mixed):
 // VM-only vs container-only vs alternating fleets across deflation
 // fraction × workload mix, reporting reclamation depth, resize latency,
-// p99, and OOM-kill counts. Group aliases run whole panels: 5 (5a–5d),
-// 7 (7a, 7b), 8 (8a–8d); a "fig" prefix is accepted everywhere (fig8c ≡ 8c).
+// p99, and OOM-kill counts. The scale sweep (-fig 8c-xl) extends Figure 8c
+// along the fleet-size axis — 100/1k/10k nodes at constant per-server load,
+// 1M arrivals in the 10k cell — and is excluded from "all" because of its
+// size (-quick trims it to 100/1k nodes). Group aliases run whole panels:
+// 5 (5a–5d), 7 (7a, 7b), 8 (8a–8d); a "fig" prefix is accepted everywhere
+// (fig8c ≡ 8c).
 //
 // Every figure sweep fans its independent simulation cells out across
 // -parallel workers (default GOMAXPROCS) with a deterministic merge, so
@@ -42,7 +46,7 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, revenue, chaos, migration, failover, slo, mixed, group aliases 5/7/8, all)")
+	fig := flag.String("fig", "all", "figure/table to regenerate (table1, table2, 1, 5a..5d, 6, 7a, 7b, 8a..8d, 8c-xl, revenue, chaos, migration, failover, slo, mixed, group aliases 5/7/8, all)")
 	quick := flag.Bool("quick", false, "smaller sweeps for the cluster simulations")
 	parallel := flag.Int("parallel", runtime.GOMAXPROCS(0), "sweep workers; 1 = exact legacy serial path, N>1 fans cells out over N goroutines")
 	memoize := flag.Bool("memoize", true, "reuse results of identical simulation cells across sweeps (never changes output)")
@@ -69,6 +73,7 @@ func main() {
 		"8a":        func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig8a()) },
 		"8b":        func(bool) (fmt.Stringer, error) { return wrap(experiments.Fig8b()) },
 		"8c":        runFig8c,
+		"8c-xl":     runFig8cXL,
 		"8d":        runFig8d,
 		"revenue":   func(quick bool) (fmt.Stringer, error) { return wrap(experiments.Revenue(quick)) },
 		"chaos":     runChaos,
@@ -161,6 +166,14 @@ func runFig8c(quick bool) (fmt.Stringer, error) {
 		cfg = experiments.QuickFig8cConfig()
 	}
 	return wrap(experiments.Fig8c(cfg))
+}
+
+func runFig8cXL(quick bool) (fmt.Stringer, error) {
+	cfg := experiments.Fig8cXLConfig{}
+	if quick {
+		cfg = experiments.QuickFig8cXLConfig()
+	}
+	return wrap(experiments.Fig8cXL(cfg))
 }
 
 func runFig8d(quick bool) (fmt.Stringer, error) {

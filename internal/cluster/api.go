@@ -269,6 +269,7 @@ func (a *ControllerAPI) handleDeflate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rep, err := a.ctrl.casc.Deflate(v, req.Target)
+	a.ctrl.capacityChanged() // direct cascade call bypasses the controller's hooks
 	if err != nil {
 		writeError(w, err)
 		return

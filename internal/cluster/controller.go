@@ -126,6 +126,58 @@ type LocalController struct {
 	streams map[string]*migrationStream
 
 	preemptions int
+
+	// cache memoizes the derived capacity readings — each is an O(VMs) walk
+	// over host/VM state, and the manager's placement path reads them for
+	// every server on every launch. Any mutation (launch, release, deflate,
+	// reinflate, preempt, stream reservation, crash) goes through
+	// capacityChanged, which clears the cache and pings the watchers; the
+	// manager's placement index subscribes to keep its per-node snapshots
+	// fresh. Memoized values are bit-identical to recomputation: the same
+	// code computes them, just once per change instead of once per read.
+	cache    ctrlCache
+	watchers []func()
+}
+
+// ctrlCache holds the memoized derived readings; have is a bitmask of which
+// fields are current.
+type ctrlCache struct {
+	have       uint8
+	vmList     []*vm.VM
+	free       restypes.Vector
+	avail      restypes.Vector
+	ceil       restypes.Vector
+	nominal    restypes.Vector
+	overcommit float64
+}
+
+const (
+	cacheVMs = 1 << iota
+	cacheFree
+	cacheAvail
+	cacheCeil
+	cacheNominal
+	cacheOvercommit
+)
+
+// capacityChanged invalidates every memoized reading and notifies watchers.
+// Mutating methods call it after changing VM membership or allocations —
+// including mid-operation, before an interleaved read of Free() — so a
+// cached value can never outlive the state it was derived from.
+func (c *LocalController) capacityChanged() {
+	c.cache.have = 0
+	for _, w := range c.watchers {
+		w()
+	}
+}
+
+// WatchCapacity registers fn to run whenever this server's capacity vectors
+// may have changed (VM launched/released/preempted, deflation, reinflation,
+// migration stream reservations, crash/recovery). Used by the manager's
+// placement index for push invalidation; fn must be O(1) and must not call
+// back into the controller.
+func (c *LocalController) WatchCapacity(fn func()) {
+	c.watchers = append(c.watchers, fn)
 }
 
 // SetSplitPolicy changes how deflation demand is divided among VMs
@@ -182,20 +234,29 @@ func (c *LocalController) FailAll() []string {
 		v.Preempt()
 	}
 	c.vms = make(map[string]*vm.VM)
+	c.capacityChanged()
 	return victims
 }
 
 // Preemptions returns the number of VMs this controller has preempted.
 func (c *LocalController) Preemptions() int { return c.preemptions }
 
-// VMs returns the server's live VMs sorted by name.
+// VMs returns the server's live VMs sorted by name. The slice is memoized
+// and shared between calls until the VM set changes; callers must not
+// mutate it.
 func (c *LocalController) VMs() []*vm.VM {
-	out := make([]*vm.VM, 0, len(c.vms))
-	for _, v := range c.vms {
-		out = append(out, v)
+	if c.cache.have&cacheVMs == 0 {
+		// Always a fresh slice: a caller may still be iterating the
+		// previously returned snapshot (old copying semantics).
+		out := make([]*vm.VM, 0, len(c.vms))
+		for _, v := range c.vms {
+			out = append(out, v)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+		c.cache.vmList = out
+		c.cache.have |= cacheVMs
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
-	return out
+	return c.cache.vmList
 }
 
 // Inventory implements InventoryNode: the ground-truth list of VMs this
@@ -236,7 +297,13 @@ func (c *LocalController) VM(name string) (*vm.VM, error) {
 }
 
 // Free returns the server's unallocated physical capacity.
-func (c *LocalController) Free() restypes.Vector { return c.host.FreePhysical() }
+func (c *LocalController) Free() restypes.Vector {
+	if c.cache.have&cacheFree == 0 {
+		c.cache.free = c.host.FreePhysical()
+		c.cache.have |= cacheFree
+	}
+	return c.cache.free
+}
 
 // Deflatable returns the total resources reclaimable from low-priority VMs
 // (down to their minimums) without preemption. In preemption-only mode the
@@ -260,7 +327,11 @@ func (c *LocalController) Deflatable() restypes.Vector {
 // Availability returns the placement availability vector of §5 Eq. 4:
 // A_j = Free_j + Deflatable_j.
 func (c *LocalController) Availability() restypes.Vector {
-	return c.Free().Add(c.Deflatable())
+	if c.cache.have&cacheAvail == 0 {
+		c.cache.avail = c.Free().Add(c.Deflatable())
+		c.cache.have |= cacheAvail
+	}
+	return c.cache.avail
 }
 
 // Mode returns the controller's reclamation mode.
@@ -271,28 +342,44 @@ func (c *LocalController) Mode() Mode { return c.mode }
 // to minimums, then preemption). High-priority placements may use this
 // ceiling; the preempted VMs are the Fig. 8c casualties.
 func (c *LocalController) PreemptableCeiling() restypes.Vector {
-	sum := c.Free()
-	for _, v := range c.VMs() {
-		if v.Priority() == vm.LowPriority {
-			sum = sum.Add(v.Allocation())
+	if c.cache.have&cacheCeil == 0 {
+		sum := c.Free()
+		for _, v := range c.VMs() {
+			if v.Priority() == vm.LowPriority {
+				sum = sum.Add(v.Allocation())
+			}
 		}
+		c.cache.ceil = sum
+		c.cache.have |= cacheCeil
 	}
-	return sum
+	return c.cache.ceil
 }
 
 // NominalSize returns the sum of the server's VMs' nominal sizes — the
 // numerator of the server-overcommitment metric (Fig. 8d).
 func (c *LocalController) NominalSize() restypes.Vector {
-	var sum restypes.Vector
-	for _, v := range c.VMs() {
-		sum = sum.Add(v.Size())
+	if c.cache.have&cacheNominal == 0 {
+		var sum restypes.Vector
+		for _, v := range c.VMs() {
+			sum = sum.Add(v.Size())
+		}
+		c.cache.nominal = sum
+		c.cache.have |= cacheNominal
 	}
-	return sum
+	return c.cache.nominal
 }
 
 // Overcommitment returns nominal load relative to capacity on the binding
 // (maximum) of the CPU and memory dimensions.
 func (c *LocalController) Overcommitment() float64 {
+	if c.cache.have&cacheOvercommit == 0 {
+		c.cache.overcommit = c.computeOvercommitment()
+		c.cache.have |= cacheOvercommit
+	}
+	return c.cache.overcommit
+}
+
+func (c *LocalController) computeOvercommitment() float64 {
 	nom, cap := c.NominalSize(), c.host.Capacity()
 	if cap.CPU == 0 || cap.MemoryMB == 0 {
 		return 0
@@ -342,9 +429,11 @@ func (c *LocalController) LaunchVM(spec LaunchSpec) (*vm.VM, LaunchReport, error
 	v, err := vm.NewOn(inst, newApp(spec.Size), vm.Config{Priority: spec.Priority, MinSize: spec.MinSize})
 	if err != nil {
 		inst.Destroy()
+		c.capacityChanged()
 		return nil, rep, err
 	}
 	c.vms[spec.Name] = v
+	c.capacityChanged()
 	return v, rep, nil
 }
 
@@ -455,6 +544,7 @@ func (c *LocalController) deflateOne(v *vm.VM, target restypes.Vector, rep *Laun
 		return nil
 	}
 	r, err := c.casc.Deflate(v, target)
+	c.capacityChanged() // the cascade resized allocations even on partial failure
 	if err != nil {
 		return fmt.Errorf("cluster: deflating %q: %w", v.Name(), err)
 	}
@@ -503,6 +593,7 @@ func (c *LocalController) preemptInternal(v *vm.VM) {
 	v.Preempt()
 	delete(c.vms, v.Name())
 	c.preemptions++
+	c.capacityChanged()
 }
 
 // Release shuts a VM down normally (its lifetime ended) and reinflates the
@@ -515,6 +606,7 @@ func (c *LocalController) Release(name string) error {
 	}
 	v.Preempt() // mechanically identical: destroy the domain
 	delete(c.vms, name)
+	c.capacityChanged()
 	c.ReinflateAll()
 	return nil
 }
@@ -540,5 +632,6 @@ func (c *LocalController) ReinflateAll() {
 		}
 		// Reinflation is best-effort; failures leave the VM deflated.
 		_, _ = c.casc.Reinflate(v, amount)
+		c.capacityChanged()
 	}
 }

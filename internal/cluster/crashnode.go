@@ -28,20 +28,29 @@ func newCrashableNode(c *LocalController) *crashableNode {
 func (n *crashableNode) crash() []string {
 	n.down = true
 	n.crashes++
-	return n.LocalController.FailAll()
+	return n.LocalController.FailAll() // FailAll notifies capacity watchers
 }
 
 // recover brings the node back, empty.
-func (n *crashableNode) recover() { n.down = false }
+func (n *crashableNode) recover() {
+	n.down = false
+	n.capacityChanged()
+}
 
 // isolate partitions the node away without killing its VMs — the manager
 // sees a dead node, but the workloads keep running (an agent that outlived
 // its network, or a manager that outlived its agent). heal reconnects it,
 // VMs intact, so rejoin reconciliation can re-adopt them.
-func (n *crashableNode) isolate() { n.down = true }
+func (n *crashableNode) isolate() {
+	n.down = true
+	n.capacityChanged()
+}
 
 // heal ends an isolate partition.
-func (n *crashableNode) heal() { n.down = false }
+func (n *crashableNode) heal() {
+	n.down = false
+	n.capacityChanged()
+}
 
 func (n *crashableNode) Ping() error {
 	if n.down {

@@ -25,6 +25,14 @@ const (
 	FirstFit
 	// TwoChoices samples two random servers and picks the fitter one.
 	TwoChoices
+	// WorstFit picks the feasible server with the most free capacity
+	// (largest free-vector magnitude) — the classic load-spreading
+	// baseline, the antithesis of BestFit's packing. Feasibility still
+	// counts deflatable capacity like every other policy, but the rank
+	// metric is raw free space: ranking by availability would tie a
+	// server full of deflatable low-priority VMs with an empty one (both
+	// "available"), collapsing the policy into first-fit.
+	WorstFit
 )
 
 // String names the policy.
@@ -36,6 +44,8 @@ func (p PlacementPolicy) String() string {
 		return "first-fit"
 	case TwoChoices:
 		return "2-choices"
+	case WorstFit:
+		return "worst-fit"
 	}
 	return fmt.Sprintf("PlacementPolicy(%d)", int(p))
 }
@@ -197,6 +207,14 @@ type Manager struct {
 	onDeposed func() // invoked once, on the first stale-epoch observation
 
 	tel *managerTelemetry // nil = no instrumentation
+
+	// pidx is the segment-tree placement index (see placement_index.go):
+	// non-nil when every node supports capacity push-invalidation, in which
+	// case BestFit/WorstFit/FirstFit and the preemption fallback resolve
+	// through it — returning bit-identical choices to the linear scans.
+	// Dynamic fleet membership (AddNode/RemoveNode) disables it for the
+	// manager's lifetime; those fleets stay on the scans.
+	pidx *placementIndex
 }
 
 // SetFreeOnlyFitness toggles the fitness ablation: score servers by free
@@ -217,6 +235,7 @@ func NewManager(servers []Node, policy PlacementPolicy, seed int64) (*Manager, e
 		nodeURLs:     make(map[string]string),
 		healthPolicy: HealthPolicy{}.withDefaults(),
 		health:       make([]nodeHealth, len(servers)),
+		pidx:         newPlacementIndex(servers),
 	}, nil
 }
 
@@ -600,12 +619,17 @@ func (m *Manager) pickServer(spec LaunchSpec) int {
 	}
 	switch m.policy {
 	case FirstFit:
+		if m.pidx != nil {
+			return m.pidx.firstFit(m, spec)
+		}
 		for i, s := range m.servers {
 			if m.alive(i) && feasible(s, spec) {
 				return i
 			}
 		}
 		return -1
+	case WorstFit:
+		return m.worstFit(spec)
 	case TwoChoices:
 		a := m.rng.Intn(len(m.servers))
 		b := m.rng.Intn(len(m.servers))
@@ -632,6 +656,9 @@ func (m *Manager) pickServer(spec LaunchSpec) int {
 }
 
 func (m *Manager) bestFit(spec LaunchSpec) int {
+	if m.pidx != nil {
+		return m.pidx.bestFit(m, spec)
+	}
 	best, bestFitness := -1, -1.0
 	for i, s := range m.servers {
 		if !m.alive(i) || !feasible(s, spec) {
@@ -644,7 +671,26 @@ func (m *Manager) bestFit(spec LaunchSpec) int {
 	return best
 }
 
+func (m *Manager) worstFit(spec LaunchSpec) int {
+	if m.pidx != nil {
+		return m.pidx.worstFit(m, spec)
+	}
+	best, bestRoom := -1, -1.0
+	for i, s := range m.servers {
+		if !m.alive(i) || !feasible(s, spec) {
+			continue
+		}
+		if r := s.Free().Norm(); r > bestRoom {
+			best, bestRoom = i, r
+		}
+	}
+	return best
+}
+
 func (m *Manager) preemptFallback(spec LaunchSpec) int {
+	if m.pidx != nil {
+		return m.pidx.preemptFallback(m, spec)
+	}
 	best, bestCeiling := -1, restypes.Vector{}
 	for i, s := range m.servers {
 		if !m.alive(i) || !preemptFeasible(s, spec) {

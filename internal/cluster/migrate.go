@@ -135,6 +135,7 @@ func (c *LocalController) RestoreVM(cp VMCheckpoint) error {
 		return err
 	}
 	c.vms[name] = v
+	c.capacityChanged()
 	return nil
 }
 
@@ -210,6 +211,7 @@ func (c *LocalController) ReserveStream(stream string, rateMBps float64) (float6
 	}
 	s.granted = granted
 	c.streams[stream] = s
+	c.capacityChanged()
 	return granted, nil
 }
 
@@ -224,6 +226,7 @@ func (c *LocalController) ReleaseStream(stream string) error {
 	delete(c.streams, stream)
 	c.host.Unreserve(s.reserved)
 	c.restoreThrottles(s)
+	c.capacityChanged()
 	return nil
 }
 
@@ -243,6 +246,7 @@ func (c *LocalController) restoreThrottles(s *migrationStream) {
 		_, _ = v.Instance().SetAllocation(v.Allocation().Add(s.throttled[name]))
 	}
 	s.throttled = make(map[string]restypes.Vector)
+	c.capacityChanged()
 }
 
 // DeflateFully implements Node: it squeezes the named low-priority VM down
@@ -259,6 +263,7 @@ func (c *LocalController) DeflateFully(name string) (time.Duration, error) {
 		return 0, nil
 	}
 	r, err := c.casc.Deflate(v, target)
+	c.capacityChanged() // the cascade resized allocations even on partial failure
 	if err != nil {
 		return 0, fmt.Errorf("cluster: deflating %q: %w", name, err)
 	}

@@ -27,6 +27,10 @@ func (m *Manager) AddNode(n Node, url string) ([]HealthEvent, error) {
 	if name == "" {
 		return nil, fmt.Errorf("cluster: cannot register a node without a name")
 	}
+	// Dynamic fleets forgo the placement index: registration can replace a
+	// node object mid-flight (stranding its watcher) and removal renumbers
+	// indices, so these managers stay on the linear scans.
+	m.pidx = nil
 	if idx := m.serverIndex(name); idx >= 0 {
 		var events []HealthEvent
 		if m.nodeURLs[name] != url {
@@ -70,6 +74,7 @@ func (m *Manager) RemoveNode(name string) error {
 	if idx < 0 {
 		return fmt.Errorf("%w: %q", ErrNodeNotFound, name)
 	}
+	m.pidx = nil // see AddNode: dynamic fleets use the linear scans
 	for vmName, i := range m.placement {
 		switch {
 		case i == idx:

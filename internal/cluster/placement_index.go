@@ -1,0 +1,390 @@
+package cluster
+
+import (
+	"deflation/internal/restypes"
+	"deflation/internal/substrate"
+	"deflation/internal/vm"
+)
+
+// The placement index replaces the manager's O(servers) feasibility scan
+// with a segment tree over the fleet, so BestFit / WorstFit / FirstFit and
+// the preemption fallback resolve in roughly O(log n) while returning
+// BIT-IDENTICAL choices to the linear scans they shadow. The design:
+//
+//   - Each leaf caches its server's placement vectors (availability, free,
+//     preemptable ceiling), their unit directions and norms, and its
+//     substrate kind. Leaves go stale only through the controllers'
+//     WatchCapacity push notifications — every capacity mutation (launch,
+//     release, deflate, reinflate, preempt, stream reservation, crash)
+//     runs the watcher, which marks the leaf dirty; dirty leaves are
+//     re-read and their root paths recomputed before every query.
+//   - Internal nodes hold element-wise maxima (and norm maxima) over their
+//     subtrees. Per-dimension max is a selection, and Fits() is monotone
+//     per-dimension, so "spec fits the subtree maximum" is an EXACT
+//     feasibility bound: pruning a subtree never discards a feasible leaf.
+//   - The fitness bound is û·maxDir, where û is the spec's unit demand and
+//     maxDir the element-wise max of the leaves' unit placement vectors.
+//     All components are non-negative and IEEE multiplication/addition are
+//     monotone for non-negative operands, so û·maxDir ≥ û·dir ≥ fitness up
+//     to the few-ulp difference between computing cos-similarity as
+//     Dot/(|a||b|) versus û·dir. The 1e-9 absolute slack added before
+//     pruning dwarfs that ~1e-15 rounding gap while staying far below any
+//     meaningful fitness difference, so the bound never wrongly prunes.
+//   - Queries descend left to right and evaluate surviving leaves with the
+//     SAME expressions the scans use — m.alive(i), feasible(), m.fitness(),
+//     PreemptableCeiling().Norm() — read live through m.servers[i], with
+//     the same strictly-greater comparisons. Visit order and tie-breaking
+//     are therefore identical to the scan; pruning only skips leaves that
+//     provably cannot win.
+//
+// The index is built only when every node supports WatchCapacity (local
+// controllers, their crashable wrappers, and fencedNode chains over them).
+// Remote fleets and dynamically grown fleets (AddNode/RemoveNode) fall back
+// to the linear scans. The index-vs-scan equivalence tests and the fuzz
+// target in placement_index_test.go replay identical workloads both ways
+// and require identical placements.
+
+// placementIndexEnabled gates index construction; the equivalence tests
+// flip it to force the reference scan path.
+var placementIndexEnabled = true
+
+// pidxSlack is the absolute slack added to floating-point upper bounds
+// before pruning — far above the ~1e-15 recomputation rounding it must
+// absorb, far below any meaningful fitness or norm difference.
+const pidxSlack = 1e-9
+
+// capacityWatchable is the push-invalidation hook the index needs from
+// every node (see LocalController.WatchCapacity).
+type capacityWatchable interface {
+	WatchCapacity(fn func())
+}
+
+// watchableNode unwraps fencedNode chains to reach a WatchCapacity
+// provider, mirroring nodeSubstrate's unwrapping. Returns nil when the
+// node cannot push invalidations (e.g. RemoteNode).
+func watchableNode(n Node) capacityWatchable {
+	for {
+		if w, ok := n.(capacityWatchable); ok {
+			return w
+		}
+		f, ok := n.(*fencedNode)
+		if !ok {
+			return nil
+		}
+		n = f.Node
+	}
+}
+
+// pidxAgg is one tree node's aggregate: element-wise maxima over its
+// subtree's cached leaf values. Padding leaves (beyond the fleet) hold the
+// zero aggregate, the identity for max/OR.
+type pidxAgg struct {
+	maxPV      restypes.Vector // max placement vector (availability or free, per mode)
+	maxPVDir   restypes.Vector // max unit placement vector (best-fit fitness bound)
+	maxFreeDir restypes.Vector // max unit free vector (free-only fitness ablation)
+	maxPVNorm  float64         // max |placement vector|
+	maxFreeNrm float64         // max |free vector| (worst-fit bound)
+	maxCeil    restypes.Vector // max preemptable ceiling (preempt feasibility bound)
+	maxCeilNrm float64         // max |preemptable ceiling| (preempt fallback bound)
+	kinds      uint32          // OR of substrate-kind bits (bit 0 = unknown)
+}
+
+func mergeAgg(a, b pidxAgg) pidxAgg {
+	return pidxAgg{
+		maxPV:      a.maxPV.Max(b.maxPV),
+		maxPVDir:   a.maxPVDir.Max(b.maxPVDir),
+		maxFreeDir: a.maxFreeDir.Max(b.maxFreeDir),
+		maxPVNorm:  max2(a.maxPVNorm, b.maxPVNorm),
+		maxFreeNrm: max2(a.maxFreeNrm, b.maxFreeNrm),
+		maxCeil:    a.maxCeil.Max(b.maxCeil),
+		maxCeilNrm: max2(a.maxCeilNrm, b.maxCeilNrm),
+		kinds:      a.kinds | b.kinds,
+	}
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// unitVec returns v/|v|, or the zero vector when |v| = 0 (matching
+// CosineSimilarity's zero-vector convention).
+func unitVec(v restypes.Vector) restypes.Vector {
+	n := v.Norm()
+	if n == 0 {
+		return restypes.Vector{}
+	}
+	return v.Scale(1 / n)
+}
+
+// placementIndex is the segment tree. Leaves live at agg[p..p+n); node j's
+// children are 2j and 2j+1. Single-goroutine, like the manager it serves.
+type placementIndex struct {
+	servers []Node
+	n       int       // fleet size
+	p       int       // leaf base: smallest power of two ≥ n
+	agg     []pidxAgg // 1-based tree array, len 2p
+	dirty   []int     // leaf indices pending refresh
+	isDirty []bool    // dedupe for dirty
+	// kindBits interns normalized substrate-kind names to mask bits. Bit 0
+	// is the unknown kind (compatible with everything); interning past 31
+	// kinds falls back to bit 0, which can only make pruning more
+	// conservative, never wrong.
+	kindBits map[string]uint32
+	nextBit  uint
+}
+
+// newPlacementIndex builds the index over m's fleet, or returns nil when
+// the index is disabled, the fleet is empty, or any node cannot push
+// capacity invalidations.
+func newPlacementIndex(servers []Node) *placementIndex {
+	if !placementIndexEnabled || len(servers) == 0 {
+		return nil
+	}
+	watch := make([]capacityWatchable, len(servers))
+	for i, s := range servers {
+		w := watchableNode(s)
+		if w == nil {
+			return nil
+		}
+		watch[i] = w
+	}
+	n := len(servers)
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	x := &placementIndex{
+		servers:  servers,
+		n:        n,
+		p:        p,
+		agg:      make([]pidxAgg, 2*p),
+		dirty:    make([]int, 0, n),
+		isDirty:  make([]bool, n),
+		kindBits: map[string]uint32{"": 1},
+		nextBit:  1,
+	}
+	for i := 0; i < n; i++ {
+		x.markDirty(i)
+	}
+	for i, w := range watch {
+		i := i
+		w.WatchCapacity(func() { x.markDirty(i) })
+	}
+	return x
+}
+
+func (x *placementIndex) markDirty(i int) {
+	if !x.isDirty[i] {
+		x.isDirty[i] = true
+		x.dirty = append(x.dirty, i)
+	}
+}
+
+// kindBit interns a substrate kind name into a mask bit.
+func (x *placementIndex) kindBit(kind string) uint32 {
+	key := string(substrate.Kind(kind).Normalize())
+	if kind == "" {
+		key = ""
+	}
+	if b, ok := x.kindBits[key]; ok {
+		return b
+	}
+	if x.nextBit >= 32 {
+		return 1 // out of bits: treat as unknown (never wrongly pruned)
+	}
+	b := uint32(1) << x.nextBit
+	x.nextBit++
+	x.kindBits[key] = b
+	return b
+}
+
+// compatMask returns the set of leaf kind bits a spec of the given
+// substrate kind may land on, mirroring substrateCompatible: an empty spec
+// kind matches everything, otherwise unknown-kind nodes plus same-kind
+// nodes.
+func (x *placementIndex) compatMask(kind string) uint32 {
+	if kind == "" {
+		return ^uint32(0)
+	}
+	return 1 | x.kindBit(kind)
+}
+
+// flush re-reads every dirty leaf through its (possibly wrapped) node and
+// recomputes the path to the root. Called at the top of every query, so
+// query-time aggregates always reflect the controllers' current memoized
+// vectors.
+func (x *placementIndex) flush() {
+	if len(x.dirty) == 0 {
+		return
+	}
+	for _, i := range x.dirty {
+		x.isDirty[i] = false
+		s := x.servers[i]
+		pv := placementVector(s, LaunchSpec{})
+		free := s.Free()
+		ceil := s.PreemptableCeiling()
+		x.agg[x.p+i] = pidxAgg{
+			maxPV:      pv,
+			maxPVDir:   unitVec(pv),
+			maxFreeDir: unitVec(free),
+			maxPVNorm:  pv.Norm(),
+			maxFreeNrm: free.Norm(),
+			maxCeil:    ceil,
+			maxCeilNrm: ceil.Norm(),
+			kinds:      x.kindBit(nodeSubstrate(s)),
+		}
+		for j := (x.p + i) / 2; j >= 1; j /= 2 {
+			x.agg[j] = mergeAgg(x.agg[2*j], x.agg[2*j+1])
+		}
+	}
+	x.dirty = x.dirty[:0]
+}
+
+// bestFit is the indexed twin of Manager.bestFit: highest fitness among
+// alive feasible servers, earliest index on ties.
+func (x *placementIndex) bestFit(m *Manager, spec LaunchSpec) int {
+	x.flush()
+	u := unitVec(spec.Size)
+	compat := x.compatMask(spec.Substrate)
+	best, bestFitness := -1, -1.0
+	var walk func(node, lo, hi int)
+	walk = func(node, lo, hi int) {
+		if lo >= x.n {
+			return
+		}
+		agg := &x.agg[node]
+		if agg.kinds&compat == 0 || !spec.Size.Fits(agg.maxPV) {
+			return
+		}
+		dir := agg.maxPVDir
+		if m.freeOnlyFitness {
+			dir = agg.maxFreeDir
+		}
+		if u.Dot(dir)+pidxSlack <= bestFitness {
+			return // no leaf below can strictly beat the current best
+		}
+		if hi-lo == 1 {
+			s := m.servers[lo]
+			if !m.alive(lo) || !feasible(s, spec) {
+				return
+			}
+			if f := m.fitness(s, spec); f > bestFitness {
+				best, bestFitness = lo, f
+			}
+			return
+		}
+		mid := (lo + hi) / 2
+		walk(2*node, lo, mid)
+		walk(2*node+1, mid, hi)
+	}
+	walk(1, 0, x.p)
+	return best
+}
+
+// worstFit is the indexed twin of Manager.worstFit: most free-vector
+// magnitude among alive feasible servers, earliest index on ties.
+func (x *placementIndex) worstFit(m *Manager, spec LaunchSpec) int {
+	x.flush()
+	compat := x.compatMask(spec.Substrate)
+	best, bestRoom := -1, -1.0
+	var walk func(node, lo, hi int)
+	walk = func(node, lo, hi int) {
+		if lo >= x.n {
+			return
+		}
+		agg := &x.agg[node]
+		if agg.kinds&compat == 0 || !spec.Size.Fits(agg.maxPV) {
+			return
+		}
+		if agg.maxFreeNrm+pidxSlack <= bestRoom {
+			return
+		}
+		if hi-lo == 1 {
+			s := m.servers[lo]
+			if !m.alive(lo) || !feasible(s, spec) {
+				return
+			}
+			if r := s.Free().Norm(); r > bestRoom {
+				best, bestRoom = lo, r
+			}
+			return
+		}
+		mid := (lo + hi) / 2
+		walk(2*node, lo, mid)
+		walk(2*node+1, mid, hi)
+	}
+	walk(1, 0, x.p)
+	return best
+}
+
+// firstFit is the indexed twin of the FirstFit scan: the lowest-indexed
+// alive feasible server.
+func (x *placementIndex) firstFit(m *Manager, spec LaunchSpec) int {
+	x.flush()
+	compat := x.compatMask(spec.Substrate)
+	var walk func(node, lo, hi int) int
+	walk = func(node, lo, hi int) int {
+		if lo >= x.n {
+			return -1
+		}
+		agg := &x.agg[node]
+		if agg.kinds&compat == 0 || !spec.Size.Fits(agg.maxPV) {
+			return -1
+		}
+		if hi-lo == 1 {
+			if m.alive(lo) && feasible(m.servers[lo], spec) {
+				return lo
+			}
+			return -1
+		}
+		mid := (lo + hi) / 2
+		if i := walk(2*node, lo, mid); i >= 0 {
+			return i
+		}
+		return walk(2*node+1, mid, hi)
+	}
+	return walk(1, 0, x.p)
+}
+
+// preemptFallback is the indexed twin of Manager.preemptFallback: among
+// alive preempt-feasible servers, the one whose preemptable ceiling has
+// the largest magnitude, earliest index on ties.
+func (x *placementIndex) preemptFallback(m *Manager, spec LaunchSpec) int {
+	if spec.Priority != vm.HighPriority {
+		return -1 // preemptFeasible is false everywhere
+	}
+	x.flush()
+	compat := x.compatMask(spec.Substrate)
+	best, bestNorm := -1, 0.0
+	var walk func(node, lo, hi int)
+	walk = func(node, lo, hi int) {
+		if lo >= x.n {
+			return
+		}
+		agg := &x.agg[node]
+		if agg.kinds&compat == 0 || !spec.Size.Fits(agg.maxCeil) {
+			return
+		}
+		if best >= 0 && agg.maxCeilNrm <= bestNorm {
+			return // a fresh leaf norm equals its cached norm bit for bit
+		}
+		if hi-lo == 1 {
+			s := m.servers[lo]
+			if !m.alive(lo) || !preemptFeasible(s, spec) {
+				return
+			}
+			if c := s.PreemptableCeiling(); best < 0 || c.Norm() > bestNorm {
+				best, bestNorm = lo, c.Norm()
+			}
+			return
+		}
+		mid := (lo + hi) / 2
+		walk(2*node, lo, mid)
+		walk(2*node+1, mid, hi)
+	}
+	walk(1, 0, x.p)
+	return best
+}

@@ -35,6 +35,7 @@ func figures() []runFigure {
 		wrap(func() (any, string, error) { return asAny(Fig7b()) }, "fig7b", true),
 		wrap(func() (any, string, error) { return asAny(Fig8b()) }, "fig8b", false),
 		wrap(func() (any, string, error) { return asAny(Fig8c(QuickFig8cConfig())) }, "fig8c", false),
+		wrap(func() (any, string, error) { return asAny(Fig8cXL(QuickFig8cXLConfig())) }, "fig8c-xl", true),
 		wrap(func() (any, string, error) { return asAny(Fig8d(true, 0)) }, "fig8d", true),
 		wrap(func() (any, string, error) { return asAny(Chaos(QuickChaosConfig())) }, "chaos", true),
 		wrap(func() (any, string, error) { return asAny(FigMigration(QuickFigMigrationConfig())) }, "migration", true),

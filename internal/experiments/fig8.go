@@ -314,6 +314,123 @@ func Fig8c(cfg Fig8cConfig) (Fig8cResult, error) {
 	return res, nil
 }
 
+// Fig8cXLConfig sizes the Figure 8c-xl scale sweep; the zero value is the
+// full 100/1k/10k-node experiment (the ROADMAP's million-VM-arrival cell).
+type Fig8cXLConfig struct {
+	// FleetSizes are the x-axis points (default 100, 1000, 10000 servers).
+	FleetSizes []int
+	// TraceCount is the number of VM arrivals per 100 servers (default
+	// 10000). Each cell's trace scales linearly with its fleet — the
+	// 10k-node cell of the full sweep runs 1M arrivals, the ROADMAP's
+	// million-VM-arrival target — so per-server offered load is identical
+	// across the sweep.
+	TraceCount int
+	// MeanInterarrival is the arrival spacing at the 100-server reference
+	// point (default 2s), scaled inversely with fleet size so larger fleets
+	// see proportionally faster arrivals at the same per-server rate.
+	MeanInterarrival time.Duration
+	// LifetimeMedian is the VM lifetime median (default 1h, matching
+	// Fig. 8c's offered load of ~18 concurrent VMs per server).
+	LifetimeMedian time.Duration
+	// SampleEvery thins the O(servers·VMs) state sampling at the
+	// 100-server reference point (default 25); each cell's stride scales
+	// with its fleet so every cell records the same number of samples —
+	// without that, sampling alone is quadratic in fleet size and
+	// dominates the 10k-node cell many times over.
+	SampleEvery int
+	Seed        int64
+}
+
+// QuickFig8cXLConfig returns a reduced sweep — 100- and 1k-node cells with
+// a shorter trace — sized so the 1k-node cell finishes in seconds.
+func QuickFig8cXLConfig() Fig8cXLConfig {
+	return Fig8cXLConfig{
+		FleetSizes:       []int{100, 1000},
+		TraceCount:       4000,
+		MeanInterarrival: 500 * time.Millisecond,
+		LifetimeMedian:   10 * time.Minute,
+		SampleEvery:      50,
+	}
+}
+
+// Fig8cXLResult extends Figure 8c along the fleet-size axis: preemption
+// probability for deflation vs the preemption-only baseline at 1.6× target
+// overcommit, plus the achieved overcommit under deflation, on fleets from
+// 100 to 10k nodes. Constant per-server offered load means the y-values
+// should be roughly scale-invariant; the figure's real payload is that the
+// calendar-queue engine and indexed placement keep wall-clock near-linear
+// in trace length (see EXPERIMENTS.md for the recorded scaling table).
+type Fig8cXLResult struct {
+	FleetSizes  []float64
+	Deflation   series // preemption probability, deflation mode
+	PreemptOnly series // preemption probability, preemption-only baseline
+	AchievedOC  series // achieved overcommit, deflation mode
+}
+
+// Table renders the figure.
+func (r Fig8cXLResult) Table() string {
+	return renderTable("Figure 8c-xl: preemption probability vs fleet size (target overcommit 1.6)",
+		"nodes", r.FleetSizes, []series{r.Deflation, r.PreemptOnly, r.AchievedOC})
+}
+
+// Fig8cXL runs the scale sweep.
+func Fig8cXL(cfg Fig8cXLConfig) (Fig8cXLResult, error) {
+	if len(cfg.FleetSizes) == 0 {
+		cfg.FleetSizes = []int{100, 1000, 10000}
+	}
+	if cfg.TraceCount == 0 {
+		cfg.TraceCount = 10000
+	}
+	if cfg.MeanInterarrival == 0 {
+		cfg.MeanInterarrival = 2 * time.Second
+	}
+	if cfg.LifetimeMedian == 0 {
+		cfg.LifetimeMedian = time.Hour
+	}
+	if cfg.SampleEvery == 0 {
+		cfg.SampleEvery = 25
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 42
+	}
+	res := Fig8cXLResult{
+		Deflation:   series{Name: "Deflation"},
+		PreemptOnly: series{Name: "Preemption-only"},
+		AchievedOC:  series{Name: "Achieved OC"},
+	}
+	modes := []cluster.Mode{cluster.ModeDeflation, cluster.ModePreemptionOnly}
+	var cells []sweep.Cell[cluster.SimResult]
+	for _, n := range cfg.FleetSizes {
+		res.FleetSizes = append(res.FleetSizes, float64(n))
+		scale := float64(n) / 100
+		for _, mode := range modes {
+			cells = append(cells, simCell("fig8c-xl", cluster.SimConfig{
+				Mode:             mode,
+				TargetOvercommit: 1.6,
+				Seed:             cfg.Seed,
+				Servers:          n,
+				SampleEvery:      int(float64(cfg.SampleEvery) * scale),
+				Trace: trace.Config{
+					Count:            int(float64(cfg.TraceCount) * scale),
+					MeanInterarrival: time.Duration(float64(cfg.MeanInterarrival) / scale),
+					LifetimeMedian:   cfg.LifetimeMedian,
+				},
+			}))
+		}
+	}
+	sims, err := runCells("fig8c-xl", cells)
+	if err != nil {
+		return res, err
+	}
+	for i := range cfg.FleetSizes {
+		defl, pre := sims[i*len(modes)], sims[i*len(modes)+1]
+		res.Deflation.Values = append(res.Deflation.Values, defl.PreemptionProbability)
+		res.PreemptOnly.Values = append(res.PreemptOnly.Values, pre.PreemptionProbability)
+		res.AchievedOC.Values = append(res.AchievedOC.Values, defl.AchievedOvercommit)
+	}
+	return res, nil
+}
+
 // Fig8dResult reproduces Figure 8d: per-server overcommitment under the
 // three placement policies; deflation masks the differences between them.
 type Fig8dResult struct {

@@ -1,0 +1,388 @@
+package simclock
+
+// This file proves the calendar-queue engine behaviorally identical to the
+// binary-heap engine it replaced. The heap lives on below as refClock — the
+// reference model — and the differential driver runs byte-scripted
+// schedule/cancel/Every/Step/RunUntil sequences against both engines,
+// asserting identical firing order (including same-instant FIFO ties),
+// identical Pending counts after every operation, and identical final
+// clocks. FuzzEventQueue feeds the same driver from the fuzzer.
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// --- Reference model: the original container/heap engine, verbatim -------
+
+type refClock struct {
+	now    time.Duration
+	queue  refQueue
+	nextID uint64
+}
+
+type refEvent struct {
+	id       uint64
+	at       time.Duration
+	fn       func(now time.Duration)
+	canceled bool
+	index    int
+}
+
+func (e *refEvent) Cancel() { e.canceled = true }
+
+func (c *refClock) Now() time.Duration { return c.now }
+func (c *refClock) Pending() int       { return c.queue.Len() }
+
+func (c *refClock) At(t time.Duration, fn func(now time.Duration)) *refEvent {
+	if t < c.now {
+		panic(fmt.Sprintf("refclock: scheduling at %v which is before now %v", t, c.now))
+	}
+	c.nextID++
+	e := &refEvent{id: c.nextID, at: t, fn: fn}
+	heap.Push(&c.queue, e)
+	return e
+}
+
+func (c *refClock) After(d time.Duration, fn func(now time.Duration)) *refEvent {
+	if d < 0 {
+		panic(fmt.Sprintf("refclock: negative delay %v", d))
+	}
+	return c.At(c.now+d, fn)
+}
+
+func (c *refClock) Every(interval time.Duration, fn func(now time.Duration) bool) (stop func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("refclock: non-positive interval %v", interval))
+	}
+	stopped := false
+	var schedule func()
+	schedule = func() {
+		c.After(interval, func(now time.Duration) {
+			if stopped {
+				return
+			}
+			if fn(now) {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() { stopped = true }
+}
+
+func (c *refClock) Step() bool {
+	for c.queue.Len() > 0 {
+		e := heap.Pop(&c.queue).(*refEvent)
+		if e.canceled {
+			continue
+		}
+		c.now = e.at
+		e.fn(c.now)
+		return true
+	}
+	return false
+}
+
+func (c *refClock) Run() {
+	for c.Step() {
+	}
+}
+
+func (c *refClock) RunUntil(t time.Duration) {
+	if t < c.now {
+		panic(fmt.Sprintf("refclock: RunUntil(%v) is before now %v", t, c.now))
+	}
+	for c.queue.Len() > 0 {
+		e := c.queue[0]
+		if e.at > t {
+			break
+		}
+		c.Step()
+	}
+	c.now = t
+}
+
+type refQueue []*refEvent
+
+func (q refQueue) Len() int { return len(q) }
+
+func (q refQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].id < q[j].id
+}
+
+func (q refQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *refQueue) Push(x any) {
+	e := x.(*refEvent)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *refQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// --- Engine adapters ------------------------------------------------------
+
+type canceler interface{ Cancel() }
+
+// testEngine is the surface the differential driver exercises.
+type testEngine interface {
+	Now() time.Duration
+	Pending() int
+	At(time.Duration, func(time.Duration)) canceler
+	Every(time.Duration, func(time.Duration) bool) func()
+	Step() bool
+	RunUntil(time.Duration)
+}
+
+type calEngine struct{ c *Clock }
+
+func (e calEngine) Now() time.Duration { return e.c.Now() }
+func (e calEngine) Pending() int       { return e.c.Pending() }
+func (e calEngine) At(t time.Duration, fn func(time.Duration)) canceler {
+	return e.c.At(t, fn)
+}
+func (e calEngine) Every(iv time.Duration, fn func(time.Duration) bool) func() {
+	return e.c.Every(iv, fn)
+}
+func (e calEngine) Step() bool               { return e.c.Step() }
+func (e calEngine) RunUntil(t time.Duration) { e.c.RunUntil(t) }
+
+type refEngine struct{ c *refClock }
+
+func (e refEngine) Now() time.Duration { return e.c.Now() }
+func (e refEngine) Pending() int       { return e.c.Pending() }
+func (e refEngine) At(t time.Duration, fn func(time.Duration)) canceler {
+	return e.c.At(t, fn)
+}
+func (e refEngine) Every(iv time.Duration, fn func(time.Duration) bool) func() {
+	return e.c.Every(iv, fn)
+}
+func (e refEngine) Step() bool               { return e.c.Step() }
+func (e refEngine) RunUntil(t time.Duration) { e.c.RunUntil(t) }
+
+// --- Byte-scripted driver -------------------------------------------------
+
+const (
+	maxScriptOps    = 4096
+	maxNestedLabels = 50000
+)
+
+// execScript interprets script as a deterministic operation sequence against
+// eng and returns the full observation trace: every firing (with label and
+// virtual time), every operation's resulting Pending count, and the final
+// clock state. Two engines are behaviorally identical iff their traces match
+// on every script.
+func execScript(eng testEngine, script []byte) []string {
+	var trace []string
+	var handles []canceler
+	var stops []func()
+	label := 0
+	// mkFire records a firing; a slice of callbacks (label ≡ 0 mod 5) also
+	// schedule a follow-up event, exercising nested scheduling. Labels are
+	// allocated in firing order, so identical traces imply identical
+	// callback execution order across engines.
+	var mkFire func(l int) func(time.Duration)
+	mkFire = func(l int) func(time.Duration) {
+		return func(now time.Duration) {
+			trace = append(trace, fmt.Sprintf("F%d@%d", l, now))
+			if l%5 == 0 && l < maxNestedLabels {
+				label++
+				nl := label
+				d := time.Duration(l%7) * time.Millisecond
+				handles = append(handles, eng.At(now+d, mkFire(nl)))
+			}
+		}
+	}
+	pos := 0
+	next := func() byte {
+		if pos >= len(script) {
+			return 0
+		}
+		b := script[pos]
+		pos++
+		return b
+	}
+	for op := 0; pos < len(script) && op < maxScriptOps; op++ {
+		b := next()
+		switch b % 8 {
+		case 0, 1: // schedule a single event; coarse delays force exact ties
+			d := time.Duration(next()%32) * time.Millisecond
+			label++
+			l := label
+			handles = append(handles, eng.At(eng.Now()+d, mkFire(l)))
+		case 2: // cancel a previously returned handle
+			if len(handles) > 0 {
+				i := int(next()) % len(handles)
+				handles[i].Cancel()
+				trace = append(trace, fmt.Sprintf("C%d", i))
+			}
+		case 3: // single step
+			ran := eng.Step()
+			trace = append(trace, fmt.Sprintf("S%v@%d", ran, eng.Now()))
+		case 4: // advance virtual time
+			d := time.Duration(next()%64) * time.Millisecond
+			eng.RunUntil(eng.Now() + d)
+		case 5: // periodic ticker with a bounded run count
+			iv := time.Duration(1+next()%16) * time.Millisecond
+			limit := int(next() % 5)
+			label++
+			l := label
+			n := 0
+			stops = append(stops, eng.Every(iv, func(now time.Duration) bool {
+				trace = append(trace, fmt.Sprintf("E%d@%d", l, now))
+				n++
+				return n < limit
+			}))
+		case 6: // stop a ticker
+			if len(stops) > 0 {
+				stops[int(next())%len(stops)]()
+			}
+		case 7: // same-instant burst: the FIFO-tie stress
+			k := 1 + int(next()%4)
+			at := eng.Now() + 5*time.Millisecond
+			for j := 0; j < k; j++ {
+				label++
+				l := label
+				handles = append(handles, eng.At(at, mkFire(l)))
+			}
+		}
+		trace = append(trace, fmt.Sprintf("P%d", eng.Pending()))
+	}
+	// Drain: fire everything left (tickers are bounded, nesting is capped).
+	for i := 0; i < 100000 && eng.Step(); i++ {
+	}
+	trace = append(trace, fmt.Sprintf("end N%d P%d", eng.Now(), eng.Pending()))
+	return trace
+}
+
+func diffEngines(t *testing.T, script []byte) {
+	t.Helper()
+	cal := execScript(calEngine{New()}, script)
+	ref := execScript(refEngine{&refClock{}}, script)
+	if len(cal) != len(ref) {
+		t.Fatalf("trace lengths differ: calendar %d vs heap %d\ncalendar tail: %v\nheap tail: %v",
+			len(cal), len(ref), tail(cal), tail(ref))
+	}
+	for i := range cal {
+		if cal[i] != ref[i] {
+			t.Fatalf("traces diverge at step %d: calendar %q vs heap %q", i, cal[i], ref[i])
+		}
+	}
+}
+
+func tail(s []string) []string {
+	if len(s) > 10 {
+		return s[len(s)-10:]
+	}
+	return s
+}
+
+// --- Tests ----------------------------------------------------------------
+
+// TestDifferentialRandom drives both engines through thousands of seeded
+// random operation sequences and requires bit-identical traces.
+func TestDifferentialRandom(t *testing.T) {
+	seeds := 400
+	opsPerSeed := 700
+	if testing.Short() {
+		seeds = 50
+	}
+	for seed := 0; seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		script := make([]byte, opsPerSeed)
+		rng.Read(script)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			diffEngines(t, script)
+		})
+	}
+}
+
+// TestDifferentialSameInstantFIFO hammers the tie-order contract: bursts of
+// events at identical instants, interleaved with cancellations, must fire in
+// schedule order on both engines.
+func TestDifferentialSameInstantFIFO(t *testing.T) {
+	// Ops 7 (burst) and 2 (cancel) dominate; op 3 steps through ties.
+	var script []byte
+	for i := 0; i < 300; i++ {
+		script = append(script, 7, byte(i), 2, byte(i*13), 3)
+	}
+	diffEngines(t, script)
+}
+
+// TestRunUntilCanceledHeadQuirk pins a deliberate behavioral quirk of the
+// original engine that RunUntil preserves: a canceled event at the queue
+// head with timestamp ≤ t still triggers a Step, which fires the next live
+// event even when that event lies beyond t — after which the clock rewinds
+// to exactly t. Both engines must agree.
+func TestRunUntilCanceledHeadQuirk(t *testing.T) {
+	for _, eng := range []struct {
+		name string
+		mk   func() testEngine
+	}{
+		{"calendar", func() testEngine { return calEngine{New()} }},
+		{"heap", func() testEngine { return refEngine{&refClock{}} }},
+	} {
+		t.Run(eng.name, func(t *testing.T) {
+			e := eng.mk()
+			var fired []time.Duration
+			h := e.At(1*time.Second, func(now time.Duration) { fired = append(fired, now) })
+			e.At(5*time.Second, func(now time.Duration) { fired = append(fired, now) })
+			h.Cancel()
+			e.RunUntil(2 * time.Second)
+			if len(fired) != 1 || fired[0] != 5*time.Second {
+				t.Errorf("fired = %v, want [5s] (canceled head triggers the next live event)", fired)
+			}
+			if e.Now() != 2*time.Second {
+				t.Errorf("Now = %v, want 2s", e.Now())
+			}
+		})
+	}
+}
+
+// TestCalendarResizeStress pushes enough load through one clock to force
+// repeated calendar grows, shrinks, and year-wrap jumps, checking against
+// the reference model throughout.
+func TestCalendarResizeStress(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	script := make([]byte, 8192)
+	rng.Read(script)
+	diffEngines(t, script)
+}
+
+// FuzzEventQueue feeds arbitrary byte scripts through the differential
+// driver: the engines must never panic, never fire canceled events, never
+// fire out of order, and never disagree with each other.
+func FuzzEventQueue(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 10, 3, 3})
+	f.Add([]byte{7, 3, 2, 0, 4, 63, 3, 3, 3})
+	f.Add([]byte{5, 4, 3, 4, 40, 6, 0, 2, 1})
+	rng := rand.New(rand.NewSource(7))
+	big := make([]byte, 512)
+	rng.Read(big)
+	f.Add(big)
+	f.Fuzz(func(t *testing.T, script []byte) {
+		if len(script) > 4096 {
+			script = script[:4096]
+		}
+		diffEngines(t, script)
+	})
+}

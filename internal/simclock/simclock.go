@@ -7,36 +7,85 @@
 // events on a shared Clock. Experiments then advance the clock and read the
 // resulting virtual timestamps, which makes every figure exactly
 // reproducible.
+//
+// The scheduler is a calendar queue (R. Brown, CACM 1988): pending events
+// hash into time-bucketed slots of a circular "year", the cursor walks the
+// buckets in time order, and the bucket count and width track the live event
+// population, giving O(1) amortized schedule and pop against the binary
+// heap's O(log n) — the difference that lets the 10k-node cluster sweeps of
+// experiments.Fig8cXL finish in seconds. Events are slab-allocated in chunks
+// so the per-event steady-state allocation rate is ~0, and same-instant
+// events carry a monotone sequence number that preserves the heap engine's
+// FIFO tie order exactly (the differential tests in simclock_test.go drive
+// both engines side by side and require identical firing order).
 package simclock
 
 import (
-	"container/heap"
 	"fmt"
+	"sort"
 	"time"
+)
+
+const (
+	// minBuckets/maxBuckets bound the calendar's size; within them the
+	// bucket count tracks 2× the live event population.
+	minBuckets = 16
+	maxBuckets = 1 << 20
+	// slabChunk is how many Event structs are allocated at once.
+	slabChunk = 256
+	// bigBucket is the size above which a bucket is sorted with sort.Slice
+	// instead of insertion sort.
+	bigBucket = 32
 )
 
 // Clock is a discrete-event scheduler over virtual time. The zero value is
 // not usable; create one with New. Clock is not safe for concurrent use: the
 // whole simulation runs single-threaded for determinism.
 type Clock struct {
-	now    time.Duration
-	queue  eventQueue
-	nextID uint64
+	now     time.Duration
+	nextSeq uint64
+
+	// The calendar. Each bucket holds the events whose timestamp hashes to
+	// it — from the cursor's current year and from later wraps mixed
+	// together. Only the cursor's bucket is kept sorted (ascending by
+	// (at, seq)); head is its consumed prefix. sorted==false implies
+	// head==0.
+	buckets [][]*Event
+	width   time.Duration // bucket width, >= 1ns
+	cur     int           // cursor bucket index
+	curTop  time.Duration // exclusive upper bound of the cursor's window
+	head    int           // consumed prefix of buckets[cur]
+	sorted  bool          // whether buckets[cur] is sorted
+
+	queued   int // events in buckets, including undiscarded canceled ones
+	canceled int // canceled events still occupying bucket slots
+
+	slab []Event // current allocation chunk for pooled events
 }
 
 // New returns a Clock positioned at virtual time zero with no pending events.
-func New() *Clock { return &Clock{} }
+func New() *Clock {
+	c := &Clock{
+		buckets: make([][]*Event, minBuckets),
+		width:   time.Millisecond,
+	}
+	c.curTop = c.width
+	return c
+}
 
 // Now returns the current virtual time.
 func (c *Clock) Now() time.Duration { return c.now }
 
 // Event is a handle to a scheduled callback, usable for cancellation.
+// Events are pooled in slabs owned by their Clock and must not be retained
+// past the Clock's life.
 type Event struct {
-	id       uint64
 	at       time.Duration
+	seq      uint64
 	fn       func(now time.Duration)
+	c        *Clock
 	canceled bool
-	index    int // heap index, -1 once popped
+	done     bool // fired or discarded; Cancel is a no-op from here on
 }
 
 // Time returns the virtual time the event is (or was) scheduled for.
@@ -44,7 +93,23 @@ func (e *Event) Time() time.Duration { return e.at }
 
 // Cancel prevents the event's callback from running. Canceling an event that
 // already fired is a no-op.
-func (e *Event) Cancel() { e.canceled = true }
+func (e *Event) Cancel() {
+	if e.canceled || e.done {
+		return
+	}
+	e.canceled = true
+	e.c.canceled++
+}
+
+// alloc hands out a pooled Event from the current slab chunk.
+func (c *Clock) alloc() *Event {
+	if len(c.slab) == 0 {
+		c.slab = make([]Event, slabChunk)
+	}
+	e := &c.slab[0]
+	c.slab = c.slab[1:]
+	return e
+}
 
 // At schedules fn to run at virtual time t. Scheduling in the past (t <
 // Now()) panics: in a discrete-event simulation that is always a logic bug.
@@ -52,9 +117,10 @@ func (c *Clock) At(t time.Duration, fn func(now time.Duration)) *Event {
 	if t < c.now {
 		panic(fmt.Sprintf("simclock: scheduling at %v which is before now %v", t, c.now))
 	}
-	c.nextID++
-	e := &Event{id: c.nextID, at: t, fn: fn}
-	heap.Push(&c.queue, e)
+	c.nextSeq++
+	e := c.alloc()
+	*e = Event{at: t, seq: c.nextSeq, fn: fn, c: c}
+	c.enqueue(e)
 	return e
 }
 
@@ -91,21 +157,18 @@ func (c *Clock) Every(interval time.Duration, fn func(now time.Duration) bool) (
 
 // Pending reports the number of events still queued (including canceled ones
 // that have not yet been discarded).
-func (c *Clock) Pending() int { return c.queue.Len() }
+func (c *Clock) Pending() int { return c.queued }
 
 // Step runs the single earliest pending event, advancing the clock to its
 // timestamp. It reports whether an event ran.
 func (c *Clock) Step() bool {
-	for c.queue.Len() > 0 {
-		e := heap.Pop(&c.queue).(*Event)
-		if e.canceled {
-			continue
-		}
-		c.now = e.at
-		e.fn(c.now)
-		return true
+	e, ok := c.pop()
+	if !ok {
+		return false
 	}
-	return false
+	c.now = e.at
+	e.fn(c.now)
+	return true
 }
 
 // Run executes events until the queue is empty.
@@ -116,13 +179,19 @@ func (c *Clock) Run() {
 
 // RunUntil executes events with timestamps ≤ t, then advances the clock to
 // exactly t. Events scheduled for after t remain pending.
+//
+// The stop condition deliberately consults the earliest *queued* event —
+// canceled or not — exactly as the reference heap peeked its root: a
+// canceled head with timestamp ≤ t still triggers a Step, which fires the
+// next live event even if it lies beyond t. The differential tests pin this
+// behavior, so the two engines stay interchangeable.
 func (c *Clock) RunUntil(t time.Duration) {
 	if t < c.now {
 		panic(fmt.Sprintf("simclock: RunUntil(%v) is before now %v", t, c.now))
 	}
-	for c.queue.Len() > 0 {
-		e := c.queue[0]
-		if e.at > t {
+	for c.queued > 0 {
+		at, ok := c.peekAny()
+		if !ok || at > t {
 			break
 		}
 		c.Step()
@@ -133,38 +202,277 @@ func (c *Clock) RunUntil(t time.Duration) {
 // Advance is shorthand for RunUntil(Now()+d).
 func (c *Clock) Advance(d time.Duration) { c.RunUntil(c.now + d) }
 
-// eventQueue is a min-heap of events ordered by (time, id); the id tiebreak
-// gives FIFO ordering among events scheduled for the same instant, which
-// keeps simulations deterministic.
-type eventQueue []*Event
+// --- Calendar mechanics ------------------------------------------------
 
-func (q eventQueue) Len() int { return len(q) }
+func (c *Clock) live() int { return c.queued - c.canceled }
 
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (c *Clock) bucketFor(t time.Duration) int {
+	return int(uint64(t/c.width) % uint64(len(c.buckets)))
+}
+
+// enqueue files an event into its calendar slot, growing the calendar when
+// the population outruns the bucket count.
+func (c *Clock) enqueue(e *Event) {
+	if c.queued >= 2*len(c.buckets) && len(c.buckets) < maxBuckets {
+		c.resize()
 	}
-	return q[i].id < q[j].id
+	c.queued++
+	if e.at < c.curTop-c.width {
+		// The cursor scanned ahead of now (peeks advance it while hunting
+		// for the next event) and this event lands behind its window. Pull
+		// the window back so the cursor rediscovers the event in order.
+		c.compactCur()
+		c.cur = c.bucketFor(e.at)
+		c.curTop = (e.at/c.width)*c.width + c.width
+		c.sorted = false
+	}
+	i := c.bucketFor(e.at)
+	b := c.buckets[i]
+	if i == c.cur && c.sorted {
+		// The cursor's bucket is sorted; binary-insert to keep it that way.
+		// All resident events have smaller seq, so the slot for e is after
+		// every event with at <= e.at — which also keeps same-instant FIFO.
+		lo, hi := c.head, len(b)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if b[mid].at <= e.at {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		b = append(b, nil)
+		copy(b[lo+1:], b[lo:])
+		b[lo] = e
+		c.buckets[i] = b
+		return
+	}
+	c.buckets[i] = append(b, e)
 }
 
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
+// peekMin positions the cursor on the earliest pending live event and
+// returns its timestamp. A canceled event is discarded exactly when it
+// becomes the global head — in the cursor's window, sorted first — which is
+// the same instant the reference heap would have popped and dropped it, so
+// tombstones never outlive their scheduled slot yet Pending and RunUntil
+// observe them on the reference engine's schedule. Reports false when
+// nothing live is pending.
+func (c *Clock) peekMin() (time.Duration, bool) {
+	if c.live() == 0 {
+		return 0, false
+	}
+	scanned := 0
+	for {
+		if !c.sorted {
+			c.sortCur()
+		}
+		b := c.buckets[c.cur]
+		for c.head < len(b) && b[c.head].at < c.curTop && b[c.head].canceled {
+			b[c.head].done = true
+			c.head++
+			c.queued--
+			c.canceled--
+		}
+		if c.head < len(b) && b[c.head].at < c.curTop {
+			return b[c.head].at, true
+		}
+		if c.live() == 0 {
+			return 0, false
+		}
+		c.advanceCursor()
+		scanned++
+		if scanned > len(c.buckets) {
+			// A whole year of empty windows: the next event is far out.
+			// Jump the cursor straight to it instead of spinning.
+			c.jumpToMin()
+			scanned = 0
+		}
+	}
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
+// peekAny reports the timestamp of the earliest queued event, canceled or
+// not — the calendar analogue of peeking the reference heap's root. It never
+// discards tombstones; RunUntil's stop condition must see them.
+func (c *Clock) peekAny() (time.Duration, bool) {
+	if c.queued == 0 {
+		return 0, false
+	}
+	scanned := 0
+	for {
+		if !c.sorted {
+			c.sortCur()
+		}
+		b := c.buckets[c.cur]
+		if c.head < len(b) && b[c.head].at < c.curTop {
+			return b[c.head].at, true
+		}
+		c.advanceCursor()
+		scanned++
+		if scanned > len(c.buckets) {
+			c.jumpToMin()
+			scanned = 0
+		}
+	}
 }
 
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+// pop removes and returns the earliest pending live event.
+func (c *Clock) pop() (*Event, bool) {
+	if c.queued > 0 && c.queued < len(c.buckets)/8 && len(c.buckets) > minBuckets {
+		c.resize()
+	}
+	if _, ok := c.peekMin(); !ok {
+		if c.queued > 0 {
+			c.clearTombstones()
+		}
+		return nil, false
+	}
+	e := c.buckets[c.cur][c.head]
+	e.done = true
+	c.head++
+	c.queued--
+	return e, true
+}
+
+// sortCur sorts the cursor's bucket ascending by (at, seq) — the
+// (time, schedule-order) total order that reproduces the reference heap's
+// firing order, including same-instant FIFO ties. Canceled events are kept
+// in place; peekMin discards them only once they reach the head.
+// Precondition: head == 0 (a bucket is only unsorted before consumption).
+func (c *Clock) sortCur() {
+	b := c.buckets[c.cur]
+	if len(b) > bigBucket {
+		sort.Slice(b, func(i, j int) bool {
+			if b[i].at != b[j].at {
+				return b[i].at < b[j].at
+			}
+			return b[i].seq < b[j].seq
+		})
+	} else {
+		for i := 1; i < len(b); i++ {
+			e := b[i]
+			j := i - 1
+			for j >= 0 && (b[j].at > e.at || (b[j].at == e.at && b[j].seq > e.seq)) {
+				b[j+1] = b[j]
+				j--
+			}
+			b[j+1] = e
+		}
+	}
+	c.sorted = true
+}
+
+// compactCur drops the cursor bucket's consumed prefix, reusing the slice.
+func (c *Clock) compactCur() {
+	if c.head == 0 {
+		return
+	}
+	b := c.buckets[c.cur]
+	n := copy(b, b[c.head:])
+	for i := n; i < len(b); i++ {
+		b[i] = nil
+	}
+	c.buckets[c.cur] = b[:n]
+	c.head = 0
+}
+
+// advanceCursor moves to the next bucket's window.
+func (c *Clock) advanceCursor() {
+	c.compactCur()
+	c.cur = (c.cur + 1) % len(c.buckets)
+	c.curTop += c.width
+	c.sorted = false
+}
+
+// jumpToMin aims the cursor directly at the globally earliest queued event
+// (canceled included, so peekAny and tombstone discard both make progress) —
+// the calendar's escape hatch for a sparse far-future schedule.
+func (c *Clock) jumpToMin() {
+	var best *Event
+	for i, b := range c.buckets {
+		start := 0
+		if i == c.cur {
+			start = c.head
+		}
+		for _, e := range b[start:] {
+			if best == nil || e.at < best.at || (e.at == best.at && e.seq < best.seq) {
+				best = e
+			}
+		}
+	}
+	if best == nil {
+		return // empty calendar; callers guard on queued
+	}
+	nb := c.bucketFor(best.at)
+	if nb != c.cur {
+		c.compactCur()
+		c.cur = nb
+		c.sorted = false
+	}
+	c.curTop = (best.at/c.width)*c.width + c.width
+}
+
+// resize rebuilds the calendar around the current population: bucket count
+// ~2× the queued events (so ~1 event per visited bucket), width ~the mean
+// gap between the earliest and latest pending timestamps. Canceled events
+// are rehashed along with live ones — they must stay observable until they
+// reach the head, to match the reference heap. The cursor is re-aligned to
+// now's window.
+func (c *Clock) resize() {
+	all := make([]*Event, 0, c.queued)
+	var minAt, maxAt time.Duration
+	for i, b := range c.buckets {
+		start := 0
+		if i == c.cur {
+			start = c.head
+		}
+		for _, e := range b[start:] {
+			if len(all) == 0 || e.at < minAt {
+				minAt = e.at
+			}
+			if len(all) == 0 || e.at > maxAt {
+				maxAt = e.at
+			}
+			all = append(all, e)
+		}
+	}
+
+	n := minBuckets
+	for n < 2*len(all) && n < maxBuckets {
+		n <<= 1
+	}
+	width := time.Duration(1)
+	if len(all) > 1 {
+		width = (maxAt - minAt) / time.Duration(len(all))
+		if width < 1 {
+			width = 1
+		}
+	} else {
+		width = c.width // keep the old estimate for a near-empty calendar
+	}
+	c.width = width
+	c.buckets = make([][]*Event, n)
+	for _, e := range all {
+		i := c.bucketFor(e.at)
+		c.buckets[i] = append(c.buckets[i], e)
+	}
+	c.cur = c.bucketFor(c.now)
+	c.curTop = (c.now/c.width)*c.width + c.width
+	c.head = 0
+	c.sorted = false
+}
+
+// clearTombstones empties a queue that holds only canceled events.
+func (c *Clock) clearTombstones() {
+	for i, b := range c.buckets {
+		for j, e := range b {
+			if e != nil {
+				e.done = true
+			}
+			b[j] = nil
+		}
+		c.buckets[i] = b[:0]
+	}
+	c.queued, c.canceled = 0, 0
+	c.head = 0
+	c.sorted = false
 }

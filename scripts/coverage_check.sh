@@ -10,7 +10,10 @@
 # memoization, and the merge ordering, so its floor is enforced at 85%.
 # The simcg substrate models the failure semantics the mixed-fleet figure
 # rests on (resize floors, OOM kills, the shared page-cache pool), so it
-# carries the same floor.
+# carries the same floor. The simclock calendar queue is the event engine
+# every simulated second flows through; its differential/property/fuzz
+# tests (diff_test.go) must keep exercising bucket resize, tombstone
+# clearing, and the cancel paths, so it carries the same floor.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,5 +44,15 @@ echo "internal/simcg coverage: ${simcg_pct}% (floor ${floor_pct}%)"
 
 awk -v got="$simcg_pct" -v floor="$floor_pct" 'BEGIN { exit !(got+0 >= floor+0) }' || {
   echo "FAIL: internal/simcg coverage ${simcg_pct}% is below the ${floor_pct}% floor" >&2
+  exit 1
+}
+
+simclock_profile="${profile}.simclock"
+{ head -1 "$profile"; grep "internal/simclock/" "$profile" || true; } > "$simclock_profile"
+simclock_pct=$(go tool cover -func="$simclock_profile" | awk '/^total:/ { sub(/%$/, "", $NF); print $NF }')
+echo "internal/simclock coverage: ${simclock_pct}% (floor ${floor_pct}%)"
+
+awk -v got="$simclock_pct" -v floor="$floor_pct" 'BEGIN { exit !(got+0 >= floor+0) }' || {
+  echo "FAIL: internal/simclock coverage ${simclock_pct}% is below the ${floor_pct}% floor" >&2
   exit 1
 }
